@@ -1,0 +1,69 @@
+"""Figure 5 — fingerprints of two similar snippets remain similar.
+
+The two contracts of Figure 5 share the withdraw logic; one adds an
+ownership check and swaps the declaration order.  The reproduced property:
+their fingerprints are far more similar to each other than to an unrelated
+contract, and a local edit only changes a local part of the fingerprint.
+"""
+
+from repro.ccd import FingerprintGenerator, edit_distance, order_independent_similarity
+
+SAFE = """
+contract Safe {
+    address owner;
+    constructor() { owner = msg.sender; }
+    function safeWithdraw(uint amount) {
+        require(msg.sender == owner);
+        msg.sender.transfer(amount);
+    }
+}
+"""
+
+UNSAFE = """
+contract Unsafe {
+    function unsafeWithdraw(uint value) {
+        msg.sender.transfer(value);
+    }
+    address deployer;
+    constructor() { deployer = msg.sender; }
+}
+"""
+
+UNRELATED = """
+contract Voting {
+    mapping(address => bool) voted;
+    mapping(uint => uint) tally;
+    function vote(uint option) public {
+        require(!voted[msg.sender]);
+        voted[msg.sender] = true;
+        tally[option] += 1;
+    }
+}
+"""
+
+
+def test_fig5_similar_snippets_similar_fingerprints(benchmark):
+    generator = FingerprintGenerator()
+
+    def fingerprints():
+        return (generator.from_source(SAFE), generator.from_source(UNSAFE),
+                generator.from_source(UNRELATED))
+
+    safe, unsafe, unrelated = benchmark.pedantic(fingerprints, rounds=1, iterations=1)
+    print()
+    print(f"fingerprint(Safe)     = {safe.text}")
+    print(f"fingerprint(Unsafe)   = {unsafe.text}")
+    print(f"fingerprint(Voting)   = {unrelated.text}")
+
+    related_score = order_independent_similarity(unsafe, safe)
+    unrelated_score = order_independent_similarity(unsafe, unrelated)
+    print(f"similarity(Unsafe, Safe)   = {related_score:.1f}")
+    print(f"similarity(Unsafe, Voting) = {unrelated_score:.1f}")
+    assert related_score > unrelated_score + 20
+
+    # a local edit (adding one statement) only changes part of the fingerprint
+    edited = UNSAFE.replace("msg.sender.transfer(value);",
+                            "lastCaller = msg.sender;\n        msg.sender.transfer(value);")
+    edited_fingerprint = generator.from_source(edited)
+    distance = edit_distance(unsafe.text, edited_fingerprint.text)
+    assert 0 < distance < len(unsafe.text)

@@ -1,0 +1,36 @@
+"""Table 2 — CCC on the Original vs. Functions vs. Statements datasets.
+
+Reproduced shape: moving from full contracts to isolated functions and then
+to bare statements increases precision while decreasing recall.
+"""
+
+from repro.evaluation import evaluate_ccc_on_corpus
+from repro.pipeline.report import render_percentage, render_table
+
+
+def test_table2_derived_snippet_datasets(benchmark, smartbugs_corpus):
+    def run_all():
+        return {
+            "Original": evaluate_ccc_on_corpus(smartbugs_corpus, "original"),
+            "Functions": evaluate_ccc_on_corpus(smartbugs_corpus, "functions"),
+            "Statements": evaluate_ccc_on_corpus(smartbugs_corpus, "statements"),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [name, evaluation.total_labels, evaluation.total_true_positives,
+         evaluation.total_false_positives,
+         render_percentage(evaluation.precision), render_percentage(evaluation.recall)]
+        for name, evaluation in results.items()
+    ]
+    print()
+    print(render_table(["Dataset", "#", "TP", "FP", "Precision", "Recall"], rows,
+                       title="Table 2: CCC on Original / Functions / Statements"))
+
+    original, functions, statements = results["Original"], results["Functions"], results["Statements"]
+    assert functions.precision >= original.precision
+    assert statements.precision >= functions.precision
+    assert functions.recall <= original.recall
+    assert statements.recall <= functions.recall
+    assert statements.total_true_positives > 0

@@ -1,0 +1,46 @@
+"""Table 9 / Figure 9 — CCD parameter sweep (N-gram size, eta, epsilon).
+
+Reproduced shape: precision rises and recall falls with the similarity
+threshold epsilon; large N-gram sizes with strict thresholds give the best
+precision at low recall; the best F1 combination sits at a small N with a
+moderate epsilon.
+"""
+
+from repro.evaluation import sweep_ccd_parameters
+from repro.evaluation.parameter_sweep import best_combination
+from repro.pipeline.report import render_table
+
+
+def test_table9_fig9_parameter_sweep(benchmark, honeypot_corpus):
+    sweep = benchmark.pedantic(
+        lambda: sweep_ccd_parameters(
+            honeypot_corpus,
+            ngram_sizes=(3, 5, 7),
+            ngram_thresholds=(0.5, 0.7, 0.9),
+            similarity_thresholds=(0.5, 0.7, 0.9),
+        ),
+        rounds=1, iterations=1)
+
+    rows = [[point.ngram_size, point.ngram_threshold, point.similarity_threshold,
+             round(point.precision, 4), round(point.recall, 4), round(point.f1, 4)]
+            for point in sweep]
+    print()
+    print(render_table(["N", "eta", "epsilon", "Precision", "Recall", "F1"], rows,
+                       title="Table 9 / Figure 9: CCD parameter sweep"))
+    best = best_combination(sweep)
+    print(f"best combination: N={best.ngram_size} eta={best.ngram_threshold} "
+          f"epsilon={best.similarity_threshold} precision={best.precision:.4f} recall={best.recall:.4f}")
+
+    by_key = {(p.ngram_size, p.ngram_threshold, p.similarity_threshold): p for p in sweep}
+    # epsilon moves precision up and recall down (Figure 9's crossing curves)
+    low, high = by_key[(3, 0.5, 0.5)], by_key[(3, 0.5, 0.9)]
+    assert high.precision >= low.precision
+    assert high.recall <= low.recall
+    # the best trade-off uses a small N-gram size with a permissive eta,
+    # never the strictest corner of the grid (the paper picks N=3, eta=0.5)
+    assert best.ngram_size in (3, 5)
+    assert best.ngram_threshold == 0.5
+    # the strict corner has the highest precision but poor recall (Figure 9)
+    strict = by_key[(7, 0.9, 0.9)]
+    assert strict.precision >= best.precision - 1e-9
+    assert strict.recall <= best.recall

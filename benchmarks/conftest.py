@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The corpora
+are synthetic (see DESIGN.md) and deliberately scaled so that the complete
+benchmark suite runs in a few minutes on a laptop; the *shape* of each
+result (who wins, which direction metrics move) is what is reproduced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.honeypots import generate_honeypot_corpus
+from repro.datasets.sanctuary import generate_sanctuary
+from repro.datasets.smartbugs import generate_smartbugs_corpus
+from repro.datasets.snippets import generate_qa_corpus
+from repro.pipeline import StudyConfiguration, VulnerableCodeReuseStudy
+
+
+@pytest.fixture(scope="session")
+def smartbugs_corpus():
+    """The full-scale labelled corpus (204 labels, as in Table 1)."""
+    return generate_smartbugs_corpus(seed=13)
+
+
+@pytest.fixture(scope="session")
+def honeypot_corpus():
+    """The honeypot clone corpus (Table 3 substrate)."""
+    return generate_honeypot_corpus(seed=7)
+
+
+@pytest.fixture(scope="session")
+def qa_corpus():
+    return generate_qa_corpus(
+        seed=3, posts_per_site={"stackoverflow": 60, "ethereum.stackexchange": 150})
+
+
+@pytest.fixture(scope="session")
+def sanctuary(qa_corpus):
+    return generate_sanctuary(qa_corpus, seed=11, independent_contracts=60)
+
+
+@pytest.fixture(scope="session")
+def study_result(qa_corpus, sanctuary):
+    """One full study run shared by the Table 5-8 benchmarks."""
+    study = VulnerableCodeReuseStudy(StudyConfiguration(
+        validation_timeout_seconds=20, snippet_analysis_timeout_seconds=15))
+    return study.run(qa_corpus, sanctuary.contracts)

@@ -1,0 +1,65 @@
+"""Quickstart: analyse a Q&A snippet with CCC and find its clones with CCD.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro.ccc import ContractChecker
+from repro.ccd import CloneDetector
+
+# A code snippet as it might be posted in a Q&A answer: incomplete (no
+# contract, no state-variable declarations) and missing a mitigation.
+SNIPPET = """
+function withdraw(uint amount) public {
+    require(balances[msg.sender] >= amount);
+    msg.sender.call.value(amount)();
+    balances[msg.sender] -= amount;
+}
+"""
+
+# Two deployed contracts: one copied the snippet verbatim, the other fixed
+# the call ordering.
+VULNERABLE_CONTRACT = """
+pragma solidity ^0.4.24;
+contract EtherBank {
+    mapping(address => uint) balances;
+    function deposit() public payable { balances[msg.sender] += msg.value; }
+    function withdraw(uint amount) public {
+        require(balances[msg.sender] >= amount);
+        msg.sender.call.value(amount)();
+        balances[msg.sender] -= amount;
+    }
+}
+"""
+
+FIXED_CONTRACT = VULNERABLE_CONTRACT.replace(
+    "msg.sender.call.value(amount)();\n        balances[msg.sender] -= amount;",
+    "balances[msg.sender] -= amount;\n        msg.sender.transfer(amount);",
+)
+
+
+def main() -> None:
+    # 1. Vulnerability detection on the incomplete snippet (CCC)
+    checker = ContractChecker()
+    analysis = checker.analyze(SNIPPET)
+    print("=== CCC findings for the snippet ===")
+    for finding in analysis.findings:
+        print(f"  [{finding.category.value}] {finding.title}")
+        print(f"      at {finding.location()}: {finding.code}")
+
+    # 2. Clone detection against "deployed" contracts (CCD)
+    detector = CloneDetector(ngram_size=3, ngram_threshold=0.5, similarity_threshold=0.7)
+    detector.add_corpus([("0xVULNERABLE", VULNERABLE_CONTRACT), ("0xFIXED", FIXED_CONTRACT)])
+    print("\n=== CCD clones of the snippet ===")
+    for match in detector.find_clones(SNIPPET):
+        print(f"  {match.document_id}: similarity {match.similarity:.1f}%")
+
+    # 3. Validate the finding inside each clone (the paper's validation step)
+    print("\n=== Validation of the flagged vulnerability in the clones ===")
+    for address, source in (("0xVULNERABLE", VULNERABLE_CONTRACT), ("0xFIXED", FIXED_CONTRACT)):
+        validation = checker.analyze(source, query_ids=sorted(analysis.query_ids()))
+        verdict = "still vulnerable" if validation.findings else "mitigated"
+        print(f"  {address}: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Scan a (synthetic) Q&A corpus for vulnerable Solidity snippets.
+
+Reproduces the snippet-side half of the study (Sections 6.1 and 6.4): the
+collection funnel of Table 4 and the per-category counts feeding Table 6.
+
+Run with ``python examples/scan_qa_snippets.py``.
+"""
+
+from collections import Counter
+
+from repro.ccc import ContractChecker
+from repro.datasets.snippets import generate_qa_corpus
+from repro.pipeline import SnippetCollector
+from repro.pipeline.report import render_table
+
+
+def main() -> None:
+    corpus = generate_qa_corpus(
+        seed=3, posts_per_site={"stackoverflow": 60, "ethereum.stackexchange": 150})
+    collection = SnippetCollector().collect(corpus)
+
+    rows = [list(funnel.as_row().values()) for funnel in collection.funnels.values()]
+    rows.append(list(collection.total_funnel.as_row().values()))
+    print(render_table(["Q&A Website", "Posts", "Snippets", "Solidity", "Parsable", "Unique"],
+                       rows, title="Snippet collection funnel"))
+
+    checker = ContractChecker(timeout=15.0)
+    per_category = Counter()
+    vulnerable = 0
+    for snippet in collection.snippets:
+        analysis = checker.analyze(snippet.text)
+        if analysis.findings:
+            vulnerable += 1
+            for category in analysis.categories():
+                per_category[category.value] += 1
+
+    print()
+    print(render_table(
+        ["Vulnerability Category", "Snippets"],
+        sorted(per_category.items(), key=lambda item: -item[1]),
+        title=f"Vulnerable snippets: {vulnerable} of {len(collection.snippets)} unique snippets"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Simplified baseline tools used as comparators in the evaluation.
+
+The paper compares CCC against eight third-party analysers (Table 1) and
+CCD against SmartEmbed (Table 3).  Re-implementing symbolic-execution
+engines is out of scope for this reproduction; instead this package
+provides representative, simplified baselines whose behaviour preserves
+the *shape* of the comparison:
+
+* :class:`~repro.baselines.smartcheck.SmartCheckBaseline` — a lexical
+  XPath-style rule matcher over raw source (high precision on simple
+  patterns, narrow category coverage, requires no semantic reasoning),
+* :class:`~repro.baselines.smartembed.SmartEmbedBaseline` — a structural
+  code-embedding clone detector (bag of AST-derived features + cosine
+  similarity) that requires complete, parsable contracts,
+* :class:`~repro.baselines.exact_hash.ExactHashCloneBaseline` — a
+  normalized exact-hash clone detector (Type I/II only).
+"""
+
+from repro.baselines.exact_hash import ExactHashCloneBaseline
+from repro.baselines.smartcheck import SmartCheckBaseline
+from repro.baselines.smartembed import SmartEmbedBaseline
+
+__all__ = ["ExactHashCloneBaseline", "SmartCheckBaseline", "SmartEmbedBaseline"]

@@ -1,0 +1,74 @@
+"""A normalized exact-hash clone baseline (Type I/II clones only).
+
+Used in ablation benchmarks to quantify what the fuzzy hashing and the
+order-independent matching add on top of plain normalization: an exact
+hash of the normalized token stream finds identical and renamed clones but
+misses every near-miss (Type III) clone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from typing import Hashable, Iterable
+
+from repro.ccd.normalizer import Normalizer
+from repro.solidity.errors import SolidityParseError
+
+
+class ExactHashCloneBaseline:
+    """Exact matching on the SHA-256 of the normalized token stream."""
+
+    name = "exact-hash-baseline"
+
+    def __init__(self):
+        self.normalizer = Normalizer()
+        self._hash_to_documents: dict[str, set[Hashable]] = defaultdict(set)
+        self._document_hashes: dict[Hashable, set[str]] = {}
+        self.parse_failures: list[Hashable] = []
+
+    def _function_hashes(self, source: str) -> set[str]:
+        unit = self.normalizer.normalize(source)
+        hashes = set()
+        for contract in unit.contracts:
+            for function in contract.functions:
+                tokens = list(function.tokens)
+                # drop the contract/library header the normalizer attaches to
+                # the first function so bare-function queries still match
+                if len(tokens) >= 2 and tokens[0] in {"contract", "library"}:
+                    tokens = tokens[2:]
+                if not tokens:
+                    continue
+                digest = hashlib.sha256(" ".join(tokens).encode("utf-8")).hexdigest()
+                hashes.add(digest)
+        return hashes
+
+    def add_document(self, document_id: Hashable, source: str) -> bool:
+        try:
+            hashes = self._function_hashes(source)
+        except (SolidityParseError, RecursionError):
+            self.parse_failures.append(document_id)
+            return False
+        if not hashes:
+            return False
+        self._document_hashes[document_id] = hashes
+        for digest in hashes:
+            self._hash_to_documents[digest].add(document_id)
+        return True
+
+    def add_corpus(self, documents: Iterable[tuple[Hashable, str]]) -> int:
+        return sum(1 for document_id, source in documents if self.add_document(document_id, source))
+
+    def __len__(self) -> int:
+        return len(self._document_hashes)
+
+    def find_clones(self, source: str) -> list[Hashable]:
+        """Documents sharing at least one exactly matching normalized function."""
+        try:
+            hashes = self._function_hashes(source)
+        except (SolidityParseError, RecursionError):
+            return []
+        result: set[Hashable] = set()
+        for digest in hashes:
+            result.update(self._hash_to_documents.get(digest, ()))
+        return sorted(result, key=str)

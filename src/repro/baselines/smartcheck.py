@@ -1,0 +1,103 @@
+"""A SmartCheck-style lexical rule baseline for vulnerability detection.
+
+SmartCheck translates Solidity into XML and matches XPath patterns; the
+practical effect is lexical/structural pattern matching without data-flow
+reasoning.  This baseline reproduces that behaviour with regular
+expressions over the raw source.  It is intentionally narrow: it covers
+only the categories SmartCheck-style rules can express, achieving high
+precision but low recall and low category coverage — the comparison shape
+reported in Table 1.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.ccc.dasp import DaspCategory
+
+
+@dataclass(frozen=True)
+class BaselineFinding:
+    """A finding reported by a baseline tool."""
+
+    category: DaspCategory
+    rule_id: str
+    line: int
+    excerpt: str
+
+
+_RULES: list[tuple[str, DaspCategory, re.Pattern]] = [
+    (
+        "unchecked-send",
+        DaspCategory.UNCHECKED_LOW_LEVEL_CALLS,
+        re.compile(r"^\s*\w[\w\[\]\(\)\.]*\.(send|call|callcode|delegatecall)\s*[({]", re.MULTILINE),
+    ),
+    (
+        "unchecked-call-value",
+        DaspCategory.UNCHECKED_LOW_LEVEL_CALLS,
+        re.compile(r"^\s*\w[\w\[\]\(\)\.]*\.call\.value\s*\(", re.MULTILINE),
+    ),
+    (
+        "tx-origin",
+        DaspCategory.ACCESS_CONTROL,
+        re.compile(r"(require|if)\s*\([^)]*tx\.origin\s*[=!]="),
+    ),
+    (
+        "timestamp-dependence",
+        DaspCategory.TIME_MANIPULATION,
+        re.compile(r"(if|require|while)\s*\([^)]*(block\.timestamp|\bnow\b)"),
+    ),
+    (
+        "hardcoded-gas-loop",
+        DaspCategory.DENIAL_OF_SERVICE,
+        re.compile(r"for\s*\([^)]*\.length[^)]*\)\s*\{[^}]*(transfer|send|call)\(", re.DOTALL),
+    ),
+]
+
+
+class SmartCheckBaseline:
+    """Lexical rule matcher emulating SmartCheck-style detection."""
+
+    name = "smartcheck-baseline"
+
+    #: DASP categories this baseline can report at all.
+    SUPPORTED_CATEGORIES = frozenset(
+        {
+            DaspCategory.UNCHECKED_LOW_LEVEL_CALLS,
+            DaspCategory.ACCESS_CONTROL,
+            DaspCategory.TIME_MANIPULATION,
+            DaspCategory.DENIAL_OF_SERVICE,
+        }
+    )
+
+    def analyze(self, source: str) -> list[BaselineFinding]:
+        """Match all lexical rules against ``source``."""
+        findings: list[BaselineFinding] = []
+        if not source:
+            return findings
+        for rule_id, category, pattern in _RULES:
+            for match in pattern.finditer(source):
+                # skip matches whose result is obviously checked on the same line
+                line_start = source.rfind("\n", 0, match.start()) + 1
+                line_end = source.find("\n", match.start())
+                line_text = source[line_start:line_end if line_end != -1 else None]
+                if rule_id.startswith("unchecked") and re.search(
+                    r"\b(require|assert|if|return|bool|=)\s*\(?", line_text.split(".")[0]
+                ):
+                    if re.search(r"\b(require|assert|if|return)\b|=", line_text.split("call")[0].split("send")[0]):
+                        continue
+                line_number = source.count("\n", 0, match.start()) + 1
+                findings.append(
+                    BaselineFinding(
+                        category=category,
+                        rule_id=rule_id,
+                        line=line_number,
+                        excerpt=line_text.strip()[:120],
+                    )
+                )
+        return findings
+
+    def categories(self, source: str) -> set[DaspCategory]:
+        """The set of DASP categories reported for ``source``."""
+        return {finding.category for finding in self.analyze(source)}

@@ -1,0 +1,31 @@
+"""CCC — the Code property graph Contract Checker.
+
+CCC analyses Solidity source code (complete contracts *and* incomplete
+snippets) by translating it into a Code Property Graph and evaluating 17
+rule-based vulnerability queries that cover the DASP Top-10 categories
+(Section 4 of the paper).
+
+Typical usage::
+
+    from repro.ccc import ContractChecker
+
+    checker = ContractChecker()
+    result = checker.analyze("function f() { msg.sender.call{value: 1 ether}(\"\"); }")
+    for finding in result.findings:
+        print(finding.category.value, finding.line, finding.title)
+"""
+
+from repro.ccc.checker import AnalysisResult, ContractChecker
+from repro.ccc.dasp import DaspCategory
+from repro.ccc.finding import Finding
+from repro.ccc.registry import ALL_QUERIES, queries_for_categories, query_by_id
+
+__all__ = [
+    "ALL_QUERIES",
+    "AnalysisResult",
+    "ContractChecker",
+    "DaspCategory",
+    "Finding",
+    "queries_for_categories",
+    "query_by_id",
+]

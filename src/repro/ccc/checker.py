@@ -1,0 +1,136 @@
+"""The ContractChecker: CCC's public analysis API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.ccc.dasp import DaspCategory
+from repro.ccc.finding import Finding
+from repro.ccc.registry import ALL_QUERIES, queries_for_categories, query_by_id
+from repro.cpg.builder import build_cpg
+from repro.cpg.graph import CPGGraph
+from repro.query import QueryContext, QueryTimeout
+from repro.solidity.errors import SolidityParseError
+
+
+@dataclass
+class AnalysisResult:
+    """The outcome of analysing one snippet or contract."""
+
+    findings: list[Finding] = field(default_factory=list)
+    timed_out: bool = False
+    parse_error: Optional[str] = None
+    elapsed_seconds: float = 0.0
+    graph_nodes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.parse_error is None
+
+    def categories(self) -> set[DaspCategory]:
+        return {finding.category for finding in self.findings}
+
+    def query_ids(self) -> set[str]:
+        return {finding.query_id for finding in self.findings}
+
+
+class ContractChecker:
+    """Analyse Solidity source (snippets or full contracts) for vulnerabilities.
+
+    Parameters
+    ----------
+    timeout:
+        Wall-clock budget in seconds per analysed unit (the paper uses
+        1,800 s per contract in the large-scale validation, Section 6.4).
+    max_flow_depth:
+        Bound on explored data-flow/control-flow path lengths.  ``None``
+        (default) is the unbounded phase-1 configuration; a finite value
+        reproduces the phase-2 "path reduction" fallback (Section 6.3).
+    """
+
+    def __init__(self, timeout: Optional[float] = None, max_flow_depth: Optional[int] = None):
+        self.timeout = timeout
+        self.max_flow_depth = max_flow_depth
+
+    # -- public API ---------------------------------------------------------------
+    def analyze(
+        self,
+        source: str,
+        *,
+        snippet: bool = True,
+        categories: Optional[Iterable[DaspCategory]] = None,
+        query_ids: Optional[Sequence[str]] = None,
+        timeout: Optional[float] = None,
+        max_flow_depth: Optional[int] = None,
+    ) -> AnalysisResult:
+        """Analyse ``source`` and return an :class:`AnalysisResult`.
+
+        ``categories`` or ``query_ids`` restrict the executed queries — the
+        validation phase of the study reruns only the query that originally
+        flagged the snippet (Section 6.3).
+        """
+        result = AnalysisResult()
+        try:
+            graph = build_cpg(source, snippet=snippet)
+        except SolidityParseError as exc:
+            result.parse_error = str(exc)
+            return result
+        except RecursionError:
+            result.parse_error = "recursion limit exceeded while parsing"
+            return result
+        return self.analyze_graph(
+            graph, categories=categories, query_ids=query_ids,
+            timeout=timeout, max_flow_depth=max_flow_depth, result=result,
+        )
+
+    def analyze_graph(
+        self,
+        graph: CPGGraph,
+        *,
+        categories: Optional[Iterable[DaspCategory]] = None,
+        query_ids: Optional[Sequence[str]] = None,
+        timeout: Optional[float] = None,
+        max_flow_depth: Optional[int] = None,
+        result: Optional[AnalysisResult] = None,
+    ) -> AnalysisResult:
+        """Run the selected queries against an already-built CPG."""
+        if result is None:
+            result = AnalysisResult()
+        result.graph_nodes = len(graph)
+        ctx = QueryContext(
+            graph,
+            max_flow_depth=max_flow_depth if max_flow_depth is not None else self.max_flow_depth,
+            timeout=timeout if timeout is not None else self.timeout,
+        )
+        if query_ids is not None:
+            queries = [query_by_id(query_id) for query_id in query_ids]
+        else:
+            queries = list(queries_for_categories(categories))
+        seen: set[tuple] = set()
+        for query in queries:
+            try:
+                findings = query.run(ctx)
+            except QueryTimeout:
+                result.timed_out = True
+                break
+            except RecursionError:
+                result.timed_out = True
+                break
+            for finding in findings:
+                key = (finding.query_id, finding.line, finding.code)
+                if key in seen:
+                    continue
+                seen.add(key)
+                result.findings.append(finding)
+        result.elapsed_seconds = ctx.elapsed
+        return result
+
+    # -- convenience ---------------------------------------------------------------
+    def is_vulnerable(self, source: str, **kwargs) -> bool:
+        """``True`` when at least one query reports a finding for ``source``."""
+        return bool(self.analyze(source, **kwargs).findings)
+
+    @staticmethod
+    def available_queries() -> list[str]:
+        return [query.query_id for query in ALL_QUERIES]

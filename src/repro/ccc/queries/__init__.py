@@ -1,0 +1,26 @@
+"""The 17 vulnerability queries of CCC, one module per DASP category.
+
+Each query follows the three-part structure of Section 4.3:
+
+* a **base pattern** selecting candidate nodes,
+* **conditions of relevancy** (disjunctive) that qualify a candidate as a
+  potential vulnerability, and
+* **mitigations and exceptions** (negated) that suppress a finding when
+  the surrounding program prevents the issue.
+"""
+
+from repro.ccc.queries.base import VulnerabilityQuery
+from repro.ccc.queries import (  # noqa: F401  (imported for registration side effects)
+    access_control,
+    arithmetic,
+    bad_randomness,
+    denial_of_service,
+    front_running,
+    reentrancy,
+    short_addresses,
+    time_manipulation,
+    unchecked_calls,
+    unknown_unknowns,
+)
+
+__all__ = ["VulnerabilityQuery"]

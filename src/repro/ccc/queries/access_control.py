@@ -1,0 +1,153 @@
+"""Access Control queries (Listings 3, 4, 12, 19 of the paper)."""
+
+from __future__ import annotations
+
+from repro.ccc.dasp import DaspCategory
+from repro.ccc.finding import Finding
+from repro.ccc.queries.base import VulnerabilityQuery
+from repro.cpg.graph import EdgeLabel
+from repro.query import QueryContext, predicates
+
+
+class UnrestrictedAccessControlStateWrite(VulnerabilityQuery):
+    """Unrestricted writes to state variables used for access control (Listing 3).
+
+    Base pattern: a non-constructor, externally reachable function contains a
+    write to a field.  Relevancy: the field is compared with ``msg.sender``
+    somewhere in the unit, i.e. it acts as access-control state (an owner
+    variable).  Mitigation: the write itself is protected by an
+    access-control guard, or the written value is derived from the current
+    owner/msg.sender comparison context (e.g. ``require(msg.sender == owner)``
+    before the write).
+    """
+
+    query_id = "access-control-state-write"
+    category = DaspCategory.ACCESS_CONTROL
+    title = "State variable used for access control can be overwritten without authorization"
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        findings: list[Finding] = []
+        control_fields = {field.id: field for field in predicates.fields_compared_to_sender(ctx)}
+        if not control_fields:
+            return findings
+        for function in predicates.functions(ctx, include_constructors=False):
+            if getattr(function, "visibility", "") in {"internal", "private"}:
+                continue
+            for write, field in predicates.state_writes_in(ctx, function):
+                ctx.check_deadline()
+                if field.id not in control_fields:
+                    continue
+                if predicates.is_access_controlled(ctx, function, write):
+                    continue
+                findings.append(self.finding(ctx, write, function))
+        return findings
+
+
+class UnprotectedSelfdestruct(VulnerabilityQuery):
+    """Unrestricted access to functions that destroy the contract (Listing 4)."""
+
+    query_id = "access-control-selfdestruct"
+    category = DaspCategory.ACCESS_CONTROL
+    title = "selfdestruct/suicide is reachable without access control"
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for function in predicates.functions(ctx, include_constructors=False):
+            for call in predicates.calls_in(ctx, function):
+                ctx.check_deadline()
+                if call.local_name.upper() not in {"SELFDESTRUCT", "SUICIDE"}:
+                    continue
+                if not ctx.eog_reaches(function, call):
+                    continue
+                if predicates.is_access_controlled(ctx, function, call):
+                    continue
+                findings.append(self.finding(ctx, call, function))
+        return findings
+
+
+class DefaultProxyDelegate(VulnerabilityQuery):
+    """Call delegation in a default function with unsanitised ``msg.data`` (Listing 12).
+
+    This is the Parity-wallet pattern discussed in Section 4.4: the default
+    (fallback) function forwards ``msg.data`` to a library via
+    ``delegatecall`` without restricting which function selectors may be
+    relayed.
+    """
+
+    query_id = "access-control-default-delegatecall"
+    category = DaspCategory.ACCESS_CONTROL
+    title = "Default function delegates msg.data without sanitisation"
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        findings: list[Finding] = []
+        msg_data = [node for node in predicates.msg_data_nodes(ctx) if node.code == "msg.data"]
+        for function in predicates.functions(ctx, include_constructors=False):
+            if not function.is_default_function:
+                continue
+            for call in predicates.calls_in(ctx, function):
+                ctx.check_deadline()
+                if call.local_name.upper() not in {"DELEGATECALL", "CALLCODE"}:
+                    continue
+                arguments = ctx.graph.successors(call, EdgeLabel.ARGUMENTS)
+                uses_msg_data = any(
+                    argument.code == "msg.data" or predicates.flows_from_any(ctx, msg_data, argument)
+                    for argument in arguments
+                )
+                if not uses_msg_data:
+                    continue
+                # the call must be able to complete (not guaranteed to roll back)
+                if not self._completes(ctx, function, call):
+                    continue
+                # mitigation: a guard depending on msg.data content before the call
+                if predicates.has_guard_depending_on(ctx, function, call, msg_data):
+                    continue
+                findings.append(self.finding(ctx, call, function))
+        return findings
+
+    @staticmethod
+    def _completes(ctx: QueryContext, function, call) -> bool:
+        for terminal in ctx.graph.terminal_nodes(call, EdgeLabel.EOG):
+            if not terminal.has_label("Rollback"):
+                return True
+        return ctx.eog_reaches(function, call)
+
+
+class TxOriginAuthentication(VulnerabilityQuery):
+    """Uses of ``tx.origin`` for authorization branching (Listing 19)."""
+
+    query_id = "access-control-tx-origin"
+    category = DaspCategory.ACCESS_CONTROL
+    title = "tx.origin is used in an authorization decision"
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        findings: list[Finding] = []
+        origins = [node for node in ctx.graph.nodes_by_label("MemberExpression") if node.code == "tx.origin"]
+        for origin in origins:
+            ctx.check_deadline()
+            function = predicates.enclosing_function(ctx, origin)
+            if function is None:
+                continue
+            for target in ctx.flow_targets(origin, EdgeLabel.DFG, include_start=True):
+                if not (target.has_label("BinaryOperator")
+                        and getattr(target, "operator_code", "") in {"==", "!="}):
+                    continue
+                # relevancy: the comparison also involves persisted state and
+                # influences branching
+                sources = ctx.flow_sources(target, EdgeLabel.DFG, include_start=True)
+                touches_state = any(source.has_label("FieldDeclaration") for source in sources)
+                branches = any(
+                    user.has_label("IfStatement") or user.properties.get("reverting")
+                    for user in ctx.flow_targets(target, EdgeLabel.DFG)
+                )
+                if touches_state and branches:
+                    findings.append(self.finding(ctx, origin, function))
+                    break
+        return findings
+
+
+QUERIES = [
+    UnrestrictedAccessControlStateWrite(),
+    UnprotectedSelfdestruct(),
+    DefaultProxyDelegate(),
+    TxOriginAuthentication(),
+]

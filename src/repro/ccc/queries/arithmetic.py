@@ -1,0 +1,134 @@
+"""Arithmetic (integer over-/underflow) query (Listing 16 of the paper)."""
+
+from __future__ import annotations
+
+from repro.ccc.dasp import DaspCategory
+from repro.ccc.finding import Finding
+from repro.ccc.queries.base import VulnerabilityQuery
+from repro.cpg.graph import EdgeLabel
+from repro.query import QueryContext, predicates
+
+_OVERFLOW_OPERATORS = {"+", "+=", "-", "-=", "*", "*="}
+_SAFEMATH_CALL_NAMES = {"add", "sub", "mul", "div", "mod", "safeAdd", "safeSub", "safeMul",
+                        "tryAdd", "trySub", "tryMul"}
+
+
+class UncheckedArithmetic(VulnerabilityQuery):
+    """Arithmetic on externally supplied values that can over- or underflow.
+
+    Base pattern: an addition, subtraction, or multiplication inside a
+    non-constructor function.
+
+    Conditions of relevancy (disjunctive): the operation is influenced by a
+    parameter of an externally callable function, and its result is
+    persisted to a field, used in a rollback-guarding comparison, passed to
+    an unresolved call, or used as a call value specifier.
+
+    Mitigations: compilation with Solidity >= 0.8 (checked arithmetic),
+    SafeMath-style guarded operations on the same values, explicit bounds
+    checks (a comparison between the operands or the result appearing as a
+    guard on the same path), or operations inside ``unchecked`` blocks are
+    still reported while constant-only expressions are not.
+    """
+
+    query_id = "arithmetic-overflow"
+    category = DaspCategory.ARITHMETIC
+    title = "Arithmetic operation may overflow or underflow"
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        version = predicates.solidity_pragma_version(ctx)
+        checked_by_compiler = version is not None and version >= (0, 8)
+        findings: list[Finding] = []
+        for function in predicates.functions(ctx, include_constructors=False):
+            if getattr(function, "visibility", "") in {"internal", "private"}:
+                continue
+            for node in predicates.body_nodes(ctx, function):
+                ctx.check_deadline()
+                if not node.has_label("BinaryOperator"):
+                    continue
+                operator = getattr(node, "operator_code", "")
+                if operator not in _OVERFLOW_OPERATORS:
+                    continue
+                if checked_by_compiler and not self._in_unchecked_block(ctx, node):
+                    continue
+                if not self._influenced_by_external_input(ctx, node, function):
+                    continue
+                if not self._result_matters(ctx, node):
+                    continue
+                if self._is_guarded(ctx, function, node):
+                    continue
+                if self._uses_safemath(ctx, node):
+                    continue
+                findings.append(self.finding(ctx, node, function))
+        return findings
+
+    # -- relevancy -------------------------------------------------------------
+    def _influenced_by_external_input(self, ctx: QueryContext, node, function) -> bool:
+        for source in ctx.flow_sources(node, EdgeLabel.DFG, include_start=True):
+            if source.has_label("ParamVariableDeclaration"):
+                owner = predicates.enclosing_parameter_function(ctx, source)
+                if owner is None:
+                    return True
+                if owner.has_label("ConstructorDeclaration"):
+                    continue
+                if getattr(owner, "visibility", "") in {"internal", "private"}:
+                    continue
+                return True
+            if source.code in {"msg.value"}:
+                return True
+        return False
+
+    def _result_matters(self, ctx: QueryContext, node) -> bool:
+        for target in ctx.flow_targets(node, EdgeLabel.DFG):
+            if target.has_label("FieldDeclaration"):
+                return True
+            if target.has_label("CallExpression") and not ctx.graph.successors(target, EdgeLabel.INVOKES):
+                return True
+            if target.has_label("KeyValueExpression") or target.has_label("SpecifiedExpression"):
+                return True
+            if target.has_label("BinaryOperator") and getattr(target, "operator_code", "") in {
+                "<", ">", "<=", ">=", "=="
+            }:
+                for user in ctx.flow_targets(target, EdgeLabel.DFG):
+                    if user.has_label("IfStatement") or user.properties.get("reverting") \
+                            or user.has_label("Rollback"):
+                        return True
+        return False
+
+    # -- mitigations --------------------------------------------------------------
+    def _in_unchecked_block(self, ctx: QueryContext, node) -> bool:
+        current = ctx.graph.ast_parent(node)
+        while current is not None:
+            if current.has_label("CompoundStatement") and getattr(current, "unchecked", False):
+                return True
+            current = ctx.graph.ast_parent(current)
+        return False
+
+    def _is_guarded(self, ctx: QueryContext, function, node) -> bool:
+        """A comparison guard involving the operands or the result on the same path."""
+        operands = ctx.graph.successors(node, EdgeLabel.LHS) + ctx.graph.successors(node, EdgeLabel.RHS)
+        operand_roots: set[int] = set()
+        for operand in operands:
+            for source in ctx.flow_sources(operand, EdgeLabel.DFG, include_start=True):
+                operand_roots.add(source.id)
+        for guard in predicates.guard_nodes_in(ctx, function):
+            sources = predicates.guard_condition_sources(ctx, guard)
+            hits = sum(1 for source in sources if source.id in operand_roots)
+            result_checked = any(ctx.flows_to(node, source, EdgeLabel.DFG) for source in sources
+                                 if source.has_label("BinaryOperator") or source.has_label("DeclaredReferenceExpression"))
+            if hits >= 2 or result_checked:
+                return True
+        return False
+
+    def _uses_safemath(self, ctx: QueryContext, node) -> bool:
+        """The operands already flow through SafeMath-style library calls."""
+        for source in ctx.flow_sources(node, EdgeLabel.DFG, include_start=True):
+            if source.has_label("CallExpression") and source.local_name in _SAFEMATH_CALL_NAMES:
+                return True
+        for target in ctx.flow_targets(node, EdgeLabel.DFG):
+            if target.has_label("CallExpression") and target.local_name in _SAFEMATH_CALL_NAMES:
+                return True
+        return False
+
+
+QUERIES = [UncheckedArithmetic()]

@@ -1,0 +1,98 @@
+"""Bad Randomness query (Listing 7 of the paper)."""
+
+from __future__ import annotations
+
+from repro.ccc.dasp import DaspCategory
+from repro.ccc.finding import Finding
+from repro.ccc.queries.base import VulnerabilityQuery
+from repro.cpg.graph import EdgeLabel
+from repro.query import QueryContext, predicates
+
+_RANDOM_HINTS = ("rand", "lottery", "lucky", "winner", "roll", "seed")
+
+
+class PredictableRandomness(VulnerabilityQuery):
+    """Usage of miner-controllable block attributes as a source of randomness.
+
+    Base pattern: a reference to ``block.timestamp``, ``block.number``,
+    ``block.difficulty``, ``block.coinbase``, ``blockhash(..)`` or ``now``.
+
+    Conditions of relevancy (disjunctive): the value is returned by a
+    function whose code suggests random-number generation, it is persisted
+    into a write-only field (a stored seed), it feeds the value/target of an
+    ether transfer, or it decides a branch that guards an ether transfer or
+    a rollback.
+
+    Mitigations: uses where the block attribute only feeds event emission or
+    pure bookkeeping (e.g. recording a deadline that is also compared with
+    user input) are not reported.
+    """
+
+    query_id = "bad-randomness-block-attributes"
+    category = DaspCategory.BAD_RANDOMNESS
+    title = "Block attribute is used as a source of randomness"
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for reference in predicates.block_attribute_nodes(ctx):
+            ctx.check_deadline()
+            if reference.code in {"block.timestamp", "now"} and not self._randomness_context(ctx, reference):
+                # plain timestamp reads are handled by the Time Manipulation query
+                continue
+            function = predicates.enclosing_function(ctx, reference)
+            if function is None:
+                continue
+            if self._relevant(ctx, reference, function):
+                findings.append(self.finding(ctx, reference, function))
+        return findings
+
+    def _randomness_context(self, ctx: QueryContext, reference) -> bool:
+        function = predicates.enclosing_function(ctx, reference)
+        haystacks = [reference.code or ""]
+        if function is not None:
+            haystacks.append(function.name or "")
+            haystacks.append((function.code or "")[:400])
+        for target in ctx.flow_targets(reference, EdgeLabel.DFG):
+            if target.has_label("CallExpression") and target.local_name in {"keccak256", "sha3", "sha256"}:
+                return True
+        text = " ".join(haystacks).lower()
+        return any(hint in text for hint in _RANDOM_HINTS) or "%" in text
+
+    def _relevant(self, ctx: QueryContext, reference, function) -> bool:
+        # (a) returned from a randomness-related function
+        for target in ctx.flow_targets(reference, EdgeLabel.DFG):
+            if target.has_label("ReturnStatement") and any(
+                hint in (function.name or "").lower() or hint in (function.code or "").lower()
+                for hint in _RANDOM_HINTS
+            ):
+                return True
+        # (b) persisted into a field that is never read onwards (a stored seed)
+        for target in ctx.flow_targets(reference, EdgeLabel.DFG):
+            if target.has_label("FieldDeclaration"):
+                reads = [edge for edge in ctx.graph.out_edges(target, EdgeLabel.DFG)
+                         if edge.properties.get("kind") == "read"]
+                if not reads:
+                    return True
+        # (c) influences an ether transfer: value, target, or a guarding branch
+        for target in ctx.flow_targets(reference, EdgeLabel.DFG, include_start=True):
+            if target.has_label("CallExpression") and predicates.is_ether_transfer(ctx, target):
+                return True
+            if target.has_label("KeyValueExpression") or target.has_label("SpecifiedExpression"):
+                return True
+            if target.has_label("IfStatement") or target.properties.get("reverting"):
+                for node in ctx.eog_successors(target):
+                    if node.has_label("CallExpression") and predicates.is_ether_transfer(ctx, node):
+                        return True
+                    if node.has_label("Rollback") and self._randomness_context(ctx, reference):
+                        return True
+        # (d) hashed into a modulo-style winner selection
+        if self._randomness_context(ctx, reference):
+            for target in ctx.flow_targets(reference, EdgeLabel.DFG):
+                if target.has_label("BinaryOperator") and getattr(target, "operator_code", "") == "%":
+                    return True
+                if target.has_label("CallExpression") and target.local_name in {"keccak256", "sha3", "sha256"}:
+                    return True
+        return False
+
+
+QUERIES = [PredictableRandomness()]

@@ -1,0 +1,50 @@
+"""Base class and helpers shared by all vulnerability queries."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ccc.dasp import DaspCategory
+from repro.ccc.finding import Finding
+from repro.cpg.nodes import CPGNode
+from repro.query import QueryContext, predicates
+
+
+class VulnerabilityQuery:
+    """A single rule-based vulnerability query.
+
+    Subclasses set :attr:`query_id`, :attr:`category`, :attr:`title` and
+    implement :meth:`run`.
+    """
+
+    query_id: str = ""
+    category: DaspCategory = DaspCategory.UNKNOWN_UNKNOWNS
+    title: str = ""
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        """Evaluate the query against a graph and return findings."""
+        raise NotImplementedError
+
+    # -- helpers --------------------------------------------------------------
+    def finding(self, ctx: QueryContext, node: CPGNode, function: Optional[CPGNode] = None) -> Finding:
+        """Create a :class:`Finding` for ``node`` inside ``function``."""
+        if function is None:
+            function = predicates.enclosing_function(ctx, node)
+        contract = None
+        if function is not None:
+            contract = predicates.record_of(ctx, function)
+        function_name = function.name if function is not None and not function.is_inferred else ""
+        contract_name = contract.name if contract is not None and not contract.is_inferred else ""
+        return Finding(
+            query_id=self.query_id,
+            category=self.category,
+            title=self.title,
+            line=node.line,
+            column=node.column,
+            code=(node.code or "")[:200],
+            function_name=function_name,
+            contract_name=contract_name,
+        )
+
+    def __repr__(self):
+        return f"<Query {self.query_id} ({self.category.value})>"

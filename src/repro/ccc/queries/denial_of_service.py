@@ -1,0 +1,216 @@
+"""Denial of Service queries (Listings 8, 9, 11, 13 of the paper)."""
+
+from __future__ import annotations
+
+from repro.ccc.dasp import DaspCategory
+from repro.ccc.finding import Finding
+from repro.ccc.queries.base import VulnerabilityQuery
+from repro.cpg.graph import EdgeLabel
+from repro.query import QueryContext, predicates
+
+_LOOP_LABELS = ("ForStatement", "WhileStatement", "DoStatement", "ForEachStatement")
+
+
+class ExternalCallBlocksTransfers(VulnerabilityQuery):
+    """External call whose failure prevents later ether transfers (Listing 8).
+
+    Base pattern: an ether-moving external call followed on the EOG by
+    another ether-moving call.  Relevancy: for ``transfer`` (which reverts on
+    failure) the ordering alone is the issue; for ``send``/``call`` the
+    finding requires that no alternative path avoids the second call.
+    """
+
+    query_id = "dos-call-blocks-transfer"
+    category = DaspCategory.DENIAL_OF_SERVICE
+    title = "Failure of an external call can block subsequent transfers"
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for function in predicates.functions(ctx, include_constructors=False):
+            calls = [call for call in predicates.calls_in(ctx, function)
+                     if call.local_name in {"transfer", "send", "call"}]
+            if len(calls) < 2:
+                continue
+            for first in calls:
+                ctx.check_deadline()
+                followers = [other for other in calls if other is not first
+                             and ctx.eog_reaches(first, other)]
+                if not followers:
+                    continue
+                if first.local_name in {"send", "call"}:
+                    # the result may be checked, making the follow-up avoidable
+                    if self._failure_is_handled(ctx, first, followers):
+                        continue
+                # the recipient of the first call must be distinct from the sender
+                # (sending to msg.sender twice is a self-DoS only)
+                findings.append(self.finding(ctx, first, function))
+                break
+        return findings
+
+    def _failure_is_handled(self, ctx: QueryContext, call, followers) -> bool:
+        for user in ctx.flow_targets(call, EdgeLabel.DFG):
+            if user.has_label("IfStatement") or user.properties.get("reverting"):
+                return True
+        return False
+
+
+class ExternalCallBlocksStateChange(VulnerabilityQuery):
+    """External call whose failure prevents a required state change (Listing 9)."""
+
+    query_id = "dos-call-blocks-state"
+    category = DaspCategory.DENIAL_OF_SERVICE
+    title = "Failure of an external call can permanently block a state change"
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for function in predicates.functions(ctx, include_constructors=False):
+            writes = predicates.state_writes_in(ctx, function)
+            if not writes:
+                continue
+            for call in predicates.calls_in(ctx, function):
+                ctx.check_deadline()
+                if call.local_name not in {"transfer", "send"}:
+                    continue
+                blocked = [(write, field) for write, field in writes if ctx.eog_reaches(call, write)]
+                if not blocked:
+                    continue
+                # mitigation: the same field can be written from another
+                # function without passing through the external call
+                if all(self._written_elsewhere(ctx, function, field) for _, field in blocked):
+                    continue
+                findings.append(self.finding(ctx, call, function))
+                break
+        return findings
+
+    def _written_elsewhere(self, ctx: QueryContext, function, field) -> bool:
+        for edge in ctx.graph.in_edges(field, EdgeLabel.DFG):
+            if edge.properties.get("kind") != "write":
+                continue
+            other = predicates.enclosing_function(ctx, edge.source)
+            if other is not None and other is not function and not other.has_label("ConstructorDeclaration"):
+                return True
+        return False
+
+
+class AttackerControlledExpensiveLoop(VulnerabilityQuery):
+    """Loops whose gas cost an attacker can inflate (Listing 11).
+
+    Base pattern: a loop whose body writes persistent state or performs
+    unresolved calls.  Relevancy: the loop bound is a large literal, is
+    influenced by a caller-supplied parameter, or iterates over a dynamic
+    array field whose length callers can grow.
+    """
+
+    query_id = "dos-expensive-loop"
+    category = DaspCategory.DENIAL_OF_SERVICE
+    title = "Loop with attacker-controllable bound performs expensive operations"
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for loop in self._loops(ctx):
+            ctx.check_deadline()
+            function = predicates.enclosing_function(ctx, loop)
+            if function is None or function.has_label("ConstructorDeclaration"):
+                continue
+            if not self._expensive_body(ctx, loop):
+                continue
+            if not self._attacker_controlled_bound(ctx, loop, function):
+                continue
+            findings.append(self.finding(ctx, loop, function))
+        return findings
+
+    def _loops(self, ctx: QueryContext):
+        result = []
+        for label in _LOOP_LABELS:
+            result.extend(ctx.graph.nodes_by_label(label))
+        return result
+
+    def _expensive_body(self, ctx: QueryContext, loop) -> bool:
+        for node in ctx.graph.ast_descendants(loop, include_self=False):
+            if node.has_label("BinaryOperator") and getattr(node, "operator_code", "") in {
+                "=", "+=", "-=", "*=", "/=",
+            }:
+                if predicates.writes_to_field(ctx, node):
+                    return True
+            if node.has_label("UnaryOperator") and getattr(node, "operator_code", "") in {"++", "--"}:
+                for operand in ctx.graph.successors(node, EdgeLabel.INPUT):
+                    if predicates.field_targets_of_reference(ctx, operand):
+                        return True
+            if node.has_label("CallExpression") and not node.properties.get("reverting") \
+                    and not ctx.graph.successors(node, EdgeLabel.INVOKES) \
+                    and node.local_name not in predicates.BUILTIN_CALLS:
+                return True
+            if node.has_label("CallExpression") and predicates.is_ether_transfer(ctx, node):
+                return True
+        return False
+
+    def _attacker_controlled_bound(self, ctx: QueryContext, loop, function) -> bool:
+        conditions = ctx.graph.successors(loop, EdgeLabel.CONDITION)
+        for condition in conditions:
+            for source in ctx.flow_sources(condition, EdgeLabel.DFG, include_start=True):
+                if source.has_label("Literal") and isinstance(getattr(source, "value", None), float) \
+                        and source.value > 100:
+                    return True
+                if source.has_label("ParamVariableDeclaration"):
+                    owner = predicates.enclosing_parameter_function(ctx, source)
+                    if owner is None or not owner.has_label("ConstructorDeclaration"):
+                        return True
+                if source.has_label("MemberExpression") and getattr(source, "member", "") == "length":
+                    for base in ctx.graph.successors(source, EdgeLabel.BASE):
+                        if predicates.field_targets_of_reference(ctx, base):
+                            return True
+                if source.has_label("FieldDeclaration") and "[" in getattr(source, "type_name", ""):
+                    return True
+        return False
+
+
+class ClearableTransferCollection(VulnerabilityQuery):
+    """Array state used for payouts that can be reassigned outside the constructor (Listing 13)."""
+
+    query_id = "dos-clearable-collection"
+    category = DaspCategory.DENIAL_OF_SERVICE
+    title = "Collection backing ether transfers can be cleared or replaced"
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        findings: list[Finding] = []
+        transfer_fields = self._fields_used_in_transfers(ctx)
+        if not transfer_fields:
+            return findings
+        for operator in ctx.graph.nodes_by_label("BinaryOperator"):
+            ctx.check_deadline()
+            if getattr(operator, "operator_code", "") != "=":
+                continue
+            function = predicates.enclosing_function(ctx, operator)
+            if function is None or function.has_label("ConstructorDeclaration"):
+                continue
+            for lhs in ctx.graph.successors(operator, EdgeLabel.LHS):
+                # only direct reassignment of the whole collection counts
+                if not lhs.has_label("DeclaredReferenceExpression") or lhs.has_label("SubscriptExpression"):
+                    continue
+                for field in predicates.field_targets_of_reference(ctx, lhs):
+                    if field.id in transfer_fields and "[" in getattr(field, "type_name", ""):
+                        findings.append(self.finding(ctx, operator, function))
+        return findings
+
+    def _fields_used_in_transfers(self, ctx: QueryContext) -> set[int]:
+        result: set[int] = set()
+        for call in ctx.graph.nodes_by_label("CallExpression"):
+            if call.local_name not in {"transfer", "send", "call"}:
+                continue
+            involved = list(ctx.graph.successors(call, EdgeLabel.ARGUMENTS))
+            base = predicates.call_base(ctx, call)
+            if base is not None:
+                involved.append(base)
+            for node in involved:
+                for source in ctx.flow_sources(node, EdgeLabel.DFG, include_start=True):
+                    if source.has_label("FieldDeclaration"):
+                        result.add(source.id)
+        return result
+
+
+QUERIES = [
+    ExternalCallBlocksTransfers(),
+    ExternalCallBlocksStateChange(),
+    AttackerControlledExpensiveLoop(),
+    ClearableTransferCollection(),
+]

@@ -1,0 +1,115 @@
+"""Front Running query (Listing 14 of the paper)."""
+
+from __future__ import annotations
+
+from repro.ccc.dasp import DaspCategory
+from repro.ccc.finding import Finding
+from repro.ccc.queries.base import VulnerabilityQuery
+from repro.cpg.graph import EdgeLabel
+from repro.query import QueryContext, predicates
+
+
+class MinerReplayableBenefit(VulnerabilityQuery):
+    """A transaction whose benefit any observer (e.g. a miner) can claim first.
+
+    Base pattern (disjunctive): inside a non-constructor function either
+    (a) ``msg.sender`` is stored into contract state where the stored value
+    does not otherwise depend on the caller (first-come-first-served
+    registration of a beneficiary), or (b) ether is paid out to
+    ``msg.sender`` where the amount does not depend on caller-specific
+    state.
+
+    Mitigation: a guard on the path that depends on ``msg.sender`` (or on
+    caller-keyed state such as ``balances[msg.sender]``) restricts who can
+    obtain the benefit, so the transaction is not profitably replayable.
+    """
+
+    query_id = "front-running-replayable-benefit"
+    category = DaspCategory.FRONT_RUNNING
+    title = "Beneficial effect can be claimed by whoever gets their transaction mined first"
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        findings: list[Finding] = []
+        sender_nodes = predicates.msg_sender_nodes(ctx)
+        for function in predicates.functions(ctx, include_constructors=False):
+            if getattr(function, "visibility", "") in {"internal", "private"}:
+                continue
+            candidate = self._stored_beneficiary(ctx, function, sender_nodes) \
+                or self._payout_to_sender(ctx, function)
+            if candidate is None:
+                continue
+            if self._caller_restricted(ctx, function, candidate):
+                continue
+            findings.append(self.finding(ctx, candidate, function))
+        return findings
+
+    # -- base patterns -----------------------------------------------------------
+    def _stored_beneficiary(self, ctx: QueryContext, function, sender_nodes):
+        """``someField = msg.sender`` style assignments guarded only by payment."""
+        for write, field in predicates.state_writes_in(ctx, function):
+            if not write.has_label("BinaryOperator") or getattr(write, "operator_code", "") != "=":
+                continue
+            rhs_nodes = ctx.graph.successors(write, EdgeLabel.RHS)
+            stores_sender = any(
+                rhs.code == "msg.sender" or predicates.flows_from_any(ctx, sender_nodes, rhs)
+                for rhs in rhs_nodes
+            )
+            if not stores_sender:
+                continue
+            type_names = [t.name for t in ctx.graph.successors(field, EdgeLabel.TYPE)]
+            if "address" not in type_names:
+                continue
+            # relevancy: the field gates a later benefit (compared or paid out)
+            if self._field_gates_benefit(ctx, field):
+                return write
+        return None
+
+    def _field_gates_benefit(self, ctx: QueryContext, field) -> bool:
+        for target in ctx.flow_targets(field, EdgeLabel.DFG):
+            if target.has_label("CallExpression") and predicates.is_ether_transfer(ctx, target):
+                return True
+            if target.has_label("BinaryOperator") and getattr(target, "operator_code", "") in {"==", "!="}:
+                return True
+        return False
+
+    def _payout_to_sender(self, ctx: QueryContext, function):
+        """``msg.sender.transfer(x)`` where ``x`` does not depend on caller state."""
+        for call in predicates.calls_in(ctx, function):
+            if not predicates.is_ether_transfer(ctx, call):
+                continue
+            base = predicates.call_base(ctx, call)
+            if base is None or base.code not in {"msg.sender", "payable(msg.sender)"}:
+                continue
+            values = predicates.call_value_expressions(ctx, call)
+            if not values:
+                continue
+            function_nodes = {node.id for node in predicates.body_nodes(ctx, function)}
+            caller_specific = False
+            for value in values:
+                for source in ctx.flow_sources(value, EdgeLabel.DFG, include_start=True):
+                    if source.has_label("SubscriptExpression") and "msg.sender" in (source.code or ""):
+                        caller_specific = True
+                    if source.code == "msg.value" and source.id in function_nodes:
+                        # only a payment made in the same transaction makes the
+                        # payout caller-specific; msg.value captured elsewhere
+                        # (e.g. in the constructor) does not
+                        caller_specific = True
+            if not caller_specific:
+                return call
+        return None
+
+    # -- mitigation ------------------------------------------------------------------
+    def _caller_restricted(self, ctx: QueryContext, function, target) -> bool:
+        for guard in predicates.guard_nodes_in(ctx, function):
+            if not predicates.guard_dominates(ctx, function, guard, target):
+                continue
+            sources = predicates.guard_condition_sources(ctx, guard)
+            for source in sources:
+                if source.code == "msg.sender":
+                    return True
+                if source.has_label("SubscriptExpression") and "msg.sender" in (source.code or ""):
+                    return True
+        return False
+
+
+QUERIES = [MinerReplayableBenefit()]

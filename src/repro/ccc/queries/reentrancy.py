@@ -1,0 +1,126 @@
+"""Reentrancy query (Listing 17 of the paper)."""
+
+from __future__ import annotations
+
+from repro.ccc.dasp import DaspCategory
+from repro.ccc.finding import Finding
+from repro.ccc.queries.base import VulnerabilityQuery
+from repro.cpg.graph import EdgeLabel
+from repro.query import QueryContext, predicates
+
+
+class ReentrantExternalCall(VulnerabilityQuery):
+    """External call followed by a state write on an attacker-reachable target.
+
+    Base pattern: an external call that hands over control (low-level
+    ``call``/``callcode``/``delegatecall`` or an ether transfer with an
+    attached value) is followed on the evaluation order graph by a write to
+    contract state.
+
+    Conditions of relevancy: the call target (the base of the member call)
+    is attacker-influenceable — it originates from ``msg.sender``/
+    ``tx.origin`` or from an address-typed value that is not fixed at
+    construction time.
+
+    Mitigations: emit statements are ignored; a mutex/locking pattern
+    (a field that is both checked by a guard before the call and written
+    before the call) suppresses the finding; ``transfer``/``send`` without
+    forwarded gas are only reported when the written state is also read in a
+    guard after the call.
+    """
+
+    query_id = "reentrancy-call-before-write"
+    category = DaspCategory.REENTRANCY
+    title = "State is modified after an external call, enabling reentrancy"
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for function in predicates.functions(ctx, include_constructors=False):
+            writes = predicates.state_writes_in(ctx, function)
+            if not writes:
+                continue
+            for call in predicates.calls_in(ctx, function):
+                ctx.check_deadline()
+                if not self._is_reentrant_call(ctx, call):
+                    continue
+                if not self._attacker_reachable_target(ctx, call, function):
+                    continue
+                following_writes = [
+                    (write, field) for write, field in writes
+                    if write is not call and ctx.eog_reaches(call, write)
+                ]
+                if not following_writes:
+                    continue
+                if self._has_mutex(ctx, function, call):
+                    continue
+                findings.append(self.finding(ctx, call, function))
+                break  # one finding per function/call pattern is enough
+        return findings
+
+    # -- base pattern -----------------------------------------------------------
+    def _is_reentrant_call(self, ctx: QueryContext, call) -> bool:
+        name = call.local_name
+        if name in {"call", "callcode", "delegatecall"}:
+            return True
+        if name == "value" and "call" in predicates.base_chain_names(ctx, call):
+            return True
+        if name in {"transfer", "send"}:
+            # only 2300 gas is forwarded; still reported by the paper's query
+            # when the call precedes the state write
+            return True
+        # member calls on unresolved external contracts can reenter as well
+        return predicates.is_external_call(ctx, call) and predicates.call_base(ctx, call) is not None
+
+    # -- relevancy -----------------------------------------------------------------
+    def _attacker_reachable_target(self, ctx: QueryContext, call, function) -> bool:
+        base = predicates.call_base(ctx, call)
+        if base is None:
+            return False
+        sources = ctx.flow_sources(base, EdgeLabel.DFG, include_start=True)
+        for source in sources:
+            if source.code in {"msg.sender", "tx.origin"}:
+                return True
+            if source.has_label("ParamVariableDeclaration"):
+                owner = predicates.enclosing_parameter_function(ctx, source)
+                if owner is None or not owner.has_label("ConstructorDeclaration"):
+                    return True
+            if source.has_label("FieldDeclaration"):
+                type_names = [t.name for t in ctx.graph.successors(source, EdgeLabel.TYPE)]
+                if "address" in type_names or any(
+                    t for t in ctx.graph.successors(source, EdgeLabel.TYPE)
+                    if getattr(t, "is_object_type", False)
+                ):
+                    # the field is only safe when it is exclusively written in a constructor
+                    if not self._only_written_in_constructor(ctx, source):
+                        return True
+        return False
+
+    def _only_written_in_constructor(self, ctx: QueryContext, field) -> bool:
+        for edge in ctx.graph.in_edges(field, EdgeLabel.DFG):
+            if edge.properties.get("kind") != "write":
+                continue
+            function = predicates.enclosing_function(ctx, edge.source)
+            if function is None or not function.has_label("ConstructorDeclaration"):
+                return False
+        return True
+
+    # -- mitigation -------------------------------------------------------------------
+    def _has_mutex(self, ctx: QueryContext, function, call) -> bool:
+        """A locking field checked before the call and set before the call."""
+        for guard in predicates.guard_nodes_in(ctx, function):
+            if not predicates.guard_dominates(ctx, function, guard, call):
+                continue
+            guarded_fields = {
+                source.id for source in predicates.guard_condition_sources(ctx, guard)
+                if source.has_label("FieldDeclaration")
+                and "bool" in [t.name for t in ctx.graph.successors(source, EdgeLabel.TYPE)]
+            }
+            if not guarded_fields:
+                continue
+            for write, field in predicates.state_writes_in(ctx, function):
+                if field.id in guarded_fields and ctx.eog_reaches(write, call):
+                    return True
+        return False
+
+
+QUERIES = [ReentrantExternalCall()]

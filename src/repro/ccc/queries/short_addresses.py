@@ -1,0 +1,109 @@
+"""Short Addresses queries (Listings 5 and 6 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ccc.dasp import DaspCategory
+from repro.ccc.finding import Finding
+from repro.ccc.queries.base import VulnerabilityQuery
+from repro.cpg.graph import EdgeLabel
+from repro.query import QueryContext, predicates
+
+
+def _address_before_trailing_amount(ctx: QueryContext, function) -> Optional[tuple]:
+    """Return ``(address_param, amount_param)`` when the signature is paddable.
+
+    The classic short-address attack requires an ``address`` parameter that
+    is followed by a (trailing) value parameter: a truncated address shifts
+    the calldata so the amount gains trailing zero bytes.
+    """
+    parameters = predicates.parameters_of(ctx, function)
+    if len(parameters) < 2:
+        return None
+    address_params = [
+        parameter for parameter in parameters
+        if "address" in [t.name for t in ctx.graph.successors(parameter, EdgeLabel.TYPE)]
+    ]
+    if not address_params:
+        return None
+    last = parameters[-1]
+    if last in address_params:
+        return None
+    for address_param in address_params:
+        if getattr(address_param, "index", 0) < getattr(last, "index", 0):
+            return address_param, last
+    return None
+
+
+def _msg_data_length_checked(ctx: QueryContext, function, target) -> bool:
+    """Mitigation shared by both queries: a guard on ``msg.data.length``."""
+    length_nodes = [node for node in ctx.graph.nodes_by_label("MemberExpression")
+                    if node.code == "msg.data.length"]
+    if not length_nodes:
+        return False
+    return predicates.has_guard_depending_on(ctx, function, target, length_nodes)
+
+
+class ShortAddressCall(VulnerabilityQuery):
+    """Address-padding issues at transfer call sites (Listing 5)."""
+
+    query_id = "short-address-call"
+    category = DaspCategory.SHORT_ADDRESSES
+    title = "Trailing amount parameter reaches a transfer without calldata length check"
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for function in predicates.functions(ctx, include_constructors=False):
+            if getattr(function, "visibility", "") in {"internal", "private"}:
+                continue
+            pair = _address_before_trailing_amount(ctx, function)
+            if pair is None:
+                continue
+            _, amount_param = pair
+            for call in predicates.calls_in(ctx, function):
+                ctx.check_deadline()
+                if not predicates.is_ether_transfer(ctx, call):
+                    continue
+                sinks = predicates.call_value_expressions(ctx, call) \
+                    + ctx.graph.successors(call, EdgeLabel.ARGUMENTS)
+                reaches = any(ctx.flows_to(amount_param, sink, EdgeLabel.DFG) for sink in sinks)
+                if not reaches:
+                    continue
+                if _msg_data_length_checked(ctx, function, call):
+                    continue
+                findings.append(self.finding(ctx, call, function))
+                break
+        return findings
+
+
+class ShortAddressStateWrite(VulnerabilityQuery):
+    """Address-padding issues on state writes (Listing 6)."""
+
+    query_id = "short-address-state-write"
+    category = DaspCategory.SHORT_ADDRESSES
+    title = "Trailing amount parameter is persisted without calldata length check"
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for function in predicates.functions(ctx, include_constructors=False):
+            if getattr(function, "visibility", "") in {"internal", "private"}:
+                continue
+            pair = _address_before_trailing_amount(ctx, function)
+            if pair is None:
+                continue
+            address_param, amount_param = pair
+            write_node = None
+            for write, _field in predicates.state_writes_in(ctx, function):
+                if ctx.flows_to(amount_param, write, EdgeLabel.DFG):
+                    write_node = write
+                    break
+            if write_node is None:
+                continue
+            if _msg_data_length_checked(ctx, function, write_node):
+                continue
+            findings.append(self.finding(ctx, address_param, function))
+        return findings
+
+
+QUERIES = [ShortAddressCall(), ShortAddressStateWrite()]

@@ -1,0 +1,59 @@
+"""Time Manipulation query (Listing 18 of the paper)."""
+
+from __future__ import annotations
+
+from repro.ccc.dasp import DaspCategory
+from repro.ccc.finding import Finding
+from repro.ccc.queries.base import VulnerabilityQuery
+from repro.cpg.graph import EdgeLabel
+from repro.query import QueryContext, predicates
+
+
+class MinerControlledTimestamp(VulnerabilityQuery):
+    """Transaction outcomes that depend on the miner-chosen block timestamp.
+
+    Base pattern: a reference to ``now`` or ``block.timestamp``.
+
+    Conditions of relevancy (disjunctive, following Listing 18): the value
+    (a) is returned to a caller, (b) flows into an unresolved/external call,
+    (c) is persisted into a field, or (d) decides a branch where one of the
+    branch outcomes is an external call or a rollback — i.e. the miner can
+    flip which outcome happens by nudging the timestamp.
+    """
+
+    query_id = "time-manipulation-timestamp"
+    category = DaspCategory.TIME_MANIPULATION
+    title = "Outcome depends on the miner-controlled block timestamp"
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for reference in predicates.timestamp_nodes(ctx):
+            ctx.check_deadline()
+            function = predicates.enclosing_function(ctx, reference)
+            if function is None:
+                continue
+            if self._relevant(ctx, reference):
+                findings.append(self.finding(ctx, reference, function))
+        return findings
+
+    def _relevant(self, ctx: QueryContext, reference) -> bool:
+        for target in ctx.flow_targets(reference, EdgeLabel.DFG, include_start=False):
+            if target.has_label("ReturnStatement"):
+                return True
+            if target.has_label("FieldDeclaration"):
+                return True
+            if target.has_label("CallExpression") and not target.properties.get("reverting") \
+                    and not ctx.graph.successors(target, EdgeLabel.INVOKES) \
+                    and target.local_name not in {"keccak256", "sha3", "sha256"}:
+                return True
+            if target.has_label("IfStatement") or target.properties.get("reverting") \
+                    or target.has_label("Rollback"):
+                for follower in ctx.eog_successors(target):
+                    if follower.has_label("Rollback"):
+                        return True
+                    if follower.has_label("CallExpression") and predicates.is_external_call(ctx, follower):
+                        return True
+        return False
+
+
+QUERIES = [MinerControlledTimestamp()]

@@ -1,0 +1,86 @@
+"""Unchecked Low Level Calls query (Listing 10 of the paper)."""
+
+from __future__ import annotations
+
+from repro.ccc.dasp import DaspCategory
+from repro.ccc.finding import Finding
+from repro.ccc.queries.base import VulnerabilityQuery
+from repro.cpg.graph import EdgeLabel
+from repro.query import QueryContext, predicates
+
+_LOW_LEVEL = {"call", "callcode", "delegatecall", "send"}
+
+
+class UncheckedLowLevelCall(VulnerabilityQuery):
+    """Critical calls whose boolean result is ignored.
+
+    Base pattern: a low-level call (``call``, ``callcode``, ``delegatecall``,
+    ``send``, including ``.value()``/``.gas()`` wrapped forms).
+
+    Conditions of relevancy: the execution continues normally after the call
+    (the path does not end in a rollback immediately) and the call result
+    neither reaches a return statement nor influences any branching node.
+
+    Mitigations: results consumed by ``require(...)``/``assert(...)``, used
+    in an ``if``, assigned into a variable that later guards a branch, or
+    calls that are the last expression of a ``return`` are not reported.
+    """
+
+    query_id = "unchecked-low-level-call"
+    category = DaspCategory.UNCHECKED_LOW_LEVEL_CALLS
+    title = "Return value of a low-level call is not checked"
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for call in ctx.graph.nodes_by_label("CallExpression"):
+            ctx.check_deadline()
+            if not self._is_low_level(ctx, call):
+                continue
+            function = predicates.enclosing_function(ctx, call)
+            if function is None:
+                continue
+            if self._result_checked(ctx, call):
+                continue
+            findings.append(self.finding(ctx, call, function))
+        return findings
+
+    def _is_low_level(self, ctx: QueryContext, call) -> bool:
+        name = call.local_name
+        if name in _LOW_LEVEL:
+            return True
+        if name in {"value", "gas"}:
+            return "call" in predicates.base_chain_names(ctx, call) \
+                or "send" in predicates.base_chain_names(ctx, call)
+        return False
+
+    def _result_checked(self, ctx: QueryContext, call) -> bool:
+        # an enclosing call chain means this node is not the outermost call
+        # (e.g. the ``value`` part of ``addr.call.value(x)("")``): only check
+        # the outermost call expression
+        for parent in ctx.graph.predecessors(call, EdgeLabel.CALLEE):
+            if parent.has_label("CallExpression"):
+                return True
+        for parent in ctx.graph.predecessors(call, EdgeLabel.BASE):
+            if parent.has_label("CallExpression") and parent.local_name in {"value", "gas", "call", "send"}:
+                return True
+        for target in ctx.flow_targets(call, EdgeLabel.DFG, include_start=False):
+            if target.has_label("ReturnStatement"):
+                return True
+            if target.has_label("IfStatement") or target.has_label("Rollback"):
+                return True
+            if target.has_label("CallExpression") and target.properties.get("reverting"):
+                return True
+            if target.has_label("BinaryOperator") and getattr(target, "operator_code", "") in {"==", "!="}:
+                return True
+            if target.has_label("UnaryOperator") and getattr(target, "operator_code", "") == "!":
+                return True
+            if target.has_label("VariableDeclaration") or target.has_label("TupleExpression"):
+                # assigned result: treat as checked when it later reaches a branch
+                for user in ctx.flow_targets(target, EdgeLabel.DFG):
+                    if user.has_label("IfStatement") or user.properties.get("reverting") \
+                            or user.has_label("Rollback"):
+                        return True
+        return False
+
+
+QUERIES = [UncheckedLowLevelCall()]

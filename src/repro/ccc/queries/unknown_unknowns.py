@@ -1,0 +1,77 @@
+"""Unknown Unknowns query (Listing 15 of the paper)."""
+
+from __future__ import annotations
+
+from repro.ccc.dasp import DaspCategory
+from repro.ccc.finding import Finding
+from repro.ccc.queries.base import VulnerabilityQuery
+from repro.cpg.graph import EdgeLabel
+from repro.query import QueryContext, predicates
+
+
+class UninitializedStoragePointer(VulnerabilityQuery):
+    """Writes through uninitialised storage-struct locals that alias contract state.
+
+    Base pattern: a local variable of struct or array type, declared without
+    an initialiser and without an explicit ``memory``/``calldata`` location
+    (pre-0.5 Solidity defaults such locals to ``storage``, aliasing slot 0).
+
+    Conditions of relevancy: the variable (or one of its members) is written
+    inside a non-constructor function, which can silently overwrite the
+    contract's first state variables.
+
+    Mitigations: explicitly ``memory``/``calldata`` located variables,
+    initialised declarations, and compilation with Solidity >= 0.5 (where
+    the compiler rejects the pattern) are not reported.
+    """
+
+    query_id = "uninitialized-storage-pointer"
+    category = DaspCategory.UNKNOWN_UNKNOWNS
+    title = "Uninitialised storage pointer may overwrite state variables"
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        version = predicates.solidity_pragma_version(ctx)
+        if version is not None and version >= (0, 5):
+            return []
+        struct_names = {
+            record.name for record in ctx.graph.nodes_by_label("RecordDeclaration")
+            if getattr(record, "kind", "") == "struct"
+        }
+        findings: list[Finding] = []
+        for variable in ctx.graph.nodes_by_label("VariableDeclaration"):
+            ctx.check_deadline()
+            if variable.has_label("ParamVariableDeclaration") or variable.has_label("FieldDeclaration"):
+                continue
+            if ctx.graph.successors(variable, EdgeLabel.INITIALIZER):
+                continue
+            storage = getattr(variable, "storage_location", "")
+            if storage in {"memory", "calldata"}:
+                continue
+            type_name = getattr(variable, "type_name", "")
+            is_aggregate = "[" in type_name or type_name.split("[")[0] in struct_names
+            if not is_aggregate:
+                continue
+            function = predicates.enclosing_function(ctx, variable)
+            if function is None or function.has_label("ConstructorDeclaration"):
+                continue
+            if self._is_written(ctx, variable):
+                findings.append(self.finding(ctx, variable, function))
+        return findings
+
+    def _is_written(self, ctx: QueryContext, variable) -> bool:
+        for edge in ctx.graph.in_edges(variable, EdgeLabel.DFG):
+            if edge.properties.get("kind") == "write":
+                return True
+        # member writes: an assignment whose LHS base resolves to the variable
+        for reference in ctx.graph.predecessors(variable, EdgeLabel.REFERS_TO):
+            for parent in ctx.graph.predecessors(reference, EdgeLabel.BASE):
+                for assignment in ctx.graph.predecessors(parent, EdgeLabel.LHS):
+                    if assignment.has_label("BinaryOperator"):
+                        return True
+            for assignment in ctx.graph.predecessors(reference, EdgeLabel.LHS):
+                if assignment.has_label("BinaryOperator"):
+                    return True
+        return False
+
+
+QUERIES = [UninitializedStoragePointer()]

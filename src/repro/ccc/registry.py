@@ -1,0 +1,51 @@
+"""Registry of all 17 vulnerability queries."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.ccc.dasp import DaspCategory
+from repro.ccc.queries import (
+    access_control,
+    arithmetic,
+    bad_randomness,
+    denial_of_service,
+    front_running,
+    reentrancy,
+    short_addresses,
+    time_manipulation,
+    unchecked_calls,
+    unknown_unknowns,
+)
+from repro.ccc.queries.base import VulnerabilityQuery
+
+#: All registered queries in a stable order (17 queries across 10 categories,
+#: matching Section 4.4 of the paper).
+ALL_QUERIES: tuple[VulnerabilityQuery, ...] = tuple(
+    access_control.QUERIES
+    + arithmetic.QUERIES
+    + bad_randomness.QUERIES
+    + denial_of_service.QUERIES
+    + front_running.QUERIES
+    + reentrancy.QUERIES
+    + short_addresses.QUERIES
+    + time_manipulation.QUERIES
+    + unchecked_calls.QUERIES
+    + unknown_unknowns.QUERIES
+)
+
+
+def query_by_id(query_id: str) -> VulnerabilityQuery:
+    """Look up a query by its stable identifier."""
+    for query in ALL_QUERIES:
+        if query.query_id == query_id:
+            return query
+    raise KeyError(f"unknown query id: {query_id!r}")
+
+
+def queries_for_categories(categories: Optional[Iterable[DaspCategory]]) -> tuple[VulnerabilityQuery, ...]:
+    """Queries belonging to the given DASP categories (all when ``None``)."""
+    if categories is None:
+        return ALL_QUERIES
+    wanted = set(categories)
+    return tuple(query for query in ALL_QUERIES if query.category in wanted)

@@ -1,0 +1,40 @@
+"""CCD — the Contract Clone Detector.
+
+CCD detects Type I–III code clones of Solidity snippets across large sets
+of smart contracts (Section 5 of the paper).  The pipeline is
+
+1. **parsing** with the tolerant snippet grammar,
+2. **normalization** — identifiers are renamed to their declared type,
+   contract/function/modifier names are canonicalised, string literals and
+   visibility specifiers are dropped (Section 5.2),
+3. **tokenization** into symbol-separated tokens (Section 5.3),
+4. **fingerprint generation** with context-triggered piecewise (fuzzy)
+   hashing; functions are separated by ``.`` and contracts by ``:``
+   (Section 5.4),
+5. **matching** via an N-gram pre-filter and an order-independent
+   edit-distance similarity score (Section 5.5, Algorithm 1).
+"""
+
+from repro.ccd.detector import CloneDetector, CloneMatch
+from repro.ccd.fingerprint import Fingerprint, FingerprintGenerator
+from repro.ccd.fuzzyhash import FuzzyHasher, fuzzy_hash_tokens
+from repro.ccd.ngram_index import NGramIndex
+from repro.ccd.normalizer import NormalizedContract, NormalizedFunction, NormalizedUnit, Normalizer
+from repro.ccd.similarity import edit_distance, order_independent_similarity, sub_fingerprint_similarity
+
+__all__ = [
+    "CloneDetector",
+    "CloneMatch",
+    "Fingerprint",
+    "FingerprintGenerator",
+    "FuzzyHasher",
+    "NGramIndex",
+    "NormalizedContract",
+    "NormalizedFunction",
+    "NormalizedUnit",
+    "Normalizer",
+    "edit_distance",
+    "fuzzy_hash_tokens",
+    "order_independent_similarity",
+    "sub_fingerprint_similarity",
+]

@@ -1,0 +1,75 @@
+"""Fingerprint generation: normalized tokens -> fuzzy-hash fingerprints.
+
+A fingerprint is a sequence of base-64 characters where function
+fingerprints are separated by ``.`` and contract fingerprints by ``:``
+(Section 5.4).  The separators let the matcher compare functions
+independently of their order in the file (Section 5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ccd.fuzzyhash import FuzzyHasher
+from repro.ccd.normalizer import NormalizedUnit, Normalizer
+
+
+@dataclass
+class Fingerprint:
+    """A structured fingerprint of one snippet or contract."""
+
+    text: str = ""
+    contracts: list[list[str]] = field(default_factory=list)
+
+    @property
+    def sub_fingerprints(self) -> list[str]:
+        """All function-level fingerprints, across contracts, in order."""
+        return [sub for contract in self.contracts for sub in contract if sub]
+
+    @property
+    def is_empty(self) -> bool:
+        return not any(self.sub_fingerprints)
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+    @classmethod
+    def parse(cls, text: str) -> "Fingerprint":
+        """Reconstruct the structured form from the textual representation."""
+        contracts = []
+        for contract_text in text.split(":"):
+            contracts.append([sub for sub in contract_text.split(".")])
+        return cls(text=text, contracts=contracts)
+
+
+class FingerprintGenerator:
+    """Generate fingerprints from Solidity source code."""
+
+    def __init__(self, block_size: int = 2, window: int = 4, normalizer: Normalizer | None = None):
+        self.hasher = FuzzyHasher(block_size=block_size, window=window)
+        self.normalizer = normalizer if normalizer is not None else Normalizer()
+
+    def from_source(self, source: str) -> Fingerprint:
+        """Normalize, tokenize and fuzzy-hash ``source``.
+
+        Raises :class:`~repro.solidity.errors.SolidityParseError` when the
+        source cannot be parsed even with the tolerant grammar.
+        """
+        return self.from_normalized(self.normalizer.normalize(source))
+
+    def from_normalized(self, unit: NormalizedUnit) -> Fingerprint:
+        contracts: list[list[str]] = []
+        for contract in unit.contracts:
+            subs = []
+            for function in contract.functions:
+                if function.name == "header":
+                    # the normalized contract header ("contract c") is common to
+                    # every contract; including it in the matcher would inflate
+                    # every similarity score, so it is left out of the fingerprint
+                    continue
+                digest = self.hasher.hash_tokens(function.tokens)
+                if digest:
+                    subs.append(digest)
+            contracts.append(subs)
+        text = ":".join(".".join(subs) for subs in contracts)
+        return Fingerprint(text=text, contracts=contracts)

@@ -1,0 +1,80 @@
+"""In-memory N-gram inverted index — the Elasticsearch substitute.
+
+The paper stores fingerprint N-grams in Elasticsearch and retrieves, for a
+query fingerprint, only the fingerprints sharing at least an
+:math:`\\eta`-fraction of its N-grams (Section 5.5).  This module provides
+the same candidate pre-filtering with an in-memory inverted index.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable, Iterable
+
+
+def ngrams(text: str, size: int) -> set[str]:
+    """The set of character N-grams of ``text`` (whole text when shorter than N)."""
+    cleaned = text.replace(".", "").replace(":", "")
+    if not cleaned:
+        return set()
+    if len(cleaned) <= size:
+        return {cleaned}
+    return {cleaned[index:index + size] for index in range(len(cleaned) - size + 1)}
+
+
+class NGramIndex:
+    """Inverted index from fingerprint N-grams to document identifiers."""
+
+    def __init__(self, ngram_size: int = 3):
+        if ngram_size < 1:
+            raise ValueError("ngram_size must be >= 1")
+        self.ngram_size = ngram_size
+        self._postings: dict[str, set[Hashable]] = defaultdict(set)
+        self._document_grams: dict[Hashable, set[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._document_grams)
+
+    def __contains__(self, document_id: Hashable) -> bool:
+        return document_id in self._document_grams
+
+    def add(self, document_id: Hashable, fingerprint_text: str) -> None:
+        """Index ``fingerprint_text`` under ``document_id`` (idempotent)."""
+        grams = ngrams(fingerprint_text, self.ngram_size)
+        self._document_grams[document_id] = grams
+        for gram in grams:
+            self._postings[gram].add(document_id)
+
+    def add_many(self, documents: Iterable[tuple[Hashable, str]]) -> None:
+        for document_id, fingerprint_text in documents:
+            self.add(document_id, fingerprint_text)
+
+    def remove(self, document_id: Hashable) -> None:
+        grams = self._document_grams.pop(document_id, set())
+        for gram in grams:
+            self._postings[gram].discard(document_id)
+
+    def candidates(self, fingerprint_text: str, threshold: float = 0.5) -> list[Hashable]:
+        """Documents sharing at least ``threshold`` of the query's N-grams.
+
+        A threshold of ``0.5`` means a candidate must contain at least 50 %
+        of the N-grams of the fingerprint being searched for (the paper's
+        :math:`\\eta` parameter).
+        """
+        query_grams = ngrams(fingerprint_text, self.ngram_size)
+        if not query_grams:
+            return []
+        counts: dict[Hashable, int] = defaultdict(int)
+        for gram in query_grams:
+            for document_id in self._postings.get(gram, ()):
+                counts[document_id] += 1
+        required = threshold * len(query_grams)
+        return [document_id for document_id, count in counts.items() if count >= required]
+
+    def overlap(self, fingerprint_text: str, document_id: Hashable) -> float:
+        """Fraction of the query's N-grams present in an indexed document."""
+        query_grams = ngrams(fingerprint_text, self.ngram_size)
+        if not query_grams or document_id not in self._document_grams:
+            return 0.0
+        document_grams = self._document_grams[document_id]
+        return len(query_grams & document_grams) / len(query_grams)

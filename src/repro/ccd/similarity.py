@@ -1,0 +1,78 @@
+"""Fingerprint similarity: edit distance and the order-independent score.
+
+Implements the similarity function of Section 5.5:
+
+.. math::
+
+    \\delta(s_1, s_2) = \\frac{\\max(len(s_1), len(s_2)) - d(s_1, s_2)}
+                             {\\max(len(s_1), len(s_2))} \\cdot 100
+
+and Algorithm 1, which matches every sub-fingerprint of :math:`f_1` against
+all sub-fingerprints of :math:`f_2`, keeps the best match per
+sub-fingerprint, and averages the maxima.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ccd.fingerprint import Fingerprint
+
+
+def edit_distance(first: str, second: str) -> int:
+    """Levenshtein edit distance between two strings (iterative, O(n*m))."""
+    if first == second:
+        return 0
+    if not first:
+        return len(second)
+    if not second:
+        return len(first)
+    if len(first) < len(second):
+        first, second = second, first
+    previous = list(range(len(second) + 1))
+    for row, char_first in enumerate(first, start=1):
+        current = [row]
+        for column, char_second in enumerate(second, start=1):
+            insert_cost = current[column - 1] + 1
+            delete_cost = previous[column] + 1
+            substitute_cost = previous[column - 1] + (0 if char_first == char_second else 1)
+            current.append(min(insert_cost, delete_cost, substitute_cost))
+        previous = current
+    return previous[-1]
+
+
+def sub_fingerprint_similarity(first: str, second: str) -> float:
+    """The per-pair similarity δ in percent (0..100)."""
+    longest = max(len(first), len(second))
+    if longest == 0:
+        return 100.0
+    distance = edit_distance(first, second)
+    return (longest - distance) / longest * 100.0
+
+
+def order_independent_similarity(first: Fingerprint | Sequence[str], second: Fingerprint | Sequence[str]) -> float:
+    """Algorithm 1: the order-independent similarity score ε in percent.
+
+    Every sub-fingerprint of ``first`` is matched against all
+    sub-fingerprints of ``second``; the best score per sub-fingerprint is
+    kept and the scores are averaged.  The score is therefore asymmetric by
+    design: it measures how well ``first`` (the snippet) is *contained* in
+    ``second`` (the contract).
+    """
+    first_subs = list(first.sub_fingerprints) if isinstance(first, Fingerprint) else list(first)
+    second_subs = list(second.sub_fingerprints) if isinstance(second, Fingerprint) else list(second)
+    first_subs = [sub for sub in first_subs if sub]
+    second_subs = [sub for sub in second_subs if sub]
+    if not first_subs or not second_subs:
+        return 0.0
+    best_scores: list[float] = []
+    for sub_first in first_subs:
+        best = 0.0
+        for sub_second in second_subs:
+            score = sub_fingerprint_similarity(sub_first, sub_second)
+            if score > best:
+                best = score
+                if best >= 100.0:
+                    break
+        best_scores.append(best)
+    return sum(best_scores) / len(best_scores)

@@ -1,0 +1,84 @@
+"""Code Property Graph (CPG) substrate.
+
+This sub-package replaces the Fraunhofer AISEC CPG library used by the
+paper.  It provides
+
+* node classes whose labels mirror those used by the paper's Cypher
+  queries (``FunctionDeclaration``, ``CallExpression``, ``Rollback``, ...),
+* a property graph container with labelled edges (``AST``, ``EOG``, ``DFG``,
+  ``REFERS_TO``, ``INVOKES``, ``ARGUMENTS``, ...),
+* a Solidity frontend that translates the tolerant parser's AST into CPG
+  nodes, expands modifiers (Section 4.2.2), creates ``Rollback`` nodes for
+  reverting constructs (Section 4.2.1), and infers missing outer
+  declarations for snippets, and
+* passes that add evaluation-order (EOG) and data-flow (DFG) edges plus
+  reference/call/type resolution (Section 4.2.3).
+"""
+
+from repro.cpg.builder import build_cpg
+from repro.cpg.graph import CPGEdge, CPGGraph, EdgeLabel
+from repro.cpg.nodes import (
+    BinaryOperator,
+    CallExpression,
+    CompoundStatement,
+    ConstructorDeclaration,
+    CPGNode,
+    DeclaredReferenceExpression,
+    DoStatement,
+    EmitStatement,
+    FieldDeclaration,
+    ForStatement,
+    FunctionDeclaration,
+    IfStatement,
+    KeyValueExpression,
+    Literal,
+    MemberExpression,
+    ModifierDeclaration,
+    NewExpression,
+    ParamVariableDeclaration,
+    RecordDeclaration,
+    ReturnStatement,
+    Rollback,
+    SpecifiedExpression,
+    SubscriptExpression,
+    TranslationUnit,
+    TypeNode,
+    UnaryOperator,
+    VariableDeclaration,
+    WhileStatement,
+)
+
+__all__ = [
+    "BinaryOperator",
+    "CPGEdge",
+    "CPGGraph",
+    "CPGNode",
+    "CallExpression",
+    "CompoundStatement",
+    "ConstructorDeclaration",
+    "DeclaredReferenceExpression",
+    "DoStatement",
+    "EdgeLabel",
+    "EmitStatement",
+    "FieldDeclaration",
+    "ForStatement",
+    "FunctionDeclaration",
+    "IfStatement",
+    "KeyValueExpression",
+    "Literal",
+    "MemberExpression",
+    "ModifierDeclaration",
+    "NewExpression",
+    "ParamVariableDeclaration",
+    "RecordDeclaration",
+    "ReturnStatement",
+    "Rollback",
+    "SpecifiedExpression",
+    "SubscriptExpression",
+    "TranslationUnit",
+    "TypeNode",
+    "UnaryOperator",
+    "VariableDeclaration",
+    "WhileStatement",
+    "build_cpg",
+]

@@ -1,0 +1,55 @@
+"""High-level CPG construction API.
+
+:func:`build_cpg` is the main entry point used by CCC, the examples, and
+the benchmarks: it parses Solidity source (full contract or snippet),
+translates the AST through the Solidity frontend, and runs the semantic
+passes in order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpg.frontend import SolidityFrontend
+from repro.cpg.graph import CPGGraph
+from repro.cpg.passes import DataFlowPass, EvaluationOrderPass, ResolutionPass
+from repro.solidity import ast_nodes as ast
+from repro.solidity.parser import parse, parse_snippet
+
+
+def build_cpg(
+    source: Optional[str] = None,
+    *,
+    snippet: bool = True,
+    unit: Optional[ast.SourceUnit] = None,
+) -> CPGGraph:
+    """Build a Code Property Graph from Solidity source or a parsed AST.
+
+    Parameters
+    ----------
+    source:
+        Solidity source text.  Ignored when ``unit`` is given.
+    snippet:
+        Parse in snippet mode (tolerant grammar, hierarchy unnesting).  The
+        default is ``True`` because the study operates on Q&A snippets;
+        full contracts parse identically in snippet mode.
+    unit:
+        An already-parsed :class:`~repro.solidity.ast_nodes.SourceUnit`.
+
+    Returns
+    -------
+    CPGGraph
+        The populated graph with AST, EOG, DFG, and resolution edges.
+    """
+    if unit is None:
+        if source is None:
+            raise ValueError("either source text or a parsed unit is required")
+        unit = parse_snippet(source) if snippet else parse(source)
+    graph = CPGGraph()
+    frontend = SolidityFrontend(graph)
+    frontend.collect_modifiers(unit)
+    frontend.translate(unit)
+    ResolutionPass(graph).run()
+    EvaluationOrderPass(graph).run()
+    DataFlowPass(graph).run()
+    return graph

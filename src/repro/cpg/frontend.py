@@ -1,0 +1,682 @@
+"""Solidity language frontend: translate the parser's AST into CPG nodes.
+
+This reproduces Section 4.2 of the paper:
+
+* contract and state-variable declarations become ``RecordDeclaration`` and
+  ``FieldDeclaration`` nodes,
+* new node types are introduced for Solidity-specific constructs —
+  ``Rollback`` for reverting operations, ``EmitStatement`` for events, and
+  ``SpecifiedExpression``/``KeyValueExpression`` for ``{value: .., gas: ..}``
+  call specifiers (Section 4.2.1),
+* modifier bodies are expanded around the function body at every ``_;``
+  placeholder, one copy per application (Section 4.2.2), and
+* missing outer declarations of snippets are inferred (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import re
+from typing import Optional as _Optional
+
+from repro.solidity import ast_nodes as ast
+from repro.cpg import nodes as cpg
+from repro.cpg.graph import CPGGraph, EdgeLabel
+
+_VERSION_RE = re.compile(r"(\d+)\s*\.\s*(\d+)")
+
+
+def _parse_pragma_version(value: str) -> _Optional[tuple[int, int]]:
+    """Extract the (major, minor) compiler version from a pragma value string."""
+    match = _VERSION_RE.search(value or "")
+    if not match:
+        return None
+    return int(match.group(1)), int(match.group(2))
+
+
+class SolidityFrontend:
+    """Translates a parsed :class:`~repro.solidity.ast_nodes.SourceUnit` into a CPG."""
+
+    INFERRED_CONTRACT_NAME = "InferredContract"
+    INFERRED_FUNCTION_NAME = "inferredSnippetFunction"
+
+    def __init__(self, graph: Optional[CPGGraph] = None):
+        self.graph = graph if graph is not None else CPGGraph()
+
+    # -- public API -----------------------------------------------------------
+    def translate(self, unit: ast.SourceUnit) -> cpg.TranslationUnit:
+        """Translate a source unit (file or snippet) into the graph."""
+        root = cpg.TranslationUnit(code=unit.code, name="translation-unit",
+                                   line=unit.line, column=unit.column)
+        self.graph.add_node(root)
+
+        contract_items: list[ast.Node] = []
+        free_parts: list[ast.Node] = []
+        free_statements: list[ast.Statement] = []
+        for item in unit.items:
+            if isinstance(item, ast.ContractDefinition):
+                contract_items.append(item)
+            elif isinstance(item, ast.PragmaDirective):
+                if item.name == "solidity":
+                    version = _parse_pragma_version(item.value)
+                    if version is not None:
+                        root.properties["solidity_version"] = version
+                continue
+            elif isinstance(item, ast.ImportDirective):
+                continue
+            elif isinstance(item, (ast.FunctionDefinition, ast.ModifierDefinition,
+                                   ast.StateVariableDeclaration, ast.EventDefinition,
+                                   ast.StructDefinition, ast.EnumDefinition,
+                                   ast.UsingForDirective, ast.ErrorDefinition)):
+                free_parts.append(item)
+            elif isinstance(item, ast.Statement):
+                free_statements.append(item)
+
+        for contract in contract_items:
+            record = self._translate_contract(contract)
+            self.graph.add_edge(root, record, EdgeLabel.AST)
+
+        if free_parts or free_statements:
+            record = self._inferred_contract(free_parts, free_statements, unit)
+            self.graph.add_edge(root, record, EdgeLabel.AST)
+        return root
+
+    # -- inference for snippets --------------------------------------------------
+    def _inferred_contract(
+        self,
+        parts: list[ast.Node],
+        statements: list[ast.Statement],
+        unit: ast.SourceUnit,
+    ) -> cpg.RecordDeclaration:
+        """Wrap free-floating parts/statements in an inferred contract (Section 4.2)."""
+        record = cpg.RecordDeclaration(name=self.INFERRED_CONTRACT_NAME, kind="contract",
+                                       code=unit.code)
+        record.is_inferred = True
+        self.graph.add_node(record)
+        for part in parts:
+            node = self._translate_contract_part(part, record)
+            if node is not None:
+                self.graph.add_edge(record, node, EdgeLabel.AST)
+        if statements:
+            synthetic = ast.FunctionDefinition(
+                name=self.INFERRED_FUNCTION_NAME, kind="function",
+                body=ast.Block(statements=statements),
+                line=statements[0].line, column=statements[0].column,
+                code="\n".join(statement.code for statement in statements),
+            )
+            function = self._translate_function(synthetic, record)
+            function.is_inferred = True
+            self.graph.add_edge(record, function, EdgeLabel.AST)
+        return record
+
+    # -- contracts ------------------------------------------------------------------
+    def _translate_contract(self, contract: ast.ContractDefinition) -> cpg.RecordDeclaration:
+        record = cpg.RecordDeclaration(name=contract.name or "AnonymousContract",
+                                       kind=contract.kind, code=contract.code,
+                                       line=contract.line, column=contract.column)
+        record.base_names = list(contract.base_contracts)
+        self.graph.add_node(record)
+        for part in contract.parts:
+            node = self._translate_contract_part(part, record)
+            if node is not None:
+                self.graph.add_edge(record, node, EdgeLabel.AST)
+        return record
+
+    def _translate_contract_part(self, part: ast.Node, record: cpg.RecordDeclaration) -> Optional[cpg.CPGNode]:
+        if isinstance(part, ast.StateVariableDeclaration):
+            return self._translate_field(part, record)
+        if isinstance(part, ast.FunctionDefinition):
+            modifiers = self._modifier_definitions(record, part)
+            return self._translate_function(part, record, modifier_definitions=modifiers)
+        if isinstance(part, ast.ModifierDefinition):
+            return self._translate_modifier_declaration(part, record)
+        if isinstance(part, ast.EventDefinition):
+            event = cpg.EventDeclaration(name=part.name, code=part.code,
+                                         line=part.line, column=part.column)
+            self.graph.add_node(event)
+            return event
+        if isinstance(part, ast.StructDefinition):
+            return self._translate_struct(part)
+        if isinstance(part, ast.EnumDefinition):
+            enum = cpg.RecordDeclaration(name=part.name, kind="enum", code=part.code,
+                                         line=part.line, column=part.column)
+            self.graph.add_node(enum)
+            return enum
+        if isinstance(part, ast.ContractDefinition):
+            return self._translate_contract(part)
+        if isinstance(part, ast.Statement):
+            # snippet-mode stray statement inside a contract body
+            synthetic = ast.FunctionDefinition(
+                name=self.INFERRED_FUNCTION_NAME, kind="function",
+                body=ast.Block(statements=[part]),
+                line=part.line, column=part.column, code=part.code,
+            )
+            function = self._translate_function(synthetic, record)
+            function.is_inferred = True
+            return function
+        return None
+
+    def _modifier_definitions(
+        self, record: cpg.RecordDeclaration, function: ast.FunctionDefinition
+    ) -> dict[str, ast.ModifierDefinition]:
+        """Collect AST modifier definitions available for expansion.
+
+        The AST is re-scanned because expansion needs the *source* AST of
+        the modifier (a fresh CPG copy is created per application).
+        """
+        del record, function  # resolution happens per translation unit below
+        return self._known_modifiers
+
+    def _translate_struct(self, struct: ast.StructDefinition) -> cpg.RecordDeclaration:
+        record = cpg.RecordDeclaration(name=struct.name, kind="struct", code=struct.code,
+                                       line=struct.line, column=struct.column)
+        self.graph.add_node(record)
+        for member in struct.members:
+            field = cpg.FieldDeclaration(
+                name=member.name, code=member.code, line=member.line, column=member.column,
+                type_name=self._type_text(member.type_name),
+            )
+            self.graph.add_node(field)
+            self.graph.add_edge(record, field, EdgeLabel.AST)
+            self.graph.add_edge(record, field, EdgeLabel.FIELDS)
+        return record
+
+    def _translate_field(
+        self, declaration: ast.StateVariableDeclaration, record: cpg.RecordDeclaration
+    ) -> cpg.FieldDeclaration:
+        field = cpg.FieldDeclaration(
+            name=declaration.name, code=declaration.code,
+            line=declaration.line, column=declaration.column,
+            type_name=self._type_text(declaration.type_name),
+            visibility=declaration.visibility,
+        )
+        field.is_constant = declaration.is_constant or declaration.is_immutable
+        self.graph.add_node(field)
+        self.graph.add_edge(record, field, EdgeLabel.FIELDS)
+        if declaration.initial_value is not None:
+            value = self._translate_expression(declaration.initial_value)
+            self.graph.add_edge(field, value, EdgeLabel.AST)
+            self.graph.add_edge(field, value, EdgeLabel.INITIALIZER)
+        return field
+
+    def _translate_modifier_declaration(
+        self, modifier: ast.ModifierDefinition, record: cpg.RecordDeclaration
+    ) -> cpg.ModifierDeclaration:
+        declaration = cpg.ModifierDeclaration(
+            name=modifier.name, code=modifier.code, line=modifier.line, column=modifier.column,
+        )
+        self.graph.add_node(declaration)
+        for index, parameter in enumerate(modifier.parameters):
+            param = self._translate_parameter(parameter, index)
+            self.graph.add_edge(declaration, param, EdgeLabel.AST)
+            self.graph.add_edge(declaration, param, EdgeLabel.PARAMETERS, index=index)
+        # The modifier body is *not* translated here: it is expanded into
+        # every function that applies it (Section 4.2.2).
+        return declaration
+
+    # -- functions ----------------------------------------------------------------------
+    def _translate_function(
+        self,
+        function: ast.FunctionDefinition,
+        record: cpg.RecordDeclaration,
+        modifier_definitions: Optional[dict[str, ast.ModifierDefinition]] = None,
+    ) -> cpg.FunctionDeclaration:
+        if function.is_constructor:
+            declaration: cpg.FunctionDeclaration = cpg.ConstructorDeclaration(
+                name=function.name or record.name, kind="constructor",
+            )
+        else:
+            declaration = cpg.FunctionDeclaration(
+                name=function.name, kind=function.kind,
+                visibility=function.visibility, mutability=function.mutability,
+            )
+        declaration.code = function.code
+        declaration.line, declaration.column = function.line, function.column
+        self.graph.add_node(declaration)
+        self.graph.add_edge(declaration, record, EdgeLabel.RECORD_DECLARATION)
+
+        for index, parameter in enumerate(function.parameters):
+            param = self._translate_parameter(parameter, index)
+            self.graph.add_edge(declaration, param, EdgeLabel.AST)
+            self.graph.add_edge(declaration, param, EdgeLabel.PARAMETERS, index=index)
+        for index, parameter in enumerate(function.return_parameters):
+            param = self._translate_parameter(parameter, index)
+            param.properties["is_return_parameter"] = True
+            self.graph.add_edge(declaration, param, EdgeLabel.AST)
+
+        body = None
+        if function.body is not None:
+            body = self._translate_statement(function.body)
+        body = self._expand_modifiers(function, body, modifier_definitions or {})
+        if body is not None:
+            self.graph.add_edge(declaration, body, EdgeLabel.AST)
+            self.graph.add_edge(declaration, body, EdgeLabel.BODY)
+        for invocation in function.modifiers:
+            marker = cpg.CallExpression(name=invocation.name, code=invocation.code or invocation.name,
+                                        line=invocation.line, column=invocation.column)
+            marker.properties["modifier_invocation"] = True
+            self.graph.add_node(marker)
+            self.graph.add_edge(declaration, marker, EdgeLabel.MODIFIERS)
+        return declaration
+
+    def _expand_modifiers(
+        self,
+        function: ast.FunctionDefinition,
+        body: Optional[cpg.CPGNode],
+        modifier_definitions: dict[str, ast.ModifierDefinition],
+    ) -> Optional[cpg.CPGNode]:
+        """Wrap the function body in the bodies of applied modifiers.
+
+        Modifiers are applied inside-out: the last modifier in the header is
+        closest to the function body (matching Solidity semantics where the
+        first modifier is entered first).
+        """
+        if not function.modifiers:
+            return body
+        current = body
+        for invocation in reversed(function.modifiers):
+            definition = modifier_definitions.get(invocation.name)
+            if definition is None or definition.body is None:
+                continue
+            current = self._translate_statement(definition.body, placeholder_body=current)
+        return current
+
+    def _translate_parameter(self, parameter: ast.Parameter, index: int) -> cpg.ParamVariableDeclaration:
+        node = cpg.ParamVariableDeclaration(
+            name=parameter.name, code=parameter.code,
+            line=parameter.line, column=parameter.column,
+            type_name=self._type_text(parameter.type_name),
+            storage_location=parameter.storage_location,
+            index=index,
+        )
+        self.graph.add_node(node)
+        return node
+
+    # -- statements ------------------------------------------------------------------------
+    def _translate_statement(
+        self, statement: ast.Statement, placeholder_body: Optional[cpg.CPGNode] = None
+    ) -> cpg.CPGNode:
+        if isinstance(statement, ast.Block):
+            block = cpg.CompoundStatement(code=statement.code, line=statement.line, column=statement.column)
+            block.unchecked = statement.unchecked
+            self.graph.add_node(block)
+            for child in statement.statements:
+                node = self._translate_statement(child, placeholder_body=placeholder_body)
+                self.graph.add_edge(block, node, EdgeLabel.AST)
+            return block
+        if isinstance(statement, ast.PlaceholderStatement):
+            if placeholder_body is not None:
+                return placeholder_body
+            marker = cpg.UnknownStatement(code="_;", line=statement.line, column=statement.column)
+            self.graph.add_node(marker)
+            return marker
+        if isinstance(statement, ast.ExpressionStatement):
+            if statement.expression is None:
+                empty = cpg.UnknownStatement(code=statement.code)
+                self.graph.add_node(empty)
+                return empty
+            return self._translate_expression(statement.expression)
+        if isinstance(statement, ast.VariableDeclarationStatement):
+            return self._translate_local_declaration(statement)
+        if isinstance(statement, ast.IfStatement):
+            node = cpg.IfStatement(code=statement.code, line=statement.line, column=statement.column)
+            self.graph.add_node(node)
+            if statement.condition is not None:
+                condition = self._translate_expression(statement.condition)
+                self.graph.add_edge(node, condition, EdgeLabel.AST)
+                self.graph.add_edge(node, condition, EdgeLabel.CONDITION)
+            if statement.true_body is not None:
+                true_body = self._translate_statement(statement.true_body, placeholder_body)
+                self.graph.add_edge(node, true_body, EdgeLabel.AST)
+                self.graph.add_edge(node, true_body, EdgeLabel.BODY, branch="then")
+            if statement.false_body is not None:
+                false_body = self._translate_statement(statement.false_body, placeholder_body)
+                self.graph.add_edge(node, false_body, EdgeLabel.AST)
+                self.graph.add_edge(node, false_body, EdgeLabel.BODY, branch="else")
+            return node
+        if isinstance(statement, ast.WhileStatement):
+            node = cpg.WhileStatement(code=statement.code, line=statement.line, column=statement.column)
+            return self._translate_loop(node, statement.condition, statement.body, placeholder_body)
+        if isinstance(statement, ast.DoWhileStatement):
+            node = cpg.DoStatement(code=statement.code, line=statement.line, column=statement.column)
+            return self._translate_loop(node, statement.condition, statement.body, placeholder_body)
+        if isinstance(statement, ast.ForStatement):
+            node = cpg.ForStatement(code=statement.code, line=statement.line, column=statement.column)
+            self.graph.add_node(node)
+            if statement.init is not None:
+                init = self._translate_statement(statement.init, placeholder_body)
+                self.graph.add_edge(node, init, EdgeLabel.AST, role="init")
+            if statement.condition is not None:
+                condition = self._translate_expression(statement.condition)
+                self.graph.add_edge(node, condition, EdgeLabel.AST)
+                self.graph.add_edge(node, condition, EdgeLabel.CONDITION)
+            if statement.update is not None:
+                update = self._translate_expression(statement.update)
+                self.graph.add_edge(node, update, EdgeLabel.AST, role="update")
+            if statement.body is not None:
+                body = self._translate_statement(statement.body, placeholder_body)
+                self.graph.add_edge(node, body, EdgeLabel.AST)
+                self.graph.add_edge(node, body, EdgeLabel.BODY)
+            return node
+        if isinstance(statement, ast.ReturnStatement):
+            node = cpg.ReturnStatement(code=statement.code, line=statement.line, column=statement.column)
+            self.graph.add_node(node)
+            if statement.expression is not None:
+                value = self._translate_expression(statement.expression)
+                self.graph.add_edge(node, value, EdgeLabel.AST)
+            return node
+        if isinstance(statement, ast.EmitStatement):
+            node = cpg.EmitStatement(code=statement.code, line=statement.line, column=statement.column)
+            self.graph.add_node(node)
+            if statement.call is not None:
+                call = self._translate_expression(statement.call)
+                self.graph.add_edge(node, call, EdgeLabel.AST)
+            return node
+        if isinstance(statement, (ast.RevertStatement, ast.ThrowStatement)):
+            rollback = cpg.Rollback(code=statement.code, line=statement.line, column=statement.column,
+                                    name="revert" if isinstance(statement, ast.RevertStatement) else "throw")
+            self.graph.add_node(rollback)
+            if isinstance(statement, ast.RevertStatement) and statement.call is not None:
+                for argument in statement.call.arguments:
+                    value = self._translate_expression(argument)
+                    self.graph.add_edge(rollback, value, EdgeLabel.AST)
+                    self.graph.add_edge(rollback, value, EdgeLabel.ARGUMENTS)
+            return rollback
+        if isinstance(statement, ast.BreakStatement):
+            node = cpg.BreakStatement(code=statement.code, line=statement.line, column=statement.column)
+            self.graph.add_node(node)
+            return node
+        if isinstance(statement, ast.ContinueStatement):
+            node = cpg.ContinueStatement(code=statement.code, line=statement.line, column=statement.column)
+            self.graph.add_node(node)
+            return node
+        if isinstance(statement, ast.TryStatement):
+            block = cpg.CompoundStatement(code=statement.code, line=statement.line, column=statement.column)
+            self.graph.add_node(block)
+            if statement.expression is not None:
+                expression = self._translate_expression(statement.expression)
+                self.graph.add_edge(block, expression, EdgeLabel.AST)
+            if statement.body is not None:
+                body = self._translate_statement(statement.body, placeholder_body)
+                self.graph.add_edge(block, body, EdgeLabel.AST)
+            for catch in statement.catch_bodies:
+                handler = self._translate_statement(catch, placeholder_body)
+                self.graph.add_edge(block, handler, EdgeLabel.AST)
+            return block
+        if isinstance(statement, ast.InlineAssemblyStatement):
+            node = cpg.UnknownStatement(code=statement.code, name="assembly",
+                                        line=statement.line, column=statement.column)
+            self.graph.add_node(node)
+            return node
+        if isinstance(statement, ast.UnparsedStatement):
+            declaration = getattr(statement, "declaration", None)
+            if isinstance(declaration, ast.FunctionDefinition):
+                # a nested pasted function: hoist it as its own (inferred) function
+                inferred_record = cpg.RecordDeclaration(name=self.INFERRED_CONTRACT_NAME, kind="contract")
+                inferred_record.is_inferred = True
+                self.graph.add_node(inferred_record)
+                function = self._translate_function(declaration, inferred_record)
+                node = cpg.UnknownStatement(code=statement.code, line=statement.line, column=statement.column)
+                self.graph.add_node(node)
+                self.graph.add_edge(node, function, EdgeLabel.AST)
+                return node
+            node = cpg.UnknownStatement(code=statement.text or statement.code,
+                                        line=statement.line, column=statement.column)
+            self.graph.add_node(node)
+            return node
+        # default: opaque statement
+        node = cpg.UnknownStatement(code=statement.code, line=statement.line, column=statement.column)
+        self.graph.add_node(node)
+        return node
+
+    def _translate_loop(
+        self,
+        node: cpg.CPGNode,
+        condition: Optional[ast.Expression],
+        body: Optional[ast.Statement],
+        placeholder_body: Optional[cpg.CPGNode],
+    ) -> cpg.CPGNode:
+        self.graph.add_node(node)
+        if condition is not None:
+            condition_node = self._translate_expression(condition)
+            self.graph.add_edge(node, condition_node, EdgeLabel.AST)
+            self.graph.add_edge(node, condition_node, EdgeLabel.CONDITION)
+        if body is not None:
+            body_node = self._translate_statement(body, placeholder_body)
+            self.graph.add_edge(node, body_node, EdgeLabel.AST)
+            self.graph.add_edge(node, body_node, EdgeLabel.BODY)
+        return node
+
+    def _translate_local_declaration(self, statement: ast.VariableDeclarationStatement) -> cpg.CPGNode:
+        declarations = []
+        for declaration in statement.declarations:
+            node = cpg.VariableDeclaration(
+                name=declaration.name, code=declaration.code or statement.code,
+                line=declaration.line, column=declaration.column,
+                type_name=self._type_text(declaration.type_name),
+                storage_location=declaration.storage_location,
+            )
+            self.graph.add_node(node)
+            declarations.append(node)
+        if statement.initial_value is not None and declarations:
+            value = self._translate_expression(statement.initial_value)
+            self.graph.add_edge(declarations[0], value, EdgeLabel.AST)
+            self.graph.add_edge(declarations[0], value, EdgeLabel.INITIALIZER)
+        if len(declarations) == 1:
+            return declarations[0]
+        wrapper = cpg.CompoundStatement(code=statement.code, line=statement.line, column=statement.column)
+        self.graph.add_node(wrapper)
+        for node in declarations:
+            self.graph.add_edge(wrapper, node, EdgeLabel.AST)
+        return wrapper
+
+    # -- expressions --------------------------------------------------------------------------
+    def _translate_expression(self, expression: ast.Expression) -> cpg.CPGNode:
+        if isinstance(expression, ast.FunctionCall):
+            return self._translate_call(expression)
+        if isinstance(expression, ast.Assignment):
+            node = cpg.BinaryOperator(operator_code=expression.operator, code=expression.code,
+                                      line=expression.line, column=expression.column)
+            self.graph.add_node(node)
+            if expression.left is not None:
+                left = self._translate_expression(expression.left)
+                self.graph.add_edge(node, left, EdgeLabel.AST)
+                self.graph.add_edge(node, left, EdgeLabel.LHS)
+            if expression.right is not None:
+                right = self._translate_expression(expression.right)
+                self.graph.add_edge(node, right, EdgeLabel.AST)
+                self.graph.add_edge(node, right, EdgeLabel.RHS)
+            return node
+        if isinstance(expression, ast.BinaryOperation):
+            node = cpg.BinaryOperator(operator_code=expression.operator, code=expression.code,
+                                      line=expression.line, column=expression.column)
+            self.graph.add_node(node)
+            if expression.left is not None:
+                left = self._translate_expression(expression.left)
+                self.graph.add_edge(node, left, EdgeLabel.AST)
+                self.graph.add_edge(node, left, EdgeLabel.LHS)
+            if expression.right is not None:
+                right = self._translate_expression(expression.right)
+                self.graph.add_edge(node, right, EdgeLabel.AST)
+                self.graph.add_edge(node, right, EdgeLabel.RHS)
+            return node
+        if isinstance(expression, ast.UnaryOperation):
+            node = cpg.UnaryOperator(operator_code=expression.operator, prefix=expression.prefix,
+                                     code=expression.code, line=expression.line, column=expression.column)
+            self.graph.add_node(node)
+            if expression.operand is not None:
+                operand = self._translate_expression(expression.operand)
+                self.graph.add_edge(node, operand, EdgeLabel.AST)
+                self.graph.add_edge(node, operand, EdgeLabel.INPUT)
+            return node
+        if isinstance(expression, ast.Conditional):
+            node = cpg.ConditionalExpression(code=expression.code,
+                                             line=expression.line, column=expression.column)
+            self.graph.add_node(node)
+            for child, label in (
+                (expression.condition, EdgeLabel.CONDITION),
+                (expression.true_expression, EdgeLabel.LHS),
+                (expression.false_expression, EdgeLabel.RHS),
+            ):
+                if child is not None:
+                    child_node = self._translate_expression(child)
+                    self.graph.add_edge(node, child_node, EdgeLabel.AST)
+                    self.graph.add_edge(node, child_node, label)
+            return node
+        if isinstance(expression, ast.MemberAccess):
+            node = cpg.MemberExpression(member=expression.member, name=expression.member,
+                                        code=expression.code,
+                                        line=expression.line, column=expression.column)
+            self.graph.add_node(node)
+            if expression.base is not None:
+                base = self._translate_expression(expression.base)
+                self.graph.add_edge(node, base, EdgeLabel.AST)
+                self.graph.add_edge(node, base, EdgeLabel.BASE)
+            return node
+        if isinstance(expression, ast.IndexAccess):
+            node = cpg.SubscriptExpression(code=expression.code,
+                                           line=expression.line, column=expression.column)
+            self.graph.add_node(node)
+            if expression.base is not None:
+                base = self._translate_expression(expression.base)
+                self.graph.add_edge(node, base, EdgeLabel.AST)
+                self.graph.add_edge(node, base, EdgeLabel.BASE)
+                self.graph.add_edge(node, base, EdgeLabel.ARRAY_EXPRESSION)
+            if expression.index is not None:
+                index = self._translate_expression(expression.index)
+                self.graph.add_edge(node, index, EdgeLabel.AST)
+                self.graph.add_edge(node, index, EdgeLabel.SUBSCRIPT_EXPRESSION)
+            return node
+        if isinstance(expression, ast.Identifier):
+            node = cpg.DeclaredReferenceExpression(name=expression.name, code=expression.code,
+                                                   line=expression.line, column=expression.column)
+            self.graph.add_node(node)
+            return node
+        if isinstance(expression, ast.NumberLiteral):
+            node = cpg.Literal(value=expression.numeric_value(), code=expression.code,
+                               line=expression.line, column=expression.column)
+            self.graph.add_node(node)
+            return node
+        if isinstance(expression, ast.StringLiteral):
+            node = cpg.Literal(value=expression.value, code=expression.code,
+                               line=expression.line, column=expression.column)
+            node.properties["literal_kind"] = "string"
+            self.graph.add_node(node)
+            return node
+        if isinstance(expression, ast.BoolLiteral):
+            node = cpg.Literal(value=expression.value, code=expression.code,
+                               line=expression.line, column=expression.column)
+            self.graph.add_node(node)
+            return node
+        if isinstance(expression, ast.NewExpression):
+            node = cpg.NewExpression(code=expression.code, line=expression.line, column=expression.column,
+                                     name=expression.type_name.name if expression.type_name else "")
+            self.graph.add_node(node)
+            return node
+        if isinstance(expression, ast.TupleExpression):
+            node = cpg.TupleExpression(code=expression.code, line=expression.line, column=expression.column)
+            self.graph.add_node(node)
+            for component in expression.components:
+                if component is not None:
+                    child = self._translate_expression(component)
+                    self.graph.add_edge(node, child, EdgeLabel.AST)
+            return node
+        if isinstance(expression, ast.ElementaryTypeNameExpression):
+            type_name = expression.type_name.name if expression.type_name else ""
+            node = cpg.CastExpression(name=type_name, code=expression.code or type_name,
+                                      line=expression.line, column=expression.column,
+                                      type_name=type_name)
+            self.graph.add_node(node)
+            return node
+        node = cpg.Literal(code=expression.code, line=expression.line, column=expression.column)
+        self.graph.add_node(node)
+        return node
+
+    def _translate_call(self, call: ast.FunctionCall) -> cpg.CPGNode:
+        callee_name = self._callee_name(call.callee)
+        # revert(...) used as an expression and require/assert produce rollback semantics
+        if callee_name == "revert":
+            rollback = cpg.Rollback(code=call.code, name="revert", line=call.line, column=call.column)
+            self.graph.add_node(rollback)
+            for argument in call.arguments:
+                node = self._translate_expression(argument)
+                self.graph.add_edge(rollback, node, EdgeLabel.AST)
+                self.graph.add_edge(rollback, node, EdgeLabel.ARGUMENTS)
+            return rollback
+
+        node = cpg.CallExpression(name=callee_name, code=call.code, line=call.line, column=call.column)
+        if callee_name in {"require", "assert"}:
+            node.properties["reverting"] = True
+        self.graph.add_node(node)
+        if call.callee is not None and not isinstance(call.callee, ast.Identifier):
+            callee = self._translate_expression(call.callee)
+            self.graph.add_edge(node, callee, EdgeLabel.AST)
+            self.graph.add_edge(node, callee, EdgeLabel.CALLEE)
+            bases = self.graph.successors(callee, EdgeLabel.BASE)
+            for base in bases:
+                self.graph.add_edge(node, base, EdgeLabel.BASE)
+        for argument in call.arguments:
+            child = self._translate_expression(argument)
+            self.graph.add_edge(node, child, EdgeLabel.AST)
+            self.graph.add_edge(node, child, EdgeLabel.ARGUMENTS)
+        if call.call_options:
+            specified = cpg.SpecifiedExpression(code=call.code, line=call.line, column=call.column)
+            self.graph.add_node(specified)
+            self.graph.add_edge(node, specified, EdgeLabel.AST)
+            self.graph.add_edge(node, specified, EdgeLabel.SPECIFIERS)
+            for key, value in call.call_options.items():
+                pair = cpg.KeyValueExpression(key=key, name=key, code=f"{key}: {value.code}",
+                                              line=value.line, column=value.column)
+                self.graph.add_node(pair)
+                self.graph.add_edge(specified, pair, EdgeLabel.AST)
+                key_node = cpg.Literal(value=key, code=key, name=key)
+                self.graph.add_node(key_node)
+                self.graph.add_edge(pair, key_node, EdgeLabel.KEY)
+                value_node = self._translate_expression(value)
+                self.graph.add_edge(pair, value_node, EdgeLabel.AST)
+                self.graph.add_edge(pair, value_node, EdgeLabel.VALUE)
+        # reverting builtins get an attached Rollback node; the EOG pass wires
+        # the failing branch to it (Section 4.2.1)
+        if node.properties.get("reverting"):
+            rollback = cpg.Rollback(code=call.code, name=callee_name, line=call.line, column=call.column)
+            self.graph.add_node(rollback)
+            self.graph.add_edge(node, rollback, EdgeLabel.AST, role="rollback")
+        return node
+
+    @staticmethod
+    def _callee_name(callee: Optional[ast.Expression]) -> str:
+        if callee is None:
+            return ""
+        if isinstance(callee, ast.Identifier):
+            return callee.name
+        if isinstance(callee, ast.MemberAccess):
+            return callee.member
+        if isinstance(callee, ast.FunctionCall):
+            return SolidityFrontend._callee_name(callee.callee)
+        if isinstance(callee, ast.ElementaryTypeNameExpression) and callee.type_name is not None:
+            return callee.type_name.name
+        return ""
+
+    @staticmethod
+    def _type_text(type_name: Optional[ast.TypeName]) -> str:
+        if type_name is None:
+            return "uint"  # the paper's default for missing types (Section 5.2)
+        if isinstance(type_name, ast.MappingTypeName):
+            key = SolidityFrontend._type_text(type_name.key_type)
+            value = SolidityFrontend._type_text(type_name.value_type)
+            return f"mapping({key} => {value})"
+        if isinstance(type_name, ast.ArrayTypeName):
+            return SolidityFrontend._type_text(type_name.base_type) + "[]"
+        return type_name.name or "uint"
+
+    # -- modifier discovery --------------------------------------------------------------------
+    _known_modifiers: dict[str, ast.ModifierDefinition] = {}
+
+    def collect_modifiers(self, unit: ast.SourceUnit) -> None:
+        """Pre-scan the AST for modifier definitions used during expansion."""
+        modifiers: dict[str, ast.ModifierDefinition] = {}
+        for node in unit.walk():
+            if isinstance(node, ast.ModifierDefinition) and node.name:
+                modifiers[node.name] = node
+        self._known_modifiers = modifiers

@@ -1,0 +1,290 @@
+"""The property-graph container holding CPG nodes and labelled edges.
+
+This module replaces the Neo4j persistence layer of the paper.  The graph
+is an in-memory structure optimised for the traversals the vulnerability
+queries need: label-indexed node lookup, per-label adjacency lists, and
+bounded multi-hop reachability (used by the phase-2 validation that limits
+data-flow path lengths, Section 6.3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.cpg.nodes import CPGNode
+
+
+class EdgeLabel:
+    """Edge label constants used throughout the CPG and the queries."""
+
+    AST = "AST"
+    EOG = "EOG"
+    DFG = "DFG"
+    REFERS_TO = "REFERS_TO"
+    INVOKES = "INVOKES"
+    RETURNS = "RETURNS"
+    ARGUMENTS = "ARGUMENTS"
+    BASE = "BASE"
+    CALLEE = "CALLEE"
+    LHS = "LHS"
+    RHS = "RHS"
+    CONDITION = "CONDITION"
+    BODY = "BODY"
+    PARAMETERS = "PARAMETERS"
+    FIELDS = "FIELDS"
+    TYPE = "TYPE"
+    INITIALIZER = "INITIALIZER"
+    KEY = "KEY"
+    VALUE = "VALUE"
+    SPECIFIERS = "SPECIFIERS"
+    SUBSCRIPT_EXPRESSION = "SUBSCRIPT_EXPRESSION"
+    ARRAY_EXPRESSION = "ARRAY_EXPRESSION"
+    INPUT = "INPUT"
+    MODIFIERS = "MODIFIERS"
+    RECORD_DECLARATION = "RECORD_DECLARATION"
+
+
+@dataclass
+class CPGEdge:
+    """A directed labelled edge between two CPG nodes."""
+
+    source: CPGNode
+    target: CPGNode
+    label: str
+    properties: dict = field(default_factory=dict)
+
+    def __repr__(self):
+        return f"<{self.label} {self.source!r} -> {self.target!r}>"
+
+
+class CPGGraph:
+    """An in-memory property graph."""
+
+    def __init__(self):
+        self._nodes: list[CPGNode] = []
+        self._node_ids: set[int] = set()
+        self._by_label: dict[str, list[CPGNode]] = defaultdict(list)
+        self._outgoing: dict[int, dict[str, list[CPGEdge]]] = defaultdict(lambda: defaultdict(list))
+        self._incoming: dict[int, dict[str, list[CPGEdge]]] = defaultdict(lambda: defaultdict(list))
+        self._edges: list[CPGEdge] = []
+
+    # -- construction --------------------------------------------------------
+    def add_node(self, node: CPGNode) -> CPGNode:
+        if node.id not in self._node_ids:
+            self._node_ids.add(node.id)
+            self._nodes.append(node)
+            for label in node.labels:
+                self._by_label[label].append(node)
+        return node
+
+    def add_edge(self, source: CPGNode, target: CPGNode, label: str, **properties) -> CPGEdge:
+        self.add_node(source)
+        self.add_node(target)
+        edge = CPGEdge(source, target, label, dict(properties))
+        self._edges.append(edge)
+        self._outgoing[source.id][label].append(edge)
+        self._incoming[target.id][label].append(edge)
+        return edge
+
+    def has_edge(self, source: CPGNode, target: CPGNode, label: str) -> bool:
+        return any(edge.target is target for edge in self._outgoing[source.id].get(label, ()))
+
+    # -- node access ----------------------------------------------------------
+    @property
+    def nodes(self) -> list[CPGNode]:
+        return list(self._nodes)
+
+    @property
+    def edges(self) -> list[CPGEdge]:
+        return list(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes_by_label(self, label: str) -> list[CPGNode]:
+        return list(self._by_label.get(label, ()))
+
+    def find(
+        self,
+        label: Optional[str] = None,
+        code: Optional[str] = None,
+        name: Optional[str] = None,
+        local_name: Optional[str] = None,
+        where: Optional[Callable[[CPGNode], bool]] = None,
+    ) -> list[CPGNode]:
+        """Find nodes by label and simple property equality filters."""
+        candidates: Iterable[CPGNode]
+        candidates = self._by_label.get(label, ()) if label is not None else self._nodes
+        result = []
+        for node in candidates:
+            if code is not None and node.code != code:
+                continue
+            if name is not None and node.name != name:
+                continue
+            if local_name is not None and node.local_name != local_name:
+                continue
+            if where is not None and not where(node):
+                continue
+            result.append(node)
+        return result
+
+    # -- edge traversal --------------------------------------------------------
+    def out_edges(self, node: CPGNode, *labels: str) -> list[CPGEdge]:
+        edge_map = self._outgoing.get(node.id, {})
+        if not labels:
+            return [edge for edge_list in edge_map.values() for edge in edge_list]
+        return [edge for label in labels for edge in edge_map.get(label, ())]
+
+    def in_edges(self, node: CPGNode, *labels: str) -> list[CPGEdge]:
+        edge_map = self._incoming.get(node.id, {})
+        if not labels:
+            return [edge for edge_list in edge_map.values() for edge in edge_list]
+        return [edge for label in labels for edge in edge_map.get(label, ())]
+
+    def successors(self, node: CPGNode, *labels: str) -> list[CPGNode]:
+        return [edge.target for edge in self.out_edges(node, *labels)]
+
+    def predecessors(self, node: CPGNode, *labels: str) -> list[CPGNode]:
+        return [edge.source for edge in self.in_edges(node, *labels)]
+
+    # -- reachability ------------------------------------------------------------
+    def reachable(
+        self,
+        start: CPGNode,
+        *labels: str,
+        max_depth: Optional[int] = None,
+        include_start: bool = False,
+        reverse: bool = False,
+    ) -> list[CPGNode]:
+        """Nodes reachable from ``start`` over edges with any of ``labels``.
+
+        ``max_depth`` bounds the number of hops; it is the mechanism behind
+        the paper's phase-2 "path reduction" (iteratively shortening the
+        maximal length of explored data flows).
+        """
+        seen: set[int] = {start.id}
+        order: list[CPGNode] = [start] if include_start else []
+        queue: deque[tuple[CPGNode, int]] = deque([(start, 0)])
+        step = self.predecessors if reverse else self.successors
+        while queue:
+            node, depth = queue.popleft()
+            if max_depth is not None and depth >= max_depth:
+                continue
+            for successor in step(node, *labels):
+                if successor.id in seen:
+                    continue
+                seen.add(successor.id)
+                order.append(successor)
+                queue.append((successor, depth + 1))
+        return order
+
+    def is_reachable(
+        self,
+        start: CPGNode,
+        target: CPGNode,
+        *labels: str,
+        max_depth: Optional[int] = None,
+    ) -> bool:
+        """Return ``True`` when ``target`` can be reached from ``start``."""
+        if start is target:
+            return True
+        seen: set[int] = {start.id}
+        queue: deque[tuple[CPGNode, int]] = deque([(start, 0)])
+        while queue:
+            node, depth = queue.popleft()
+            if max_depth is not None and depth >= max_depth:
+                continue
+            for successor in self.successors(node, *labels):
+                if successor is target:
+                    return True
+                if successor.id in seen:
+                    continue
+                seen.add(successor.id)
+                queue.append((successor, depth + 1))
+        return False
+
+    def any_path(
+        self,
+        start: CPGNode,
+        predicate: Callable[[CPGNode], bool],
+        *labels: str,
+        max_depth: Optional[int] = None,
+        include_start: bool = False,
+    ) -> Optional[list[CPGNode]]:
+        """Return one path from ``start`` to a node satisfying ``predicate``.
+
+        The returned list contains the nodes on the path (excluding ``start``
+        unless ``include_start``).  ``None`` when no such node is reachable.
+        """
+        if include_start and predicate(start):
+            return [start]
+        parents: dict[int, CPGNode] = {}
+        seen: set[int] = {start.id}
+        queue: deque[tuple[CPGNode, int]] = deque([(start, 0)])
+        while queue:
+            node, depth = queue.popleft()
+            if max_depth is not None and depth >= max_depth:
+                continue
+            for successor in self.successors(node, *labels):
+                if successor.id in seen:
+                    continue
+                seen.add(successor.id)
+                parents[successor.id] = node
+                if predicate(successor):
+                    path = [successor]
+                    current = successor
+                    while current.id in parents and parents[current.id] is not start:
+                        current = parents[current.id]
+                        path.append(current)
+                    if include_start:
+                        path.append(start)
+                    path.reverse()
+                    return path
+                queue.append((successor, depth + 1))
+        return None
+
+    def terminal_nodes(self, start: CPGNode, *labels: str, max_depth: Optional[int] = None) -> list[CPGNode]:
+        """Reachable nodes that have no outgoing edge with any of ``labels``.
+
+        These are the "last" nodes of the paper's queries: EOG path ends
+        that either return normally or hit a Rollback.
+        """
+        result = []
+        for node in self.reachable(start, *labels, max_depth=max_depth, include_start=True):
+            if not self.out_edges(node, *labels):
+                result.append(node)
+        return result
+
+    # -- convenience ---------------------------------------------------------------
+    def ast_children(self, node: CPGNode) -> list[CPGNode]:
+        return self.successors(node, EdgeLabel.AST)
+
+    def ast_descendants(self, node: CPGNode, include_self: bool = True) -> Iterator[CPGNode]:
+        if include_self:
+            yield node
+        for child in self.ast_children(node):
+            yield from self.ast_descendants(child, include_self=True)
+
+    def ast_parent(self, node: CPGNode) -> Optional[CPGNode]:
+        parents = self.predecessors(node, EdgeLabel.AST)
+        return parents[0] if parents else None
+
+    def enclosing(self, node: CPGNode, label: str) -> Optional[CPGNode]:
+        """The nearest AST ancestor carrying ``label`` (e.g. the enclosing function)."""
+        current = self.ast_parent(node)
+        while current is not None:
+            if current.has_label(label):
+                return current
+            current = self.ast_parent(current)
+        return None
+
+    def statistics(self) -> dict[str, int]:
+        """Basic size statistics (useful for benchmarks and debugging)."""
+        per_label: dict[str, int] = defaultdict(int)
+        for edge in self._edges:
+            per_label[edge.label] += 1
+        stats = {"nodes": len(self._nodes), "edges": len(self._edges)}
+        stats.update({f"edges_{label.lower()}": count for label, count in sorted(per_label.items())})
+        return stats

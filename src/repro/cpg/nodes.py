@@ -1,0 +1,353 @@
+"""CPG node classes.
+
+Node labels follow the naming of the Fraunhofer AISEC CPG library so that
+the vulnerability queries of the paper's Appendix B translate directly:
+``FunctionDeclaration``, ``ConstructorDeclaration``, ``FieldDeclaration``,
+``ParamVariableDeclaration``, ``CallExpression``, ``MemberExpression``,
+``DeclaredReferenceExpression``, ``BinaryOperator``, ``Rollback``, and so
+on.  A node carries every label of its class hierarchy which is how Cypher
+``'Label' in labels(n)`` checks are reproduced.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+_node_counter = itertools.count(1)
+
+
+class CPGNode:
+    """Base class of every CPG node.
+
+    Attributes mirror the properties used by the paper's queries:
+
+    * ``code`` — the raw source excerpt of the node,
+    * ``localName`` (exposed as :attr:`local_name`) — the unqualified name,
+    * ``line``/``column`` — the source location,
+    * ``is_inferred`` — whether the node was inferred to complete a snippet.
+    """
+
+    label = "Node"
+
+    def __init__(self, code: str = "", name: str = "", line: int = 0, column: int = 0):
+        self.id = next(_node_counter)
+        self.code = code
+        self.name = name
+        self.line = line
+        self.column = column
+        self.is_inferred = False
+        self.properties: dict[str, object] = {}
+
+    # -- naming -------------------------------------------------------------
+    @property
+    def local_name(self) -> str:
+        """The unqualified name of the node (``localName`` in the paper)."""
+        if not self.name:
+            return ""
+        return self.name.rsplit(".", 1)[-1]
+
+    # -- labels -------------------------------------------------------------
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Every label in the node's class hierarchy, most specific first."""
+        result = []
+        for klass in type(self).__mro__:
+            label = getattr(klass, "label", None)
+            if label and label not in result:
+                result.append(label)
+            if klass is CPGNode:
+                break
+        return tuple(result)
+
+    def has_label(self, label: str) -> bool:
+        return label in self.labels
+
+    def __repr__(self):
+        snippet = (self.code or "")[:40].replace("\n", " ")
+        return f"<{type(self).__name__} #{self.id} {self.name!r} {snippet!r}>"
+
+
+# ---------------------------------------------------------------------------
+# Structural / declaration nodes
+# ---------------------------------------------------------------------------
+
+
+class Declaration(CPGNode):
+    label = "Declaration"
+
+
+class TranslationUnit(Declaration):
+    """The root node of a translated snippet or contract file."""
+
+    label = "TranslationUnitDeclaration"
+
+
+class RecordDeclaration(Declaration):
+    """A contract, interface, library, or struct (the paper maps contracts to records)."""
+
+    label = "RecordDeclaration"
+
+    def __init__(self, *args, kind: str = "contract", **kwargs):
+        super().__init__(*args, **kwargs)
+        self.kind = kind
+        self.base_names: list[str] = []
+
+
+class FieldDeclaration(Declaration):
+    """A contract state variable (persisted across transactions)."""
+
+    label = "FieldDeclaration"
+
+    def __init__(self, *args, type_name: str = "", visibility: str = "internal", **kwargs):
+        super().__init__(*args, **kwargs)
+        self.type_name = type_name
+        self.visibility = visibility
+        self.is_constant = False
+
+
+class ValueDeclaration(Declaration):
+    label = "ValueDeclaration"
+
+    def __init__(self, *args, type_name: str = "", **kwargs):
+        super().__init__(*args, **kwargs)
+        self.type_name = type_name
+
+
+class VariableDeclaration(ValueDeclaration):
+    """A local variable declaration."""
+
+    label = "VariableDeclaration"
+
+    def __init__(self, *args, storage_location: str = "", **kwargs):
+        super().__init__(*args, **kwargs)
+        self.storage_location = storage_location
+
+
+class ParamVariableDeclaration(VariableDeclaration):
+    """A function or modifier parameter."""
+
+    label = "ParamVariableDeclaration"
+
+    def __init__(self, *args, index: int = 0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.index = index
+
+
+class FunctionDeclaration(Declaration):
+    """A function definition (including fallback/receive/default functions)."""
+
+    label = "FunctionDeclaration"
+
+    def __init__(self, *args, visibility: str = "", mutability: str = "", kind: str = "function", **kwargs):
+        super().__init__(*args, **kwargs)
+        self.visibility = visibility
+        self.mutability = mutability
+        self.kind = kind
+
+    @property
+    def is_internal(self) -> bool:
+        return self.visibility in {"internal", "private"}
+
+    @property
+    def is_default_function(self) -> bool:
+        return self.kind in {"fallback", "receive"} or not self.name
+
+
+class ConstructorDeclaration(FunctionDeclaration):
+    label = "ConstructorDeclaration"
+
+
+class ModifierDeclaration(FunctionDeclaration):
+    """A modifier definition (kept for reference; bodies are expanded inline)."""
+
+    label = "ModifierDeclaration"
+
+
+class EventDeclaration(Declaration):
+    label = "EventDeclaration"
+
+
+class TypeNode(CPGNode):
+    """A type referenced by ``TYPE`` edges, e.g. ``address`` or ``uint256``."""
+
+    label = "Type"
+
+    def __init__(self, *args, is_object_type: bool = False, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.is_object_type = is_object_type
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Statement(CPGNode):
+    label = "Statement"
+
+
+class CompoundStatement(Statement):
+    label = "CompoundStatement"
+
+
+class IfStatement(Statement):
+    label = "IfStatement"
+
+
+class WhileStatement(Statement):
+    label = "WhileStatement"
+
+
+class DoStatement(Statement):
+    label = "DoStatement"
+
+
+class ForStatement(Statement):
+    label = "ForStatement"
+
+
+class ForEachStatement(Statement):
+    label = "ForEachStatement"
+
+
+class ReturnStatement(Statement):
+    label = "ReturnStatement"
+
+
+class BreakStatement(Statement):
+    label = "BreakStatement"
+
+
+class ContinueStatement(Statement):
+    label = "ContinueStatement"
+
+
+class EmitStatement(Statement):
+    """Persisting an event message (a node type added for Solidity, Section 4.2.1)."""
+
+    label = "EmitStatement"
+
+
+class Rollback(Statement):
+    """Represents transaction termination with state rollback (Section 4.2.1).
+
+    Created for ``revert``/``throw`` statements and as the failing branch of
+    ``require``/``assert`` calls.  ``Rollback`` nodes never have outgoing
+    EOG edges.
+    """
+
+    label = "Rollback"
+
+
+class UnknownStatement(Statement):
+    """A statement the frontend kept opaque (e.g. inline assembly)."""
+
+    label = "UnknownStatement"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expression(CPGNode):
+    label = "Expression"
+
+    def __init__(self, *args, type_name: str = "", **kwargs):
+        super().__init__(*args, **kwargs)
+        self.type_name = type_name
+
+
+class Literal(Expression):
+    label = "Literal"
+
+    def __init__(self, *args, value: object = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.value = value
+
+
+class DeclaredReferenceExpression(Expression):
+    """A reference to a declared variable, parameter, or field."""
+
+    label = "DeclaredReferenceExpression"
+
+
+class MemberExpression(DeclaredReferenceExpression):
+    """``base.member`` accesses such as ``msg.sender`` or ``token.owner``."""
+
+    label = "MemberExpression"
+
+    def __init__(self, *args, member: str = "", **kwargs):
+        super().__init__(*args, **kwargs)
+        self.member = member
+
+
+class CallExpression(Expression):
+    """A call; ``localName`` is the called function or member name."""
+
+    label = "CallExpression"
+
+
+class MemberCallExpression(CallExpression):
+    label = "MemberCallExpression"
+
+
+class NewExpression(Expression):
+    label = "NewExpression"
+
+
+class CastExpression(Expression):
+    label = "CastExpression"
+
+
+class BinaryOperator(Expression):
+    label = "BinaryOperator"
+
+    def __init__(self, *args, operator_code: str = "", **kwargs):
+        super().__init__(*args, **kwargs)
+        self.operator_code = operator_code
+
+
+class UnaryOperator(Expression):
+    label = "UnaryOperator"
+
+    def __init__(self, *args, operator_code: str = "", prefix: bool = True, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.operator_code = operator_code
+        self.prefix = prefix
+
+
+class ConditionalExpression(Expression):
+    label = "ConditionalExpression"
+
+
+class SubscriptExpression(Expression):
+    """``base[index]`` — called ArraySubscriptionExpression in the CPG library."""
+
+    label = "SubscriptExpression"
+
+
+class TupleExpression(Expression):
+    label = "TupleExpression"
+
+
+class KeyValueExpression(Expression):
+    """A ``key: value`` entry inside a specified call, e.g. ``value: 1 ether``."""
+
+    label = "KeyValueExpression"
+
+    def __init__(self, *args, key: str = "", **kwargs):
+        super().__init__(*args, **kwargs)
+        self.key = key
+
+
+class SpecifiedExpression(Expression):
+    """The ``{value: .., gas: ..}`` specifier attached to an external call (Section 4.2.1)."""
+
+    label = "SpecifiedExpression"
+
+
+def is_reverting_builtin(name: Optional[str]) -> bool:
+    """Return ``True`` for built-in functions that can roll back the transaction."""
+    return name in {"require", "assert", "revert"}

@@ -1,0 +1,15 @@
+"""CPG passes adding semantic edges on top of the translated AST.
+
+The pass order matters and is orchestrated by :func:`repro.cpg.builder.build_cpg`:
+
+1. :class:`~repro.cpg.passes.resolution.ResolutionPass` — ``REFERS_TO``,
+   ``TYPE``, ``INVOKES`` and ``RETURNS`` edges,
+2. :class:`~repro.cpg.passes.eog.EvaluationOrderPass` — ``EOG`` edges,
+3. :class:`~repro.cpg.passes.dfg.DataFlowPass` — ``DFG`` edges.
+"""
+
+from repro.cpg.passes.dfg import DataFlowPass
+from repro.cpg.passes.eog import EvaluationOrderPass
+from repro.cpg.passes.resolution import ResolutionPass
+
+__all__ = ["DataFlowPass", "EvaluationOrderPass", "ResolutionPass"]

@@ -1,0 +1,186 @@
+"""Data Flow Graph (DFG) pass.
+
+Adds ``DFG`` edges describing how values move through the program
+(Section 2.3 / Figure 2 of the paper).  The rules are intentionally
+over-approximating — a pattern-based analysis on snippets prefers recall
+over soundness (Section 4.5):
+
+* a read reference receives flow from its declaration
+  (``declaration -> reference``),
+* a written reference (assignment target, ``++``/``--``, ``delete``)
+  flows into its declaration (``reference -> declaration``),
+* the right-hand side of an assignment flows into the assignment node, the
+  target reference, and onwards into the target declaration,
+* operands flow into their operator, arguments into their call, members
+  from their base, values through key-value specifiers, condition values
+  into their branching statement, and returned expressions into the
+  ``ReturnStatement`` (and from there to call sites via the resolution
+  pass).
+"""
+
+from __future__ import annotations
+
+from repro.cpg import nodes as cpg
+from repro.cpg.graph import CPGGraph, EdgeLabel
+
+_WRITE_OPERATORS = {"=", "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=", "<<=", ">>="}
+_INCREMENT_OPERATORS = {"++", "--", "delete"}
+
+
+class DataFlowPass:
+    """Wire DFG edges across the whole graph."""
+
+    def __init__(self, graph: CPGGraph):
+        self.graph = graph
+
+    def run(self) -> None:
+        for node in self.graph.nodes:
+            self._visit(node)
+
+    # -- helpers ----------------------------------------------------------------
+    def _add(self, source: cpg.CPGNode, target: cpg.CPGNode, **properties) -> None:
+        if source is target:
+            return
+        if not self.graph.has_edge(source, target, EdgeLabel.DFG):
+            self.graph.add_edge(source, target, EdgeLabel.DFG, **properties)
+
+    def _declaration_of(self, reference: cpg.CPGNode):
+        targets = self.graph.successors(reference, EdgeLabel.REFERS_TO)
+        return targets[0] if targets else None
+
+    def _write_targets(self, expression: cpg.CPGNode) -> list[cpg.CPGNode]:
+        """References that are written when ``expression`` is an assignment target.
+
+        For ``balances[msg.sender] = x`` the written reference is ``balances``;
+        for ``account.balance = x`` it is the member expression itself plus the
+        base reference.
+        """
+        result: list[cpg.CPGNode] = []
+        stack = [expression]
+        while stack:
+            node = stack.pop()
+            if node.has_label("DeclaredReferenceExpression"):
+                result.append(node)
+            elif node.has_label("SubscriptExpression") or node.has_label("MemberExpression"):
+                result.append(node)
+                stack.extend(self.graph.successors(node, EdgeLabel.BASE))
+            elif node.has_label("TupleExpression"):
+                stack.extend(self.graph.ast_children(node))
+        return result
+
+    # -- node rules ----------------------------------------------------------------
+    def _visit(self, node: cpg.CPGNode) -> None:
+        if node.has_label("BinaryOperator"):
+            self._visit_binary(node)
+        elif node.has_label("UnaryOperator"):
+            self._visit_unary(node)
+        elif node.has_label("CallExpression") or node.has_label("Rollback"):
+            self._visit_call(node)
+        elif node.has_label("MemberExpression"):
+            self._visit_member(node)
+        elif node.has_label("SubscriptExpression"):
+            self._visit_subscript(node)
+        elif node.has_label("DeclaredReferenceExpression"):
+            self._visit_reference(node)
+        elif node.has_label("ReturnStatement") or node.has_label("EmitStatement"):
+            for child in self.graph.ast_children(node):
+                self._add(child, node)
+        elif node.has_label("VariableDeclaration") or node.has_label("FieldDeclaration"):
+            for initializer in self.graph.successors(node, EdgeLabel.INITIALIZER):
+                self._add(initializer, node)
+        elif node.has_label("IfStatement") or node.has_label("WhileStatement") \
+                or node.has_label("ForStatement") or node.has_label("DoStatement"):
+            for condition in self.graph.successors(node, EdgeLabel.CONDITION):
+                self._add(condition, node)
+        elif node.has_label("ConditionalExpression"):
+            for label in (EdgeLabel.LHS, EdgeLabel.RHS):
+                for child in self.graph.successors(node, label):
+                    self._add(child, node)
+        elif node.has_label("KeyValueExpression"):
+            for value in self.graph.successors(node, EdgeLabel.VALUE):
+                self._add(value, node)
+        elif node.has_label("SpecifiedExpression"):
+            for pair in self.graph.ast_children(node):
+                self._add(pair, node)
+        elif node.has_label("CastExpression") or node.has_label("TupleExpression"):
+            for child in self.graph.ast_children(node):
+                self._add(child, node)
+
+    def _visit_reference(self, node: cpg.CPGNode) -> None:
+        declaration = self._declaration_of(node)
+        if declaration is not None:
+            # read flow; write flow is added by the assignment/unary rules
+            self._add(declaration, node, kind="read")
+
+    def _visit_member(self, node: cpg.CPGNode) -> None:
+        for base in self.graph.successors(node, EdgeLabel.BASE):
+            self._add(base, node)
+        declaration = self._declaration_of(node)
+        if declaration is not None:
+            self._add(declaration, node, kind="read")
+
+    def _visit_subscript(self, node: cpg.CPGNode) -> None:
+        for base in self.graph.successors(node, EdgeLabel.BASE):
+            self._add(base, node)
+        for index in self.graph.successors(node, EdgeLabel.SUBSCRIPT_EXPRESSION):
+            self._add(index, node)
+
+    def _visit_binary(self, node: cpg.CPGNode) -> None:
+        operator = getattr(node, "operator_code", "")
+        lhs = self.graph.successors(node, EdgeLabel.LHS)
+        rhs = self.graph.successors(node, EdgeLabel.RHS)
+        if operator in _WRITE_OPERATORS:
+            for right in rhs:
+                self._add(right, node)
+                for left in lhs:
+                    self._add(right, left)
+            for left in lhs:
+                self._add(node, left)
+                declarations = []
+                for target in self._write_targets(left):
+                    declaration = self._declaration_of(target)
+                    if declaration is not None:
+                        declarations.append(declaration)
+                        self._add(target, declaration, kind="write")
+                for declaration in declarations:
+                    # the written value reaches the declaration through the
+                    # full left-hand side expression (e.g. ``b[to] += v``)
+                    self._add(left, declaration, kind="write")
+                    self._add(node, declaration, kind="write")
+                if operator != "=":
+                    # compound assignment also reads the previous value
+                    for target in self._write_targets(left):
+                        declaration = self._declaration_of(target)
+                        if declaration is not None:
+                            self._add(declaration, target, kind="read")
+        else:
+            for child in lhs + rhs:
+                self._add(child, node)
+
+    def _visit_unary(self, node: cpg.CPGNode) -> None:
+        operator = getattr(node, "operator_code", "")
+        for operand in self.graph.successors(node, EdgeLabel.INPUT):
+            self._add(operand, node)
+            if operator in _INCREMENT_OPERATORS:
+                self._add(node, operand)
+                for target in self._write_targets(operand):
+                    declaration = self._declaration_of(target)
+                    if declaration is not None:
+                        self._add(target, declaration, kind="write")
+
+    def _visit_call(self, node: cpg.CPGNode) -> None:
+        for argument in self.graph.successors(node, EdgeLabel.ARGUMENTS):
+            self._add(argument, node)
+        for callee in self.graph.successors(node, EdgeLabel.CALLEE):
+            self._add(callee, node)
+        for specifier in self.graph.successors(node, EdgeLabel.SPECIFIERS):
+            self._add(specifier, node)
+        # data flows into parameters of invoked (intra-record) functions
+        for target in self.graph.successors(node, EdgeLabel.INVOKES):
+            parameters = sorted(
+                self.graph.successors(target, EdgeLabel.PARAMETERS),
+                key=lambda parameter: getattr(parameter, "index", 0),
+            )
+            arguments = self.graph.successors(node, EdgeLabel.ARGUMENTS)
+            for parameter, argument in zip(parameters, arguments):
+                self._add(argument, parameter)

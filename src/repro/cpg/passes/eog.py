@@ -1,0 +1,184 @@
+"""Evaluation Order Graph (EOG) pass.
+
+Adds ``EOG`` edges that model control flow and evaluation order within each
+function (Figure 2 of the paper): operands are evaluated before their
+operator, conditions before the branching statement, and the branching
+statement before both branch bodies.  ``Rollback`` nodes and
+``ReturnStatement`` nodes terminate a path (no outgoing EOG edges), which
+the vulnerability queries rely on when they require a path to end in a node
+that "does persist its results".
+
+The FunctionDeclaration node itself is the EOG entry: it has an EOG edge to
+the first evaluated node of its body, matching the paper's query patterns
+``(f:FunctionDeclaration)-[:EOG*]->(...)``.
+"""
+
+from __future__ import annotations
+
+from repro.cpg import nodes as cpg
+from repro.cpg.graph import CPGGraph, EdgeLabel
+
+
+class EvaluationOrderPass:
+    """Wire EOG edges for every function in the graph."""
+
+    def __init__(self, graph: CPGGraph):
+        self.graph = graph
+
+    def run(self) -> None:
+        for function in self.graph.nodes_by_label("FunctionDeclaration"):
+            bodies = self.graph.successors(function, EdgeLabel.BODY)
+            if not bodies:
+                continue
+            self._visit(bodies[0], [function])
+
+    # -- helpers ----------------------------------------------------------------
+    def _connect(self, predecessors: list[cpg.CPGNode], node: cpg.CPGNode) -> list[cpg.CPGNode]:
+        for predecessor in predecessors:
+            if predecessor is not node and not self.graph.has_edge(predecessor, node, EdgeLabel.EOG):
+                self.graph.add_edge(predecessor, node, EdgeLabel.EOG)
+        return [node]
+
+    def _visit(self, node: cpg.CPGNode, predecessors: list[cpg.CPGNode]) -> list[cpg.CPGNode]:
+        """Wire EOG edges for ``node`` given its predecessors; return its exits."""
+        if node.has_label("CompoundStatement"):
+            current = predecessors
+            for child in self.graph.ast_children(node):
+                current = self._visit(child, current)
+            return current
+        if node.has_label("IfStatement"):
+            return self._visit_if(node, predecessors)
+        if node.has_label("WhileStatement") or node.has_label("ForStatement") \
+                or node.has_label("DoStatement") or node.has_label("ForEachStatement"):
+            return self._visit_loop(node, predecessors)
+        if node.has_label("ReturnStatement"):
+            current = predecessors
+            for child in self.graph.ast_children(node):
+                current = self._visit(child, current)
+            self._connect(current, node)
+            return []  # function exit
+        if node.has_label("Rollback"):
+            current = predecessors
+            for child in self.graph.ast_children(node):
+                current = self._visit(child, current)
+            self._connect(current, node)
+            return []  # transaction rollback terminates the path
+        if node.has_label("CallExpression"):
+            return self._visit_call(node, predecessors)
+        if node.has_label("BinaryOperator"):
+            current = predecessors
+            for label in (EdgeLabel.LHS, EdgeLabel.RHS):
+                for child in self.graph.successors(node, label):
+                    current = self._visit(child, current)
+            return self._connect(current, node)
+        if node.has_label("UnaryOperator"):
+            current = predecessors
+            for child in self.graph.successors(node, EdgeLabel.INPUT):
+                current = self._visit(child, current)
+            return self._connect(current, node)
+        if node.has_label("ConditionalExpression"):
+            current = predecessors
+            for child in self.graph.successors(node, EdgeLabel.CONDITION):
+                current = self._visit(child, current)
+            current = self._connect(current, node)
+            exits: list[cpg.CPGNode] = []
+            for label in (EdgeLabel.LHS, EdgeLabel.RHS):
+                for child in self.graph.successors(node, label):
+                    exits.extend(self._visit(child, current))
+            return exits or current
+        if node.has_label("EmitStatement"):
+            current = predecessors
+            for child in self.graph.ast_children(node):
+                current = self._visit(child, current)
+            return self._connect(current, node)
+        if node.has_label("VariableDeclaration"):
+            current = predecessors
+            for child in self.graph.successors(node, EdgeLabel.INITIALIZER):
+                current = self._visit(child, current)
+            return self._connect(current, node)
+        # leaf expressions and opaque statements: children (if any) first
+        current = predecessors
+        for child in self.graph.ast_children(node):
+            current = self._visit(child, current)
+        return self._connect(current, node)
+
+    def _visit_if(self, node: cpg.CPGNode, predecessors: list[cpg.CPGNode]) -> list[cpg.CPGNode]:
+        current = predecessors
+        for condition in self.graph.successors(node, EdgeLabel.CONDITION):
+            current = self._visit(condition, current)
+        current = self._connect(current, node)
+        then_body = None
+        else_body = None
+        for edge in self.graph.out_edges(node, EdgeLabel.BODY):
+            if edge.properties.get("branch") == "else":
+                else_body = edge.target
+            else:
+                then_body = edge.target
+        exits: list[cpg.CPGNode] = []
+        if then_body is not None:
+            exits.extend(self._visit(then_body, current))
+        if else_body is not None:
+            exits.extend(self._visit(else_body, current))
+        else:
+            exits.extend(current)  # fallthrough when the condition is false
+        if then_body is None and else_body is None:
+            exits.extend(current)
+        return exits or current
+
+    def _visit_loop(self, node: cpg.CPGNode, predecessors: list[cpg.CPGNode]) -> list[cpg.CPGNode]:
+        current = predecessors
+        init_children = [
+            edge.target for edge in self.graph.out_edges(node, EdgeLabel.AST)
+            if edge.properties.get("role") == "init"
+        ]
+        for init in init_children:
+            current = self._visit(init, current)
+        conditions = self.graph.successors(node, EdgeLabel.CONDITION)
+        for condition in conditions:
+            current = self._visit(condition, current)
+        current = self._connect(current, node)
+        body_exits: list[cpg.CPGNode] = list(current)
+        for body in self.graph.successors(node, EdgeLabel.BODY):
+            body_exits = self._visit(body, current)
+        update_children = [
+            edge.target for edge in self.graph.out_edges(node, EdgeLabel.AST)
+            if edge.properties.get("role") == "update"
+        ]
+        for update in update_children:
+            body_exits = self._visit(update, body_exits)
+        # back edge to the loop header (through the condition when present)
+        back_targets = conditions or [node]
+        for exit_node in body_exits:
+            for target in back_targets:
+                first = self._first_evaluated(target)
+                if not self.graph.has_edge(exit_node, first, EdgeLabel.EOG):
+                    self.graph.add_edge(exit_node, first, EdgeLabel.EOG)
+        return [node]
+
+    def _visit_call(self, node: cpg.CPGNode, predecessors: list[cpg.CPGNode]) -> list[cpg.CPGNode]:
+        current = predecessors
+        for callee in self.graph.successors(node, EdgeLabel.CALLEE):
+            current = self._visit(callee, current)
+        for argument in self.graph.successors(node, EdgeLabel.ARGUMENTS):
+            current = self._visit(argument, current)
+        for specifier in self.graph.successors(node, EdgeLabel.SPECIFIERS):
+            for pair in self.graph.ast_children(specifier):
+                for value in self.graph.successors(pair, EdgeLabel.VALUE):
+                    current = self._visit(value, current)
+                current = self._connect(current, pair)
+            current = self._connect(current, specifier)
+        current = self._connect(current, node)
+        # require/assert: the failing branch reaches the attached Rollback node
+        if node.properties.get("reverting"):
+            for edge in self.graph.out_edges(node, EdgeLabel.AST):
+                if edge.properties.get("role") == "rollback":
+                    self.graph.add_edge(node, edge.target, EdgeLabel.EOG)
+        return current
+
+    def _first_evaluated(self, node: cpg.CPGNode) -> cpg.CPGNode:
+        """The first node evaluated when (re-)entering ``node`` (loop back edges)."""
+        for label in (EdgeLabel.LHS, EdgeLabel.INPUT, EdgeLabel.CONDITION):
+            children = self.graph.successors(node, label)
+            if children:
+                return self._first_evaluated(children[0])
+        return node

@@ -1,0 +1,190 @@
+"""Reference, type, and call resolution pass.
+
+Adds the following edges:
+
+* ``REFERS_TO`` from a :class:`DeclaredReferenceExpression` (or
+  ``MemberExpression`` whose base is ``this``) to the declaration it names,
+  searching the enclosing function's parameters and locals first and the
+  enclosing record's fields second,
+* ``TYPE`` from declarations and resolved references to a shared
+  :class:`TypeNode` per type name,
+* ``INVOKES`` from a :class:`CallExpression` to a same-record
+  :class:`FunctionDeclaration` with a matching name, and
+* ``RETURNS`` from the return statements of an invoked function back to the
+  call site (used by the queries' ``EOG|INVOKES|RETURNS*`` traversals).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpg import nodes as cpg
+from repro.cpg.graph import CPGGraph, EdgeLabel
+from repro.solidity.lexer import is_elementary_type
+
+
+class ResolutionPass:
+    """Resolve names, types and calls within a translation unit."""
+
+    def __init__(self, graph: CPGGraph):
+        self.graph = graph
+        self._type_nodes: dict[str, cpg.TypeNode] = {}
+
+    # -- entry point --------------------------------------------------------
+    def run(self) -> None:
+        self._attach_declaration_types()
+        for record in self.graph.nodes_by_label("RecordDeclaration"):
+            self._resolve_record(record)
+
+    # -- types ----------------------------------------------------------------
+    def _type_node(self, type_text: str) -> cpg.TypeNode:
+        base = type_text.split("(")[0].strip() if type_text.startswith("mapping") else type_text
+        base = base.replace("[]", "").strip() or "uint"
+        node = self._type_nodes.get(base)
+        if node is None:
+            node = cpg.TypeNode(name=base, code=type_text,
+                                is_object_type=not is_elementary_type(base) and base != "mapping")
+            self.graph.add_node(node)
+            self._type_nodes[base] = node
+        return node
+
+    def _attach_declaration_types(self) -> None:
+        for label in ("FieldDeclaration", "VariableDeclaration", "ParamVariableDeclaration"):
+            for declaration in self.graph.nodes_by_label(label):
+                type_text = getattr(declaration, "type_name", "") or "uint"
+                self.graph.add_edge(declaration, self._type_node(type_text), EdgeLabel.TYPE)
+        for cast in self.graph.nodes_by_label("CastExpression"):
+            type_text = getattr(cast, "type_name", "") or cast.name
+            if type_text:
+                self.graph.add_edge(cast, self._type_node(type_text), EdgeLabel.TYPE)
+
+    # -- per-record resolution --------------------------------------------------
+    def _resolve_record(self, record: cpg.RecordDeclaration) -> None:
+        fields = {field.name: field for field in self.graph.successors(record, EdgeLabel.FIELDS) if field.name}
+        functions = [
+            node for node in self.graph.ast_children(record)
+            if node.has_label("FunctionDeclaration")
+        ]
+        function_index: dict[str, cpg.FunctionDeclaration] = {
+            function.name: function for function in functions if function.name
+        }
+        for function in functions:
+            self._resolve_function(function, fields, function_index)
+        self._infer_missing_declarations(record, fields, function_index, functions)
+
+    #: Global objects and common names that must not be inferred as state.
+    _BUILTIN_NAMES = frozenset({
+        "msg", "tx", "block", "this", "super", "abi", "now", "true", "false",
+        "address", "payable", "require", "assert", "revert", "keccak256",
+        "sha3", "sha256", "ripemd160", "ecrecover", "selfdestruct", "suicide",
+        "gasleft", "blockhash", "type", "uint", "int", "bytes", "string", "bool",
+    })
+
+    def _infer_missing_declarations(
+        self,
+        record: cpg.RecordDeclaration,
+        fields: dict[str, cpg.CPGNode],
+        function_index: dict[str, cpg.FunctionDeclaration],
+        functions: list[cpg.CPGNode],
+    ) -> None:
+        """Infer state-variable declarations for unresolved references.
+
+        Snippets regularly use state variables whose declaration was not
+        pasted; the paper's frontend "complements the translated AST with
+        the inferred declarations" (Section 4.2).  Unresolved lower-case
+        simple references become inferred ``FieldDeclaration`` nodes so
+        that data-flow reasoning about persistent state still works.
+        """
+        inferred: dict[str, cpg.FieldDeclaration] = {}
+        for function in functions:
+            for body in self.graph.successors(function, EdgeLabel.BODY):
+                for node in self.graph.ast_descendants(body):
+                    if not node.has_label("DeclaredReferenceExpression") or node.has_label("MemberExpression"):
+                        continue
+                    if self.graph.successors(node, EdgeLabel.REFERS_TO):
+                        continue
+                    name = node.name
+                    if not name or name in self._BUILTIN_NAMES or name in function_index:
+                        continue
+                    if name[0].isupper() or name == "_":
+                        continue
+                    # call targets are not state variables
+                    if any(parent.has_label("CallExpression") and parent.local_name == name
+                           for parent in self.graph.predecessors(node, EdgeLabel.CALLEE)):
+                        continue
+                    field = fields.get(name) or inferred.get(name)
+                    if field is None:
+                        field = cpg.FieldDeclaration(name=name, code=name, type_name="uint")
+                        field.is_inferred = True
+                        self.graph.add_node(field)
+                        self.graph.add_edge(record, field, EdgeLabel.FIELDS)
+                        self.graph.add_edge(record, field, EdgeLabel.AST)
+                        self.graph.add_edge(field, self._type_node("uint"), EdgeLabel.TYPE)
+                        inferred[name] = field
+                    self.graph.add_edge(node, field, EdgeLabel.REFERS_TO)
+                    self._copy_type(field, node)
+
+    def _resolve_function(
+        self,
+        function: cpg.CPGNode,
+        fields: dict[str, cpg.CPGNode],
+        function_index: dict[str, cpg.FunctionDeclaration],
+    ) -> None:
+        scope: dict[str, cpg.CPGNode] = dict(fields)
+        for parameter in self.graph.successors(function, EdgeLabel.PARAMETERS):
+            if parameter.name:
+                scope[parameter.name] = parameter
+        bodies = self.graph.successors(function, EdgeLabel.BODY)
+        if not bodies:
+            return
+        body = bodies[0]
+        # locals are collected in document order so later references resolve
+        for node in self.graph.ast_descendants(body):
+            if node.has_label("VariableDeclaration") and not node.has_label("ParamVariableDeclaration"):
+                if node.name:
+                    scope[node.name] = node
+        for node in self.graph.ast_descendants(body):
+            self._resolve_node(node, scope, function_index)
+
+    def _resolve_node(
+        self,
+        node: cpg.CPGNode,
+        scope: dict[str, cpg.CPGNode],
+        function_index: dict[str, cpg.FunctionDeclaration],
+    ) -> None:
+        if node.has_label("MemberExpression"):
+            target = self._resolve_member(node, scope)
+            if target is not None:
+                self.graph.add_edge(node, target, EdgeLabel.REFERS_TO)
+                self._copy_type(target, node)
+            return
+        if node.has_label("DeclaredReferenceExpression"):
+            target = scope.get(node.name)
+            if target is not None:
+                self.graph.add_edge(node, target, EdgeLabel.REFERS_TO)
+                self._copy_type(target, node)
+            return
+        if node.has_label("CallExpression") and not node.has_label("Rollback"):
+            target_function = function_index.get(node.name)
+            if target_function is not None and not self.graph.has_edge(node, target_function, EdgeLabel.INVOKES):
+                self.graph.add_edge(node, target_function, EdgeLabel.INVOKES)
+                for body in self.graph.successors(target_function, EdgeLabel.BODY):
+                    for descendant in self.graph.ast_descendants(body):
+                        if descendant.has_label("ReturnStatement"):
+                            self.graph.add_edge(descendant, node, EdgeLabel.RETURNS)
+                            self.graph.add_edge(descendant, node, EdgeLabel.DFG)
+
+    def _resolve_member(self, node: cpg.CPGNode, scope: dict[str, cpg.CPGNode]) -> Optional[cpg.CPGNode]:
+        """Resolve ``this.field`` and bare struct-style member reads on fields."""
+        bases = self.graph.successors(node, EdgeLabel.BASE)
+        if not bases:
+            return None
+        base = bases[0]
+        if base.has_label("DeclaredReferenceExpression") and base.name == "this":
+            return scope.get(getattr(node, "member", ""))
+        return None
+
+    def _copy_type(self, declaration: cpg.CPGNode, reference: cpg.CPGNode) -> None:
+        for type_node in self.graph.successors(declaration, EdgeLabel.TYPE):
+            if not self.graph.has_edge(reference, type_node, EdgeLabel.TYPE):
+                self.graph.add_edge(reference, type_node, EdgeLabel.TYPE)

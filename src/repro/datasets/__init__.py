@@ -1,0 +1,56 @@
+"""Synthetic dataset substrates.
+
+The original study relies on several external data sources that are not
+available offline (Stack Overflow / Ethereum Stack Exchange crawls, the
+Smart Contract Sanctuary, SmartBugs Curated, and the honeypot dataset of
+Torres et al.).  This package provides deterministic generators that
+produce corpora with the same *structure* so every pipeline stage and every
+table of the paper can be exercised end to end:
+
+* :mod:`repro.datasets.templates` — parameterised Solidity templates for
+  vulnerable and benign contracts/snippets (one family per DASP category),
+* :mod:`repro.datasets.smartbugs` — a labelled vulnerability corpus plus
+  the derived *Functions* and *Statements* snippet datasets (Table 1/2),
+* :mod:`repro.datasets.honeypots` — nine honeypot families with
+  intra-family clone structure (Table 3),
+* :mod:`repro.datasets.snippets` — a Q&A corpus with posts, views,
+  timestamps and mixed-language snippets (Table 4),
+* :mod:`repro.datasets.sanctuary` — a deployed-contract corpus embedding
+  mutated snippet clones with deployment metadata (Tables 5–7),
+* :mod:`repro.datasets.mutations` — Type I/II/III clone mutation operators.
+"""
+
+from repro.datasets.corpus import (
+    DeployedContract,
+    HoneypotContract,
+    LabeledContract,
+    QAPost,
+    Snippet,
+)
+from repro.datasets.honeypots import HONEYPOT_TYPES, generate_honeypot_corpus
+from repro.datasets.mutations import CloneMutator
+from repro.datasets.sanctuary import SanctuaryCorpus, generate_sanctuary
+from repro.datasets.smartbugs import (
+    SmartBugsCorpus,
+    SmartBugsEntry,
+    generate_smartbugs_corpus,
+)
+from repro.datasets.snippets import QACorpus, generate_qa_corpus
+
+__all__ = [
+    "CloneMutator",
+    "DeployedContract",
+    "HONEYPOT_TYPES",
+    "HoneypotContract",
+    "LabeledContract",
+    "QACorpus",
+    "QAPost",
+    "SanctuaryCorpus",
+    "SmartBugsCorpus",
+    "SmartBugsEntry",
+    "Snippet",
+    "generate_honeypot_corpus",
+    "generate_qa_corpus",
+    "generate_sanctuary",
+    "generate_smartbugs_corpus",
+]

@@ -1,0 +1,87 @@
+"""Common data structures shared by the dataset generators and the pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+from typing import Optional
+
+from repro.ccc.dasp import DaspCategory
+
+
+@dataclass
+class Snippet:
+    """A code snippet extracted from a Q&A post."""
+
+    snippet_id: str
+    post_id: str
+    site: str
+    text: str
+    created: date
+    views: int
+    #: Ground-truth metadata from the generator (never consumed by the
+    #: analysis pipeline itself — only by evaluation code).
+    ground_truth_vulnerable: bool = False
+    ground_truth_category: Optional[DaspCategory] = None
+    ground_truth_language: str = "solidity"
+    #: Full contract sources the snippet was cut from (used only by the
+    #: sanctuary generator to embed realistic clones, never by the pipeline).
+    ground_truth_contract_source: str = ""
+    ground_truth_mitigated_source: str = ""
+
+    @property
+    def lines_of_code(self) -> int:
+        return len([line for line in self.text.splitlines() if line.strip()])
+
+
+@dataclass
+class QAPost:
+    """A question/answer post on a developer Q&A website."""
+
+    post_id: str
+    site: str
+    title: str
+    created: date
+    views: int
+    tags: tuple[str, ...] = ("solidity",)
+    snippets: list[Snippet] = field(default_factory=list)
+
+
+@dataclass
+class DeployedContract:
+    """A verified smart contract deployed on the blockchain."""
+
+    address: str
+    source: str
+    deployed: date
+    compiler_version: str
+    #: Ground truth: the snippet the contract embeds a clone of (if any).
+    ground_truth_snippet_id: Optional[str] = None
+    ground_truth_vulnerable: bool = False
+    ground_truth_category: Optional[DaspCategory] = None
+    ground_truth_mitigated: bool = False
+
+
+@dataclass
+class LabeledContract:
+    """A contract with labelled vulnerabilities (SmartBugs-Curated style)."""
+
+    name: str
+    source: str
+    category: DaspCategory
+    label_count: int = 1
+    vulnerable_function: str = ""
+    vulnerable_statements: str = ""
+    #: Whether the vulnerability requires cross-function context (such cases
+    #: are expected to be missed by the Functions/Statements datasets).
+    needs_context: bool = False
+
+
+@dataclass
+class HoneypotContract:
+    """A honeypot contract belonging to one of nine technique families."""
+
+    address: str
+    source: str
+    honeypot_type: str
+    family_variant: int = 0

@@ -1,0 +1,294 @@
+"""Synthetic honeypot contract corpus (the Table 3 evaluation substrate).
+
+The paper evaluates CCD against SmartEmbed on the honeypot dataset of
+Torres et al. (379 contracts across nine honeypot techniques).  Honeypots
+are ideal clone-detection material because scammers redeploy the same
+technique with light modifications.  This generator reproduces that
+structure: nine technique families, each with one base implementation and a
+number of Type I/II/III variants.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.corpus import HoneypotContract
+from repro.datasets.mutations import CloneMutator
+
+#: The nine honeypot techniques of Torres et al. with the (scaled-down)
+#: number of contracts generated per family.  The original dataset sizes
+#: are in the same relative order (hidden state update is by far the
+#: largest family).
+HONEYPOT_TYPES: dict[str, int] = {
+    "balance_disorder": 12,
+    "type_deduction_overflow": 6,
+    "hidden_transfer": 10,
+    "unexecuted_call": 6,
+    "uninitialised_struct": 14,
+    "hidden_state_update": 40,
+    "inheritance_disorder": 14,
+    "skip_empty_string_literal": 6,
+    "straw_man_contract": 16,
+}
+
+
+def _balance_disorder(name: str) -> str:
+    return f"""pragma solidity ^0.4.19;
+
+contract {name} {{
+    function multiplicate(address adr) public payable {{
+        if (msg.value >= this.balance) {{
+            adr.transfer(this.balance + msg.value);
+        }}
+    }}
+
+    function withdraw() public {{
+        require(msg.sender == owner);
+        msg.sender.transfer(this.balance);
+    }}
+
+    address owner;
+
+    function {name}() public {{
+        owner = msg.sender;
+    }}
+}}
+"""
+
+
+def _type_deduction_overflow(name: str) -> str:
+    return f"""pragma solidity ^0.4.19;
+
+contract {name} {{
+    function double(address target) public payable {{
+        uint amount = 0;
+        for (var i = 0; i < 2 * msg.value; i++) {{
+            amount += 1;
+        }}
+        target.transfer(amount);
+    }}
+
+    function refund() public {{
+        msg.sender.transfer(this.balance);
+    }}
+}}
+"""
+
+
+def _hidden_transfer(name: str) -> str:
+    return f"""pragma solidity ^0.4.19;
+
+contract {name} {{
+    address owner;
+    function {name}() public {{ owner = msg.sender; }}
+
+    function withdrawAll() public payable {{
+        if (msg.value >= 1 ether) {{ msg.sender.transfer(this.balance); }}
+    }}
+
+    function hidden() internal {{ owner.transfer(this.balance); }}
+
+    function deposit() public payable {{ hidden(); }}
+}}
+"""
+
+
+def _unexecuted_call(name: str) -> str:
+    return f"""pragma solidity ^0.4.19;
+
+contract {name} {{
+    address owner;
+    address caller;
+
+    function {name}() public {{ owner = msg.sender; }}
+
+    function claim() public payable {{
+        if (msg.value > 0.5 ether) {{
+            caller = msg.sender;
+            owner.call.value(this.balance);
+        }}
+    }}
+}}
+"""
+
+
+def _uninitialised_struct(name: str) -> str:
+    return f"""pragma solidity ^0.4.19;
+
+contract {name} {{
+    address owner;
+    uint depositAmount;
+
+    struct Gift {{
+        uint amount;
+        address sender;
+    }}
+
+    function {name}() public {{ owner = msg.sender; }}
+
+    function sendGift(uint amount) public payable {{
+        Gift gift;
+        gift.amount = amount;
+        gift.sender = msg.sender;
+        depositAmount += msg.value;
+    }}
+
+    function takeGift() public {{
+        require(msg.sender == owner);
+        msg.sender.transfer(this.balance);
+    }}
+}}
+"""
+
+
+def _hidden_state_update(name: str) -> str:
+    return f"""pragma solidity ^0.4.19;
+
+contract {name} {{
+    bytes32 hashPass;
+    address owner;
+
+    function {name}() public {{ owner = msg.sender; }}
+
+    function setPass(bytes32 hash) public payable {{
+        if (msg.value > 1 ether) {{
+            hashPass = hash;
+        }}
+    }}
+
+    function getGift(bytes pass) public payable returns (uint) {{
+        if (hashPass == sha3(pass)) {{
+            msg.sender.transfer(this.balance);
+        }}
+        return this.balance;
+    }}
+
+    function passHasBeenSet(bytes32 hash) public {{
+        if (hash == hashPass) {{
+            hashPass = 0x0;
+        }}
+    }}
+}}
+"""
+
+
+def _inheritance_disorder(name: str) -> str:
+    return f"""pragma solidity ^0.4.19;
+
+contract Ownable {{
+    address public owner;
+    function Ownable() public {{ owner = msg.sender; }}
+    modifier onlyOwner() {{ require(msg.sender == owner); _; }}
+}}
+
+contract {name} is Ownable {{
+    address public Owner;
+
+    function withdrawAll() public onlyOwner {{
+        msg.sender.transfer(this.balance);
+    }}
+
+    function deposit() public payable {{
+        if (msg.value > 0.25 ether) {{
+            Owner = msg.sender;
+        }}
+    }}
+}}
+"""
+
+
+def _skip_empty_string_literal(name: str) -> str:
+    return f"""pragma solidity ^0.4.19;
+
+contract {name} {{
+    address owner;
+
+    function {name}() public {{ owner = msg.sender; }}
+
+    function divest(uint amount) public {{
+        this.loggedTransfer(amount, "", msg.sender, owner);
+    }}
+
+    function loggedTransfer(uint amount, bytes32 message, address target, address currentOwner) public {{
+        if (!target.call.value(amount)()) {{
+            throw;
+        }}
+    }}
+}}
+"""
+
+
+def _straw_man_contract(name: str) -> str:
+    return f"""pragma solidity ^0.4.19;
+
+contract {name} {{
+    address owner;
+    address logger;
+
+    function {name}(address logContract) public {{
+        owner = msg.sender;
+        logger = logContract;
+    }}
+
+    function deposit() public payable {{
+        require(msg.value >= 1 ether);
+        logger.delegatecall(bytes4(keccak256("logDeposit()")));
+    }}
+
+    function withdraw(uint amount) public {{
+        require(msg.sender == owner);
+        logger.delegatecall(bytes4(keccak256("logWithdraw()")));
+        msg.sender.transfer(amount);
+    }}
+}}
+"""
+
+
+_BUILDERS = {
+    "balance_disorder": _balance_disorder,
+    "type_deduction_overflow": _type_deduction_overflow,
+    "hidden_transfer": _hidden_transfer,
+    "unexecuted_call": _unexecuted_call,
+    "uninitialised_struct": _uninitialised_struct,
+    "hidden_state_update": _hidden_state_update,
+    "inheritance_disorder": _inheritance_disorder,
+    "skip_empty_string_literal": _skip_empty_string_literal,
+    "straw_man_contract": _straw_man_contract,
+}
+
+
+def generate_honeypot_corpus(
+    seed: int = 7,
+    counts: dict[str, int] | None = None,
+) -> list[HoneypotContract]:
+    """Generate the honeypot clone corpus.
+
+    Each family starts from its technique template; subsequent members are
+    Type I/II/III mutations of the template so that intra-family pairs are
+    true clones while inter-family pairs are not.
+    """
+    rng = random.Random(seed)
+    mutator = CloneMutator(rng=rng)
+    counts = dict(HONEYPOT_TYPES if counts is None else counts)
+    contracts: list[HoneypotContract] = []
+    address_counter = 0
+    for honeypot_type, count in counts.items():
+        builder = _BUILDERS[honeypot_type]
+        for variant in range(count):
+            name = f"{''.join(part.capitalize() for part in honeypot_type.split('_'))}{variant}"
+            base = builder(name)
+            if variant == 0:
+                source = base
+            else:
+                clone_type = rng.choice([1, 1, 2, 2, 3])
+                source = mutator.mutate(base, clone_type)
+            address_counter += 1
+            contracts.append(
+                HoneypotContract(
+                    address=f"0x{address_counter:040x}",
+                    source=source,
+                    honeypot_type=honeypot_type,
+                    family_variant=variant,
+                )
+            )
+    return contracts

@@ -1,0 +1,157 @@
+"""Clone mutation operators (Type I / II / III) used to build clone corpora.
+
+The sanctuary and honeypot generators use these operators to create
+contracts that are *clones* of a source snippet in the sense of Roy and
+Cordy's taxonomy (Section 2.4 of the paper):
+
+* Type I — layout and comment changes only,
+* Type II — additional renaming of identifiers and changed string literals,
+* Type III — additional inserted, removed, or modified statements.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+_IDENTIFIER_RE = re.compile(r"\b[A-Za-z_][A-Za-z0-9_]*\b")
+
+#: Names that must never be renamed (language keywords, globals, members).
+_PROTECTED_NAMES = frozenset(
+    {
+        "pragma", "solidity", "contract", "interface", "library", "function",
+        "modifier", "event", "struct", "enum", "mapping", "constructor",
+        "fallback", "receive", "using", "is", "new", "delete", "emit",
+        "return", "returns", "if", "else", "for", "while", "do", "break",
+        "continue", "throw", "try", "catch", "assembly", "unchecked",
+        "public", "private", "internal", "external", "pure", "view",
+        "payable", "constant", "immutable", "virtual", "override",
+        "anonymous", "indexed", "storage", "memory", "calldata", "require",
+        "assert", "revert", "msg", "sender", "value", "data", "sig", "gas",
+        "tx", "origin", "block", "timestamp", "number", "difficulty",
+        "coinbase", "now", "this", "super", "selfdestruct", "suicide",
+        "keccak256", "sha256", "sha3", "ecrecover", "balance", "transfer",
+        "send", "call", "callcode", "delegatecall", "staticcall", "push",
+        "pop", "length", "address", "bool", "string", "bytes", "int", "uint",
+        "true", "false", "wei", "ether", "finney", "szabo", "seconds",
+        "minutes", "hours", "days", "weeks", "years", "var", "_", "abi",
+        "encodePacked", "encode", "ok", "success",
+    }
+)
+
+_COMMENT_POOL = [
+    "// TODO: double check this before mainnet",
+    "// audited 2021",
+    "// see https://ethereum.stackexchange.com",
+    "/* withdrawal logic */",
+    "// solhint-disable-next-line",
+    "// NOTE: gas optimisation pending",
+]
+
+_FILLER_STATEMENTS = [
+    "uint __unused{n} = 0;",
+    "emit Log(msg.sender);",
+    "lastCaller = msg.sender;",
+    "counter{n} += 1;",
+    "require(true);",
+]
+
+_RENAME_SUFFIXES = ["_", "V2", "New", "X", "Internal", "Ext", "Impl", "2"]
+
+
+class CloneMutator:
+    """Apply Type I–III clone mutations to Solidity source text."""
+
+    def __init__(self, rng: random.Random | None = None, seed: int | None = None):
+        if rng is None:
+            rng = random.Random(seed if seed is not None else 0)
+        self.rng = rng
+
+    # -- Type I ----------------------------------------------------------------
+    def type1(self, source: str) -> str:
+        """Layout/comment changes: re-indent, add comments, squeeze blank lines."""
+        lines = source.splitlines()
+        mutated: list[str] = []
+        for line in lines:
+            stripped = line.rstrip()
+            if not stripped.strip():
+                if self.rng.random() < 0.5:
+                    continue
+            if stripped.strip() and self.rng.random() < 0.15:
+                mutated.append(" " * self.rng.choice([0, 2, 4]) + self.rng.choice(_COMMENT_POOL))
+            if self.rng.random() < 0.3:
+                stripped = stripped.replace("    ", "  ")
+            mutated.append(stripped)
+        return "\n".join(mutated) + "\n"
+
+    # -- Type II -----------------------------------------------------------------
+    def _renamable_identifiers(self, source: str) -> list[str]:
+        counts: dict[str, int] = {}
+        for match in _IDENTIFIER_RE.finditer(source):
+            name = match.group(0)
+            if name in _PROTECTED_NAMES or name.startswith("__"):
+                continue
+            if len(name) < 3:
+                continue
+            counts[name] = counts.get(name, 0) + 1
+        return [name for name, count in counts.items() if count >= 1]
+
+    def type2(self, source: str, max_renames: int = 6) -> str:
+        """Rename identifiers and tweak string literals on top of Type I changes."""
+        mutated = self.type1(source)
+        names = self._renamable_identifiers(mutated)
+        self.rng.shuffle(names)
+        for name in names[:max_renames]:
+            replacement = self._new_name(name)
+            mutated = re.sub(rf"\b{re.escape(name)}\b", replacement, mutated)
+        # change string literal contents (Type-II difference)
+        mutated = re.sub(r'"[^"\n]*"', '"updated message"', mutated) \
+            if self.rng.random() < 0.5 else mutated
+        return mutated
+
+    def _new_name(self, name: str) -> str:
+        suffix = self.rng.choice(_RENAME_SUFFIXES)
+        if name[0].isupper():
+            return f"{name}{suffix}"
+        return f"{name}{suffix}"
+
+    # -- Type III -----------------------------------------------------------------
+    def type3(self, source: str, max_edits: int = 3) -> str:
+        """Insert/remove statements on top of Type II changes."""
+        mutated = self.type2(source)
+        lines = mutated.splitlines()
+        edits = self.rng.randint(1, max_edits)
+        for edit_index in range(edits):
+            action = self.rng.choice(["insert", "remove", "insert"])
+            body_line_indexes = [
+                index for index, line in enumerate(lines)
+                if line.strip().endswith(";") and "pragma" not in line and "=" not in line.strip()[:2]
+            ]
+            if not body_line_indexes:
+                break
+            position = self.rng.choice(body_line_indexes)
+            if action == "insert":
+                indent = len(lines[position]) - len(lines[position].lstrip())
+                filler = self.rng.choice(_FILLER_STATEMENTS).format(n=self.rng.randint(1, 99))
+                lines.insert(position + 1, " " * indent + filler)
+            elif action == "remove" and len(body_line_indexes) > 3:
+                candidate = lines[position].strip()
+                # never remove lines that change control flow drastically
+                if candidate.startswith(("require", "if", "for", "while", "return")):
+                    continue
+                del lines[position]
+        return "\n".join(lines) + "\n"
+
+    # -- dispatch --------------------------------------------------------------------
+    def mutate(self, source: str, clone_type: int) -> str:
+        """Apply the mutation operator for ``clone_type`` in {0, 1, 2, 3}.
+
+        Type 0 returns the source unchanged (an exact copy).
+        """
+        if clone_type <= 0:
+            return source
+        if clone_type == 1:
+            return self.type1(source)
+        if clone_type == 2:
+            return self.type2(source)
+        return self.type3(source)

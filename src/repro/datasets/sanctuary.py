@@ -1,0 +1,230 @@
+"""Synthetic Smart Contract Sanctuary: verified deployed contracts.
+
+The paper maps vulnerable snippets to the 323,328 verified contracts of the
+Smart Contract Sanctuary dataset.  This generator produces a deployed
+corpus from a generated Q&A corpus:
+
+* for a subset of the Solidity snippets, one or more contracts are deployed
+  that embed a (Type I/II/III mutated) clone of the snippet,
+* the number of adopting contracts grows with the popularity (views) of the
+  snippet's post — more strongly for *source* snippets than for snippets
+  that merely re-post already deployed code, which reproduces the Spearman
+  correlation structure of Table 5,
+* some adopters deploy *before* the snippet was posted (the snippet is a
+  re-post of existing code) and some adopt the mitigated variant of the
+  code (the vulnerability was fixed during reuse),
+* a configurable number of independent contracts unrelated to any snippet
+  pads the corpus, and
+* compiler-version metadata follows the distribution reported in
+  Section 6.1 (59 % v0.8, 16 % v0.6, 13 % v0.4, 7.4 % v0.5, ~4 % v0.7).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from datetime import date, timedelta
+
+from repro.datasets.corpus import DeployedContract, Snippet
+from repro.datasets.mutations import CloneMutator
+from repro.datasets.snippets import QACorpus
+from repro.datasets.templates import generate_benign
+
+_COMPILER_DISTRIBUTION = [
+    ("v0.8.19", 0.59),
+    ("v0.6.12", 0.16),
+    ("v0.4.24", 0.13),
+    ("v0.5.17", 0.074),
+    ("v0.7.6", 0.04),
+]
+
+_DEPLOYMENT_END = date(2023, 7, 14)
+
+
+@dataclass
+class SanctuaryCorpus:
+    """The generated deployed-contract corpus with its ground truth."""
+
+    contracts: list[DeployedContract] = field(default_factory=list)
+    #: snippet_id -> addresses of contracts embedding that snippet
+    ground_truth_embeddings: dict[str, list[str]] = field(default_factory=dict)
+    #: snippet ids whose every embedding contract was deployed after the post
+    ground_truth_source_snippets: set[str] = field(default_factory=set)
+
+    def by_address(self, address: str) -> DeployedContract:
+        for contract in self.contracts:
+            if contract.address == address:
+                return contract
+        raise KeyError(address)
+
+    def __len__(self) -> int:
+        return len(self.contracts)
+
+
+def _compiler_version(rng: random.Random) -> str:
+    pick = rng.random()
+    cumulative = 0.0
+    for version, weight in _COMPILER_DISTRIBUTION:
+        cumulative += weight
+        if pick <= cumulative:
+            return version
+    return _COMPILER_DISTRIBUTION[0][0]
+
+
+def _adoption_count(rng: random.Random, views: int) -> int:
+    """More-viewed posts attract more adopters (sub-linear, noisy)."""
+    expected = max(0.0, math.log10(max(views, 1)) - 1.0) * 1.3
+    count = 0
+    remaining = expected * (0.8 + 0.4 * rng.random())
+    while remaining > 1.0:
+        count += 1
+        remaining -= 1.0
+    if rng.random() < remaining:
+        count += 1
+    return count
+
+
+def _wrap_snippet_in_contract(snippet: Snippet, rng: random.Random) -> str:
+    """Fall back wrapper for snippets without a known originating contract."""
+    filler = generate_benign(rng)
+    body = snippet.text
+    if "contract" in body:
+        return body + "\n" + filler.contract_source
+    name = f"Imported{rng.randint(100, 9999)}"
+    state = (
+        "    mapping(address => uint) balances;\n"
+        "    address owner;\n"
+        "    uint reward;\n"
+    )
+    if body.strip().startswith("function"):
+        wrapped = "\n".join("    " + line for line in body.splitlines())
+    else:
+        wrapped = "    function imported() public {\n" + \
+            "\n".join("        " + line for line in body.splitlines()) + "\n    }"
+    return (
+        "pragma solidity ^0.4.24;\n\n"
+        f"contract {name} {{\n{state}\n{wrapped}\n}}\n"
+    )
+
+
+def generate_sanctuary(
+    qa_corpus: QACorpus,
+    seed: int = 11,
+    independent_contracts: int = 150,
+    adoption_probability: float = 0.45,
+    source_snippet_fraction: float = 0.35,
+    mitigation_probability: float = 0.22,
+    repost_probability: float = 0.18,
+) -> SanctuaryCorpus:
+    """Generate deployed contracts from a Q&A corpus.
+
+    Parameters
+    ----------
+    adoption_probability:
+        Probability that a parsable Solidity snippet is adopted by at least
+        one deployer at all.
+    source_snippet_fraction:
+        Among adopted snippets, the fraction whose clones are all deployed
+        *after* the post (the paper's *source* snippets).
+    mitigation_probability:
+        Probability that an adopter deploys the mitigated variant instead of
+        the vulnerable one.
+    repost_probability:
+        Probability that an additional contract pre-dating the post is
+        deployed (the snippet then looks like a re-post of existing code).
+    """
+    rng = random.Random(seed)
+    mutator = CloneMutator(rng=rng)
+    corpus = SanctuaryCorpus()
+    address_counter = 0
+
+    def next_address() -> str:
+        nonlocal address_counter
+        address_counter += 1
+        return f"0x{address_counter:040x}"
+
+    for snippet in qa_corpus.snippets:
+        if snippet.ground_truth_language != "solidity":
+            continue
+        if rng.random() > adoption_probability:
+            continue
+        is_source = rng.random() < source_snippet_fraction
+        if is_source:
+            # popularity drives adoption nearly deterministically for source
+            # snippets: these model the genuine copy-and-paste origins, so the
+            # views -> adoption relationship is the strongest here (Table 5)
+            adopters = max(1, int(math.log10(max(snippet.views, 10)) * 1.4) - 1)
+            adopters += _adoption_count(rng, snippet.views)
+        else:
+            adopters = _adoption_count(rng, snippet.views)
+        if adopters == 0 and rng.random() < 0.3:
+            adopters = 1
+        addresses: list[str] = []
+        for _ in range(adopters):
+            base = snippet.ground_truth_contract_source or _wrap_snippet_in_contract(snippet, rng)
+            mitigated = False
+            if snippet.ground_truth_vulnerable and snippet.ground_truth_mitigated_source \
+                    and rng.random() < mitigation_probability:
+                base = snippet.ground_truth_mitigated_source
+                mitigated = True
+            clone_type = rng.choice([0, 1, 1, 2, 2, 3])
+            source = mutator.mutate(base, clone_type)
+            if rng.random() < 0.4:
+                source = source + "\n" + generate_benign(rng).contract_source
+            deployed_after = True
+            deploy_date = snippet.created + timedelta(days=rng.randint(1, 400))
+            if deploy_date > _DEPLOYMENT_END:
+                deploy_date = _DEPLOYMENT_END
+            contract = DeployedContract(
+                address=next_address(),
+                source=source,
+                deployed=deploy_date,
+                compiler_version=_compiler_version(rng),
+                ground_truth_snippet_id=snippet.snippet_id,
+                ground_truth_vulnerable=snippet.ground_truth_vulnerable and not mitigated,
+                ground_truth_category=snippet.ground_truth_category,
+                ground_truth_mitigated=mitigated,
+            )
+            corpus.contracts.append(contract)
+            addresses.append(contract.address)
+            del deployed_after
+        if not addresses:
+            continue
+        # optionally add a contract deployed before the post: the snippet is
+        # then a re-post of already deployed code rather than its source
+        if not is_source and rng.random() < repost_probability:
+            base = snippet.ground_truth_contract_source or _wrap_snippet_in_contract(snippet, rng)
+            source = mutator.mutate(base, rng.choice([0, 1, 2]))
+            earliest = date(2016, 1, 1)
+            span = max((snippet.created - earliest).days, 1)
+            deploy_date = earliest + timedelta(days=rng.randint(0, span - 1))
+            contract = DeployedContract(
+                address=next_address(),
+                source=source,
+                deployed=deploy_date,
+                compiler_version=_compiler_version(rng),
+                ground_truth_snippet_id=snippet.snippet_id,
+                ground_truth_vulnerable=snippet.ground_truth_vulnerable,
+                ground_truth_category=snippet.ground_truth_category,
+            )
+            corpus.contracts.append(contract)
+            addresses.append(contract.address)
+        elif is_source:
+            corpus.ground_truth_source_snippets.add(snippet.snippet_id)
+        corpus.ground_truth_embeddings[snippet.snippet_id] = addresses
+
+    # independent contracts unrelated to any snippet
+    for _ in range(independent_contracts):
+        instance = generate_benign(rng)
+        source = mutator.mutate(instance.contract_source, rng.choice([0, 1, 2]))
+        earliest = date(2016, 6, 1)
+        span = (_DEPLOYMENT_END - earliest).days
+        contract = DeployedContract(
+            address=next_address(),
+            source=source,
+            deployed=earliest + timedelta(days=rng.randint(0, span)),
+            compiler_version=_compiler_version(rng),
+        )
+        corpus.contracts.append(contract)
+    return corpus

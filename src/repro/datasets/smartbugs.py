@@ -1,0 +1,171 @@
+"""Synthetic SmartBugs-Curated-style labelled vulnerability corpus.
+
+SmartBugs Curated contains 143 Solidity files with 204 labelled
+vulnerabilities across the DASP categories; the paper evaluates CCC (and
+eight other tools) on it and additionally derives two snippet datasets
+(*Functions* and *Statements*) from the labelled code (Section 4.6.1).
+
+This generator reproduces the corpus structure: per-category labelled
+contracts instantiated from the vulnerability templates, the same label
+counts per category as Table 1, and the two derived snippet datasets.  A
+fraction of the entries is generated as "context-dependent" — the labelled
+code only manifests the issue together with code outside the extracted
+function — so that, as in the paper, detection on the derived snippet
+datasets loses some recall.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ccc.dasp import DaspCategory
+from repro.datasets.corpus import LabeledContract
+from repro.datasets.templates import generate_vulnerable
+
+#: Number of labelled vulnerabilities per category, matching the "#" column
+#: of Table 1 in the paper.
+DEFAULT_LABEL_COUNTS: dict[DaspCategory, int] = {
+    DaspCategory.ACCESS_CONTROL: 21,
+    DaspCategory.ARITHMETIC: 23,
+    DaspCategory.BAD_RANDOMNESS: 31,
+    DaspCategory.DENIAL_OF_SERVICE: 7,
+    DaspCategory.FRONT_RUNNING: 7,
+    DaspCategory.REENTRANCY: 32,
+    DaspCategory.SHORT_ADDRESSES: 1,
+    DaspCategory.TIME_MANIPULATION: 7,
+    DaspCategory.UNCHECKED_LOW_LEVEL_CALLS: 75,
+}
+
+#: Fraction of entries whose vulnerability needs surrounding context and is
+#: therefore expected to be missed on the derived snippet datasets.
+_CONTEXT_DEPENDENT_FRACTION = 0.12
+
+#: Fraction of entries that are made harder to detect (the vulnerable code
+#: is wrapped in extra indirection), modelling the cases every tool misses.
+_HARD_FRACTION = 0.18
+
+
+@dataclass
+class SmartBugsEntry:
+    """One file of the labelled corpus."""
+
+    name: str
+    category: DaspCategory
+    contract: LabeledContract
+    hard: bool = False
+
+    @property
+    def source(self) -> str:
+        return self.contract.source
+
+    @property
+    def label_count(self) -> int:
+        return self.contract.label_count
+
+
+@dataclass
+class SmartBugsCorpus:
+    """The labelled corpus plus its derived snippet datasets."""
+
+    entries: list[SmartBugsEntry] = field(default_factory=list)
+
+    def by_category(self, category: DaspCategory) -> list[SmartBugsEntry]:
+        return [entry for entry in self.entries if entry.category == category]
+
+    @property
+    def total_labels(self) -> int:
+        return sum(entry.label_count for entry in self.entries)
+
+    @property
+    def categories(self) -> list[DaspCategory]:
+        return sorted({entry.category for entry in self.entries}, key=lambda category: category.value)
+
+    # -- derived datasets (Section 4.6.1) -------------------------------------
+    def derive_functions(self) -> list[tuple[SmartBugsEntry, str]]:
+        """The *Functions* dataset: each labelled function in its own snippet."""
+        return [(entry, entry.contract.vulnerable_function) for entry in self.entries
+                if entry.contract.vulnerable_function]
+
+    def derive_statements(self) -> list[tuple[SmartBugsEntry, str]]:
+        """The *Statements* dataset: labelled statements without function headers."""
+        return [(entry, entry.contract.vulnerable_statements) for entry in self.entries
+                if entry.contract.vulnerable_statements]
+
+
+def _harden(source: str, rng: random.Random) -> str:
+    """Obscure the vulnerability behind an internal helper indirection.
+
+    The resulting contract still contains the issue, but pattern-based
+    detection that only looks at one function is likely to miss it — this
+    models the labelled cases that no evaluated tool finds.
+    """
+    lines = source.splitlines()
+    helper_name = f"_helper{rng.randint(10, 99)}"
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if stripped.startswith(("msg.sender.call", "msg.sender.transfer")) and stripped.endswith(";"):
+            indent = len(line) - len(line.lstrip())
+            lines[index] = " " * indent + f"{helper_name}();"
+            # append an internal helper holding the original statement, but
+            # guarded so the path is no longer obviously reachable
+            closing = max(i for i, l in enumerate(lines) if l.strip() == "}")
+            helper = [
+                f"    function {helper_name}() internal {{",
+                f"        if (address(this).balance > 0) {{",
+                f"            {stripped}",
+                "        }",
+                "    }",
+            ]
+            lines[closing:closing] = helper
+            break
+    return "\n".join(lines) + "\n"
+
+
+def generate_smartbugs_corpus(
+    seed: int = 13,
+    label_counts: dict[DaspCategory, int] | None = None,
+    include_unknown_unknowns: bool = False,
+) -> SmartBugsCorpus:
+    """Generate the labelled corpus.
+
+    ``label_counts`` maps each category to the number of labelled
+    vulnerabilities; files may carry more than one label (as in the real
+    corpus) because some templates label two statements.
+    """
+    rng = random.Random(seed)
+    counts = dict(DEFAULT_LABEL_COUNTS if label_counts is None else label_counts)
+    if include_unknown_unknowns:
+        counts.setdefault(DaspCategory.UNKNOWN_UNKNOWNS, 3)
+    corpus = SmartBugsCorpus()
+    file_counter = 0
+    for category, wanted_labels in counts.items():
+        produced_labels = 0
+        while produced_labels < wanted_labels:
+            instance = generate_vulnerable(rng, category, index=file_counter)
+            remaining = wanted_labels - produced_labels
+            label_count = min(instance.label_count, remaining)
+            hard = rng.random() < _HARD_FRACTION and category in {
+                DaspCategory.ACCESS_CONTROL, DaspCategory.BAD_RANDOMNESS,
+                DaspCategory.UNCHECKED_LOW_LEVEL_CALLS, DaspCategory.ARITHMETIC,
+                DaspCategory.FRONT_RUNNING,
+            }
+            source = instance.contract_source
+            if hard:
+                source = _harden(source, rng)
+            needs_context = instance.needs_context or rng.random() < _CONTEXT_DEPENDENT_FRACTION
+            file_counter += 1
+            name = f"{category.name.lower()}_{file_counter:03d}.sol"
+            contract = LabeledContract(
+                name=name,
+                source=source,
+                category=category,
+                label_count=label_count,
+                vulnerable_function=instance.function_snippet,
+                vulnerable_statements=instance.statement_snippet,
+                needs_context=needs_context,
+            )
+            corpus.entries.append(SmartBugsEntry(name=name, category=category,
+                                                 contract=contract, hard=hard))
+            produced_labels += label_count
+    return corpus

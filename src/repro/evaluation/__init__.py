@@ -1,0 +1,37 @@
+"""Evaluation harnesses shared by the test suite and the benchmarks.
+
+Each module reproduces the protocol behind one group of tables:
+
+* :mod:`repro.evaluation.smartbugs_eval` — CCC (and the lexical baseline)
+  on the labelled corpus and its derived snippet datasets (Tables 1 and 2),
+* :mod:`repro.evaluation.honeypot_eval` — CCD vs. the SmartEmbed-style
+  baseline on the honeypot clone corpus (Table 3),
+* :mod:`repro.evaluation.parameter_sweep` — the N/η/ε parameter sweep
+  (Table 9, Figure 9),
+* :mod:`repro.evaluation.manual_validation` — sampled ground-truth review
+  of snippet/contract pairings (Table 8).
+"""
+
+from repro.evaluation.honeypot_eval import HoneypotEvaluation, evaluate_ccd_on_honeypots, evaluate_smartembed_on_honeypots
+from repro.evaluation.manual_validation import ManualValidationTable, simulate_manual_validation
+from repro.evaluation.parameter_sweep import SweepPoint, sweep_ccd_parameters
+from repro.evaluation.smartbugs_eval import (
+    CategoryResult,
+    ToolEvaluation,
+    evaluate_baseline_on_corpus,
+    evaluate_ccc_on_corpus,
+)
+
+__all__ = [
+    "CategoryResult",
+    "HoneypotEvaluation",
+    "ManualValidationTable",
+    "SweepPoint",
+    "ToolEvaluation",
+    "evaluate_baseline_on_corpus",
+    "evaluate_ccc_on_corpus",
+    "evaluate_ccd_on_honeypots",
+    "evaluate_smartembed_on_honeypots",
+    "simulate_manual_validation",
+    "sweep_ccd_parameters",
+]

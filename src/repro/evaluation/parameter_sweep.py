@@ -1,0 +1,83 @@
+"""CCD parameter sweep over N-gram size, η, and ε (Table 9 / Figure 9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.datasets.corpus import HoneypotContract
+from repro.evaluation.honeypot_eval import evaluate_ccd_on_honeypots
+
+#: The parameter grid of Table 9.
+DEFAULT_NGRAM_SIZES: tuple[int, ...] = (3, 5, 7)
+DEFAULT_NGRAM_THRESHOLDS: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9)
+DEFAULT_SIMILARITY_THRESHOLDS: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Precision/recall of one parameter combination."""
+
+    ngram_size: int
+    ngram_threshold: float
+    similarity_threshold: float
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    false_positives: int
+
+    def as_row(self) -> dict:
+        return {
+            "N": self.ngram_size,
+            "eta": self.ngram_threshold,
+            "epsilon": self.similarity_threshold,
+            "precision": round(self.precision, 4),
+            "recall": round(self.recall, 4),
+            "f1": round(self.f1, 4),
+        }
+
+
+def sweep_ccd_parameters(
+    contracts: list[HoneypotContract],
+    ngram_sizes: Sequence[int] = DEFAULT_NGRAM_SIZES,
+    ngram_thresholds: Sequence[float] = DEFAULT_NGRAM_THRESHOLDS,
+    similarity_thresholds: Sequence[float] = DEFAULT_SIMILARITY_THRESHOLDS,
+) -> list[SweepPoint]:
+    """Evaluate every parameter combination and return the sweep grid.
+
+    The expensive part (fingerprinting and candidate retrieval) depends
+    only on N and η, so the ε axis reuses the pairwise similarity scores.
+    """
+    points: list[SweepPoint] = []
+    for ngram_size in ngram_sizes:
+        for ngram_threshold in ngram_thresholds:
+            # evaluate at the lowest ε and filter upwards
+            evaluations = {}
+            for similarity_threshold in similarity_thresholds:
+                evaluation = evaluate_ccd_on_honeypots(
+                    contracts,
+                    ngram_size=ngram_size,
+                    ngram_threshold=ngram_threshold,
+                    similarity_threshold=similarity_threshold,
+                )
+                evaluations[similarity_threshold] = evaluation
+            for similarity_threshold, evaluation in evaluations.items():
+                points.append(
+                    SweepPoint(
+                        ngram_size=ngram_size,
+                        ngram_threshold=ngram_threshold,
+                        similarity_threshold=similarity_threshold,
+                        precision=evaluation.precision,
+                        recall=evaluation.recall,
+                        f1=evaluation.f1,
+                        true_positives=evaluation.total_true_positives,
+                        false_positives=evaluation.total_false_positives,
+                    )
+                )
+    return points
+
+
+def best_combination(points: Iterable[SweepPoint]) -> SweepPoint:
+    """The combination with the best precision/recall balance (highest F1)."""
+    return max(points, key=lambda point: (point.f1, point.precision))

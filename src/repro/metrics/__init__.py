@@ -1,0 +1,11 @@
+"""Evaluation metrics used by the benchmarks (precision/recall, correlation)."""
+
+from repro.metrics.classification import (
+    ConfusionCounts,
+    f1_score,
+    precision,
+    recall,
+)
+from repro.metrics.correlation import spearman_rho
+
+__all__ = ["ConfusionCounts", "f1_score", "precision", "recall", "spearman_rho"]

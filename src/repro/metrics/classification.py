@@ -1,0 +1,79 @@
+"""Confusion counting and derived classification metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def precision(true_positives: int, false_positives: int) -> float:
+    """TP / (TP + FP); defined as 0.0 when nothing was reported."""
+    reported = true_positives + false_positives
+    if reported == 0:
+        return 0.0
+    return true_positives / reported
+
+
+def recall(true_positives: int, false_negatives: int) -> float:
+    """TP / (TP + FN); defined as 0.0 when there is nothing to find."""
+    relevant = true_positives + false_negatives
+    if relevant == 0:
+        return 0.0
+    return true_positives / relevant
+
+
+def f1_score(precision_value: float, recall_value: float) -> float:
+    """Harmonic mean of precision and recall."""
+    if precision_value + recall_value == 0:
+        return 0.0
+    return 2 * precision_value * recall_value / (precision_value + recall_value)
+
+
+@dataclass
+class ConfusionCounts:
+    """Accumulator for TP/FP/FN/TN counts with derived metrics."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    true_negatives: int = 0
+
+    def add(self, predicted: bool, actual: bool) -> None:
+        if predicted and actual:
+            self.true_positives += 1
+        elif predicted and not actual:
+            self.false_positives += 1
+        elif not predicted and actual:
+            self.false_negatives += 1
+        else:
+            self.true_negatives += 1
+
+    def merge(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        return ConfusionCounts(
+            true_positives=self.true_positives + other.true_positives,
+            false_positives=self.false_positives + other.false_positives,
+            false_negatives=self.false_negatives + other.false_negatives,
+            true_negatives=self.true_negatives + other.true_negatives,
+        )
+
+    @property
+    def precision(self) -> float:
+        return precision(self.true_positives, self.false_positives)
+
+    @property
+    def recall(self) -> float:
+        return recall(self.true_positives, self.false_negatives)
+
+    @property
+    def f1(self) -> float:
+        return f1_score(self.precision, self.recall)
+
+    def as_dict(self) -> dict:
+        return {
+            "tp": self.true_positives,
+            "fp": self.false_positives,
+            "fn": self.false_negatives,
+            "tn": self.true_negatives,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }

@@ -1,0 +1,69 @@
+"""Spearman rank correlation used by the popularity analysis (Table 5)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def _ranks(values: Sequence[float]) -> list[float]:
+    """Fractional ranks (ties receive the average of their positions)."""
+    order = sorted(range(len(values)), key=lambda index: values[index])
+    ranks = [0.0] * len(values)
+    position = 0
+    while position < len(order):
+        tie_end = position
+        while tie_end + 1 < len(order) and values[order[tie_end + 1]] == values[order[position]]:
+            tie_end += 1
+        average_rank = (position + tie_end) / 2 + 1
+        for index in range(position, tie_end + 1):
+            ranks[order[index]] = average_rank
+        position = tie_end + 1
+    return ranks
+
+
+def _pearson(first: Sequence[float], second: Sequence[float]) -> float:
+    n = len(first)
+    mean_first = sum(first) / n
+    mean_second = sum(second) / n
+    covariance = sum((a - mean_first) * (b - mean_second) for a, b in zip(first, second))
+    variance_first = sum((a - mean_first) ** 2 for a in first)
+    variance_second = sum((b - mean_second) ** 2 for b in second)
+    denominator = math.sqrt(variance_first * variance_second)
+    if denominator == 0:
+        return 0.0
+    return covariance / denominator
+
+
+def spearman_rho(first: Sequence[float], second: Sequence[float]) -> tuple[float, float]:
+    """Spearman's rank correlation coefficient ρ and an approximate p-value.
+
+    The paper uses Spearman's ρ because views and adoption counts are not
+    normally distributed (Section 6.2).  The p-value uses the large-sample
+    t-approximation; for the sample sizes of the study (thousands of
+    snippets) the approximation is accurate.
+    """
+    if len(first) != len(second):
+        raise ValueError("samples must have the same length")
+    n = len(first)
+    if n < 3:
+        return 0.0, 1.0
+    rho = _pearson(_ranks(first), _ranks(second))
+    rho = max(-1.0, min(1.0, rho))
+    if abs(rho) >= 1.0:
+        return rho, 0.0
+    t_statistic = rho * math.sqrt((n - 2) / (1 - rho * rho))
+    p_value = _two_sided_t_p_value(t_statistic, n - 2)
+    return rho, p_value
+
+
+def _two_sided_t_p_value(t_statistic: float, degrees_of_freedom: int) -> float:
+    """Two-sided p-value of a t statistic via the normal approximation.
+
+    For the degrees of freedom involved here (hundreds to thousands) the
+    Student t distribution is indistinguishable from the normal.
+    """
+    z = abs(t_statistic)
+    # survival function of the standard normal
+    survival = 0.5 * math.erfc(z / math.sqrt(2))
+    return min(1.0, 2 * survival)

@@ -1,0 +1,42 @@
+"""The measurement pipeline combining CCC and CCD (Sections 3 and 6).
+
+Modules:
+
+* :mod:`repro.pipeline.collection` — snippet collection and filtering
+  (Solidity keyword filter, parsability filter, deduplication; Table 4),
+* :mod:`repro.pipeline.clone_mapping` — mapping snippets to deployed
+  contracts with CCD,
+* :mod:`repro.pipeline.temporal` — All / Disseminator / Source snippet
+  categorisation (Section 6.2),
+* :mod:`repro.pipeline.correlation` — popularity vs. adoption Spearman
+  analysis (Table 5),
+* :mod:`repro.pipeline.validation` — two-phase CCC validation of candidate
+  contracts with timeouts and path reduction (Section 6.3),
+* :mod:`repro.pipeline.experiment` — the end-to-end study orchestration
+  (Figure 6, Tables 6 and 7),
+* :mod:`repro.pipeline.report` — plain-text table rendering.
+"""
+
+from repro.pipeline.clone_mapping import CloneMapping, map_snippets_to_contracts
+from repro.pipeline.collection import CollectionFunnel, SnippetCollector
+from repro.pipeline.correlation import CorrelationResult, correlate_views_with_adoption
+from repro.pipeline.experiment import StudyConfiguration, StudyResult, VulnerableCodeReuseStudy
+from repro.pipeline.temporal import TemporalCategories, categorize_pairs
+from repro.pipeline.validation import ContractValidator, ValidationOutcome, ValidationSummary
+
+__all__ = [
+    "CloneMapping",
+    "CollectionFunnel",
+    "ContractValidator",
+    "CorrelationResult",
+    "SnippetCollector",
+    "StudyConfiguration",
+    "StudyResult",
+    "TemporalCategories",
+    "ValidationOutcome",
+    "ValidationSummary",
+    "VulnerableCodeReuseStudy",
+    "categorize_pairs",
+    "correlate_views_with_adoption",
+    "map_snippets_to_contracts",
+]

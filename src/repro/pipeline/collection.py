@@ -1,0 +1,129 @@
+"""Snippet collection and filtering (Section 6.1, Table 4).
+
+Three filter stages are applied per Q&A site:
+
+1. **Solidity keyword filter** — snippets that do not contain at least one
+   keyword unique to Solidity (i.e. not shared with JavaScript) are
+   dropped,
+2. **parsability filter** — snippets that the tolerant grammar still cannot
+   parse (prose, logs, pseudo-code) are dropped,
+3. **deduplication** — exact duplicates (after whitespace/comment
+   normalisation) are removed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.datasets.corpus import Snippet
+from repro.datasets.snippets import QACorpus
+from repro.solidity.errors import SolidityParseError
+from repro.solidity.keywords import looks_like_solidity
+from repro.solidity.parser import parse_snippet
+
+_COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.DOTALL)
+_WHITESPACE_RE = re.compile(r"\s+")
+
+
+def canonical_text(source: str) -> str:
+    """Comment- and whitespace-insensitive canonical form used for dedup."""
+    text = _COMMENT_RE.sub(" ", source or "")
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+@dataclass
+class CollectionFunnel:
+    """Per-site counts for every stage of the collection funnel (Table 4)."""
+
+    site: str
+    posts: int = 0
+    snippets: int = 0
+    solidity: int = 0
+    parsable: int = 0
+    unique: int = 0
+
+    def as_row(self) -> dict:
+        return {
+            "site": self.site,
+            "posts": self.posts,
+            "snippets": self.snippets,
+            "solidity": self.solidity,
+            "parsable": self.parsable,
+            "unique": self.unique,
+        }
+
+
+@dataclass
+class CollectionResult:
+    """The filtered snippet set plus funnel statistics."""
+
+    snippets: list[Snippet] = field(default_factory=list)
+    funnels: dict[str, CollectionFunnel] = field(default_factory=dict)
+    shape_distribution: dict[str, int] = field(default_factory=dict)
+    line_statistics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_funnel(self) -> CollectionFunnel:
+        total = CollectionFunnel(site="Total")
+        for funnel in self.funnels.values():
+            total.posts += funnel.posts
+            total.snippets += funnel.snippets
+            total.solidity += funnel.solidity
+            total.parsable += funnel.parsable
+            total.unique += funnel.unique
+        return total
+
+
+class SnippetCollector:
+    """Apply the collection filters of Section 6.1 to a Q&A corpus."""
+
+    def __init__(self, min_unique_keywords: int = 1):
+        self.min_unique_keywords = min_unique_keywords
+
+    def collect(self, corpus: QACorpus) -> CollectionResult:
+        """Filter the corpus and compute the funnel statistics."""
+        result = CollectionResult()
+        seen_texts: set[str] = set()
+        sites = sorted({post.site for post in corpus.posts})
+        for site in sites:
+            result.funnels[site] = CollectionFunnel(site=site)
+        line_counts: list[int] = []
+        for post in corpus.posts:
+            funnel = result.funnels[post.site]
+            funnel.posts += 1
+            for snippet in post.snippets:
+                funnel.snippets += 1
+                if not looks_like_solidity(snippet.text, self.min_unique_keywords):
+                    continue
+                funnel.solidity += 1
+                shape = self._parse_shape(snippet.text)
+                if shape is None:
+                    continue
+                funnel.parsable += 1
+                canonical = canonical_text(snippet.text)
+                if canonical in seen_texts:
+                    continue
+                seen_texts.add(canonical)
+                funnel.unique += 1
+                result.snippets.append(snippet)
+                result.shape_distribution[shape] = result.shape_distribution.get(shape, 0) + 1
+                line_counts.append(snippet.lines_of_code)
+        if line_counts:
+            ordered = sorted(line_counts)
+            result.line_statistics = {
+                "max": float(ordered[-1]),
+                "min": float(ordered[0]),
+                "mean": sum(ordered) / len(ordered),
+                "median": float(ordered[len(ordered) // 2]),
+            }
+        return result
+
+    @staticmethod
+    def _parse_shape(text: str) -> str | None:
+        """Return the snippet shape (contract/function/statements) or ``None``."""
+        try:
+            unit = parse_snippet(text)
+        except (SolidityParseError, RecursionError):
+            return None
+        return unit.shape

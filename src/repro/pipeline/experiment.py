@@ -1,0 +1,191 @@
+"""End-to-end vulnerable-code-reuse study (Figure 6, Tables 6 and 7).
+
+The study combines every pipeline stage:
+
+1. collect and filter snippets (Table 4),
+2. map snippets to deployed contracts with CCD,
+3. identify vulnerable snippets with CCC,
+4. categorise snippet/contract pairs temporally and restrict to
+   disseminator (and source) snippets, deduplicate contracts,
+5. validate the flagged vulnerability in every candidate contract with CCC
+   (two-phase, query-restricted), and
+6. aggregate the DASP category distribution and the pipeline funnel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ccc.checker import ContractChecker
+from repro.ccc.dasp import DaspCategory
+from repro.datasets.corpus import DeployedContract, Snippet
+from repro.datasets.snippets import QACorpus
+from repro.pipeline.clone_mapping import CloneMapping, map_snippets_to_contracts
+from repro.pipeline.collection import CollectionResult, SnippetCollector, canonical_text
+from repro.pipeline.correlation import CorrelationResult, correlate_views_with_adoption
+from repro.pipeline.temporal import TemporalCategories, categorize_pairs
+from repro.pipeline.validation import ContractValidator, ValidationOutcome, ValidationSummary
+
+
+@dataclass
+class StudyConfiguration:
+    """Tunable parameters of the study (the paper's Section 6.3 settings)."""
+
+    ngram_size: int = 3
+    ngram_threshold: float = 0.5
+    similarity_threshold: float = 0.9
+    validation_timeout_seconds: float = 30.0
+    snippet_analysis_timeout_seconds: float = 20.0
+    restrict_to_source_snippets: bool = False
+
+
+@dataclass
+class StudyResult:
+    """Everything the study produces, feeding Tables 4–8."""
+
+    collection: Optional[CollectionResult] = None
+    clone_mapping: Optional[CloneMapping] = None
+    temporal: Optional[TemporalCategories] = None
+    correlations: list[CorrelationResult] = field(default_factory=list)
+    #: snippet_id -> query ids found by CCC
+    vulnerable_snippets: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: snippet_id -> DASP categories found by CCC
+    snippet_categories: dict[str, tuple[DaspCategory, ...]] = field(default_factory=dict)
+    snippet_timeouts: int = 0
+    validation: ValidationSummary = field(default_factory=ValidationSummary)
+    #: address -> canonical source key used for contract deduplication
+    unique_contract_keys: dict[str, str] = field(default_factory=dict)
+
+    # -- Table 7 -------------------------------------------------------------
+    def funnel(self) -> dict[str, int]:
+        """The pipeline funnel of Table 7."""
+        unique_snippets = self.collection.total_funnel.unique if self.collection else 0
+        contained = [snippet_id for snippet_id in self.vulnerable_snippets
+                     if self.clone_mapping and self.clone_mapping.contracts_for(snippet_id)]
+        disseminator = [snippet_id for snippet_id in contained
+                        if self.temporal and snippet_id in self.temporal.disseminator]
+        source = [snippet_id for snippet_id in contained
+                  if self.temporal and snippet_id in self.temporal.source]
+        candidate_addresses = {
+            address
+            for snippet_id in disseminator
+            for address in (self.temporal.disseminator.get(snippet_id, []) if self.temporal else [])
+        }
+        unique_candidates = {self.unique_contract_keys.get(address, address)
+                             for address in candidate_addresses}
+        vulnerable_snippets_in_contracts = {
+            outcome.snippet_id for outcome in self.validation.outcomes if outcome.vulnerable
+        }
+        validated_addresses = {
+            outcome.address for outcome in self.validation.outcomes
+            if not outcome.timed_out and outcome.analysis_error is None
+        }
+        vulnerable_addresses = {
+            outcome.address for outcome in self.validation.outcomes if outcome.vulnerable
+        }
+        return {
+            "unique_snippets": unique_snippets,
+            "vulnerable_snippets": len(self.vulnerable_snippets),
+            "vulnerable_snippets_in_contracts": len(contained),
+            "disseminator_snippets": len(disseminator),
+            "source_snippets": len(source),
+            "candidate_contracts": len(candidate_addresses),
+            "unique_candidate_contracts": len(unique_candidates),
+            "validated_contracts": len(validated_addresses),
+            "vulnerable_contracts": len(vulnerable_addresses),
+            "vulnerable_snippets_confirmed": len(vulnerable_snippets_in_contracts),
+        }
+
+    # -- Table 6 -------------------------------------------------------------
+    def dasp_distribution(self) -> dict[DaspCategory, dict[str, int]]:
+        """Vulnerable snippet and contract counts per DASP category (Table 6)."""
+        distribution: dict[DaspCategory, dict[str, int]] = {
+            category: {"snippets": 0, "contracts": 0} for category in DaspCategory
+        }
+        for snippet_id, categories in self.snippet_categories.items():
+            for category in categories:
+                distribution[category]["snippets"] += 1
+        snippet_category_index = dict(self.snippet_categories)
+        for outcome in self.validation.outcomes:
+            if not outcome.vulnerable:
+                continue
+            for category in snippet_category_index.get(outcome.snippet_id, ()):
+                distribution[category]["contracts"] += 1
+        return distribution
+
+
+class VulnerableCodeReuseStudy:
+    """Orchestrates the full study on a Q&A corpus and a deployed-contract corpus."""
+
+    def __init__(self, configuration: Optional[StudyConfiguration] = None):
+        self.configuration = configuration if configuration is not None else StudyConfiguration()
+        self.checker = ContractChecker(timeout=self.configuration.snippet_analysis_timeout_seconds)
+        self.validator = ContractValidator(
+            timeout_seconds=self.configuration.validation_timeout_seconds,
+            checker=ContractChecker(),
+        )
+
+    # -- pipeline stages -----------------------------------------------------------
+    def run(self, qa_corpus: QACorpus, contracts: list[DeployedContract]) -> StudyResult:
+        """Run every stage of Figure 6 and return the aggregated results."""
+        result = StudyResult()
+        result.collection = SnippetCollector().collect(qa_corpus)
+        snippets = result.collection.snippets
+        result.clone_mapping = map_snippets_to_contracts(
+            snippets, contracts,
+            ngram_size=self.configuration.ngram_size,
+            ngram_threshold=self.configuration.ngram_threshold,
+            similarity_threshold=self.configuration.similarity_threshold,
+        )
+        result.temporal = categorize_pairs(snippets, contracts, result.clone_mapping)
+        result.correlations = correlate_views_with_adoption(snippets, contracts, result.temporal)
+        self._identify_vulnerable_snippets(snippets, result)
+        self._validate_contracts(snippets, contracts, result)
+        return result
+
+    def _identify_vulnerable_snippets(self, snippets: list[Snippet], result: StudyResult) -> None:
+        for snippet in snippets:
+            analysis = self.checker.analyze(snippet.text)
+            if analysis.timed_out:
+                result.snippet_timeouts += 1
+            if not analysis.findings:
+                continue
+            result.vulnerable_snippets[snippet.snippet_id] = tuple(sorted(analysis.query_ids()))
+            result.snippet_categories[snippet.snippet_id] = tuple(sorted(
+                analysis.categories(), key=lambda category: category.value))
+
+    def _validate_contracts(
+        self,
+        snippets: list[Snippet],
+        contracts: list[DeployedContract],
+        result: StudyResult,
+    ) -> None:
+        contract_index = {contract.address: contract for contract in contracts}
+        assert result.temporal is not None and result.clone_mapping is not None
+        group = result.temporal.source if self.configuration.restrict_to_source_snippets \
+            else result.temporal.disseminator
+        # deduplicate contracts by comment-insensitive source
+        seen_sources: dict[str, str] = {}
+        for address, contract in contract_index.items():
+            key = canonical_text(contract.source)
+            seen_sources.setdefault(key, address)
+            result.unique_contract_keys[address] = key
+        validated_pairs: set[tuple[str, str]] = set()
+        for snippet_id, query_ids in result.vulnerable_snippets.items():
+            addresses = group.get(snippet_id, [])
+            for address in addresses:
+                key = result.unique_contract_keys.get(address, address)
+                representative = seen_sources.get(key, address)
+                pair = (snippet_id, representative)
+                if pair in validated_pairs:
+                    continue
+                validated_pairs.add(pair)
+                contract = contract_index[representative]
+                outcome = self.validator.validate(
+                    address=representative,
+                    source=contract.source,
+                    snippet_id=snippet_id,
+                    query_ids=query_ids,
+                )
+                result.validation.outcomes.append(outcome)

@@ -1,0 +1,39 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark scripts print the same rows as the paper's tables; this
+module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    rows = [list(map(_fmt, row)) for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(str(header).ljust(widths[index]) for index, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 10 else f"{value:.1f}"
+    return str(value)
+
+
+def render_percentage(value: float) -> str:
+    """Format a 0..1 fraction as a percentage string."""
+    return f"{value * 100:.1f}%"

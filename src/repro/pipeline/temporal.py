@@ -1,0 +1,81 @@
+"""Temporal categorisation of snippet/contract clone pairs (Section 6.2).
+
+Three nested groups of snippets are distinguished:
+
+* **All Snippets** — every snippet with at least one containing contract,
+  regardless of deployment dates,
+* **Disseminator** — snippets for which at least one containing contract
+  was deployed *after* the snippet was posted; only those later contracts
+  are counted,
+* **Source** — disseminator snippets with *no* containing contract deployed
+  before the posting; these are the most likely origins of copy-and-paste.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.corpus import DeployedContract, Snippet
+from repro.pipeline.clone_mapping import CloneMapping
+
+
+@dataclass
+class TemporalCategories:
+    """Snippet ids and their counted contracts per temporal category."""
+
+    #: snippet_id -> contract addresses (any deployment date)
+    all_snippets: dict[str, list[str]] = field(default_factory=dict)
+    #: snippet_id -> contract addresses deployed after the snippet was posted
+    disseminator: dict[str, list[str]] = field(default_factory=dict)
+    #: subset of disseminator with no earlier containing contract
+    source: dict[str, list[str]] = field(default_factory=dict)
+
+    @property
+    def all_contract_addresses(self) -> set[str]:
+        return {address for addresses in self.all_snippets.values() for address in addresses}
+
+    @property
+    def disseminator_contract_addresses(self) -> set[str]:
+        return {address for addresses in self.disseminator.values() for address in addresses}
+
+    @property
+    def source_contract_addresses(self) -> set[str]:
+        return {address for addresses in self.source.values() for address in addresses}
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "all_snippets": len(self.all_snippets),
+            "disseminator_snippets": len(self.disseminator),
+            "source_snippets": len(self.source),
+            "all_contracts": len(self.all_contract_addresses),
+            "disseminator_contracts": len(self.disseminator_contract_addresses),
+            "source_contracts": len(self.source_contract_addresses),
+        }
+
+
+def categorize_pairs(
+    snippets: list[Snippet],
+    contracts: list[DeployedContract],
+    mapping: CloneMapping,
+) -> TemporalCategories:
+    """Split the clone map into the All/Disseminator/Source categories."""
+    contract_index = {contract.address: contract for contract in contracts}
+    snippet_index = {snippet.snippet_id: snippet for snippet in snippets}
+    categories = TemporalCategories()
+    for snippet_id, matches in mapping.matches.items():
+        snippet = snippet_index.get(snippet_id)
+        if snippet is None or not matches:
+            continue
+        addresses = [address for address, _score in matches if address in contract_index]
+        if not addresses:
+            continue
+        categories.all_snippets[snippet_id] = addresses
+        later = [address for address in addresses
+                 if contract_index[address].deployed > snippet.created]
+        earlier = [address for address in addresses
+                   if contract_index[address].deployed <= snippet.created]
+        if later:
+            categories.disseminator[snippet_id] = later
+            if not earlier:
+                categories.source[snippet_id] = later
+    return categories

@@ -1,0 +1,19 @@
+"""Graph-pattern query engine (the Neo4j/Cypher substitute).
+
+The paper expresses its 17 vulnerability patterns as Cypher queries with a
+three-part structure (Section 4.3): a *base pattern*, disjunctive
+*conditions of relevancy*, and negated-existential *mitigations*.  This
+package provides the traversal primitives those queries need as a Python
+API over :class:`~repro.cpg.graph.CPGGraph`:
+
+* :class:`QueryContext` — carries the graph, an optional analysis deadline
+  (the per-contract timeout of Section 6.3/6.4), and the maximal data-flow
+  path length used by the phase-2 "path reduction" validation,
+* :mod:`repro.query.predicates` — reusable sub-patterns (external calls,
+  ether transfers, access-control guards, rollback reachability, ...).
+"""
+
+from repro.query.engine import QueryContext, QueryTimeout
+from repro.query import predicates
+
+__all__ = ["QueryContext", "QueryTimeout", "predicates"]

@@ -1,0 +1,122 @@
+"""Query execution context: deadlines and bounded data-flow traversal."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.cpg.graph import CPGGraph, EdgeLabel
+from repro.cpg.nodes import CPGNode
+
+
+class QueryTimeout(Exception):
+    """Raised when a query exceeds the per-contract analysis deadline.
+
+    The paper's large-scale validation runs with a 1,800 second timeout per
+    contract (Section 6.4); contracts that time out are retried in a second
+    phase with reduced data-flow path lengths.
+    """
+
+
+class QueryContext:
+    """Shared state for one analysis run of one translation unit.
+
+    Parameters
+    ----------
+    graph:
+        The code property graph under analysis.
+    max_flow_depth:
+        Maximal number of hops explored for ``DFG*``/``EOG*`` traversals.
+        ``None`` means unbounded (phase 1); phase-2 validation passes a
+        finite bound ("iteratively reduce the maximal length of data
+        flows", Section 6.3).
+    timeout:
+        Wall-clock budget in seconds for the whole analysis run.
+    """
+
+    def __init__(
+        self,
+        graph: CPGGraph,
+        max_flow_depth: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ):
+        self.graph = graph
+        self.max_flow_depth = max_flow_depth
+        self.timeout = timeout
+        self._start = time.monotonic()
+        self._checks = 0
+
+    # -- deadline -------------------------------------------------------------
+    def check_deadline(self) -> None:
+        """Raise :class:`QueryTimeout` when the time budget is exhausted."""
+        self._checks += 1
+        if self.timeout is None:
+            return
+        if time.monotonic() - self._start > self.timeout:
+            raise QueryTimeout(f"analysis exceeded {self.timeout:.1f}s")
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self._start
+
+    # -- bounded traversals ------------------------------------------------------
+    def flows_to(self, source: CPGNode, target: CPGNode, *labels: str) -> bool:
+        """``source -[labels*]-> target`` honouring the flow-depth bound."""
+        self.check_deadline()
+        labels = labels or (EdgeLabel.DFG,)
+        return self.graph.is_reachable(source, target, *labels, max_depth=self.max_flow_depth)
+
+    def flow_targets(self, source: CPGNode, *labels: str, include_start: bool = False) -> list[CPGNode]:
+        """Every node reachable from ``source`` over ``labels`` edges."""
+        self.check_deadline()
+        labels = labels or (EdgeLabel.DFG,)
+        return self.graph.reachable(source, *labels, max_depth=self.max_flow_depth,
+                                    include_start=include_start)
+
+    def flow_sources(self, target: CPGNode, *labels: str, include_start: bool = False) -> list[CPGNode]:
+        """Every node that reaches ``target`` over ``labels`` edges."""
+        self.check_deadline()
+        labels = labels or (EdgeLabel.DFG,)
+        return self.graph.reachable(target, *labels, max_depth=self.max_flow_depth,
+                                    include_start=include_start, reverse=True)
+
+    def flows_to_any(self, source: CPGNode, predicate: Callable[[CPGNode], bool], *labels: str) -> Optional[CPGNode]:
+        """First node satisfying ``predicate`` reachable from ``source``."""
+        self.check_deadline()
+        labels = labels or (EdgeLabel.DFG,)
+        path = self.graph.any_path(source, predicate, *labels, max_depth=self.max_flow_depth)
+        return path[-1] if path else None
+
+    def eog_reaches(self, source: CPGNode, target: CPGNode) -> bool:
+        """Control-flow reachability including interprocedural INVOKES/RETURNS hops."""
+        self.check_deadline()
+        return self.graph.is_reachable(
+            source, target, EdgeLabel.EOG, EdgeLabel.INVOKES, EdgeLabel.RETURNS,
+            max_depth=self.max_flow_depth,
+        )
+
+    def eog_successors(self, source: CPGNode, include_start: bool = False) -> list[CPGNode]:
+        self.check_deadline()
+        return self.graph.reachable(
+            source, EdgeLabel.EOG, EdgeLabel.INVOKES, EdgeLabel.RETURNS,
+            max_depth=self.max_flow_depth, include_start=include_start,
+        )
+
+    def eog_between(self, start: CPGNode, end: CPGNode) -> list[CPGNode]:
+        """Nodes on some EOG path between ``start`` and ``end`` (approximate).
+
+        Computed as the intersection of nodes reachable forward from
+        ``start`` and backward from ``end``.
+        """
+        self.check_deadline()
+        forward = {
+            node.id: node
+            for node in self.graph.reachable(start, EdgeLabel.EOG, EdgeLabel.INVOKES, EdgeLabel.RETURNS,
+                                             max_depth=self.max_flow_depth, include_start=True)
+        }
+        result = []
+        for node in self.graph.reachable(end, EdgeLabel.EOG, EdgeLabel.INVOKES, EdgeLabel.RETURNS,
+                                         max_depth=self.max_flow_depth, include_start=True, reverse=True):
+            if node.id in forward:
+                result.append(node)
+        return result

@@ -1,0 +1,512 @@
+"""Abstract syntax tree node definitions for the Solidity substrate.
+
+Every node records its source span (``line``/``column`` and the raw ``code``
+excerpt) so that downstream consumers — the CPG frontend and the clone
+detector — can report findings at precise locations and reconstruct the
+normalized token stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass
+class Node:
+    """Base class of every AST node."""
+
+    line: int = 0
+    column: int = 0
+    code: str = ""
+
+    def children(self) -> Iterator["Node"]:
+        """Yield direct child nodes.
+
+        The default implementation inspects dataclass fields and yields any
+        value (or list element) that is itself a :class:`Node`.
+        """
+        for value in vars(self).values():
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+
+    def walk(self) -> Iterator["Node"]:
+        """Yield this node and all descendants in pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    @property
+    def node_type(self) -> str:
+        return type(self).__name__
+
+
+# ---------------------------------------------------------------------------
+# Type names
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TypeName(Node):
+    """Base class for type annotations."""
+
+    name: str = ""
+
+
+@dataclass
+class ElementaryTypeName(TypeName):
+    """Built-in value types such as ``uint256``, ``address`` or ``bool``."""
+
+
+@dataclass
+class UserDefinedTypeName(TypeName):
+    """A reference to a contract, struct, or enum type."""
+
+
+@dataclass
+class MappingTypeName(TypeName):
+    """``mapping(keyType => valueType)``."""
+
+    key_type: Optional[TypeName] = None
+    value_type: Optional[TypeName] = None
+
+
+@dataclass
+class ArrayTypeName(TypeName):
+    """``T[]`` or ``T[n]``."""
+
+    base_type: Optional[TypeName] = None
+    length: Optional["Expression"] = None
+
+
+@dataclass
+class FunctionTypeName(TypeName):
+    """``function (...) returns (...)`` used as a type."""
+
+    parameters: list["Parameter"] = field(default_factory=list)
+    return_parameters: list["Parameter"] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expression(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class Identifier(Expression):
+    name: str = ""
+
+
+@dataclass
+class MemberAccess(Expression):
+    """``base.member`` — e.g. ``msg.sender`` or ``token.balanceOf``."""
+
+    base: Optional[Expression] = None
+    member: str = ""
+
+
+@dataclass
+class IndexAccess(Expression):
+    """``base[index]``."""
+
+    base: Optional[Expression] = None
+    index: Optional[Expression] = None
+
+
+@dataclass
+class FunctionCall(Expression):
+    """A call expression, including calls with ``{value: .., gas: ..}``."""
+
+    callee: Optional[Expression] = None
+    arguments: list[Expression] = field(default_factory=list)
+    argument_names: list[str] = field(default_factory=list)
+    call_options: dict[str, Expression] = field(default_factory=dict)
+
+    def children(self) -> Iterator[Node]:
+        if self.callee is not None:
+            yield self.callee
+        yield from self.arguments
+        yield from self.call_options.values()
+
+
+@dataclass
+class NewExpression(Expression):
+    """``new ContractName`` / ``new uint[](n)`` target of a creation call."""
+
+    type_name: Optional[TypeName] = None
+
+
+@dataclass
+class BinaryOperation(Expression):
+    operator: str = ""
+    left: Optional[Expression] = None
+    right: Optional[Expression] = None
+
+
+@dataclass
+class UnaryOperation(Expression):
+    operator: str = ""
+    operand: Optional[Expression] = None
+    prefix: bool = True
+
+
+@dataclass
+class Assignment(Expression):
+    """Assignments including compound forms (``+=``, ``-=``, ...)."""
+
+    operator: str = "="
+    left: Optional[Expression] = None
+    right: Optional[Expression] = None
+
+
+@dataclass
+class Conditional(Expression):
+    """The ternary operator ``cond ? a : b``."""
+
+    condition: Optional[Expression] = None
+    true_expression: Optional[Expression] = None
+    false_expression: Optional[Expression] = None
+
+
+@dataclass
+class TupleExpression(Expression):
+    components: list[Optional[Expression]] = field(default_factory=list)
+
+    def children(self) -> Iterator[Node]:
+        for component in self.components:
+            if component is not None:
+                yield component
+
+
+@dataclass
+class NumberLiteral(Expression):
+    value: str = "0"
+    unit: str = ""
+
+    def numeric_value(self) -> float:
+        """Best-effort numeric value (hex and underscores supported)."""
+        text = self.value.replace("_", "")
+        try:
+            if text.lower().startswith("0x"):
+                return float(int(text, 16))
+            return float(text)
+        except ValueError:
+            return 0.0
+
+
+@dataclass
+class StringLiteral(Expression):
+    value: str = ""
+
+
+@dataclass
+class BoolLiteral(Expression):
+    value: bool = False
+
+
+@dataclass
+class ElementaryTypeNameExpression(Expression):
+    """A type used as an expression, e.g. ``address(0)`` or ``uint(x)``."""
+
+    type_name: Optional[TypeName] = None
+
+
+# ---------------------------------------------------------------------------
+# Declarations and parameters
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Parameter(Node):
+    """A function/modifier/event parameter or return value."""
+
+    type_name: Optional[TypeName] = None
+    name: str = ""
+    storage_location: str = ""
+    indexed: bool = False
+
+
+@dataclass
+class VariableDeclaration(Node):
+    """A local variable declaration (inside a statement)."""
+
+    type_name: Optional[TypeName] = None
+    name: str = ""
+    storage_location: str = ""
+
+
+@dataclass
+class StateVariableDeclaration(Node):
+    """A contract-level state variable."""
+
+    type_name: Optional[TypeName] = None
+    name: str = ""
+    visibility: str = "internal"
+    is_constant: bool = False
+    is_immutable: bool = False
+    initial_value: Optional[Expression] = None
+
+
+@dataclass
+class ModifierInvocation(Node):
+    """Application of a modifier (or base-constructor call) on a function."""
+
+    name: str = ""
+    arguments: list[Expression] = field(default_factory=list)
+
+
+@dataclass
+class FunctionDefinition(Node):
+    """A function, constructor, fallback, or receive definition."""
+
+    name: str = ""
+    kind: str = "function"  # function | constructor | fallback | receive
+    parameters: list[Parameter] = field(default_factory=list)
+    return_parameters: list[Parameter] = field(default_factory=list)
+    visibility: str = ""
+    mutability: str = ""
+    modifiers: list[ModifierInvocation] = field(default_factory=list)
+    is_virtual: bool = False
+    overrides: bool = False
+    body: Optional["Block"] = None
+
+    @property
+    def is_constructor(self) -> bool:
+        return self.kind == "constructor"
+
+    @property
+    def is_default_function(self) -> bool:
+        """True for fallback/receive/unnamed functions (the paper's "default function")."""
+        return self.kind in {"fallback", "receive"} or (self.kind == "function" and not self.name)
+
+
+@dataclass
+class ModifierDefinition(Node):
+    name: str = ""
+    parameters: list[Parameter] = field(default_factory=list)
+    body: Optional["Block"] = None
+
+
+@dataclass
+class EventDefinition(Node):
+    name: str = ""
+    parameters: list[Parameter] = field(default_factory=list)
+    anonymous: bool = False
+
+
+@dataclass
+class ErrorDefinition(Node):
+    name: str = ""
+    parameters: list[Parameter] = field(default_factory=list)
+
+
+@dataclass
+class StructDefinition(Node):
+    name: str = ""
+    members: list[VariableDeclaration] = field(default_factory=list)
+
+
+@dataclass
+class EnumDefinition(Node):
+    name: str = ""
+    members: list[str] = field(default_factory=list)
+
+
+@dataclass
+class UsingForDirective(Node):
+    library_name: str = ""
+    type_name: Optional[TypeName] = None
+
+
+@dataclass
+class ContractDefinition(Node):
+    """A contract, interface, or library definition."""
+
+    name: str = ""
+    kind: str = "contract"  # contract | interface | library
+    base_contracts: list[str] = field(default_factory=list)
+    parts: list[Node] = field(default_factory=list)
+    is_abstract: bool = False
+
+    def functions(self) -> list[FunctionDefinition]:
+        return [part for part in self.parts if isinstance(part, FunctionDefinition)]
+
+    def state_variables(self) -> list[StateVariableDeclaration]:
+        return [part for part in self.parts if isinstance(part, StateVariableDeclaration)]
+
+    def modifiers(self) -> list[ModifierDefinition]:
+        return [part for part in self.parts if isinstance(part, ModifierDefinition)]
+
+
+@dataclass
+class PragmaDirective(Node):
+    name: str = "solidity"
+    value: str = ""
+
+
+@dataclass
+class ImportDirective(Node):
+    path: str = ""
+    symbols: list[str] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Statement(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class Block(Statement):
+    statements: list[Statement] = field(default_factory=list)
+    unchecked: bool = False
+
+
+@dataclass
+class ExpressionStatement(Statement):
+    expression: Optional[Expression] = None
+
+
+@dataclass
+class VariableDeclarationStatement(Statement):
+    declarations: list[VariableDeclaration] = field(default_factory=list)
+    initial_value: Optional[Expression] = None
+
+
+@dataclass
+class IfStatement(Statement):
+    condition: Optional[Expression] = None
+    true_body: Optional[Statement] = None
+    false_body: Optional[Statement] = None
+
+
+@dataclass
+class WhileStatement(Statement):
+    condition: Optional[Expression] = None
+    body: Optional[Statement] = None
+
+
+@dataclass
+class DoWhileStatement(Statement):
+    condition: Optional[Expression] = None
+    body: Optional[Statement] = None
+
+
+@dataclass
+class ForStatement(Statement):
+    init: Optional[Statement] = None
+    condition: Optional[Expression] = None
+    update: Optional[Expression] = None
+    body: Optional[Statement] = None
+
+
+@dataclass
+class ReturnStatement(Statement):
+    expression: Optional[Expression] = None
+
+
+@dataclass
+class EmitStatement(Statement):
+    call: Optional[FunctionCall] = None
+
+
+@dataclass
+class RevertStatement(Statement):
+    """``revert(...)`` or ``revert CustomError(...)`` as a statement."""
+
+    call: Optional[FunctionCall] = None
+
+
+@dataclass
+class ThrowStatement(Statement):
+    """The legacy ``throw;`` statement (always rolls back)."""
+
+
+@dataclass
+class BreakStatement(Statement):
+    pass
+
+
+@dataclass
+class ContinueStatement(Statement):
+    pass
+
+
+@dataclass
+class PlaceholderStatement(Statement):
+    """The ``_;`` placeholder inside a modifier body."""
+
+
+@dataclass
+class InlineAssemblyStatement(Statement):
+    """An ``assembly { ... }`` block kept as opaque text (not modelled)."""
+
+    body_text: str = ""
+
+
+@dataclass
+class TryStatement(Statement):
+    expression: Optional[Expression] = None
+    body: Optional[Block] = None
+    catch_bodies: list[Block] = field(default_factory=list)
+
+
+@dataclass
+class UnparsedStatement(Statement):
+    """A statement the tolerant parser could not understand but skipped."""
+
+    text: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Source unit
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SourceUnit(Node):
+    """The root of a parsed file or snippet.
+
+    ``items`` may contain contract definitions, free functions, free
+    statements, state variables, and directives — snippet mode lifts the
+    usual nesting restrictions (Section 4.1, "Unnesting of Hierarchy").
+    """
+
+    items: list[Node] = field(default_factory=list)
+    warnings: list = field(default_factory=list)
+    snippet_mode: bool = False
+
+    def contracts(self) -> list[ContractDefinition]:
+        return [item for item in self.items if isinstance(item, ContractDefinition)]
+
+    def free_functions(self) -> list[FunctionDefinition]:
+        return [item for item in self.items if isinstance(item, FunctionDefinition)]
+
+    def free_statements(self) -> list[Statement]:
+        return [item for item in self.items if isinstance(item, Statement)]
+
+    @property
+    def shape(self) -> str:
+        """Classify the snippet shape: ``contract``, ``function`` or ``statements``.
+
+        The paper reports that 54.2% of parsed snippets contain contract
+        definitions, 38% only function definitions, and 7.8% only statements.
+        """
+        if self.contracts():
+            return "contract"
+        if self.free_functions():
+            return "function"
+        return "statements"

@@ -1,0 +1,32 @@
+"""Errors and warnings raised by the Solidity parsing substrate."""
+
+
+class SolidityParseError(Exception):
+    """Raised when a source unit or snippet cannot be parsed.
+
+    The tolerant parser only raises this error when the input does not
+    resemble Solidity at all (e.g. prose, JavaScript, or pseudo-code with a
+    few Solidity keywords sprinkled in).  Recoverable problems inside
+    otherwise valid snippets are collected as warnings on the resulting
+    :class:`~repro.solidity.ast_nodes.SourceUnit` instead.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class SoliditySyntaxWarning:
+    """A recoverable syntax problem encountered while parsing a snippet."""
+
+    def __init__(self, message, line, column):
+        self.message = message
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return f"SoliditySyntaxWarning({self.message!r}, line={self.line}, column={self.column})"

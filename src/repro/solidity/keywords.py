@@ -1,0 +1,104 @@
+"""Keyword lists used to decide whether a snippet is Solidity at all.
+
+The paper (Section 6.1) filters out snippets that have been tagged with
+``solidity`` but are actually JavaScript, shell output, or pseudo-code.  It
+does so by checking whether a snippet contains at least one keyword that is
+unique to Solidity, i.e. a Solidity keyword that is not also a JavaScript
+keyword.  This module reproduces that filter.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Reserved words and well-known built-ins of the Solidity language.  The
+#: list intentionally errs on the side of inclusion: the paper reports 251
+#: Solidity keywords of which 166 remain after removing words shared with
+#: JavaScript.
+SOLIDITY_KEYWORDS = frozenset(
+    {
+        # control flow / structure shared with many languages
+        "pragma", "solidity", "import", "contract", "interface", "library",
+        "function", "modifier", "event", "struct", "enum", "mapping",
+        "constructor", "fallback", "receive", "using", "is", "new", "delete",
+        "emit", "return", "returns", "if", "else", "for", "while", "do",
+        "break", "continue", "throw", "try", "catch", "assembly", "unchecked",
+        # visibility and mutability
+        "public", "private", "internal", "external", "pure", "view",
+        "payable", "constant", "immutable", "virtual", "override", "abstract",
+        "anonymous", "indexed", "storage", "memory", "calldata",
+        # value types
+        "address", "bool", "string", "bytes", "byte", "int", "uint",
+        "int8", "int16", "int32", "int64", "int128", "int256",
+        "uint8", "uint16", "uint32", "uint64", "uint128", "uint256",
+        "bytes1", "bytes2", "bytes4", "bytes8", "bytes16", "bytes20",
+        "bytes32", "fixed", "ufixed",
+        # literals and units
+        "true", "false", "wei", "gwei", "szabo", "finney", "ether",
+        "seconds", "minutes", "hours", "days", "weeks", "years",
+        # globals and members
+        "msg", "sender", "value", "data", "sig", "gas", "tx", "origin",
+        "gasprice", "block", "coinbase", "difficulty", "gaslimit", "number",
+        "timestamp", "blockhash", "now", "this", "super", "selfdestruct",
+        "suicide", "require", "assert", "revert", "keccak256", "sha256",
+        "sha3", "ripemd160", "ecrecover", "addmod", "mulmod", "gasleft",
+        "balance", "transfer", "send", "call", "callcode", "delegatecall",
+        "staticcall", "push", "pop", "length", "abi", "encode", "encodePacked",
+        "encodeWithSelector", "encodeWithSignature", "decode", "type",
+        "creationCode", "runtimeCode", "interfaceId", "min", "max",
+        "wrap", "unwrap", "error", "var", "let", "leave",
+    }
+)
+
+#: Reserved words of ECMAScript plus common JavaScript builtins that show up
+#: in Q&A snippets (web3.js / ethers.js client code is the main source of
+#: mis-tagged snippets).
+JAVASCRIPT_KEYWORDS = frozenset(
+    {
+        "abstract", "arguments", "await", "boolean", "break", "byte", "case",
+        "catch", "char", "class", "const", "continue", "debugger", "default",
+        "delete", "do", "double", "else", "enum", "eval", "export", "extends",
+        "false", "final", "finally", "float", "for", "function", "goto", "if",
+        "implements", "import", "in", "instanceof", "int", "interface", "let",
+        "long", "native", "new", "null", "package", "private", "protected",
+        "public", "return", "short", "static", "super", "switch",
+        "synchronized", "this", "throw", "throws", "transient", "true", "try",
+        "typeof", "var", "void", "volatile", "while", "with", "yield",
+        "console", "log", "require", "module", "exports", "async", "promise",
+        "undefined", "number", "string", "object", "json", "error", "length",
+        "push", "pop", "value", "data", "type", "min", "max", "is",
+    }
+)
+
+#: Solidity keywords that do not collide with JavaScript.  A snippet must
+#: contain at least one of these to be considered Solidity (Section 6.1).
+UNIQUE_SOLIDITY_KEYWORDS = frozenset(
+    kw for kw in SOLIDITY_KEYWORDS if kw.lower() not in {j.lower() for j in JAVASCRIPT_KEYWORDS}
+)
+
+_WORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def extract_words(source: str) -> set[str]:
+    """Return the set of identifier-like words appearing in ``source``."""
+    return set(_WORD_RE.findall(source))
+
+
+def looks_like_solidity(source: str, min_unique_keywords: int = 1) -> bool:
+    """Return ``True`` if ``source`` contains unique Solidity keywords.
+
+    This reproduces the keyword filter from Section 6.1 of the paper: a
+    snippet qualifies as Solidity when it contains at least
+    ``min_unique_keywords`` keywords that exist in Solidity but not in
+    JavaScript.
+    """
+    if not source or not source.strip():
+        return False
+    words = extract_words(source)
+    hits = sum(1 for word in words if word in UNIQUE_SOLIDITY_KEYWORDS)
+    return hits >= min_unique_keywords
+
+
+def solidity_keyword_hits(source: str) -> set[str]:
+    """Return the unique Solidity keywords present in ``source``."""
+    return {word for word in extract_words(source) if word in UNIQUE_SOLIDITY_KEYWORDS}

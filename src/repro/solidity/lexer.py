@@ -1,0 +1,273 @@
+"""Tolerant Solidity lexer.
+
+The lexer turns source text into a flat stream of :class:`Token` objects.
+It is intentionally forgiving: unknown characters become ``ERROR`` tokens
+instead of raising, and the ``...`` placeholder frequently found in Q&A
+snippets is lexed as a dedicated ``ELLIPSIS`` token that the parser skips
+(Section 4.1 of the paper, "Placeholders").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TokenType(enum.Enum):
+    """Categories of lexical tokens."""
+
+    IDENTIFIER = "identifier"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    HEX_LITERAL = "hex"
+    PUNCTUATION = "punctuation"
+    OPERATOR = "operator"
+    ELLIPSIS = "ellipsis"
+    COMMENT = "comment"
+    NEWLINE = "newline"
+    ERROR = "error"
+    EOF = "eof"
+
+
+#: Words that the lexer classifies as keywords.  Type names such as
+#: ``uint256`` are recognised separately by the parser so they can still be
+#: used as identifiers in tolerant mode.
+KEYWORDS = frozenset(
+    {
+        "pragma", "import", "contract", "interface", "library", "abstract",
+        "function", "modifier", "event", "struct", "enum", "mapping", "using",
+        "constructor", "fallback", "receive", "is", "new", "delete", "emit",
+        "return", "returns", "if", "else", "for", "while", "do", "break",
+        "continue", "throw", "try", "catch", "assembly", "unchecked",
+        "public", "private", "internal", "external", "pure", "view",
+        "payable", "constant", "immutable", "virtual", "override",
+        "anonymous", "indexed", "storage", "memory", "calldata", "error",
+        "true", "false", "var", "let",
+    }
+)
+
+#: Multi-character operators ordered by length so that maximal munch works.
+_OPERATORS = [
+    ">>>=", "<<=", ">>=", "**=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=",
+    "%=", "|=", "&=", "^=", "<<", ">>", "**", "=>", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~", "?",
+]
+
+_PUNCTUATION = {"(", ")", "{", "}", "[", "]", ";", ",", ":", "."}
+
+#: Elementary type name prefixes; ``uintN``/``intN``/``bytesN`` are matched
+#: by :func:`is_elementary_type`.
+_ELEMENTARY_TYPES = {"address", "bool", "string", "bytes", "byte", "fixed", "ufixed", "var"}
+
+
+def is_elementary_type(name: str) -> bool:
+    """Return ``True`` when ``name`` is an elementary Solidity type name."""
+    if name in _ELEMENTARY_TYPES:
+        return True
+    for prefix in ("uint", "int", "bytes", "fixed", "ufixed"):
+        if name.startswith(prefix):
+            suffix = name[len(prefix):]
+            if suffix == "" or suffix.isdigit():
+                return True
+    return False
+
+
+@dataclass
+class Token:
+    """A single lexical token with its source location."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+    preceded_by_newline: bool = field(default=False)
+
+    def is_punct(self, value: str) -> bool:
+        return self.type is TokenType.PUNCTUATION and self.value == value
+
+    def is_op(self, value: str) -> bool:
+        return self.type is TokenType.OPERATOR and self.value == value
+
+    def is_keyword(self, value: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == value
+
+    def is_identifier(self, value: str | None = None) -> bool:
+        if self.type is not TokenType.IDENTIFIER:
+            return False
+        return value is None or self.value == value
+
+    def __repr__(self):
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Convert Solidity source text into a list of tokens."""
+
+    def __init__(self, source: str):
+        self.source = source or ""
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self.tokens: list[Token] = []
+        self._pending_newline = False
+
+    # -- low level helpers -------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos:self.pos + count]
+        for char in text:
+            if char == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _emit(self, token_type: TokenType, value: str, line: int, column: int) -> None:
+        token = Token(token_type, value, line, column, preceded_by_newline=self._pending_newline)
+        self._pending_newline = False
+        self.tokens.append(token)
+
+    # -- scanning ----------------------------------------------------------
+    def tokenize(self) -> list[Token]:
+        """Scan the whole input and return the token list (EOF-terminated)."""
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char == "\n":
+                self._advance()
+                self._pending_newline = True
+                continue
+            if char in " \t\r\f\v":
+                self._advance()
+                continue
+            if char == "/" and self._peek(1) == "/":
+                self._scan_line_comment()
+                continue
+            if char == "/" and self._peek(1) == "*":
+                self._scan_block_comment()
+                continue
+            if char in "\"'":
+                self._scan_string(char)
+                continue
+            if char.isdigit():
+                self._scan_number()
+                continue
+            if char.isalpha() or char == "_" or char == "$":
+                self._scan_word()
+                continue
+            if char in _PUNCTUATION or not char.isascii():
+                self._scan_punct_or_operator()
+                continue
+            self._scan_punct_or_operator()
+        self._emit(TokenType.EOF, "", self.line, self.column)
+        return self.tokens
+
+    def _scan_line_comment(self) -> None:
+        start_line, start_col = self.line, self.column
+        text = []
+        while self.pos < len(self.source) and self._peek() != "\n":
+            text.append(self._advance())
+        self._emit(TokenType.COMMENT, "".join(text), start_line, start_col)
+        # keep the comment token out of the parser stream, but remember the
+        # newline that terminates it
+        self.tokens.pop()
+
+    def _scan_block_comment(self) -> None:
+        start_line, start_col = self.line, self.column
+        text = [self._advance(2)]
+        while self.pos < len(self.source):
+            if self._peek() == "*" and self._peek(1) == "/":
+                text.append(self._advance(2))
+                break
+            text.append(self._advance())
+        self._emit(TokenType.COMMENT, "".join(text), start_line, start_col)
+        self.tokens.pop()
+
+    def _scan_string(self, quote: str) -> None:
+        start_line, start_col = self.line, self.column
+        self._advance()
+        chars = []
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char == "\\":
+                chars.append(self._advance(2))
+                continue
+            if char == quote:
+                self._advance()
+                break
+            if char == "\n":
+                # unterminated string: stop at the newline, tolerant mode
+                break
+            chars.append(self._advance())
+        self._emit(TokenType.STRING, "".join(chars), start_line, start_col)
+
+    def _scan_number(self) -> None:
+        start_line, start_col = self.line, self.column
+        chars = []
+        if self._peek() == "0" and self._peek(1) in "xX":
+            chars.append(self._advance(2))
+            while self.pos < len(self.source) and (self._peek().isalnum() or self._peek() == "_"):
+                chars.append(self._advance())
+            self._emit(TokenType.HEX_LITERAL, "".join(chars), start_line, start_col)
+            return
+        seen_dot = False
+        seen_exp = False
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char.isdigit() or char == "_":
+                chars.append(self._advance())
+            elif char == "." and not seen_dot and self._peek(1).isdigit():
+                seen_dot = True
+                chars.append(self._advance())
+            elif char in "eE" and not seen_exp and (self._peek(1).isdigit() or self._peek(1) in "+-"):
+                seen_exp = True
+                chars.append(self._advance())
+                if self._peek() in "+-":
+                    chars.append(self._advance())
+            else:
+                break
+        self._emit(TokenType.NUMBER, "".join(chars), start_line, start_col)
+
+    def _scan_word(self) -> None:
+        start_line, start_col = self.line, self.column
+        chars = []
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char.isalnum() or char in "_$":
+                chars.append(self._advance())
+            else:
+                break
+        word = "".join(chars)
+        if word in KEYWORDS:
+            self._emit(TokenType.KEYWORD, word, start_line, start_col)
+        else:
+            self._emit(TokenType.IDENTIFIER, word, start_line, start_col)
+
+    def _scan_punct_or_operator(self) -> None:
+        start_line, start_col = self.line, self.column
+        for operator in _OPERATORS:
+            if self.source.startswith(operator, self.pos):
+                self._advance(len(operator))
+                if operator == "...":
+                    self._emit(TokenType.ELLIPSIS, operator, start_line, start_col)
+                else:
+                    self._emit(TokenType.OPERATOR, operator, start_line, start_col)
+                return
+        char = self._advance()
+        if char in _PUNCTUATION:
+            self._emit(TokenType.PUNCTUATION, char, start_line, start_col)
+        else:
+            self._emit(TokenType.ERROR, char, start_line, start_col)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source`` and return the token list."""
+    return Lexer(source).tokenize()

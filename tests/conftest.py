@@ -1,0 +1,178 @@
+"""Shared fixtures: sample contracts, snippets and small generated corpora."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccc.checker import ContractChecker
+from repro.datasets.honeypots import generate_honeypot_corpus
+from repro.datasets.sanctuary import generate_sanctuary
+from repro.datasets.smartbugs import generate_smartbugs_corpus
+from repro.datasets.snippets import generate_qa_corpus
+
+
+VULNERABLE_WALLET = """
+pragma solidity ^0.4.24;
+
+contract Wallet {
+    address owner;
+    mapping(address => uint) balances;
+
+    constructor() public { owner = msg.sender; }
+
+    function deposit() public payable {
+        balances[msg.sender] += msg.value;
+    }
+
+    function withdraw(uint amount) public {
+        require(balances[msg.sender] >= amount);
+        msg.sender.call.value(amount)();
+        balances[msg.sender] -= amount;
+    }
+
+    function kill() public {
+        selfdestruct(msg.sender);
+    }
+
+    modifier onlyOwner() {
+        require(msg.sender == owner, "Not owner");
+        _;
+    }
+}
+"""
+
+SAFE_WALLET = """
+pragma solidity ^0.8.0;
+
+contract SafeWallet {
+    address owner;
+    mapping(address => uint) balances;
+
+    constructor() { owner = msg.sender; }
+
+    modifier onlyOwner() {
+        require(msg.sender == owner, "Not owner");
+        _;
+    }
+
+    function deposit() public payable {
+        balances[msg.sender] += msg.value;
+    }
+
+    function withdraw(uint amount) public {
+        require(balances[msg.sender] >= amount, "insufficient");
+        balances[msg.sender] -= amount;
+        payable(msg.sender).transfer(amount);
+    }
+
+    function kill() public onlyOwner {
+        selfdestruct(payable(owner));
+    }
+}
+"""
+
+REENTRANCY_SNIPPET = """
+function withdraw(uint amount) {
+    require(balances[msg.sender] >= amount)
+    msg.sender.call.value(amount)();
+    balances[msg.sender] -= amount;
+}
+"""
+
+STATEMENT_SNIPPET = """
+msg.sender.call.value(amount)();
+balances[msg.sender] -= amount;
+"""
+
+JAVASCRIPT_SNIPPET = """
+const Web3 = require('web3');
+const web3 = new Web3('http://localhost:8545');
+web3.eth.getBalance(account).then(console.log);
+"""
+
+PROSE_SNIPPET = """
+I think you should first check how much money the caller has and then
+stop the whole thing early if there is not enough left over, no?
+"""
+
+
+@pytest.fixture(scope="session")
+def checker():
+    return ContractChecker(timeout=30.0)
+
+
+@pytest.fixture(scope="session")
+def vulnerable_wallet_source():
+    return VULNERABLE_WALLET
+
+
+@pytest.fixture(scope="session")
+def safe_wallet_source():
+    return SAFE_WALLET
+
+
+@pytest.fixture(scope="session")
+def reentrancy_snippet():
+    return REENTRANCY_SNIPPET
+
+
+@pytest.fixture(scope="session")
+def statement_snippet():
+    return STATEMENT_SNIPPET
+
+
+@pytest.fixture(scope="session")
+def javascript_snippet():
+    return JAVASCRIPT_SNIPPET
+
+
+@pytest.fixture(scope="session")
+def prose_snippet():
+    return PROSE_SNIPPET
+
+
+@pytest.fixture(scope="session")
+def small_qa_corpus():
+    """A small but structurally complete Q&A corpus."""
+    return generate_qa_corpus(
+        seed=3, posts_per_site={"stackoverflow": 25, "ethereum.stackexchange": 60})
+
+
+@pytest.fixture(scope="session")
+def small_sanctuary(small_qa_corpus):
+    return generate_sanctuary(small_qa_corpus, seed=11, independent_contracts=25)
+
+
+@pytest.fixture(scope="session")
+def small_smartbugs_corpus():
+    """A reduced labelled corpus that keeps every category present."""
+    from repro.ccc.dasp import DaspCategory
+
+    counts = {
+        DaspCategory.ACCESS_CONTROL: 6,
+        DaspCategory.ARITHMETIC: 6,
+        DaspCategory.BAD_RANDOMNESS: 6,
+        DaspCategory.DENIAL_OF_SERVICE: 4,
+        DaspCategory.FRONT_RUNNING: 3,
+        DaspCategory.REENTRANCY: 6,
+        DaspCategory.SHORT_ADDRESSES: 1,
+        DaspCategory.TIME_MANIPULATION: 3,
+        DaspCategory.UNCHECKED_LOW_LEVEL_CALLS: 8,
+    }
+    return generate_smartbugs_corpus(seed=13, label_counts=counts)
+
+
+@pytest.fixture(scope="session")
+def small_honeypot_corpus():
+    counts = {
+        "balance_disorder": 4,
+        "type_deduction_overflow": 3,
+        "hidden_transfer": 4,
+        "unexecuted_call": 3,
+        "uninitialised_struct": 4,
+        "hidden_state_update": 6,
+        "inheritance_disorder": 4,
+        "skip_empty_string_literal": 3,
+        "straw_man_contract": 4,
+    }
+    return generate_honeypot_corpus(seed=7, counts=counts)

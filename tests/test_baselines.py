@@ -1,0 +1,119 @@
+"""Tests for the simplified baseline tools."""
+
+import pytest
+
+from repro.baselines import ExactHashCloneBaseline, SmartCheckBaseline, SmartEmbedBaseline
+from repro.ccc.dasp import DaspCategory
+
+
+class TestSmartCheckBaseline:
+    baseline = SmartCheckBaseline()
+
+    def test_unchecked_send_detected(self):
+        findings = self.baseline.analyze("contract C { function f(address a) public {\n  a.send(1 ether);\n} }")
+        assert any(f.category is DaspCategory.UNCHECKED_LOW_LEVEL_CALLS for f in findings)
+
+    def test_checked_send_not_detected(self):
+        findings = self.baseline.analyze(
+            "contract C { function f(address a) public {\n  require(a.send(1 ether));\n} }")
+        assert not any(f.category is DaspCategory.UNCHECKED_LOW_LEVEL_CALLS for f in findings)
+
+    def test_tx_origin_detected(self):
+        assert DaspCategory.ACCESS_CONTROL in self.baseline.categories(
+            "contract C { function f() public { require(tx.origin == owner); } }")
+
+    def test_timestamp_detected(self):
+        assert DaspCategory.TIME_MANIPULATION in self.baseline.categories(
+            "contract C { function f() public { if (block.timestamp > deadline) { pay(); } } }")
+
+    def test_reentrancy_not_covered(self, reentrancy_snippet):
+        assert DaspCategory.REENTRANCY not in self.baseline.categories(reentrancy_snippet)
+
+    def test_empty_source(self):
+        assert self.baseline.analyze("") == []
+
+    def test_finding_has_line_number(self):
+        findings = self.baseline.analyze("contract C {\n function f(address a) public {\n  a.send(1);\n }\n}")
+        assert findings and findings[0].line == 3
+
+    def test_narrower_coverage_than_ccc(self):
+        assert len(self.baseline.SUPPORTED_CATEGORIES) < len(list(DaspCategory))
+
+
+class TestSmartEmbedBaseline:
+    def test_requires_complete_contracts(self):
+        baseline = SmartEmbedBaseline()
+        assert baseline.add_document("snippet", "function f() { x = 1; }") is False
+        assert baseline.add_document("full", "contract C { function f() public { x = 1; } }") is True
+
+    def test_identical_contracts_score_one(self):
+        baseline = SmartEmbedBaseline()
+        source = "contract C { uint x; function f(uint a) public { x = a + 1; } }"
+        baseline.add_document("a", source)
+        baseline.add_document("b", source)
+        assert baseline.similarity("a", "b") == pytest.approx(1.0)
+
+    def test_different_contracts_score_below_threshold(self):
+        baseline = SmartEmbedBaseline()
+        baseline.add_document("a", "contract A { function f(uint x) public { total += x; } uint total; }")
+        baseline.add_document("b", """
+contract B {
+    mapping(address => uint) balances;
+    address owner;
+    function withdraw(uint amount) public {
+        require(balances[msg.sender] >= amount);
+        msg.sender.transfer(amount);
+        balances[msg.sender] -= amount;
+    }
+    function deposit() public payable { balances[msg.sender] += msg.value; }
+}
+""")
+        assert baseline.similarity("a", "b") < 0.9
+
+    def test_find_clones_respects_threshold(self):
+        baseline = SmartEmbedBaseline(similarity_threshold=0.9)
+        source = "contract C { uint x; function f(uint a) public { x = a + 1; } }"
+        baseline.add_document("a", source)
+        baseline.add_document("b", source)
+        baseline.add_document("c", "contract D { function g() public payable { owner.transfer(msg.value); } address owner; }")
+        matches = baseline.find_clones("a")
+        assert {match.document_id for match in matches} == {"b"}
+
+    def test_pairwise_symmetric_results(self):
+        baseline = SmartEmbedBaseline(similarity_threshold=0.8)
+        source = "contract C { uint x; function f(uint a) public { x = a + 1; } }"
+        baseline.add_corpus([("a", source), ("b", source)])
+        pairwise = baseline.pairwise_clones()
+        assert {m.document_id for m in pairwise["a"]} == {"b"}
+        assert {m.document_id for m in pairwise["b"]} == {"a"}
+
+    def test_cosine_of_empty_embedding_is_zero(self):
+        from collections import Counter
+        assert SmartEmbedBaseline.cosine(Counter(), Counter({"x": 1})) == 0.0
+
+
+class TestExactHashBaseline:
+    def test_type2_clone_found(self):
+        baseline = ExactHashCloneBaseline()
+        baseline.add_document("original", "contract C { function pay(address to, uint amount) public { to.transfer(amount); } }")
+        clones = baseline.find_clones("function send(address dst, uint wad) { dst.transfer(wad); }")
+        assert clones == ["original"]
+
+    def test_type3_clone_missed(self):
+        baseline = ExactHashCloneBaseline()
+        baseline.add_document("original", "contract C { function pay(address to, uint amount) public { to.transfer(amount); } }")
+        clones = baseline.find_clones(
+            "function send(address dst, uint wad) { emit Paid(dst); dst.transfer(wad); }")
+        assert clones == []
+
+    def test_unparsable_rejected(self):
+        baseline = ExactHashCloneBaseline()
+        assert baseline.add_document("bad", "not solidity in the least") is False
+
+    def test_corpus_count(self):
+        baseline = ExactHashCloneBaseline()
+        added = baseline.add_corpus([
+            ("a", "contract A { function f() public { x = 1; } }"),
+            ("b", "contract B { function g() public { y = 2; } }"),
+        ])
+        assert added == 2 and len(baseline) == 2

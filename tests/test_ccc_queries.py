@@ -1,0 +1,472 @@
+"""Per-query tests: each of the 17 queries on positive and negative examples."""
+
+import pytest
+
+from repro.ccc import ContractChecker, DaspCategory
+
+checker = ContractChecker(timeout=30.0)
+
+
+def categories_of(source, **kwargs):
+    return {finding.category for finding in checker.analyze(source, **kwargs).findings}
+
+
+def query_ids_of(source, **kwargs):
+    return {finding.query_id for finding in checker.analyze(source, **kwargs).findings}
+
+
+class TestAccessControl:
+    def test_unprotected_owner_write(self):
+        source = """
+contract C {
+    address owner;
+    constructor() public { owner = msg.sender; }
+    function init(address newOwner) public { owner = newOwner; }
+    function sweep() public { require(msg.sender == owner); msg.sender.transfer(address(this).balance); }
+}
+"""
+        assert "access-control-state-write" in query_ids_of(source)
+
+    def test_protected_owner_write_is_clean(self):
+        source = """
+contract C {
+    address owner;
+    constructor() public { owner = msg.sender; }
+    function setOwner(address newOwner) public {
+        require(msg.sender == owner);
+        owner = newOwner;
+    }
+    function sweep() public { require(msg.sender == owner); msg.sender.transfer(address(this).balance); }
+}
+"""
+        assert "access-control-state-write" not in query_ids_of(source)
+
+    def test_unprotected_selfdestruct(self):
+        assert "access-control-selfdestruct" in query_ids_of(
+            "contract C { function close() public { selfdestruct(msg.sender); } }")
+
+    def test_selfdestruct_behind_owner_check_is_clean(self):
+        source = """
+contract C {
+    address owner;
+    constructor() public { owner = msg.sender; }
+    function close() public { require(msg.sender == owner); selfdestruct(msg.sender); }
+}
+"""
+        assert "access-control-selfdestruct" not in query_ids_of(source)
+
+    def test_selfdestruct_behind_modifier_is_clean(self):
+        source = """
+contract C {
+    address owner;
+    constructor() public { owner = msg.sender; }
+    modifier onlyOwner() { require(msg.sender == owner); _; }
+    function close() public onlyOwner { selfdestruct(msg.sender); }
+}
+"""
+        assert "access-control-selfdestruct" not in query_ids_of(source)
+
+    def test_default_function_delegatecall(self):
+        source = "contract P { address lib; function () payable { lib.delegatecall(msg.data); } }"
+        assert "access-control-default-delegatecall" in query_ids_of(source)
+
+    def test_named_function_delegatecall_not_reported_by_proxy_query(self):
+        source = "contract P { address lib; function f(bytes data) public { lib.delegatecall(data); } }"
+        assert "access-control-default-delegatecall" not in query_ids_of(source)
+
+    def test_delegatecall_with_msg_data_guard_is_clean(self):
+        source = """
+contract P {
+    address lib;
+    function () payable {
+        require(msg.data.length == 0);
+        lib.delegatecall(msg.data);
+    }
+}
+"""
+        assert "access-control-default-delegatecall" not in query_ids_of(source)
+
+    def test_tx_origin_authentication(self):
+        source = """
+contract C {
+    address owner;
+    function pay(address to) public {
+        if (tx.origin == owner) { to.transfer(1 ether); }
+    }
+}
+"""
+        assert "access-control-tx-origin" in query_ids_of(source)
+
+    def test_msg_sender_authentication_not_flagged_as_tx_origin(self):
+        source = """
+contract C {
+    address owner;
+    function pay(address to) public {
+        if (msg.sender == owner) { to.transfer(1 ether); }
+    }
+}
+"""
+        assert "access-control-tx-origin" not in query_ids_of(source)
+
+
+class TestReentrancy:
+    def test_call_value_before_state_update(self, reentrancy_snippet):
+        assert DaspCategory.REENTRANCY in categories_of(reentrancy_snippet)
+
+    def test_state_update_before_transfer_is_clean(self):
+        source = """
+contract C {
+    mapping(address => uint) balances;
+    function withdraw(uint amount) public {
+        require(balances[msg.sender] >= amount);
+        balances[msg.sender] -= amount;
+        msg.sender.transfer(amount);
+    }
+}
+"""
+        assert DaspCategory.REENTRANCY not in categories_of(source)
+
+    def test_mutex_guard_suppresses_finding(self):
+        source = """
+contract C {
+    mapping(address => uint) balances;
+    bool locked;
+    function withdraw(uint amount) public {
+        require(!locked);
+        locked = true;
+        msg.sender.call.value(amount)();
+        balances[msg.sender] -= amount;
+        locked = false;
+    }
+}
+"""
+        assert DaspCategory.REENTRANCY not in categories_of(source)
+
+    def test_call_on_fixed_address_constant_not_reported(self):
+        source = """
+contract C {
+    uint counter;
+    function poke() public {
+        counter += 1;
+    }
+}
+"""
+        assert DaspCategory.REENTRANCY not in categories_of(source)
+
+    def test_new_style_call_specifier(self):
+        source = """
+contract C {
+    mapping(address => uint) shares;
+    function claim() public {
+        (bool ok, ) = msg.sender.call{value: shares[msg.sender]}("");
+        require(ok);
+        shares[msg.sender] = 0;
+    }
+}
+"""
+        assert DaspCategory.REENTRANCY in categories_of(source)
+
+
+class TestArithmetic:
+    VULNERABLE = """
+pragma solidity ^0.4.24;
+contract T {
+    mapping(address => uint) balances;
+    function transfer(address to, uint value) public {
+        balances[msg.sender] -= value;
+        balances[to] += value;
+    }
+}
+"""
+
+    def test_unchecked_token_math(self):
+        assert DaspCategory.ARITHMETIC in categories_of(self.VULNERABLE)
+
+    def test_pragma_08_suppresses(self):
+        assert DaspCategory.ARITHMETIC not in categories_of(
+            self.VULNERABLE.replace("^0.4.24", "^0.8.0"))
+
+    def test_require_guard_suppresses(self):
+        guarded = self.VULNERABLE.replace(
+            "balances[msg.sender] -= value;",
+            "require(balances[msg.sender] >= value);\n        balances[msg.sender] -= value;")
+        assert DaspCategory.ARITHMETIC not in categories_of(guarded)
+
+    def test_constant_only_arithmetic_not_reported(self):
+        source = """
+pragma solidity ^0.4.24;
+contract C { uint total; function f() public { total = 2 + 3; } }
+"""
+        assert DaspCategory.ARITHMETIC not in categories_of(source)
+
+    def test_safemath_suppresses(self):
+        source = """
+pragma solidity ^0.4.24;
+contract C {
+    mapping(address => uint) balances;
+    function transfer(address to, uint value) public {
+        balances[msg.sender] = balances[msg.sender].sub(value);
+        balances[to] = balances[to].add(value);
+    }
+}
+"""
+        assert DaspCategory.ARITHMETIC not in categories_of(source)
+
+
+class TestBadRandomness:
+    def test_lottery_with_block_number(self):
+        source = """
+contract L {
+    function play() public payable {
+        uint random = uint(keccak256(block.number)) % 100;
+        if (random > 50) { msg.sender.transfer(msg.value * 2); }
+    }
+}
+"""
+        assert DaspCategory.BAD_RANDOMNESS in categories_of(source)
+
+    def test_blockhash_randomness(self):
+        source = """
+contract L {
+    address[] players;
+    function draw() public {
+        uint winner = uint(blockhash(block.number - 1)) % players.length;
+        players[winner].transfer(address(this).balance);
+    }
+}
+"""
+        assert DaspCategory.BAD_RANDOMNESS in categories_of(source)
+
+    def test_block_number_for_bookkeeping_not_reported(self):
+        source = """
+contract C {
+    mapping(address => uint) lastAction;
+    function act() public {
+        require(block.number > lastAction[msg.sender] + 10);
+        lastAction[msg.sender] = block.number;
+        counter += 1;
+    }
+    uint counter;
+}
+"""
+        assert DaspCategory.BAD_RANDOMNESS not in categories_of(source)
+
+
+class TestDenialOfService:
+    def test_unbounded_payout_loop(self):
+        source = """
+contract C {
+    address[] investors;
+    mapping(address => uint) payouts;
+    function join() public payable { investors.push(msg.sender); payouts[msg.sender] += msg.value; }
+    function distribute() public {
+        for (uint i = 0; i < investors.length; i++) {
+            investors[i].transfer(payouts[investors[i]]);
+        }
+    }
+}
+"""
+        assert DaspCategory.DENIAL_OF_SERVICE in categories_of(source)
+
+    def test_king_of_the_hill_transfer(self):
+        source = """
+contract C {
+    address king;
+    uint highestBid;
+    function bid() public payable {
+        require(msg.value > highestBid);
+        king.transfer(highestBid);
+        king = msg.sender;
+        highestBid = msg.value;
+    }
+}
+"""
+        assert DaspCategory.DENIAL_OF_SERVICE in categories_of(source)
+
+    def test_fixed_small_loop_not_reported(self):
+        source = """
+contract C {
+    uint total;
+    function sum() public {
+        for (uint i = 0; i < 10; i++) { total += i; }
+    }
+}
+"""
+        assert DaspCategory.DENIAL_OF_SERVICE not in categories_of(source)
+
+
+class TestFrontRunning:
+    def test_puzzle_reward(self):
+        source = """
+contract P {
+    bytes32 target;
+    address winner;
+    uint reward;
+    function solve(bytes32 solution) public {
+        if (keccak256(solution) == target) {
+            winner = msg.sender;
+            msg.sender.transfer(reward);
+        }
+    }
+}
+"""
+        assert DaspCategory.FRONT_RUNNING in categories_of(source)
+
+    def test_owner_restricted_payout_not_reported(self):
+        source = """
+contract P {
+    address owner;
+    constructor() public { owner = msg.sender; }
+    function claim() public {
+        require(msg.sender == owner);
+        msg.sender.transfer(address(this).balance);
+    }
+}
+"""
+        assert DaspCategory.FRONT_RUNNING not in categories_of(source)
+
+
+class TestShortAddresses:
+    def test_erc20_transfer_signature(self):
+        source = """
+pragma solidity ^0.4.24;
+contract T {
+    mapping(address => uint) balances;
+    function transfer(address to, uint value) public returns (bool) {
+        require(balances[msg.sender] >= value);
+        balances[msg.sender] -= value;
+        balances[to] += value;
+        return true;
+    }
+}
+"""
+        assert DaspCategory.SHORT_ADDRESSES in categories_of(source)
+
+    def test_payload_size_check_suppresses(self):
+        source = """
+pragma solidity ^0.4.24;
+contract T {
+    mapping(address => uint) balances;
+    modifier onlyPayloadSize(uint size) { require(msg.data.length >= size + 4); _; }
+    function transfer(address to, uint value) public onlyPayloadSize(64) returns (bool) {
+        require(balances[msg.sender] >= value);
+        balances[msg.sender] -= value;
+        balances[to] += value;
+        return true;
+    }
+}
+"""
+        assert DaspCategory.SHORT_ADDRESSES not in categories_of(source)
+
+    def test_no_address_parameter_not_reported(self):
+        source = """
+contract T {
+    mapping(address => uint) balances;
+    function burn(uint value) public {
+        balances[msg.sender] -= value;
+    }
+}
+"""
+        assert DaspCategory.SHORT_ADDRESSES not in categories_of(source)
+
+
+class TestTimeManipulation:
+    def test_timestamp_decides_payout(self):
+        source = """
+contract C {
+    function finalize() public {
+        if (block.timestamp % 15 == 0) { msg.sender.transfer(address(this).balance); }
+    }
+}
+"""
+        assert DaspCategory.TIME_MANIPULATION in categories_of(source)
+
+    def test_now_stored_in_state(self):
+        source = "contract C { uint start; function init() public { start = now; } }"
+        assert DaspCategory.TIME_MANIPULATION in categories_of(source)
+
+    def test_no_timestamp_use_not_reported(self):
+        source = "contract C { uint x; function f() public { x += 1; } }"
+        assert DaspCategory.TIME_MANIPULATION not in categories_of(source)
+
+
+class TestUncheckedCalls:
+    def test_ignored_send(self):
+        assert "unchecked-low-level-call" in query_ids_of(
+            "contract C { function pay(address to) public { to.send(1 ether); } }")
+
+    def test_ignored_call_value(self):
+        assert "unchecked-low-level-call" in query_ids_of(
+            "contract C { function pay(address to, uint v) public { to.call.value(v)(); } }")
+
+    def test_send_inside_require_is_clean(self):
+        assert "unchecked-low-level-call" not in query_ids_of(
+            "contract C { function pay(address to) public { require(to.send(1 ether)); } }")
+
+    def test_send_result_in_if_is_clean(self):
+        assert "unchecked-low-level-call" not in query_ids_of(
+            "contract C { function pay(address to) public { if (!to.send(1 ether)) { revert(); } } }")
+
+    def test_transfer_is_not_reported(self):
+        assert "unchecked-low-level-call" not in query_ids_of(
+            "contract C { function pay(address to) public { to.transfer(1 ether); } }")
+
+    def test_checked_bool_assignment_is_clean(self):
+        assert "unchecked-low-level-call" not in query_ids_of(
+            'contract C { function pay(address to) public { (bool ok, ) = to.call{value: 1 ether}(""); require(ok); } }')
+
+
+class TestUnknownUnknowns:
+    def test_uninitialized_storage_struct(self):
+        source = """
+pragma solidity ^0.4.24;
+contract C {
+    address owner;
+    struct Record { string name; address account; }
+    function register(string name) public {
+        Record record;
+        record.name = name;
+        record.account = msg.sender;
+    }
+}
+"""
+        assert "uninitialized-storage-pointer" in query_ids_of(source)
+
+    def test_memory_struct_is_clean(self):
+        source = """
+pragma solidity ^0.4.24;
+contract C {
+    struct Record { string name; address account; }
+    function register(string name) public {
+        Record memory record;
+        record.name = name;
+    }
+}
+"""
+        assert "uninitialized-storage-pointer" not in query_ids_of(source)
+
+    def test_recent_compiler_suppresses(self):
+        source = """
+pragma solidity ^0.8.0;
+contract C {
+    struct Record { string name; }
+    function register(string memory name) public {
+        Record storage record;
+        record.name = name;
+    }
+}
+"""
+        assert "uninitialized-storage-pointer" not in query_ids_of(source)
+
+
+class TestQueryRestriction:
+    def test_restrict_to_category(self, vulnerable_wallet_source):
+        result = checker.analyze(vulnerable_wallet_source,
+                                 categories=[DaspCategory.REENTRANCY])
+        assert result.findings
+        assert all(f.category is DaspCategory.REENTRANCY for f in result.findings)
+
+    def test_restrict_to_query_id(self, vulnerable_wallet_source):
+        result = checker.analyze(vulnerable_wallet_source,
+                                 query_ids=["access-control-selfdestruct"])
+        assert {f.query_id for f in result.findings} == {"access-control-selfdestruct"}

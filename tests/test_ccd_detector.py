@@ -1,0 +1,117 @@
+"""Tests for the CloneDetector end-to-end behaviour (Section 5.5)."""
+
+import pytest
+
+from repro.ccd.detector import CloneDetector, CloneMatch
+
+SAFE = """
+contract Safe {
+    address owner;
+    constructor() { owner = msg.sender; }
+    function safeWithdraw(uint amount) {
+        require(msg.sender == owner);
+        msg.sender.transfer(amount);
+    }
+}
+"""
+
+UNSAFE = """
+contract Unsafe {
+    function unsafeWithdraw(uint value) {
+        msg.sender.transfer(value);
+    }
+    address deployer;
+    constructor() { deployer = msg.sender; }
+}
+"""
+
+TOKEN = """
+contract Token {
+    mapping(address => uint) balances;
+    function mint(address to, uint value) public { balances[to] += value; }
+    function burn(address from, uint value) public { balances[from] -= value; }
+    function balanceOf(address account) public view returns (uint) { return balances[account]; }
+}
+"""
+
+SNIPPET = """
+function test(uint amount) {
+    msg.sender.transfer(amount);
+}
+"""
+
+
+@pytest.fixture
+def detector():
+    detector = CloneDetector(ngram_size=3, ngram_threshold=0.3, similarity_threshold=0.7)
+    detector.add_corpus([("safe", SAFE), ("unsafe", UNSAFE), ("token", TOKEN)])
+    return detector
+
+
+class TestIndexing:
+    def test_corpus_indexed(self, detector):
+        assert len(detector) == 3
+
+    def test_unparsable_document_rejected(self):
+        detector = CloneDetector()
+        assert detector.add_document("bad", "this is not solidity at all, sorry") is False
+        assert "bad" in detector.parse_failures
+
+    def test_duplicate_add_overwrites(self, detector):
+        assert detector.add_document("safe", SAFE) is True
+        assert len(detector) == 3
+
+
+class TestMatching:
+    def test_snippet_found_in_both_wallets(self, detector):
+        matches = detector.find_clones(SNIPPET)
+        matched_ids = {match.document_id for match in matches}
+        assert "unsafe" in matched_ids
+        assert "token" not in matched_ids
+
+    def test_results_sorted_by_similarity(self, detector):
+        matches = detector.find_clones(SNIPPET)
+        scores = [match.similarity for match in matches]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unrelated_snippet_matches_nothing(self, detector):
+        assert detector.find_clones("function foo(uint n) { counter = counter * n + 7; }") == []
+
+    def test_threshold_override(self, detector):
+        permissive = detector.find_clones(SNIPPET, similarity_threshold=0.3)
+        strict = detector.find_clones(SNIPPET, similarity_threshold=0.99)
+        assert len(permissive) >= len(strict)
+
+    def test_type2_clone_scores_100(self, detector):
+        renamed = "function doIt(uint howMuch) { msg.sender.transfer(howMuch); }"
+        matches = detector.find_clones(renamed, similarity_threshold=0.95)
+        assert any(match.similarity == pytest.approx(100.0) for match in matches)
+
+    def test_type3_clone_still_found(self, detector):
+        near_miss = """
+function withdrawAll(uint amount) {
+    lastCaller = msg.sender;
+    msg.sender.transfer(amount);
+}
+"""
+        matches = detector.find_clones(near_miss, similarity_threshold=0.5)
+        assert {match.document_id for match in matches} & {"safe", "unsafe"}
+
+    def test_requires_source_or_fingerprint(self, detector):
+        with pytest.raises(ValueError):
+            detector.find_clones()
+
+    def test_fingerprint_reuse(self, detector):
+        fingerprint = detector.fingerprint_source(SNIPPET)
+        assert detector.find_clones(fingerprint=fingerprint) == detector.find_clones(SNIPPET)
+
+    def test_similarity_between_indexed_documents(self, detector):
+        assert detector.similarity("safe", "unsafe") > detector.similarity("safe", "token")
+
+    def test_pairwise_clones_excludes_self(self, detector):
+        pairwise = detector.pairwise_clones(similarity_threshold=0.3)
+        for document_id, matches in pairwise.items():
+            assert all(match.document_id != document_id for match in matches)
+
+    def test_clone_match_repr(self):
+        assert "0x1" in repr(CloneMatch(document_id="0x1", similarity=92.5))

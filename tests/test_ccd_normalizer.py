@@ -1,0 +1,137 @@
+"""Tests for CCD normalization and tokenization (Sections 5.1-5.3)."""
+
+import pytest
+
+from repro.ccd.normalizer import Normalizer
+from repro.solidity.errors import SolidityParseError
+
+normalizer = Normalizer()
+
+
+class TestPaperExample:
+    PAPER_INPUT = """
+contract Test {
+    function test(uint amount) {
+        msg.sender.transfer(amount);
+    }
+}
+"""
+
+    def test_normalization_matches_paper_section_5_2(self):
+        text = normalizer.normalize_text(self.PAPER_INPUT)
+        assert text == "contract c function f ( uint ) { msg . sender . transfer ( uint ) ; }"
+
+    def test_tokens_preserve_relevant_context(self):
+        unit = normalizer.normalize(self.PAPER_INPUT)
+        tokens = unit.all_tokens()
+        for expected in ("msg", ".", "sender", "transfer", "uint"):
+            assert expected in tokens
+
+
+class TestRenaming:
+    def test_contract_renamed_to_c(self):
+        unit = normalizer.normalize("contract MyToken { function f() public {} }")
+        assert unit.contracts[0].name == "c"
+        assert "contract" in unit.contracts[0].functions[0].tokens
+
+    def test_library_renamed_to_l(self):
+        unit = normalizer.normalize("library SafeMath { function add(uint a, uint b) internal {} }")
+        assert unit.contracts[0].name == "l"
+
+    def test_function_name_renamed_to_f(self):
+        tokens = normalizer.normalize("function withdrawEverything() public {}").all_tokens()
+        assert "f" in tokens and "withdrawEverything" not in tokens
+
+    def test_modifier_renamed_to_m(self):
+        unit = normalizer.normalize(
+            "contract C { modifier onlyOwner() { _; } }")
+        all_tokens = unit.all_tokens()
+        assert "m" in all_tokens and "onlyOwner" not in all_tokens
+
+    def test_parameters_renamed_to_type(self):
+        tokens = normalizer.normalize(
+            "function f(address recipient, uint amount) { recipient.transfer(amount); }").all_tokens()
+        assert "recipient" not in tokens and "amount" not in tokens
+        assert "address" in tokens and "uint" in tokens
+
+    def test_locals_renamed_to_type(self):
+        tokens = normalizer.normalize("function f() { uint fee = 100; total += fee; }").all_tokens()
+        assert "fee" not in tokens
+
+    def test_unknown_identifiers_keep_their_name(self):
+        tokens = normalizer.normalize("function f() { owner = msg.sender; }").all_tokens()
+        assert "owner" in tokens
+
+    def test_missing_type_defaults_to_uint(self):
+        tokens = normalizer.normalize("function f(amount) { x = amount; }").all_tokens()
+        assert "uint" in tokens
+        assert "amount" not in tokens
+
+    def test_sized_integers_canonicalised(self):
+        first = normalizer.normalize_text("function f(uint256 a) { x = a; }")
+        second = normalizer.normalize_text("function f(uint8 b) { x = b; }")
+        assert first == second
+
+    def test_string_literals_replaced(self):
+        tokens = normalizer.normalize('function f() { require(true, "error message"); }').all_tokens()
+        assert "stringLiteral" in tokens and "error message" not in " ".join(tokens)
+
+    def test_numeric_constants_untouched(self):
+        tokens = normalizer.normalize("function f() { x = 12345; }").all_tokens()
+        assert "12345" in tokens
+
+    def test_visibility_removed(self):
+        text = normalizer.normalize_text("function f() public view returns (uint) { return 1; }")
+        assert "public" not in text and "view" not in text
+
+
+class TestTypeIInsensitivity:
+    def test_whitespace_and_comments_irrelevant(self):
+        compact = "function f(uint a){a=a+1;}"
+        verbose = """
+// this is a comment
+function f( uint a )
+{
+    /* update */ a = a + 1 ;
+}
+"""
+        assert normalizer.normalize_text(compact) == normalizer.normalize_text(verbose)
+
+    def test_type_ii_clone_identical_after_normalization(self):
+        original = "function pay(address to, uint amount) { to.transfer(amount); }"
+        renamed = "function sendMoney(address dest, uint wad) { dest.transfer(wad); }"
+        assert normalizer.normalize_text(original) == normalizer.normalize_text(renamed)
+
+
+class TestStructure:
+    def test_state_variables_ignored(self):
+        unit = normalizer.normalize("contract C { uint public total; function f() public {} }")
+        assert "total" not in unit.all_tokens()
+
+    def test_event_declarations_ignored(self):
+        unit = normalizer.normalize(
+            "contract C { event Paid(address who); function f() public {} }")
+        assert "Paid" not in unit.all_tokens()
+
+    def test_one_entry_per_function_plus_header(self):
+        unit = normalizer.normalize(
+            "contract C { function a() public {} function b() public {} function c() public {} }")
+        # one segment for the contract header and one per function
+        assert len(unit.contracts[0].functions) == 4
+        assert unit.contracts[0].functions[0].name == "header"
+
+    def test_two_contracts_two_entries(self):
+        unit = normalizer.normalize("contract A { function f() public {} } contract B { function g() public {} }")
+        assert len(unit.contracts) == 2
+
+    def test_statement_snippet_wrapped_as_function(self):
+        unit = normalizer.normalize("balances[msg.sender] += msg.value;")
+        assert len(unit.contracts) == 1 and len(unit.contracts[0].functions) == 1
+
+    def test_unparsable_raises(self):
+        with pytest.raises(SolidityParseError):
+            normalizer.normalize("just some plain english, nothing else going on here")
+
+    def test_constructor_tokenized(self):
+        tokens = normalizer.normalize("contract C { constructor() public { owner = msg.sender; } }").all_tokens()
+        assert "constructor" in tokens

@@ -1,0 +1,198 @@
+"""Tests for the Solidity frontend: AST -> CPG translation (Section 4.2)."""
+
+import pytest
+
+from repro.cpg import build_cpg
+from repro.cpg.graph import EdgeLabel
+
+
+@pytest.fixture(scope="module")
+def wallet_graph(vulnerable_wallet_source=None):
+    source = """
+pragma solidity ^0.4.24;
+
+contract Wallet {
+    address owner;
+    mapping(address => uint) balances;
+
+    constructor() public { owner = msg.sender; }
+
+    function deposit() public payable {
+        balances[msg.sender] += msg.value;
+    }
+
+    function withdraw(uint amount) public {
+        require(balances[msg.sender] >= amount);
+        msg.sender.call{value: amount}("");
+        balances[msg.sender] -= amount;
+    }
+
+    function kill() public onlyOwner {
+        selfdestruct(msg.sender);
+    }
+
+    modifier onlyOwner() {
+        require(msg.sender == owner, "Not owner");
+        _;
+    }
+}
+"""
+    return build_cpg(source, snippet=False)
+
+
+class TestDeclarations:
+    def test_record_created(self, wallet_graph):
+        records = wallet_graph.nodes_by_label("RecordDeclaration")
+        assert any(record.name == "Wallet" for record in records)
+
+    def test_fields_created_with_fields_edges(self, wallet_graph):
+        record = next(r for r in wallet_graph.nodes_by_label("RecordDeclaration") if r.name == "Wallet")
+        fields = wallet_graph.successors(record, EdgeLabel.FIELDS)
+        assert {field.name for field in fields} == {"owner", "balances"}
+
+    def test_field_type_recorded(self, wallet_graph):
+        field = next(f for f in wallet_graph.nodes_by_label("FieldDeclaration") if f.name == "owner")
+        types = wallet_graph.successors(field, EdgeLabel.TYPE)
+        assert types and types[0].name == "address"
+
+    def test_constructor_node(self, wallet_graph):
+        assert wallet_graph.nodes_by_label("ConstructorDeclaration")
+
+    def test_functions_linked_to_record(self, wallet_graph):
+        withdraw = next(f for f in wallet_graph.nodes_by_label("FunctionDeclaration")
+                        if f.name == "withdraw")
+        records = wallet_graph.successors(withdraw, EdgeLabel.RECORD_DECLARATION)
+        assert records and records[0].name == "Wallet"
+
+    def test_parameters_with_index(self, wallet_graph):
+        withdraw = next(f for f in wallet_graph.nodes_by_label("FunctionDeclaration")
+                        if f.name == "withdraw")
+        params = wallet_graph.successors(withdraw, EdgeLabel.PARAMETERS)
+        assert len(params) == 1 and params[0].name == "amount"
+
+    def test_pragma_version_recorded(self, wallet_graph):
+        unit = wallet_graph.nodes_by_label("TranslationUnitDeclaration")[0]
+        assert unit.properties.get("solidity_version") == (0, 4)
+
+
+class TestExpressions:
+    def test_call_with_value_specifier(self, wallet_graph):
+        call = next(c for c in wallet_graph.nodes_by_label("CallExpression") if c.name == "call")
+        specifiers = wallet_graph.successors(call, EdgeLabel.SPECIFIERS)
+        assert specifiers
+        pairs = wallet_graph.ast_children(specifiers[0])
+        assert any(getattr(pair, "key", "") == "value" for pair in pairs)
+
+    def test_member_expression_for_msg_sender(self, wallet_graph):
+        assert any(node.code == "msg.sender"
+                   for node in wallet_graph.nodes_by_label("MemberExpression"))
+
+    def test_subscript_expression(self, wallet_graph):
+        assert wallet_graph.nodes_by_label("SubscriptExpression")
+
+    def test_binary_operator_lhs_rhs_edges(self, wallet_graph):
+        compound = next(op for op in wallet_graph.nodes_by_label("BinaryOperator")
+                        if op.operator_code == "-=")
+        assert wallet_graph.successors(compound, EdgeLabel.LHS)
+        assert wallet_graph.successors(compound, EdgeLabel.RHS)
+
+    def test_require_call_has_rollback_child(self, wallet_graph):
+        requires = [c for c in wallet_graph.nodes_by_label("CallExpression") if c.name == "require"]
+        assert requires
+        assert all(
+            any(edge.properties.get("role") == "rollback"
+                for edge in wallet_graph.out_edges(call, EdgeLabel.AST))
+            for call in requires
+        )
+
+
+class TestRollbackNodes:
+    def test_revert_statement_becomes_rollback(self):
+        graph = build_cpg("function f() { revert(); }")
+        assert graph.nodes_by_label("Rollback")
+
+    def test_throw_becomes_rollback(self):
+        graph = build_cpg("function f() { if (x > 0) { throw; } }")
+        assert graph.nodes_by_label("Rollback")
+
+    def test_require_produces_rollback_branch(self):
+        graph = build_cpg("function f(uint a) { require(a > 0); a = a + 1; }")
+        rollbacks = graph.nodes_by_label("Rollback")
+        assert rollbacks
+        # the rollback has no outgoing EOG edges (terminates the path)
+        assert all(not graph.out_edges(node, EdgeLabel.EOG) for node in rollbacks)
+
+
+class TestModifierExpansion:
+    def test_modifier_body_expanded_into_function(self, wallet_graph):
+        kill = next(f for f in wallet_graph.nodes_by_label("FunctionDeclaration") if f.name == "kill")
+        reached = wallet_graph.reachable(kill, EdgeLabel.EOG)
+        assert any(node.name == "require" for node in reached), \
+            "the onlyOwner require should precede selfdestruct after expansion"
+        assert any(node.name == "selfdestruct" for node in reached)
+
+    def test_each_application_gets_its_own_copy(self):
+        source = """
+contract C {
+    address owner;
+    modifier onlyOwner() { require(msg.sender == owner); _; }
+    function a() public onlyOwner { x = 1; }
+    function b() public onlyOwner { x = 2; }
+    uint x;
+}
+"""
+        graph = build_cpg(source, snippet=False)
+        requires = [c for c in graph.nodes_by_label("CallExpression") if c.name == "require"]
+        assert len(requires) == 2
+
+    def test_modifier_declaration_kept_without_body(self, wallet_graph):
+        modifiers = wallet_graph.nodes_by_label("ModifierDeclaration")
+        assert modifiers
+        assert not wallet_graph.successors(modifiers[0], EdgeLabel.BODY)
+
+
+class TestSnippetInference:
+    def test_free_statements_get_inferred_wrappers(self):
+        graph = build_cpg("msg.sender.transfer(amount);")
+        functions = graph.nodes_by_label("FunctionDeclaration")
+        assert functions and functions[0].is_inferred
+        records = graph.nodes_by_label("RecordDeclaration")
+        assert records and records[0].is_inferred
+
+    def test_free_function_gets_inferred_contract(self):
+        graph = build_cpg("function f() public { owner = msg.sender; }")
+        records = graph.nodes_by_label("RecordDeclaration")
+        assert records and records[0].is_inferred
+        functions = [f for f in graph.nodes_by_label("FunctionDeclaration") if f.name == "f"]
+        assert functions and not functions[0].is_inferred
+
+    def test_unresolved_references_become_inferred_fields(self):
+        graph = build_cpg("function f(uint amount) { balances[msg.sender] -= amount; }")
+        fields = graph.nodes_by_label("FieldDeclaration")
+        assert any(field.name == "balances" and field.is_inferred for field in fields)
+
+    def test_builtins_are_not_inferred_as_fields(self):
+        graph = build_cpg("function f() { msg.sender.transfer(1 ether); }")
+        names = {field.name for field in graph.nodes_by_label("FieldDeclaration")}
+        assert "msg" not in names and "transfer" not in names
+
+    def test_declared_locals_are_not_inferred_as_fields(self):
+        graph = build_cpg("function f() { uint total = 0; total += 1; }")
+        assert not any(field.name == "total" for field in graph.nodes_by_label("FieldDeclaration"))
+
+
+class TestBuilderApi:
+    def test_build_requires_source_or_unit(self):
+        with pytest.raises(ValueError):
+            build_cpg()
+
+    def test_build_from_parsed_unit(self):
+        from repro.solidity.parser import parse_snippet
+        unit = parse_snippet("function f() { owner = msg.sender; }")
+        graph = build_cpg(unit=unit)
+        assert graph.nodes_by_label("FunctionDeclaration")
+
+    def test_snippet_flag_controls_strictness(self):
+        from repro.solidity.errors import SolidityParseError
+        with pytest.raises(SolidityParseError):
+            build_cpg("owner = msg.sender;", snippet=False)

@@ -1,0 +1,167 @@
+"""Tests for the property-graph container."""
+
+import pytest
+
+from repro.cpg.graph import CPGGraph, EdgeLabel
+from repro.cpg.nodes import (
+    CallExpression,
+    DeclaredReferenceExpression,
+    FieldDeclaration,
+    FunctionDeclaration,
+    Rollback,
+)
+
+
+@pytest.fixture
+def small_graph():
+    graph = CPGGraph()
+    function = FunctionDeclaration(name="withdraw")
+    call = CallExpression(name="transfer", code="msg.sender.transfer(amount)")
+    reference = DeclaredReferenceExpression(name="amount", code="amount")
+    field = FieldDeclaration(name="balances")
+    rollback = Rollback(code="require(...)")
+    graph.add_edge(function, call, EdgeLabel.EOG)
+    graph.add_edge(call, rollback, EdgeLabel.EOG)
+    graph.add_edge(reference, call, EdgeLabel.DFG)
+    graph.add_edge(reference, field, EdgeLabel.DFG)
+    graph.add_edge(function, call, EdgeLabel.AST)
+    return graph, function, call, reference, field, rollback
+
+
+class TestConstruction:
+    def test_add_node_is_idempotent(self):
+        graph = CPGGraph()
+        node = FunctionDeclaration(name="f")
+        graph.add_node(node)
+        graph.add_node(node)
+        assert len(graph) == 1
+
+    def test_add_edge_adds_both_endpoints(self):
+        graph = CPGGraph()
+        a, b = FunctionDeclaration(name="a"), CallExpression(name="b")
+        graph.add_edge(a, b, EdgeLabel.EOG)
+        assert len(graph) == 2 and len(graph.edges) == 1
+
+    def test_has_edge(self, small_graph):
+        graph, function, call, *_ = small_graph
+        assert graph.has_edge(function, call, EdgeLabel.EOG)
+        assert not graph.has_edge(call, function, EdgeLabel.EOG)
+
+    def test_edge_properties_stored(self):
+        graph = CPGGraph()
+        a, b = FunctionDeclaration(name="a"), CallExpression(name="b")
+        edge = graph.add_edge(a, b, EdgeLabel.DFG, kind="write")
+        assert edge.properties["kind"] == "write"
+
+    def test_statistics(self, small_graph):
+        graph, *_ = small_graph
+        stats = graph.statistics()
+        assert stats["nodes"] == 5
+        assert stats["edges_eog"] == 2
+
+
+class TestLookup:
+    def test_nodes_by_label(self, small_graph):
+        graph, *_ = small_graph
+        assert len(graph.nodes_by_label("CallExpression")) == 1
+        assert len(graph.nodes_by_label("FunctionDeclaration")) == 1
+
+    def test_labels_include_hierarchy(self, small_graph):
+        graph, *_ = small_graph
+        # Rollback is a Statement
+        assert graph.nodes_by_label("Statement")
+
+    def test_find_by_code(self, small_graph):
+        graph, *_, rollback = small_graph
+        assert graph.find(code="require(...)") == [rollback]
+
+    def test_find_by_name_and_label(self, small_graph):
+        graph, *_ = small_graph
+        assert graph.find(label="FieldDeclaration", name="balances")
+
+    def test_find_with_predicate(self, small_graph):
+        graph, *_ = small_graph
+        result = graph.find(where=lambda node: node.name == "withdraw")
+        assert len(result) == 1
+
+
+class TestTraversal:
+    def test_successors_by_label(self, small_graph):
+        graph, function, call, *_ = small_graph
+        assert graph.successors(function, EdgeLabel.EOG) == [call]
+        assert graph.successors(function, EdgeLabel.DFG) == []
+
+    def test_predecessors(self, small_graph):
+        graph, function, call, *_ = small_graph
+        assert function in graph.predecessors(call, EdgeLabel.EOG)
+
+    def test_out_edges_without_label_filter(self, small_graph):
+        graph, function, *_ = small_graph
+        assert len(graph.out_edges(function)) == 2  # EOG + AST
+
+    def test_reachable(self, small_graph):
+        graph, function, call, _, _, rollback = small_graph
+        reached = graph.reachable(function, EdgeLabel.EOG)
+        assert call in reached and rollback in reached
+
+    def test_reachable_include_start(self, small_graph):
+        graph, function, *_ = small_graph
+        assert function in graph.reachable(function, EdgeLabel.EOG, include_start=True)
+
+    def test_reachable_max_depth(self, small_graph):
+        graph, function, call, _, _, rollback = small_graph
+        one_hop = graph.reachable(function, EdgeLabel.EOG, max_depth=1)
+        assert call in one_hop and rollback not in one_hop
+
+    def test_reachable_reverse(self, small_graph):
+        graph, function, call, *_ = small_graph
+        assert function in graph.reachable(call, EdgeLabel.EOG, reverse=True)
+
+    def test_is_reachable(self, small_graph):
+        graph, function, _, reference, field, rollback = small_graph
+        assert graph.is_reachable(function, rollback, EdgeLabel.EOG)
+        assert graph.is_reachable(reference, field, EdgeLabel.DFG)
+        assert not graph.is_reachable(field, reference, EdgeLabel.DFG)
+
+    def test_is_reachable_same_node(self, small_graph):
+        graph, function, *_ = small_graph
+        assert graph.is_reachable(function, function, EdgeLabel.EOG)
+
+    def test_any_path_returns_path(self, small_graph):
+        graph, function, call, _, _, rollback = small_graph
+        path = graph.any_path(function, lambda node: node.has_label("Rollback"), EdgeLabel.EOG)
+        assert path is not None and path[-1] is rollback and call in path
+
+    def test_any_path_none_when_unreachable(self, small_graph):
+        graph, _, _, reference, *_ = small_graph
+        assert graph.any_path(reference, lambda node: node.has_label("Rollback"), EdgeLabel.EOG) is None
+
+    def test_terminal_nodes(self, small_graph):
+        graph, function, _, _, _, rollback = small_graph
+        terminals = graph.terminal_nodes(function, EdgeLabel.EOG)
+        assert terminals == [rollback]
+
+    def test_cycle_does_not_hang(self):
+        graph = CPGGraph()
+        a, b = CallExpression(name="a"), CallExpression(name="b")
+        graph.add_edge(a, b, EdgeLabel.EOG)
+        graph.add_edge(b, a, EdgeLabel.EOG)
+        assert set(graph.reachable(a, EdgeLabel.EOG)) == {b}
+        assert graph.is_reachable(a, a, EdgeLabel.EOG)
+
+
+class TestAstHelpers:
+    def test_ast_parent_and_children(self, small_graph):
+        graph, function, call, *_ = small_graph
+        assert graph.ast_children(function) == [call]
+        assert graph.ast_parent(call) is function
+
+    def test_ast_descendants(self, small_graph):
+        graph, function, call, *_ = small_graph
+        descendants = list(graph.ast_descendants(function))
+        assert function in descendants and call in descendants
+
+    def test_enclosing(self, small_graph):
+        graph, function, call, *_ = small_graph
+        assert graph.enclosing(call, "FunctionDeclaration") is function
+        assert graph.enclosing(call, "RecordDeclaration") is None

@@ -1,0 +1,64 @@
+"""Tests for CPG node classes and their label hierarchy."""
+
+from repro.cpg import nodes as cpg
+
+
+class TestLabels:
+    def test_constructor_has_function_label(self):
+        node = cpg.ConstructorDeclaration(name="C")
+        assert node.has_label("ConstructorDeclaration")
+        assert node.has_label("FunctionDeclaration")
+        assert node.has_label("Declaration")
+
+    def test_param_is_variable_declaration(self):
+        node = cpg.ParamVariableDeclaration(name="amount")
+        assert node.has_label("ParamVariableDeclaration")
+        assert node.has_label("VariableDeclaration")
+
+    def test_member_expression_is_reference(self):
+        node = cpg.MemberExpression(member="sender", code="msg.sender")
+        assert node.has_label("DeclaredReferenceExpression")
+        assert node.has_label("Expression")
+
+    def test_rollback_is_statement(self):
+        node = cpg.Rollback(code="revert()")
+        assert node.has_label("Rollback") and node.has_label("Statement")
+
+    def test_most_specific_label_first(self):
+        node = cpg.ConstructorDeclaration(name="C")
+        assert node.labels[0] == "ConstructorDeclaration"
+
+    def test_field_not_labelled_as_variable(self):
+        node = cpg.FieldDeclaration(name="owner")
+        assert not node.has_label("VariableDeclaration")
+
+
+class TestProperties:
+    def test_unique_ids(self):
+        first, second = cpg.Literal(value=1), cpg.Literal(value=2)
+        assert first.id != second.id
+
+    def test_local_name_strips_qualification(self):
+        node = cpg.CallExpression(name="SafeMath.add")
+        assert node.local_name == "add"
+
+    def test_local_name_empty_when_unnamed(self):
+        assert cpg.CallExpression(name="").local_name == ""
+
+    def test_function_is_default(self):
+        assert cpg.FunctionDeclaration(name="", kind="fallback").is_default_function
+        assert cpg.FunctionDeclaration(name="").is_default_function
+        assert not cpg.FunctionDeclaration(name="withdraw").is_default_function
+
+    def test_function_is_internal(self):
+        assert cpg.FunctionDeclaration(name="f", visibility="internal").is_internal
+        assert not cpg.FunctionDeclaration(name="f", visibility="public").is_internal
+
+    def test_repr_contains_code(self):
+        node = cpg.CallExpression(name="transfer", code="msg.sender.transfer(1)")
+        assert "transfer" in repr(node)
+
+    def test_is_reverting_builtin(self):
+        assert cpg.is_reverting_builtin("require")
+        assert cpg.is_reverting_builtin("assert")
+        assert not cpg.is_reverting_builtin("transfer")

@@ -1,0 +1,180 @@
+"""Tests for the EOG, DFG, and resolution passes (Section 4.2.3)."""
+
+import pytest
+
+from repro.cpg import build_cpg
+from repro.cpg.graph import EdgeLabel
+
+
+def node_with_code(graph, code, label=None):
+    matches = graph.find(label=label, code=code)
+    assert matches, f"no node with code {code!r}"
+    return matches[0]
+
+
+class TestEvaluationOrder:
+    def test_function_is_eog_entry(self):
+        graph = build_cpg("function f(uint a) { a = a + 1; }")
+        function = next(f for f in graph.nodes_by_label("FunctionDeclaration") if f.name == "f")
+        assert graph.out_edges(function, EdgeLabel.EOG)
+
+    def test_operands_evaluated_before_operator(self):
+        graph = build_cpg("function f() { if (msg.sender == owner) { } }")
+        comparison = next(op for op in graph.nodes_by_label("BinaryOperator")
+                          if op.operator_code == "==")
+        sender = node_with_code(graph, "msg.sender", "MemberExpression")
+        assert graph.is_reachable(sender, comparison, EdgeLabel.EOG)
+
+    def test_condition_before_if_statement(self):
+        graph = build_cpg("function f() { if (msg.sender == owner) { } }")
+        if_statement = graph.nodes_by_label("IfStatement")[0]
+        comparison = next(op for op in graph.nodes_by_label("BinaryOperator")
+                          if op.operator_code == "==")
+        assert graph.has_edge(comparison, if_statement, EdgeLabel.EOG)
+
+    def test_statement_order_in_block(self):
+        graph = build_cpg("function f() { a = 1; b = 2; }")
+        first = node_with_code(graph, "a = 1")
+        second = node_with_code(graph, "b = 2")
+        assert graph.is_reachable(first, second, EdgeLabel.EOG)
+        assert not graph.is_reachable(second, first, EdgeLabel.EOG)
+
+    def test_return_terminates_path(self):
+        graph = build_cpg("function f(uint a) returns (uint) { return a; }")
+        return_statement = graph.nodes_by_label("ReturnStatement")[0]
+        assert not graph.out_edges(return_statement, EdgeLabel.EOG)
+
+    def test_rollback_terminates_path(self):
+        graph = build_cpg("function f() { revert(); owner = msg.sender; }")
+        rollback = graph.nodes_by_label("Rollback")[0]
+        assert not graph.out_edges(rollback, EdgeLabel.EOG)
+
+    def test_if_branches_both_reachable(self):
+        graph = build_cpg("function f(uint a) { if (a > 0) { x = 1; } else { x = 2; } }")
+        function = next(f for f in graph.nodes_by_label("FunctionDeclaration") if f.name == "f")
+        reached_codes = {node.code for node in graph.reachable(function, EdgeLabel.EOG)}
+        assert "x = 1" in reached_codes and "x = 2" in reached_codes
+
+    def test_loop_has_back_edge(self):
+        graph = build_cpg("function f(uint n) { for (uint i = 0; i < n; i++) { total += i; } }")
+        loop = graph.nodes_by_label("ForStatement")[0]
+        body_write = node_with_code(graph, "total += i")
+        # the body leads back to the loop header region
+        assert graph.is_reachable(body_write, loop, EdgeLabel.EOG)
+
+    def test_require_branches_to_rollback_and_continuation(self):
+        graph = build_cpg("function f(uint a) { require(a > 0); a = a + 1; }")
+        require_call = next(c for c in graph.nodes_by_label("CallExpression") if c.name == "require")
+        successors = graph.successors(require_call, EdgeLabel.EOG)
+        labels = {node.labels[0] for node in successors}
+        assert "Rollback" in labels
+        assert len(successors) >= 2
+
+    def test_call_arguments_before_call(self):
+        graph = build_cpg("function f(uint a) { g(a + 1); }")
+        call = next(c for c in graph.nodes_by_label("CallExpression") if c.name == "g")
+        addition = next(op for op in graph.nodes_by_label("BinaryOperator") if op.operator_code == "+")
+        assert graph.is_reachable(addition, call, EdgeLabel.EOG)
+
+
+class TestDataFlow:
+    def test_assignment_flows_rhs_to_lhs_declaration(self):
+        graph = build_cpg("contract C { address owner; function f() public { owner = msg.sender; } }",
+                          snippet=False)
+        owner = next(f for f in graph.nodes_by_label("FieldDeclaration") if f.name == "owner")
+        sender = node_with_code(graph, "msg.sender", "MemberExpression")
+        assert graph.is_reachable(sender, owner, EdgeLabel.DFG)
+
+    def test_subscript_write_reaches_field(self):
+        graph = build_cpg(
+            "contract C { mapping(address => uint) b; function f(uint v) public { b[msg.sender] += v; } }",
+            snippet=False)
+        field = next(f for f in graph.nodes_by_label("FieldDeclaration") if f.name == "b")
+        param = next(p for p in graph.nodes_by_label("ParamVariableDeclaration") if p.name == "v")
+        assert graph.is_reachable(param, field, EdgeLabel.DFG)
+
+    def test_parameter_flows_into_call_argument(self):
+        graph = build_cpg("function f(uint amount) { msg.sender.transfer(amount); }")
+        param = next(p for p in graph.nodes_by_label("ParamVariableDeclaration") if p.name == "amount")
+        call = next(c for c in graph.nodes_by_label("CallExpression") if c.name == "transfer")
+        assert graph.is_reachable(param, call, EdgeLabel.DFG)
+
+    def test_condition_flows_into_if(self):
+        graph = build_cpg("function f(uint a) { if (a > 1) { } }")
+        if_statement = graph.nodes_by_label("IfStatement")[0]
+        assert graph.in_edges(if_statement, EdgeLabel.DFG)
+
+    def test_return_receives_flow(self):
+        graph = build_cpg("function f(uint a) returns (uint) { return a + 1; }")
+        return_statement = graph.nodes_by_label("ReturnStatement")[0]
+        assert graph.in_edges(return_statement, EdgeLabel.DFG)
+
+    def test_initializer_flows_into_local(self):
+        graph = build_cpg("function f(uint a) { uint fee = a / 100; }")
+        local = next(v for v in graph.nodes_by_label("VariableDeclaration") if v.name == "fee")
+        assert graph.in_edges(local, EdgeLabel.DFG)
+
+    def test_write_edges_marked(self):
+        graph = build_cpg("contract C { uint x; function f(uint a) public { x = a; } }", snippet=False)
+        field = next(f for f in graph.nodes_by_label("FieldDeclaration") if f.name == "x")
+        kinds = {edge.properties.get("kind") for edge in graph.in_edges(field, EdgeLabel.DFG)}
+        assert "write" in kinds
+
+    def test_compound_assignment_also_reads(self):
+        graph = build_cpg("contract C { uint x; function f(uint a) public { x += a; } }", snippet=False)
+        field = next(f for f in graph.nodes_by_label("FieldDeclaration") if f.name == "x")
+        assert graph.out_edges(field, EdgeLabel.DFG), "compound assignment reads the old value"
+
+    def test_value_specifier_flow(self):
+        graph = build_cpg('function f(uint amount) { msg.sender.call{value: amount}(""); }')
+        param = next(p for p in graph.nodes_by_label("ParamVariableDeclaration") if p.name == "amount")
+        call = next(c for c in graph.nodes_by_label("CallExpression") if c.name == "call")
+        assert graph.is_reachable(param, call, EdgeLabel.DFG)
+
+
+class TestResolution:
+    def test_reference_resolves_to_field(self):
+        graph = build_cpg("contract C { address owner; function f() public { owner = msg.sender; } }",
+                          snippet=False)
+        reference = next(r for r in graph.nodes_by_label("DeclaredReferenceExpression")
+                         if r.name == "owner" and not r.has_label("MemberExpression"))
+        targets = graph.successors(reference, EdgeLabel.REFERS_TO)
+        assert targets and targets[0].has_label("FieldDeclaration")
+
+    def test_parameter_shadows_field(self):
+        graph = build_cpg(
+            "contract C { uint amount; function f(uint amount) public { x = amount; } uint x; }",
+            snippet=False)
+        reference = next(r for r in graph.nodes_by_label("DeclaredReferenceExpression")
+                         if r.name == "amount")
+        targets = graph.successors(reference, EdgeLabel.REFERS_TO)
+        assert targets and targets[0].has_label("ParamVariableDeclaration")
+
+    def test_intra_contract_call_resolved(self):
+        graph = build_cpg(
+            "contract C { function a() public { b(); } function b() internal { } }", snippet=False)
+        call = next(c for c in graph.nodes_by_label("CallExpression") if c.name == "b")
+        targets = graph.successors(call, EdgeLabel.INVOKES)
+        assert targets and targets[0].name == "b"
+
+    def test_returns_edge_back_to_call_site(self):
+        graph = build_cpg(
+            "contract C { function a() public returns (uint) { return b(); } "
+            "function b() internal returns (uint) { return 1; } }", snippet=False)
+        call = next(c for c in graph.nodes_by_label("CallExpression") if c.name == "b")
+        assert graph.in_edges(call, EdgeLabel.RETURNS)
+
+    def test_reference_carries_declaration_type(self):
+        graph = build_cpg("contract C { address owner; function f() public { owner = msg.sender; } }",
+                          snippet=False)
+        reference = next(r for r in graph.nodes_by_label("DeclaredReferenceExpression")
+                         if r.name == "owner" and not r.has_label("MemberExpression"))
+        types = graph.successors(reference, EdgeLabel.TYPE)
+        assert types and types[0].name == "address"
+
+    def test_argument_flows_into_callee_parameter(self):
+        graph = build_cpg(
+            "contract C { function a(uint x) public { b(x); } function b(uint y) internal { } }",
+            snippet=False)
+        callee_param = next(p for p in graph.nodes_by_label("ParamVariableDeclaration") if p.name == "y")
+        assert graph.in_edges(callee_param, EdgeLabel.DFG)

@@ -1,0 +1,234 @@
+"""Tests for the synthetic dataset generators."""
+
+import random
+
+import pytest
+
+from repro.ccc import ContractChecker, DaspCategory
+from repro.datasets import CloneMutator, HONEYPOT_TYPES, generate_honeypot_corpus
+from repro.datasets.smartbugs import DEFAULT_LABEL_COUNTS, generate_smartbugs_corpus
+from repro.datasets.snippets import SITE_ETHEREUM_SE, SITE_STACK_OVERFLOW, generate_qa_corpus
+from repro.datasets.sanctuary import generate_sanctuary
+from repro.datasets.templates import (
+    BENIGN_TEMPLATES,
+    VULNERABLE_TEMPLATES,
+    generate_benign,
+    generate_vulnerable,
+)
+from repro.solidity.parser import parse_snippet
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("category", list(VULNERABLE_TEMPLATES))
+    def test_every_category_has_templates(self, category):
+        assert VULNERABLE_TEMPLATES[category]
+
+    @pytest.mark.parametrize("category", list(VULNERABLE_TEMPLATES))
+    def test_vulnerable_instances_parse(self, category):
+        rng = random.Random(1)
+        instance = generate_vulnerable(rng, category)
+        parse_snippet(instance.contract_source)
+        parse_snippet(instance.function_snippet)
+        parse_snippet(instance.statement_snippet)
+
+    @pytest.mark.parametrize("category", [
+        DaspCategory.REENTRANCY,
+        DaspCategory.ACCESS_CONTROL,
+        DaspCategory.ARITHMETIC,
+        DaspCategory.UNCHECKED_LOW_LEVEL_CALLS,
+        DaspCategory.TIME_MANIPULATION,
+        DaspCategory.BAD_RANDOMNESS,
+        DaspCategory.DENIAL_OF_SERVICE,
+        DaspCategory.SHORT_ADDRESSES,
+    ])
+    def test_ccc_detects_template_category_on_contract(self, category, checker):
+        rng = random.Random(5)
+        instance = generate_vulnerable(rng, category)
+        found = {finding.category for finding in checker.analyze(instance.contract_source).findings}
+        assert category in found
+
+    def test_benign_templates_are_clean(self, checker):
+        rng = random.Random(2)
+        for template in BENIGN_TEMPLATES:
+            instance = template(rng, 0)
+            assert not checker.analyze(instance.contract_source).findings
+
+    def test_mitigated_reentrancy_is_clean(self, checker):
+        rng = random.Random(3)
+        instance = generate_vulnerable(rng, DaspCategory.REENTRANCY)
+        found = {finding.category for finding in checker.analyze(instance.mitigated_source).findings}
+        assert DaspCategory.REENTRANCY not in found
+
+    def test_instances_vary_identifiers(self):
+        rng = random.Random(4)
+        sources = {generate_vulnerable(rng, DaspCategory.REENTRANCY).contract_source for _ in range(8)}
+        assert len(sources) > 1
+
+    def test_benign_instance_has_no_category(self):
+        assert generate_benign(random.Random(0)).category is None
+
+
+class TestCloneMutator:
+    BASE = """
+pragma solidity ^0.4.24;
+
+contract Vault {
+    mapping(address => uint) balances;
+
+    function withdraw(uint amount) public {
+        require(balances[msg.sender] >= amount);
+        msg.sender.transfer(amount);
+        balances[msg.sender] -= amount;
+    }
+}
+"""
+
+    def test_type0_is_identity(self):
+        assert CloneMutator(seed=1).mutate(self.BASE, 0) == self.BASE
+
+    def test_type1_preserves_tokens(self):
+        from repro.pipeline.collection import canonical_text
+        mutated = CloneMutator(seed=1).type1(self.BASE)
+        # only layout/comments changed: canonical text modulo comments matches
+        assert canonical_text(mutated).replace(" ", "") == canonical_text(self.BASE).replace(" ", "")
+
+    def test_type2_renames_identifiers(self):
+        mutated = CloneMutator(seed=2).type2(self.BASE)
+        assert mutated != self.BASE
+        parse_snippet(mutated)
+
+    def test_type3_changes_statements(self):
+        mutated = CloneMutator(seed=3).type3(self.BASE)
+        parse_snippet(mutated)
+        assert len(mutated.splitlines()) != len(self.BASE.splitlines()) or mutated != self.BASE
+
+    def test_mutations_are_deterministic_per_seed(self):
+        assert CloneMutator(seed=7).type3(self.BASE) == CloneMutator(seed=7).type3(self.BASE)
+
+    def test_clone_still_detected_by_ccd(self):
+        from repro.ccd import CloneDetector
+        detector = CloneDetector(similarity_threshold=0.7)
+        detector.add_document("original", self.BASE)
+        for clone_type in (1, 2, 3):
+            mutated = CloneMutator(seed=clone_type).mutate(self.BASE, clone_type)
+            matches = detector.find_clones(mutated)
+            assert any(match.document_id == "original" for match in matches), f"type {clone_type}"
+
+
+class TestSmartBugsCorpus:
+    def test_label_counts_match_request(self, small_smartbugs_corpus):
+        assert small_smartbugs_corpus.total_labels == 43
+
+    def test_default_counts_match_table1(self):
+        assert sum(DEFAULT_LABEL_COUNTS.values()) == 204
+
+    def test_every_category_present(self, small_smartbugs_corpus):
+        assert len(small_smartbugs_corpus.categories) == 9
+
+    def test_entries_parse(self, small_smartbugs_corpus):
+        for entry in small_smartbugs_corpus.entries:
+            parse_snippet(entry.source)
+
+    def test_derived_functions_dataset(self, small_smartbugs_corpus):
+        derived = small_smartbugs_corpus.derive_functions()
+        assert len(derived) == len(small_smartbugs_corpus.entries)
+        assert all(snippet.strip().startswith("function") for _entry, snippet in derived)
+
+    def test_derived_statements_dataset_has_no_function_headers(self, small_smartbugs_corpus):
+        derived = small_smartbugs_corpus.derive_statements()
+        assert derived
+        assert all(not snippet.strip().startswith("function") for _entry, snippet in derived)
+
+    def test_generation_is_deterministic(self):
+        first = generate_smartbugs_corpus(seed=21)
+        second = generate_smartbugs_corpus(seed=21)
+        assert [e.source for e in first.entries] == [e.source for e in second.entries]
+
+
+class TestHoneypotCorpus:
+    def test_all_nine_types_generated(self, small_honeypot_corpus):
+        assert {c.honeypot_type for c in small_honeypot_corpus} == set(HONEYPOT_TYPES)
+
+    def test_counts_respected(self, small_honeypot_corpus):
+        per_type = {}
+        for contract in small_honeypot_corpus:
+            per_type[contract.honeypot_type] = per_type.get(contract.honeypot_type, 0) + 1
+        assert per_type["hidden_state_update"] == 6
+
+    def test_contracts_parse(self, small_honeypot_corpus):
+        for contract in small_honeypot_corpus:
+            parse_snippet(contract.source)
+
+    def test_intra_family_variants_differ(self, small_honeypot_corpus):
+        family = [c.source for c in small_honeypot_corpus if c.honeypot_type == "hidden_state_update"]
+        assert len(set(family)) > 1
+
+    def test_unique_addresses(self, small_honeypot_corpus):
+        addresses = [c.address for c in small_honeypot_corpus]
+        assert len(addresses) == len(set(addresses))
+
+    def test_default_scale(self):
+        assert len(generate_honeypot_corpus(seed=7)) == sum(HONEYPOT_TYPES.values())
+
+
+class TestQACorpus:
+    def test_sites_and_ratio(self, small_qa_corpus):
+        so = small_qa_corpus.posts_by_site(SITE_STACK_OVERFLOW)
+        ese = small_qa_corpus.posts_by_site(SITE_ETHEREUM_SE)
+        assert len(so) == 25 and len(ese) == 60
+
+    def test_snippets_have_metadata(self, small_qa_corpus):
+        for snippet in small_qa_corpus.snippets:
+            assert snippet.views > 0
+            assert snippet.created.year >= 2016
+
+    def test_contains_mixed_languages(self, small_qa_corpus):
+        languages = {snippet.ground_truth_language for snippet in small_qa_corpus.snippets}
+        assert {"solidity", "javascript"} <= languages
+
+    def test_contains_vulnerable_and_benign(self, small_qa_corpus):
+        flags = {snippet.ground_truth_vulnerable for snippet in small_qa_corpus.snippets}
+        assert flags == {True, False}
+
+    def test_deterministic(self):
+        first = generate_qa_corpus(seed=5, posts_per_site={"stackoverflow": 10})
+        second = generate_qa_corpus(seed=5, posts_per_site={"stackoverflow": 10})
+        assert [s.text for s in first.snippets] == [s.text for s in second.snippets]
+
+
+class TestSanctuary:
+    def test_contracts_generated(self, small_sanctuary):
+        assert len(small_sanctuary) > 50
+
+    def test_ground_truth_embeddings_reference_existing_contracts(self, small_sanctuary):
+        addresses = {contract.address for contract in small_sanctuary.contracts}
+        for snippet_id, embedded in small_sanctuary.ground_truth_embeddings.items():
+            assert set(embedded) <= addresses
+
+    def test_source_snippets_subset_of_embeddings(self, small_sanctuary):
+        assert small_sanctuary.ground_truth_source_snippets <= set(small_sanctuary.ground_truth_embeddings)
+
+    def test_compiler_versions_valid(self, small_sanctuary):
+        versions = {contract.compiler_version for contract in small_sanctuary.contracts}
+        assert versions <= {"v0.8.19", "v0.6.12", "v0.4.24", "v0.5.17", "v0.7.6"}
+
+    def test_deployment_dates_in_range(self, small_sanctuary):
+        from datetime import date
+        for contract in small_sanctuary.contracts:
+            assert date(2016, 1, 1) <= contract.deployed <= date(2023, 7, 14)
+
+    def test_by_address_lookup(self, small_sanctuary):
+        contract = small_sanctuary.contracts[0]
+        assert small_sanctuary.by_address(contract.address) is contract
+        with pytest.raises(KeyError):
+            small_sanctuary.by_address("0xmissing")
+
+    def test_most_contracts_parse(self, small_sanctuary):
+        from repro.solidity.errors import SolidityParseError
+        failures = 0
+        for contract in small_sanctuary.contracts:
+            try:
+                parse_snippet(contract.source)
+            except SolidityParseError:
+                failures += 1
+        assert failures <= len(small_sanctuary.contracts) * 0.05

@@ -1,0 +1,101 @@
+"""End-to-end integration tests combining CCC, CCD and the pipeline."""
+
+import pytest
+
+from repro.ccc import ContractChecker, DaspCategory
+from repro.ccd import CloneDetector
+from repro.datasets.templates import generate_vulnerable
+from repro.pipeline import StudyConfiguration, VulnerableCodeReuseStudy
+
+
+class TestSnippetToContractFlow:
+    """The core scenario of the paper on a hand-built example."""
+
+    SNIPPET = """
+function withdraw(uint amount) public {
+    require(balances[msg.sender] >= amount);
+    msg.sender.call.value(amount)();
+    balances[msg.sender] -= amount;
+}
+"""
+
+    DEPLOYED = """
+pragma solidity ^0.4.24;
+
+contract EtherBank {
+    mapping(address => uint) balances;
+    address operator;
+
+    function EtherBank() public { operator = msg.sender; }
+
+    function deposit() public payable {
+        balances[msg.sender] += msg.value;
+    }
+
+    // copied from a Q&A answer
+    function withdraw(uint amount) public {
+        require(balances[msg.sender] >= amount);
+        msg.sender.call.value(amount)();
+        balances[msg.sender] -= amount;
+    }
+}
+"""
+
+    FIXED_DEPLOYED = DEPLOYED.replace(
+        "msg.sender.call.value(amount)();\n        balances[msg.sender] -= amount;",
+        "balances[msg.sender] -= amount;\n        msg.sender.transfer(amount);")
+
+    def test_snippet_is_flagged_vulnerable(self, checker):
+        result = checker.analyze(self.SNIPPET)
+        assert DaspCategory.REENTRANCY in result.categories()
+
+    def test_clone_detection_maps_snippet_to_deployment(self):
+        detector = CloneDetector(similarity_threshold=0.9)
+        detector.add_corpus([("vulnerable", self.DEPLOYED), ("fixed", self.FIXED_DEPLOYED)])
+        matches = detector.find_clones(self.SNIPPET)
+        assert any(match.document_id == "vulnerable" for match in matches)
+
+    def test_validation_confirms_only_unmitigated_contract(self, checker):
+        vulnerable = checker.analyze(self.DEPLOYED, categories=[DaspCategory.REENTRANCY])
+        fixed = checker.analyze(self.FIXED_DEPLOYED, categories=[DaspCategory.REENTRANCY])
+        assert vulnerable.findings and not fixed.findings
+
+    def test_finding_location_points_into_withdraw(self, checker):
+        result = checker.analyze(self.DEPLOYED, categories=[DaspCategory.REENTRANCY])
+        assert any(finding.function_name == "withdraw" for finding in result.findings)
+        assert any(finding.contract_name == "EtherBank" for finding in result.findings)
+
+
+class TestTemplateRoundTrip:
+    @pytest.mark.parametrize("category", [
+        DaspCategory.REENTRANCY,
+        DaspCategory.UNCHECKED_LOW_LEVEL_CALLS,
+        DaspCategory.TIME_MANIPULATION,
+    ])
+    def test_snippet_detected_and_found_in_contract(self, category, checker):
+        import random
+
+        instance = generate_vulnerable(random.Random(17), category)
+        snippet_result = checker.analyze(instance.function_snippet)
+        assert category in snippet_result.categories()
+
+        detector = CloneDetector(similarity_threshold=0.8)
+        detector.add_document("deployed", instance.contract_source)
+        assert detector.find_clones(instance.function_snippet)
+
+        contract_result = checker.analyze(
+            instance.contract_source, query_ids=sorted(snippet_result.query_ids()))
+        assert contract_result.findings
+
+
+class TestStudySmoke:
+    def test_study_on_tiny_corpus(self, small_qa_corpus, small_sanctuary):
+        study = VulnerableCodeReuseStudy(StudyConfiguration(
+            validation_timeout_seconds=10, snippet_analysis_timeout_seconds=10))
+        result = study.run(small_qa_corpus, small_sanctuary.contracts)
+        funnel = result.funnel()
+        # the qualitative claim of the paper: some vulnerable snippets are
+        # found inside deployed contracts and survive validation
+        assert funnel["vulnerable_snippets"] > 0
+        assert funnel["vulnerable_contracts"] >= 0
+        assert funnel["validated_contracts"] <= funnel["unique_candidate_contracts"] + funnel["candidate_contracts"]

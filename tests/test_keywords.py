@@ -1,0 +1,67 @@
+"""Tests for the Solidity/JavaScript keyword filter (Section 6.1)."""
+
+import pytest
+
+from repro.solidity.keywords import (
+    JAVASCRIPT_KEYWORDS,
+    SOLIDITY_KEYWORDS,
+    UNIQUE_SOLIDITY_KEYWORDS,
+    extract_words,
+    looks_like_solidity,
+    solidity_keyword_hits,
+)
+
+
+class TestKeywordSets:
+    def test_unique_keywords_exclude_javascript_words(self):
+        assert UNIQUE_SOLIDITY_KEYWORDS.isdisjoint({k.lower() for k in JAVASCRIPT_KEYWORDS})
+
+    def test_unique_keywords_are_subset_of_solidity(self):
+        assert UNIQUE_SOLIDITY_KEYWORDS <= SOLIDITY_KEYWORDS
+
+    def test_core_solidity_words_are_unique(self):
+        for word in ("pragma", "mapping", "payable", "msg", "wei", "selfdestruct"):
+            assert word in UNIQUE_SOLIDITY_KEYWORDS
+
+    def test_shared_words_are_not_unique(self):
+        for word in ("function", "return", "if", "public", "var"):
+            assert word not in UNIQUE_SOLIDITY_KEYWORDS
+
+
+class TestFilter:
+    def test_solidity_contract_is_accepted(self):
+        assert looks_like_solidity("pragma solidity ^0.8.0; contract C {}")
+
+    def test_solidity_function_snippet_is_accepted(self):
+        assert looks_like_solidity("function f() public payable { msg.sender.transfer(1 ether); }")
+
+    def test_javascript_is_rejected(self, javascript_snippet):
+        assert not looks_like_solidity(javascript_snippet)
+
+    def test_plain_prose_is_rejected(self, prose_snippet):
+        assert not looks_like_solidity(prose_snippet)
+
+    def test_empty_text_is_rejected(self):
+        assert not looks_like_solidity("")
+        assert not looks_like_solidity("   \n  ")
+
+    def test_min_keyword_threshold(self):
+        text = "the payable keyword makes a function accept ether"
+        assert looks_like_solidity(text, min_unique_keywords=1)
+        assert not looks_like_solidity(text, min_unique_keywords=5)
+
+    def test_extract_words(self):
+        assert extract_words("msg.sender.transfer(amount);") == {"msg", "sender", "transfer", "amount"}
+
+    def test_keyword_hits(self):
+        hits = solidity_keyword_hits("require(msg.sender == owner); selfdestruct(owner);")
+        assert "selfdestruct" in hits and "msg" in hits
+
+    @pytest.mark.parametrize("text,expected", [
+        ("uint256 balance = address(this).balance;", True),
+        ("console.log('hello world');", False),
+        ("emit Transfer(from, to, value);", True),
+        ("SELECT * FROM users WHERE id = 1;", False),
+    ])
+    def test_mixed_cases(self, text, expected):
+        assert looks_like_solidity(text) is expected

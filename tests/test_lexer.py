@@ -1,0 +1,158 @@
+"""Unit tests for the tolerant Solidity lexer."""
+
+import pytest
+
+from repro.solidity.lexer import Lexer, Token, TokenType, is_elementary_type, tokenize
+
+
+def token_values(source, token_type=None):
+    tokens = tokenize(source)
+    if token_type is None:
+        return [t.value for t in tokens if t.type is not TokenType.EOF]
+    return [t.value for t in tokens if t.type is token_type]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_identifier(self):
+        assert token_values("owner", TokenType.IDENTIFIER) == ["owner"]
+
+    def test_keyword(self):
+        assert token_values("contract", TokenType.KEYWORD) == ["contract"]
+
+    def test_number(self):
+        assert token_values("42", TokenType.NUMBER) == ["42"]
+
+    def test_decimal_number(self):
+        assert token_values("0.5", TokenType.NUMBER) == ["0.5"]
+
+    def test_scientific_number(self):
+        assert token_values("1e18", TokenType.NUMBER) == ["1e18"]
+
+    def test_number_with_underscores(self):
+        assert token_values("1_000_000", TokenType.NUMBER) == ["1_000_000"]
+
+    def test_hex_literal(self):
+        assert token_values("0xABCDEF", TokenType.HEX_LITERAL) == ["0xABCDEF"]
+
+    def test_string_double_quotes(self):
+        assert token_values('"hello"', TokenType.STRING) == ["hello"]
+
+    def test_string_single_quotes(self):
+        assert token_values("'hi'", TokenType.STRING) == ["hi"]
+
+    def test_string_with_escape(self):
+        values = token_values(r'"a\"b"', TokenType.STRING)
+        assert len(values) == 1
+
+    def test_unterminated_string_stops_at_newline(self):
+        tokens = tokenize('"unterminated\nuint x;')
+        assert any(t.type is TokenType.STRING for t in tokens)
+        assert any(t.value == "x" for t in tokens)
+
+    def test_punctuation(self):
+        assert token_values("(){};,", TokenType.PUNCTUATION) == ["(", ")", "{", "}", ";", ","]
+
+    def test_operators_maximal_munch(self):
+        assert token_values("a >= b", TokenType.OPERATOR) == [">="]
+
+    def test_compound_assignment_operator(self):
+        assert token_values("x += 1", TokenType.OPERATOR) == ["+="]
+
+    def test_arrow_operator_for_mappings(self):
+        assert "=>" in token_values("mapping(address => uint)", TokenType.OPERATOR)
+
+    def test_ellipsis_is_dedicated_token(self):
+        assert token_values("...", TokenType.ELLIPSIS) == ["..."]
+
+    def test_increment_operator(self):
+        assert token_values("i++", TokenType.OPERATOR) == ["++"]
+
+    def test_power_operator(self):
+        assert token_values("2 ** 8", TokenType.OPERATOR) == ["**"]
+
+    def test_logical_operators(self):
+        assert token_values("a && b || c", TokenType.OPERATOR) == ["&&", "||"]
+
+
+class TestCommentsAndNewlines:
+    def test_line_comment_is_skipped(self):
+        values = token_values("uint x; // the counter")
+        assert "counter" not in values
+
+    def test_block_comment_is_skipped(self):
+        values = token_values("uint /* comment */ x;")
+        assert "comment" not in values
+
+    def test_multiline_block_comment(self):
+        values = token_values("uint x;\n/* a\nb\nc */\nuint y;")
+        assert "y" in values and "b" not in values
+
+    def test_newline_flag_set_on_following_token(self):
+        tokens = tokenize("a = 1\nb = 2")
+        b_token = next(t for t in tokens if t.value == "b")
+        assert b_token.preceded_by_newline is True
+
+    def test_newline_flag_not_set_within_line(self):
+        tokens = tokenize("a = 1; b = 2")
+        b_token = next(t for t in tokens if t.value == "b")
+        assert b_token.preceded_by_newline is False
+
+    def test_comment_followed_by_newline_preserves_flag(self):
+        tokens = tokenize("a = 1 // end\nb = 2")
+        b_token = next(t for t in tokens if t.value == "b")
+        assert b_token.preceded_by_newline is True
+
+
+class TestLocations:
+    def test_line_numbers(self):
+        tokens = tokenize("uint x;\nuint y;")
+        y_token = next(t for t in tokens if t.value == "y")
+        assert y_token.line == 2
+
+    def test_column_numbers(self):
+        tokens = tokenize("uint x;")
+        x_token = next(t for t in tokens if t.value == "x")
+        assert x_token.column == 6
+
+    def test_unknown_character_becomes_error_token(self):
+        tokens = tokenize("uint x; §")
+        assert any(t.type is TokenType.ERROR for t in tokens)
+
+
+class TestTokenHelpers:
+    def test_is_punct(self):
+        token = Token(TokenType.PUNCTUATION, ";", 1, 1)
+        assert token.is_punct(";") and not token.is_punct(",")
+
+    def test_is_keyword(self):
+        token = Token(TokenType.KEYWORD, "function", 1, 1)
+        assert token.is_keyword("function")
+
+    def test_is_identifier_with_and_without_value(self):
+        token = Token(TokenType.IDENTIFIER, "owner", 1, 1)
+        assert token.is_identifier() and token.is_identifier("owner") and not token.is_identifier("x")
+
+    def test_repr_contains_value(self):
+        token = Token(TokenType.IDENTIFIER, "owner", 3, 7)
+        assert "owner" in repr(token)
+
+
+class TestElementaryTypes:
+    @pytest.mark.parametrize("name", ["uint", "uint256", "uint8", "int", "int128",
+                                      "address", "bool", "bytes", "bytes32", "string", "var"])
+    def test_elementary_type_names(self, name):
+        assert is_elementary_type(name) is True
+
+    @pytest.mark.parametrize("name", ["MyToken", "Owned", "balances", "uintx", "bytesY"])
+    def test_non_elementary_names(self, name):
+        assert is_elementary_type(name) is False
+
+    def test_full_contract_token_count_is_reasonable(self):
+        source = "contract C { function f(uint a) public returns (uint) { return a + 1; } }"
+        tokens = tokenize(source)
+        assert 20 <= len(tokens) <= 40

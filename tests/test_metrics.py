@@ -1,0 +1,97 @@
+"""Tests for classification metrics and the Spearman correlation."""
+
+import math
+
+import pytest
+
+from repro.metrics import ConfusionCounts, f1_score, precision, recall, spearman_rho
+
+
+class TestPrecisionRecall:
+    def test_precision_basic(self):
+        assert precision(8, 2) == 0.8
+
+    def test_precision_nothing_reported(self):
+        assert precision(0, 0) == 0.0
+
+    def test_recall_basic(self):
+        assert recall(6, 2) == 0.75
+
+    def test_recall_nothing_relevant(self):
+        assert recall(0, 0) == 0.0
+
+    def test_f1_harmonic_mean(self):
+        assert f1_score(0.5, 0.5) == pytest.approx(0.5)
+        assert f1_score(1.0, 0.0) == 0.0
+
+    def test_f1_known_value(self):
+        assert f1_score(0.9666, 0.2563) == pytest.approx(0.4052, abs=1e-3)
+
+
+class TestConfusionCounts:
+    def test_add_all_quadrants(self):
+        counts = ConfusionCounts()
+        counts.add(True, True)
+        counts.add(True, False)
+        counts.add(False, True)
+        counts.add(False, False)
+        assert (counts.true_positives, counts.false_positives,
+                counts.false_negatives, counts.true_negatives) == (1, 1, 1, 1)
+
+    def test_derived_metrics(self):
+        counts = ConfusionCounts(true_positives=8, false_positives=2, false_negatives=2)
+        assert counts.precision == 0.8
+        assert counts.recall == 0.8
+        assert counts.f1 == pytest.approx(0.8)
+
+    def test_merge(self):
+        merged = ConfusionCounts(true_positives=1).merge(ConfusionCounts(true_positives=2, false_positives=1))
+        assert merged.true_positives == 3 and merged.false_positives == 1
+
+    def test_as_dict_keys(self):
+        assert set(ConfusionCounts().as_dict()) == {"tp", "fp", "fn", "tn", "precision", "recall", "f1"}
+
+
+class TestSpearman:
+    def test_perfect_monotonic_correlation(self):
+        rho, p_value = spearman_rho([1, 2, 3, 4, 5], [10, 20, 30, 40, 50])
+        assert rho == pytest.approx(1.0)
+        assert p_value < 0.05
+
+    def test_perfect_inverse_correlation(self):
+        rho, _ = spearman_rho([1, 2, 3, 4, 5], [50, 40, 30, 20, 10])
+        assert rho == pytest.approx(-1.0)
+
+    def test_monotonic_but_nonlinear_is_still_one(self):
+        first = [1, 2, 3, 4, 5, 6]
+        second = [math.exp(x) for x in first]
+        rho, _ = spearman_rho(first, second)
+        assert rho == pytest.approx(1.0)
+
+    def test_no_correlation_near_zero(self):
+        first = list(range(40))
+        second = [(x * 17) % 7 for x in range(40)]
+        rho, _ = spearman_rho(first, second)
+        assert abs(rho) < 0.35
+
+    def test_ties_handled(self):
+        rho, _ = spearman_rho([1, 1, 2, 2, 3, 3], [1, 1, 2, 2, 3, 3])
+        assert rho == pytest.approx(1.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            spearman_rho([1, 2, 3], [1, 2])
+
+    def test_tiny_samples_return_neutral(self):
+        assert spearman_rho([1, 2], [2, 1]) == (0.0, 1.0)
+
+    def test_p_value_decreases_with_sample_size(self):
+        small = spearman_rho([1, 2, 3, 4, 5], [1, 3, 2, 5, 4])[1]
+        big_first = list(range(100))
+        big_second = [x + (1 if x % 7 == 0 else 0) for x in big_first]
+        big = spearman_rho(big_first, big_second)[1]
+        assert big < small
+
+    def test_rho_bounded(self):
+        rho, p_value = spearman_rho([3, 1, 4, 1, 5, 9, 2, 6], [2, 7, 1, 8, 2, 8, 1, 8])
+        assert -1.0 <= rho <= 1.0 and 0.0 <= p_value <= 1.0

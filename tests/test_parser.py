@@ -1,0 +1,313 @@
+"""Unit tests for the Solidity parser on complete source files."""
+
+import pytest
+
+from repro.solidity import ast_nodes as ast
+from repro.solidity.errors import SolidityParseError
+from repro.solidity.parser import parse, parse_snippet
+
+
+def single_contract(source):
+    unit = parse(source)
+    contracts = unit.contracts()
+    assert len(contracts) == 1
+    return contracts[0]
+
+
+class TestTopLevel:
+    def test_pragma_directive(self):
+        unit = parse("pragma solidity ^0.8.0; contract C {}")
+        pragmas = [item for item in unit.items if isinstance(item, ast.PragmaDirective)]
+        assert len(pragmas) == 1
+        assert "0.8" in pragmas[0].value.replace(" ", "")
+
+    def test_import_directive(self):
+        unit = parse('import "./Token.sol"; contract C {}')
+        imports = [item for item in unit.items if isinstance(item, ast.ImportDirective)]
+        assert imports and imports[0].path == "./Token.sol"
+
+    def test_multiple_contracts(self):
+        unit = parse("contract A {} contract B {} interface I {} library L {}")
+        assert [c.kind for c in unit.contracts()] == ["contract", "contract", "interface", "library"]
+
+    def test_abstract_contract(self):
+        contract = parse("abstract contract A {}").contracts()[0]
+        assert contract.is_abstract is True
+
+    def test_inheritance_list(self):
+        contract = single_contract("contract C is A, B(1) { }")
+        assert contract.base_contracts == ["A", "B"]
+
+    def test_strict_mode_rejects_bare_statements(self):
+        with pytest.raises(SolidityParseError):
+            parse("x = 1;")
+
+
+class TestContractParts:
+    def test_state_variables(self):
+        contract = single_contract("""
+            contract C {
+                uint public total;
+                address owner;
+                mapping(address => uint) balances;
+                uint constant FEE = 100;
+            }
+        """)
+        names = [v.name for v in contract.state_variables()]
+        assert names == ["total", "owner", "balances", "FEE"]
+        assert contract.state_variables()[0].visibility == "public"
+        assert contract.state_variables()[3].is_constant is True
+
+    def test_mapping_type_structure(self):
+        contract = single_contract("contract C { mapping(address => mapping(address => uint)) allowed; }")
+        mapping = contract.state_variables()[0].type_name
+        assert isinstance(mapping, ast.MappingTypeName)
+        assert isinstance(mapping.value_type, ast.MappingTypeName)
+
+    def test_array_state_variable(self):
+        contract = single_contract("contract C { address[] players; uint[10] slots; }")
+        assert isinstance(contract.state_variables()[0].type_name, ast.ArrayTypeName)
+        assert contract.state_variables()[1].type_name.length is not None
+
+    def test_constructor_keyword(self):
+        contract = single_contract("contract C { constructor() public {} }")
+        assert contract.functions()[0].is_constructor
+
+    def test_old_style_constructor_named_like_contract(self):
+        contract = single_contract("contract C { function C() public {} }")
+        function = contract.functions()[0]
+        assert function.name == "C"
+
+    def test_fallback_function_unnamed(self):
+        contract = single_contract("contract C { function () payable {} }")
+        assert contract.functions()[0].is_default_function
+
+    def test_receive_and_fallback_keywords(self):
+        contract = single_contract(
+            "contract C { receive() external payable {} fallback() external {} }")
+        kinds = [f.kind for f in contract.functions()]
+        assert kinds == ["receive", "fallback"]
+
+    def test_function_visibility_and_mutability(self):
+        contract = single_contract(
+            "contract C { function f() public view returns (uint) { return 1; } }")
+        function = contract.functions()[0]
+        assert function.visibility == "public"
+        assert function.mutability == "view"
+        assert len(function.return_parameters) == 1
+
+    def test_function_parameters(self):
+        contract = single_contract(
+            "contract C { function f(address to, uint256 amount, bytes memory data) public {} }")
+        params = contract.functions()[0].parameters
+        assert [p.name for p in params] == ["to", "amount", "data"]
+        assert params[2].storage_location == "memory"
+
+    def test_function_modifier_invocation(self):
+        contract = single_contract(
+            "contract C { modifier onlyOwner() { _; } function f() public onlyOwner {} }")
+        function = next(f for f in contract.functions() if f.name == "f")
+        assert [m.name for m in function.modifiers] == ["onlyOwner"]
+
+    def test_modifier_with_arguments(self):
+        contract = single_contract(
+            "contract C { modifier limit(uint n) { _; } function f() public limit(5) {} }")
+        function = next(f for f in contract.functions() if f.name == "f")
+        assert function.modifiers[0].arguments[0].code == "5"
+
+    def test_event_definition(self):
+        contract = single_contract(
+            "contract C { event Transfer(address indexed from, address indexed to, uint value); }")
+        events = [p for p in contract.parts if isinstance(p, ast.EventDefinition)]
+        assert events[0].name == "Transfer"
+        assert events[0].parameters[0].indexed is True
+
+    def test_struct_definition(self):
+        contract = single_contract("contract C { struct S { uint a; address b; } }")
+        structs = [p for p in contract.parts if isinstance(p, ast.StructDefinition)]
+        assert [m.name for m in structs[0].members] == ["a", "b"]
+
+    def test_enum_definition(self):
+        contract = single_contract("contract C { enum State { Created, Locked, Inactive } }")
+        enums = [p for p in contract.parts if isinstance(p, ast.EnumDefinition)]
+        assert enums[0].members == ["Created", "Locked", "Inactive"]
+
+    def test_using_for_directive(self):
+        contract = single_contract("contract C { using SafeMath for uint256; }")
+        usings = [p for p in contract.parts if isinstance(p, ast.UsingForDirective)]
+        assert usings[0].library_name == "SafeMath"
+
+    def test_nested_contract_parsing_does_not_crash(self):
+        unit = parse("contract A { uint x; } contract B is A { function f() public {} }")
+        assert len(unit.contracts()) == 2
+
+
+class TestStatements:
+    def parse_body(self, body):
+        contract = single_contract("contract C { function f(uint amount) public { %s } }" % body)
+        return contract.functions()[0].body.statements
+
+    def test_if_else(self):
+        statements = self.parse_body("if (amount > 0) { x = 1; } else { x = 2; }")
+        assert isinstance(statements[0], ast.IfStatement)
+        assert statements[0].false_body is not None
+
+    def test_while_loop(self):
+        statements = self.parse_body("while (amount > 0) { amount--; }")
+        assert isinstance(statements[0], ast.WhileStatement)
+
+    def test_do_while_loop(self):
+        statements = self.parse_body("do { amount--; } while (amount > 0);")
+        assert isinstance(statements[0], ast.DoWhileStatement)
+
+    def test_for_loop(self):
+        statements = self.parse_body("for (uint i = 0; i < amount; i++) { total += i; }")
+        loop = statements[0]
+        assert isinstance(loop, ast.ForStatement)
+        assert isinstance(loop.init, ast.VariableDeclarationStatement)
+        assert loop.condition is not None and loop.update is not None
+
+    def test_return_statement(self):
+        statements = self.parse_body("return amount + 1;")
+        assert isinstance(statements[0], ast.ReturnStatement)
+
+    def test_return_without_value(self):
+        statements = self.parse_body("return;")
+        assert statements[0].expression is None
+
+    def test_emit_statement(self):
+        statements = self.parse_body("emit Transfer(msg.sender, amount);")
+        assert isinstance(statements[0], ast.EmitStatement)
+        assert isinstance(statements[0].call, ast.FunctionCall)
+
+    def test_revert_statement(self):
+        statements = self.parse_body('revert("nope");')
+        assert isinstance(statements[0], ast.RevertStatement)
+
+    def test_throw_statement(self):
+        statements = self.parse_body("throw;")
+        assert isinstance(statements[0], ast.ThrowStatement)
+
+    def test_break_and_continue(self):
+        statements = self.parse_body("while (true) { break; } while (true) { continue; }")
+        assert isinstance(statements[0].body.statements[0], ast.BreakStatement)
+        assert isinstance(statements[1].body.statements[0], ast.ContinueStatement)
+
+    def test_variable_declaration_with_initializer(self):
+        statements = self.parse_body("uint fee = amount / 100;")
+        declaration = statements[0]
+        assert isinstance(declaration, ast.VariableDeclarationStatement)
+        assert declaration.declarations[0].name == "fee"
+        assert declaration.initial_value is not None
+
+    def test_var_declaration(self):
+        statements = self.parse_body("var x = 1;")
+        assert statements[0].declarations[0].type_name.name == "var"
+
+    def test_storage_local_declaration(self):
+        statements = self.parse_body("Registration storage reg = registry[msg.sender];")
+        assert statements[0].declarations[0].storage_location == "storage"
+
+    def test_inline_assembly_is_opaque(self):
+        statements = self.parse_body("assembly { let x := mload(0x40) }")
+        assert isinstance(statements[0], ast.InlineAssemblyStatement)
+
+    def test_unchecked_block(self):
+        statements = self.parse_body("unchecked { amount += 1; }")
+        assert isinstance(statements[0], ast.Block) and statements[0].unchecked
+
+    def test_placeholder_statement_in_modifier(self):
+        contract = single_contract("contract C { modifier m() { require(true); _; } }")
+        modifier = contract.modifiers()[0]
+        assert any(isinstance(s, ast.PlaceholderStatement) for s in modifier.body.statements)
+
+
+class TestExpressions:
+    def parse_expression(self, expression):
+        contract = single_contract("contract C { function f(uint amount) public { x = %s; } }" % expression)
+        statement = contract.functions()[0].body.statements[0]
+        return statement.expression.right
+
+    def test_binary_precedence(self):
+        expr = self.parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.BinaryOperation) and expr.operator == "+"
+        assert isinstance(expr.right, ast.BinaryOperation) and expr.right.operator == "*"
+
+    def test_comparison_and_logical(self):
+        expr = self.parse_expression("a > 1 && b < 2")
+        assert expr.operator == "&&"
+
+    def test_member_access_chain(self):
+        expr = self.parse_expression("msg.sender")
+        assert isinstance(expr, ast.MemberAccess) and expr.member == "sender"
+
+    def test_index_access(self):
+        expr = self.parse_expression("balances[msg.sender]")
+        assert isinstance(expr, ast.IndexAccess)
+
+    def test_function_call_with_arguments(self):
+        expr = self.parse_expression("add(1, 2)")
+        assert isinstance(expr, ast.FunctionCall) and len(expr.arguments) == 2
+
+    def test_call_with_value_options(self):
+        expr = self.parse_expression('recipient.call{value: amount, gas: 2300}("")')
+        assert isinstance(expr, ast.FunctionCall)
+        assert set(expr.call_options) == {"value", "gas"}
+
+    def test_old_style_call_value(self):
+        expr = self.parse_expression("recipient.call.value(amount)()")
+        assert isinstance(expr, ast.FunctionCall)
+        inner = expr.callee
+        assert isinstance(inner, ast.FunctionCall)
+
+    def test_new_expression(self):
+        expr = self.parse_expression("new Token()")
+        assert isinstance(expr, ast.FunctionCall)
+        assert isinstance(expr.callee, ast.NewExpression)
+
+    def test_ternary_conditional(self):
+        expr = self.parse_expression("a > b ? a : b")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_unary_not(self):
+        expr = self.parse_expression("!approved")
+        assert isinstance(expr, ast.UnaryOperation) and expr.operator == "!"
+
+    def test_number_with_unit(self):
+        expr = self.parse_expression("1 ether")
+        assert isinstance(expr, ast.NumberLiteral) and expr.unit == "ether"
+
+    def test_bool_literal(self):
+        expr = self.parse_expression("true")
+        assert isinstance(expr, ast.BoolLiteral) and expr.value is True
+
+    def test_string_literal(self):
+        expr = self.parse_expression('"hello"')
+        assert isinstance(expr, ast.StringLiteral) and expr.value == "hello"
+
+    def test_type_cast(self):
+        expr = self.parse_expression("address(this)")
+        assert isinstance(expr, ast.FunctionCall)
+
+    def test_tuple_expression(self):
+        contract = single_contract(
+            "contract C { function f() public { (bool ok, ) = addr.call(\"\"); } }")
+        assert contract.functions()[0].body.statements
+
+
+class TestNodeUtilities:
+    def test_walk_visits_descendants(self):
+        unit = parse("contract C { function f() public { x = 1 + 2; } }")
+        node_types = {node.node_type for node in unit.walk()}
+        assert {"SourceUnit", "ContractDefinition", "FunctionDefinition",
+                "BinaryOperation", "NumberLiteral"} <= node_types
+
+    def test_source_locations_recorded(self):
+        unit = parse("contract C {\n    uint x;\n}")
+        variable = unit.contracts()[0].state_variables()[0]
+        assert variable.line == 2
+
+    def test_code_excerpt_recorded(self):
+        contract = single_contract("contract C { function f() public { msg.sender.transfer(1); } }")
+        function = contract.functions()[0]
+        assert "transfer" in function.code

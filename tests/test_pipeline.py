@@ -1,0 +1,266 @@
+"""Tests for the measurement pipeline stages (collection, mapping, temporal,
+correlation, validation) and the end-to-end study."""
+
+from datetime import date, timedelta
+
+import pytest
+
+from repro.ccc.dasp import DaspCategory
+from repro.datasets.corpus import DeployedContract, Snippet
+from repro.pipeline import (
+    ContractValidator,
+    SnippetCollector,
+    StudyConfiguration,
+    VulnerableCodeReuseStudy,
+    categorize_pairs,
+    correlate_views_with_adoption,
+    map_snippets_to_contracts,
+)
+from repro.pipeline.clone_mapping import CloneMapping
+from repro.pipeline.collection import canonical_text
+from repro.pipeline.report import render_percentage, render_table
+
+
+def make_snippet(snippet_id, text, created=date(2021, 1, 1), views=1000, site="stackoverflow"):
+    return Snippet(snippet_id=snippet_id, post_id=f"p-{snippet_id}", site=site,
+                   text=text, created=created, views=views)
+
+
+def make_contract(address, source, deployed=date(2022, 1, 1)):
+    return DeployedContract(address=address, source=source, deployed=deployed,
+                            compiler_version="v0.4.24")
+
+
+VULNERABLE_FUNCTION = """
+function withdraw(uint amount) public {
+    require(balances[msg.sender] >= amount);
+    msg.sender.call.value(amount)();
+    balances[msg.sender] -= amount;
+}
+"""
+
+EMBEDDING_CONTRACT = """
+pragma solidity ^0.4.24;
+contract Bank {
+    mapping(address => uint) balances;
+    function deposit() public payable { balances[msg.sender] += msg.value; }
+    function withdraw(uint amount) public {
+        require(balances[msg.sender] >= amount);
+        msg.sender.call.value(amount)();
+        balances[msg.sender] -= amount;
+    }
+}
+"""
+
+UNRELATED_CONTRACT = """
+pragma solidity ^0.8.0;
+contract Counter {
+    uint public count;
+    function increment() public { count += 1; }
+    function decrement() public { count -= 1; }
+}
+"""
+
+
+class TestCollection:
+    def test_funnel_counts(self, small_qa_corpus):
+        result = SnippetCollector().collect(small_qa_corpus)
+        total = result.total_funnel
+        assert total.snippets >= total.solidity >= total.parsable >= total.unique > 0
+
+    def test_javascript_mostly_filtered(self, small_qa_corpus):
+        collected = SnippetCollector().collect(small_qa_corpus).snippets
+        javascript = [s for s in collected if s.ground_truth_language == "javascript"]
+        total_javascript = [s for s in small_qa_corpus.snippets
+                            if s.ground_truth_language == "javascript"]
+        # the keyword + parsability filters remove the overwhelming majority of
+        # mis-tagged JavaScript snippets (the filter is keyword-based and thus
+        # not perfect, as in the paper)
+        assert len(javascript) <= max(1, 0.15 * len(total_javascript))
+
+    def test_duplicates_removed(self, small_qa_corpus):
+        result = SnippetCollector().collect(small_qa_corpus)
+        canonicals = [canonical_text(snippet.text) for snippet in result.snippets]
+        assert len(canonicals) == len(set(canonicals))
+
+    def test_per_site_funnels(self, small_qa_corpus):
+        result = SnippetCollector().collect(small_qa_corpus)
+        assert set(result.funnels) == {"stackoverflow", "ethereum.stackexchange"}
+
+    def test_shape_distribution_covers_paper_shapes(self, small_qa_corpus):
+        result = SnippetCollector().collect(small_qa_corpus)
+        assert set(result.shape_distribution) <= {"contract", "function", "statements"}
+        assert sum(result.shape_distribution.values()) == len(result.snippets)
+
+    def test_line_statistics(self, small_qa_corpus):
+        result = SnippetCollector().collect(small_qa_corpus)
+        stats = result.line_statistics
+        assert stats["min"] <= stats["median"] <= stats["max"]
+
+    def test_canonical_text_ignores_comments_and_whitespace(self):
+        first = "function f() {\n  // comment\n  x = 1;\n}"
+        second = "function f() { x = 1; }"
+        assert canonical_text(first) == canonical_text(second)
+
+
+class TestCloneMapping:
+    def test_snippet_mapped_to_embedding_contract(self):
+        snippets = [make_snippet("s1", VULNERABLE_FUNCTION)]
+        contracts = [make_contract("0xaaa", EMBEDDING_CONTRACT),
+                     make_contract("0xbbb", UNRELATED_CONTRACT)]
+        mapping = map_snippets_to_contracts(snippets, contracts, similarity_threshold=0.8)
+        assert mapping.contracts_for("s1") == ["0xaaa"]
+        assert mapping.total_pairs == 1
+
+    def test_unparsable_snippet_counted(self):
+        snippets = [make_snippet("s1", "not solidity at all, plain words only")]
+        mapping = map_snippets_to_contracts(snippets, [make_contract("0xaaa", EMBEDDING_CONTRACT)])
+        assert mapping.unparsable_snippets == 1
+        assert mapping.contracts_for("s1") == []
+
+    def test_snippets_with_clones(self):
+        snippets = [make_snippet("s1", VULNERABLE_FUNCTION),
+                    make_snippet("s2", "function ping() public { counter += 1; }")]
+        contracts = [make_contract("0xaaa", EMBEDDING_CONTRACT)]
+        mapping = map_snippets_to_contracts(snippets, contracts, similarity_threshold=0.8)
+        assert mapping.snippets_with_clones() == ["s1"]
+
+
+class TestTemporalCategories:
+    def build(self, snippet_date, contract_dates):
+        snippet = make_snippet("s1", VULNERABLE_FUNCTION, created=snippet_date)
+        contracts = [make_contract(f"0x{i}", EMBEDDING_CONTRACT, deployed=deployed)
+                     for i, deployed in enumerate(contract_dates)]
+        mapping = CloneMapping(matches={"s1": [(c.address, 95.0) for c in contracts]})
+        return categorize_pairs([snippet], contracts, mapping)
+
+    def test_all_later_contracts_make_source_snippet(self):
+        categories = self.build(date(2020, 1, 1), [date(2021, 1, 1), date(2022, 1, 1)])
+        assert "s1" in categories.source and "s1" in categories.disseminator
+
+    def test_mixed_dates_make_disseminator_only(self):
+        categories = self.build(date(2020, 1, 1), [date(2019, 1, 1), date(2021, 1, 1)])
+        assert "s1" in categories.disseminator and "s1" not in categories.source
+        # only the later contract is counted for the disseminator group
+        assert len(categories.disseminator["s1"]) == 1
+
+    def test_only_earlier_contracts_not_disseminator(self):
+        categories = self.build(date(2020, 1, 1), [date(2018, 1, 1)])
+        assert "s1" in categories.all_snippets
+        assert "s1" not in categories.disseminator
+
+    def test_summary_counts(self):
+        categories = self.build(date(2020, 1, 1), [date(2021, 1, 1)])
+        summary = categories.summary()
+        assert summary["all_snippets"] == 1 and summary["source_contracts"] == 1
+
+
+class TestCorrelation:
+    def test_correlation_structure(self, small_qa_corpus, small_sanctuary):
+        collector = SnippetCollector().collect(small_qa_corpus)
+        mapping = map_snippets_to_contracts(collector.snippets, small_sanctuary.contracts,
+                                            similarity_threshold=0.9)
+        categories = categorize_pairs(collector.snippets, small_sanctuary.contracts, mapping)
+        results = correlate_views_with_adoption(collector.snippets, small_sanctuary.contracts, categories)
+        assert [result.category for result in results] == ["All Snippets", "Disseminator", "Source"]
+        for result in results:
+            assert -1.0 <= result.rho <= 1.0
+            assert result.sample_size >= 0
+
+    def test_views_drive_adoption_synthetic(self):
+        # hand-built: views and adoption perfectly rank-correlated
+        snippets = []
+        contracts = []
+        matches = {}
+        for index in range(12):
+            snippet = make_snippet(f"s{index}", VULNERABLE_FUNCTION, views=100 * (index + 1))
+            snippets.append(snippet)
+            addresses = []
+            for copy_index in range(index + 1):
+                address = f"0x{index}_{copy_index}"
+                contracts.append(make_contract(
+                    address, EMBEDDING_CONTRACT + f"\n// variant {index} {copy_index}\ncontract V{index}_{copy_index} {{ uint x{copy_index}; }}"))
+                addresses.append(address)
+            matches[snippet.snippet_id] = [(a, 95.0) for a in addresses]
+        mapping = CloneMapping(matches=matches)
+        categories = categorize_pairs(snippets, contracts, mapping)
+        results = correlate_views_with_adoption(snippets, contracts, categories)
+        all_result = results[0]
+        assert all_result.rho > 0.9 and all_result.p_value < 0.01
+
+
+class TestValidator:
+    def test_vulnerable_contract_confirmed(self):
+        validator = ContractValidator(timeout_seconds=20)
+        outcome = validator.validate("0xaaa", EMBEDDING_CONTRACT, "s1",
+                                     ["reentrancy-call-before-write"])
+        assert outcome.vulnerable and outcome.phase == 1
+
+    def test_mitigated_contract_not_confirmed(self):
+        mitigated = EMBEDDING_CONTRACT.replace(
+            "msg.sender.call.value(amount)();\n        balances[msg.sender] -= amount;",
+            "balances[msg.sender] -= amount;\n        msg.sender.transfer(amount);")
+        validator = ContractValidator(timeout_seconds=20)
+        outcome = validator.validate("0xaaa", mitigated, "s1", ["reentrancy-call-before-write"])
+        assert not outcome.vulnerable
+
+    def test_only_requested_queries_checked(self):
+        validator = ContractValidator(timeout_seconds=20)
+        outcome = validator.validate("0xaaa", EMBEDDING_CONTRACT, "s1",
+                                     ["access-control-selfdestruct"])
+        assert not outcome.vulnerable
+
+    def test_unparsable_contract_reports_error(self):
+        validator = ContractValidator(timeout_seconds=20)
+        outcome = validator.validate("0xbad", "completely unrelated text with no code", "s1",
+                                     ["reentrancy-call-before-write"])
+        assert outcome.analysis_error is not None and not outcome.vulnerable
+
+    def test_phase2_path_reduction_on_timeout(self):
+        validator = ContractValidator(timeout_seconds=0.0, reduced_flow_depths=(8,))
+        validator.checker.timeout = None
+        outcome = validator.validate("0xaaa", EMBEDDING_CONTRACT, "s1",
+                                     ["reentrancy-call-before-write"])
+        # with a zero-second phase-1 budget the validator falls back to phase 2
+        assert outcome.phase == 2 or outcome.timed_out
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def study_result(self, small_qa_corpus, small_sanctuary):
+        configuration = StudyConfiguration(validation_timeout_seconds=15,
+                                           snippet_analysis_timeout_seconds=15)
+        study = VulnerableCodeReuseStudy(configuration)
+        return study.run(small_qa_corpus, small_sanctuary.contracts)
+
+    def test_funnel_is_monotonic(self, study_result):
+        funnel = study_result.funnel()
+        assert funnel["unique_snippets"] >= funnel["vulnerable_snippets"]
+        assert funnel["vulnerable_snippets"] >= funnel["vulnerable_snippets_in_contracts"]
+        assert funnel["vulnerable_snippets_in_contracts"] >= funnel["disseminator_snippets"]
+        assert funnel["disseminator_snippets"] >= funnel["source_snippets"]
+
+    def test_some_vulnerable_snippets_found(self, study_result):
+        assert study_result.vulnerable_snippets
+
+    def test_validation_ran(self, study_result):
+        assert study_result.validation.attempted > 0
+        assert study_result.validation.vulnerable <= study_result.validation.attempted
+
+    def test_dasp_distribution_totals(self, study_result):
+        distribution = study_result.dasp_distribution()
+        assert sum(row["snippets"] for row in distribution.values()) > 0
+
+    def test_correlations_present(self, study_result):
+        assert len(study_result.correlations) == 3
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [30, "x"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "bb" in lines[2]
+
+    def test_render_percentage(self):
+        assert render_percentage(0.923) == "92.3%"

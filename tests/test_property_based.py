@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ccd.fuzzyhash import BASE64_ALPHABET, fuzzy_hash_tokens
+from repro.ccd.ngram_index import NGramIndex, ngrams
+from repro.ccd.similarity import edit_distance, order_independent_similarity, sub_fingerprint_similarity
+from repro.cpg import build_cpg
+from repro.cpg.graph import EdgeLabel
+from repro.metrics import ConfusionCounts, spearman_rho
+from repro.solidity.errors import SolidityParseError
+from repro.solidity.lexer import tokenize, TokenType
+from repro.solidity.parser import parse_snippet
+
+short_text = st.text(alphabet=string.ascii_letters + string.digits, max_size=24)
+tokens_strategy = st.lists(st.text(alphabet=string.ascii_letters + "._();=", min_size=1, max_size=10),
+                           max_size=60)
+
+
+class TestEditDistanceProperties:
+    @given(short_text, short_text)
+    def test_symmetry(self, first, second):
+        assert edit_distance(first, second) == edit_distance(second, first)
+
+    @given(short_text)
+    def test_identity(self, text):
+        assert edit_distance(text, text) == 0
+
+    @given(short_text, short_text)
+    def test_bounded_by_longest(self, first, second):
+        assert edit_distance(first, second) <= max(len(first), len(second))
+
+    @given(short_text, short_text)
+    def test_at_least_length_difference(self, first, second):
+        assert edit_distance(first, second) >= abs(len(first) - len(second))
+
+    @settings(max_examples=30)
+    @given(short_text, short_text, short_text)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+
+class TestSimilarityProperties:
+    @given(short_text, short_text)
+    def test_sub_similarity_bounded(self, first, second):
+        score = sub_fingerprint_similarity(first, second)
+        assert 0.0 <= score <= 100.0
+
+    @given(st.lists(short_text.filter(bool), min_size=1, max_size=5))
+    def test_identical_fingerprints_score_100(self, subs):
+        assert order_independent_similarity(subs, subs) == 100.0
+
+    @given(st.lists(short_text.filter(bool), min_size=1, max_size=4),
+           st.lists(short_text.filter(bool), min_size=1, max_size=4))
+    def test_order_independent_score_bounded(self, first, second):
+        score = order_independent_similarity(first, second)
+        assert 0.0 <= score <= 100.0
+
+    @given(st.lists(short_text.filter(bool), min_size=1, max_size=4))
+    def test_permutation_invariance_of_second_argument(self, subs):
+        reordered = list(reversed(subs))
+        assert order_independent_similarity(subs, reordered) == 100.0
+
+
+class TestFuzzyHashProperties:
+    @given(tokens_strategy)
+    def test_deterministic(self, tokens):
+        assert fuzzy_hash_tokens(tokens) == fuzzy_hash_tokens(tokens)
+
+    @given(tokens_strategy)
+    def test_alphabet(self, tokens):
+        assert set(fuzzy_hash_tokens(tokens)) <= set(BASE64_ALPHABET)
+
+    @given(tokens_strategy)
+    def test_digest_not_longer_than_input(self, tokens):
+        assert len(fuzzy_hash_tokens(tokens)) <= max(1, len(tokens)) if tokens else True
+
+    @given(tokens_strategy, tokens_strategy)
+    def test_concatenation_starts_with_common_prefix(self, head, tail):
+        first = fuzzy_hash_tokens(head + tail)
+        second = fuzzy_hash_tokens(head + tail)
+        assert first == second
+
+
+class TestNGramIndexProperties:
+    @given(st.text(alphabet=BASE64_ALPHABET, min_size=1, max_size=40), st.integers(1, 5))
+    def test_every_indexed_document_is_its_own_candidate(self, fingerprint, size):
+        index = NGramIndex(ngram_size=size)
+        index.add("doc", fingerprint)
+        assert "doc" in index.candidates(fingerprint, 1.0)
+
+    @given(st.text(alphabet=BASE64_ALPHABET, max_size=40), st.integers(1, 5))
+    def test_ngrams_no_longer_than_text(self, text, size):
+        grams = ngrams(text, size)
+        assert all(len(gram) <= max(size, len(text)) for gram in grams)
+
+    @given(st.text(alphabet=BASE64_ALPHABET, min_size=1, max_size=40))
+    def test_overlap_of_self_is_one(self, fingerprint):
+        index = NGramIndex(ngram_size=3)
+        index.add("doc", fingerprint)
+        assert index.overlap(fingerprint, "doc") == 1.0
+
+
+class TestMetricsProperties:
+    @given(st.lists(st.integers(0, 1000), min_size=3, max_size=50),
+           st.lists(st.integers(0, 1000), min_size=3, max_size=50))
+    def test_spearman_bounded(self, first, second):
+        size = min(len(first), len(second))
+        rho, p_value = spearman_rho(first[:size], second[:size])
+        assert -1.0 <= rho <= 1.0
+        assert 0.0 <= p_value <= 1.0
+
+    @given(st.integers(0, 500), st.integers(0, 500), st.integers(0, 500))
+    def test_confusion_metrics_bounded(self, tp, fp, fn):
+        counts = ConfusionCounts(true_positives=tp, false_positives=fp, false_negatives=fn)
+        assert 0.0 <= counts.precision <= 1.0
+        assert 0.0 <= counts.recall <= 1.0
+        assert 0.0 <= counts.f1 <= 1.0
+
+
+solidity_fragments = st.sampled_from([
+    "uint x = 1;",
+    "msg.sender.transfer(amount);",
+    "function f(uint a) public { total += a; }",
+    "require(balances[msg.sender] >= amount);",
+    "if (now > deadline) { winner = msg.sender; }",
+    "for (uint i = 0; i < n; i++) { sum += i; }",
+    "contract C { uint x; }",
+    "emit Transfer(msg.sender, to, value);",
+])
+
+
+class TestParserRobustness:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(solidity_fragments, min_size=1, max_size=6))
+    def test_concatenated_fragments_parse(self, fragments):
+        unit = parse_snippet("\n".join(fragments))
+        assert unit.items
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(max_size=200))
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse_snippet(text)
+        except SolidityParseError:
+            pass  # rejection is fine; crashes are not
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(max_size=120))
+    def test_lexer_always_terminates_with_eof(self, text):
+        tokens = tokenize(text)
+        assert tokens[-1].type is TokenType.EOF
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(solidity_fragments, min_size=1, max_size=4))
+    def test_cpg_construction_never_crashes_on_valid_fragments(self, fragments):
+        graph = build_cpg("\n".join(fragments))
+        assert len(graph) > 0
+        # EOG never leaves a Rollback node
+        for rollback in graph.nodes_by_label("Rollback"):
+            assert not graph.out_edges(rollback, EdgeLabel.EOG)

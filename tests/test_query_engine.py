@@ -1,0 +1,159 @@
+"""Tests for the query context: deadlines, bounded traversal, predicates."""
+
+import pytest
+
+from repro.cpg import build_cpg
+from repro.cpg.graph import EdgeLabel
+from repro.query import QueryContext, QueryTimeout, predicates
+
+
+@pytest.fixture(scope="module")
+def wallet_ctx():
+    source = """
+contract Wallet {
+    address owner;
+    mapping(address => uint) balances;
+    constructor() public { owner = msg.sender; }
+    function withdraw(uint amount) public {
+        require(balances[msg.sender] >= amount);
+        msg.sender.call.value(amount)();
+        balances[msg.sender] -= amount;
+    }
+    function sweep() public {
+        require(msg.sender == owner);
+        msg.sender.transfer(address(this).balance);
+    }
+}
+"""
+    return QueryContext(build_cpg(source, snippet=False))
+
+
+class TestContext:
+    def test_elapsed_increases(self, wallet_ctx):
+        assert wallet_ctx.elapsed >= 0
+
+    def test_no_timeout_by_default(self, wallet_ctx):
+        wallet_ctx.check_deadline()  # must not raise
+
+    def test_timeout_raises(self):
+        graph = build_cpg("function f() { owner = msg.sender; }")
+        ctx = QueryContext(graph, timeout=0.0)
+        with pytest.raises(QueryTimeout):
+            ctx.check_deadline()
+
+    def test_flow_depth_bound_limits_reachability(self):
+        graph = build_cpg(
+            "contract C { uint a; uint b; function f(uint x) public { uint y = x; uint z = y; b = z; } }",
+            snippet=False)
+        unbounded = QueryContext(graph)
+        bounded = QueryContext(graph, max_flow_depth=1)
+        param = next(p for p in graph.nodes_by_label("ParamVariableDeclaration") if p.name == "x")
+        field = next(f for f in graph.nodes_by_label("FieldDeclaration") if f.name == "b")
+        assert unbounded.flows_to(param, field)
+        assert not bounded.flows_to(param, field)
+
+    def test_flow_targets_and_sources_are_inverse(self, wallet_ctx):
+        graph = wallet_ctx.graph
+        param = next(p for p in graph.nodes_by_label("ParamVariableDeclaration") if p.name == "amount")
+        call = next(c for c in graph.nodes_by_label("CallExpression") if c.name == "value")
+        assert call in wallet_ctx.flow_targets(param)
+        assert param in wallet_ctx.flow_sources(call)
+
+    def test_eog_reaches(self, wallet_ctx):
+        graph = wallet_ctx.graph
+        withdraw = next(f for f in graph.nodes_by_label("FunctionDeclaration") if f.name == "withdraw")
+        compound_write = next(op for op in graph.nodes_by_label("BinaryOperator")
+                              if op.operator_code == "-=")
+        assert wallet_ctx.eog_reaches(withdraw, compound_write)
+
+    def test_eog_between(self, wallet_ctx):
+        graph = wallet_ctx.graph
+        withdraw = next(f for f in graph.nodes_by_label("FunctionDeclaration") if f.name == "withdraw")
+        compound_write = next(op for op in graph.nodes_by_label("BinaryOperator")
+                              if op.operator_code == "-=")
+        between = wallet_ctx.eog_between(withdraw, compound_write)
+        assert any(node.name == "require" for node in between)
+
+    def test_flows_to_any(self, wallet_ctx):
+        graph = wallet_ctx.graph
+        param = next(p for p in graph.nodes_by_label("ParamVariableDeclaration") if p.name == "amount")
+        hit = wallet_ctx.flows_to_any(param, lambda node: node.has_label("FieldDeclaration"))
+        assert hit is not None and hit.name == "balances"
+
+
+class TestPredicates:
+    def test_enclosing_function(self, wallet_ctx):
+        graph = wallet_ctx.graph
+        call = next(c for c in graph.nodes_by_label("CallExpression") if c.name == "transfer")
+        function = predicates.enclosing_function(wallet_ctx, call)
+        assert function is not None and function.name == "sweep"
+
+    def test_record_of(self, wallet_ctx):
+        graph = wallet_ctx.graph
+        function = next(f for f in graph.nodes_by_label("FunctionDeclaration") if f.name == "withdraw")
+        record = predicates.record_of(wallet_ctx, function)
+        assert record is not None and record.name == "Wallet"
+
+    def test_functions_excludes_constructors_by_default(self, wallet_ctx):
+        names = {function.name for function in predicates.functions(wallet_ctx)}
+        assert "withdraw" in names
+        assert not any(f.has_label("ConstructorDeclaration") for f in predicates.functions(wallet_ctx))
+
+    def test_calls_in(self, wallet_ctx):
+        graph = wallet_ctx.graph
+        withdraw = next(f for f in graph.nodes_by_label("FunctionDeclaration") if f.name == "withdraw")
+        call_names = {call.name for call in predicates.calls_in(wallet_ctx, withdraw)}
+        assert "require" in call_names and "value" in call_names
+
+    def test_is_ether_transfer(self, wallet_ctx):
+        graph = wallet_ctx.graph
+        transfer = next(c for c in graph.nodes_by_label("CallExpression") if c.name == "transfer")
+        require_call = next(c for c in graph.nodes_by_label("CallExpression") if c.name == "require")
+        assert predicates.is_ether_transfer(wallet_ctx, transfer)
+        assert not predicates.is_ether_transfer(wallet_ctx, require_call)
+
+    def test_old_style_call_value_is_transfer(self, wallet_ctx):
+        graph = wallet_ctx.graph
+        value_call = next(c for c in graph.nodes_by_label("CallExpression") if c.name == "value")
+        assert predicates.is_ether_transfer(wallet_ctx, value_call)
+
+    def test_is_external_call(self, wallet_ctx):
+        graph = wallet_ctx.graph
+        value_call = next(c for c in graph.nodes_by_label("CallExpression") if c.name == "value")
+        require_call = next(c for c in graph.nodes_by_label("CallExpression") if c.name == "require")
+        assert predicates.is_external_call(wallet_ctx, value_call)
+        assert not predicates.is_external_call(wallet_ctx, require_call)
+
+    def test_state_writes_in(self, wallet_ctx):
+        graph = wallet_ctx.graph
+        withdraw = next(f for f in graph.nodes_by_label("FunctionDeclaration") if f.name == "withdraw")
+        writes = predicates.state_writes_in(wallet_ctx, withdraw)
+        assert any(field.name == "balances" for _write, field in writes)
+
+    def test_fields_compared_to_sender(self, wallet_ctx):
+        fields = predicates.fields_compared_to_sender(wallet_ctx)
+        assert any(field.name == "owner" for field in fields)
+
+    def test_is_access_controlled(self, wallet_ctx):
+        graph = wallet_ctx.graph
+        sweep = next(f for f in graph.nodes_by_label("FunctionDeclaration") if f.name == "sweep")
+        transfer = next(c for c in graph.nodes_by_label("CallExpression") if c.name == "transfer")
+        assert predicates.is_access_controlled(wallet_ctx, sweep, transfer)
+
+    def test_withdraw_is_not_access_controlled(self, wallet_ctx):
+        graph = wallet_ctx.graph
+        withdraw = next(f for f in graph.nodes_by_label("FunctionDeclaration") if f.name == "withdraw")
+        value_call = next(c for c in graph.nodes_by_label("CallExpression") if c.name == "value")
+        assert not predicates.is_access_controlled(wallet_ctx, withdraw, value_call)
+
+    def test_msg_sender_nodes(self, wallet_ctx):
+        assert len(predicates.msg_sender_nodes(wallet_ctx)) >= 3
+
+    def test_call_value_expressions(self, wallet_ctx):
+        graph = wallet_ctx.graph
+        value_call = next(c for c in graph.nodes_by_label("CallExpression") if c.name == "value")
+        values = predicates.call_value_expressions(wallet_ctx, value_call)
+        assert values and values[0].name == "amount"
+
+    def test_solidity_pragma_version_absent(self, wallet_ctx):
+        assert predicates.solidity_pragma_version(wallet_ctx) is None
