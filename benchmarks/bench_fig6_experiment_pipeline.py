@@ -5,30 +5,54 @@ snippet analysis -> temporal filtering -> CCC validation) on a small
 synthetic corpus and checks the qualitative result of the paper: vulnerable
 snippets from Q&A websites are found, cloned into deployed contracts, and
 the majority of those contracts do not add a mitigation.
+
+The benchmark is parametrized over the executor backends of the shared
+analysis core so that serial and parallel wall-clock can be compared
+(``--benchmark-group-by=func`` groups them side by side).  On a single-core
+runner the thread/process rows mostly measure dispatch overhead; the
+assertion is parity of results, not speedup.
 """
 
+import pytest
+
+from repro.core.artifacts import ArtifactStore
 from repro.datasets.sanctuary import generate_sanctuary
 from repro.datasets.snippets import generate_qa_corpus
 from repro.pipeline import StudyConfiguration, VulnerableCodeReuseStudy
 
 
-def test_fig6_end_to_end_study(benchmark):
+@pytest.fixture(scope="module")
+def fig6_corpora():
     qa_corpus = generate_qa_corpus(
         seed=23, posts_per_site={"stackoverflow": 30, "ethereum.stackexchange": 70})
     sanctuary = generate_sanctuary(qa_corpus, seed=29, independent_contracts=30)
+    return qa_corpus, sanctuary.contracts
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+def test_fig6_end_to_end_study(benchmark, backend, fig6_corpora, artifact_stats_registry):
+    qa_corpus, contracts = fig6_corpora
 
     def run_study():
-        study = VulnerableCodeReuseStudy(StudyConfiguration(
-            validation_timeout_seconds=15, snippet_analysis_timeout_seconds=10))
-        return study.run(qa_corpus, sanctuary.contracts)
+        store = ArtifactStore()
+        with VulnerableCodeReuseStudy(
+            StudyConfiguration(validation_timeout_seconds=15,
+                               snippet_analysis_timeout_seconds=10,
+                               executor_backend=backend),
+            store=store,
+        ) as study:
+            return store, study.run(qa_corpus, contracts)
 
-    result = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    store, result = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    artifact_stats_registry.append((f"fig6 study [{backend}]", store.stats))
     funnel = result.funnel()
     print()
-    print(f"pipeline funnel: {funnel}")
+    print(f"pipeline funnel [{backend}]: {funnel}")
 
     assert funnel["vulnerable_snippets"] > 0
     assert funnel["disseminator_snippets"] > 0
     assert funnel["vulnerable_contracts"] > 0
     # most validated contracts embedding a vulnerable snippet stay vulnerable
     assert funnel["vulnerable_contracts"] >= 0.5 * max(funnel["validated_contracts"], 1)
+    # the shared store keeps the parse-once guarantee during the whole study
+    assert store.stats.parse_calls == store.stats.misses

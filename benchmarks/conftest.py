@@ -4,17 +4,51 @@ Every benchmark regenerates one table or figure of the paper.  The corpora
 are synthetic (see DESIGN.md) and deliberately scaled so that the complete
 benchmark suite runs in a few minutes on a laptop; the *shape* of each
 result (who wins, which direction metrics move) is what is reproduced.
+
+Benchmarks that route work through the shared analysis core can register
+their :class:`~repro.core.artifacts.ArtifactStore` statistics with the
+session-scoped ``artifact_stats_registry`` fixture; the aggregate
+artifact-cache hit rate is reported in the terminal summary.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.core.artifacts import ArtifactStore
 from repro.datasets.honeypots import generate_honeypot_corpus
 from repro.datasets.sanctuary import generate_sanctuary
 from repro.datasets.smartbugs import generate_smartbugs_corpus
 from repro.datasets.snippets import generate_qa_corpus
 from repro.pipeline import StudyConfiguration, VulnerableCodeReuseStudy
+
+#: (label, ArtifactStoreStats) pairs registered during the benchmark session
+_ARTIFACT_STATS: list[tuple[str, object]] = []
+
+
+@pytest.fixture(scope="session")
+def artifact_stats_registry():
+    """Register ``(label, store.stats)`` pairs for the session cache report."""
+    return _ARTIFACT_STATS
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _ARTIFACT_STATS:
+        return
+    terminalreporter.section("artifact cache hit rate")
+    total_lookups = total_hits = total_parses = 0
+    for label, stats in _ARTIFACT_STATS:
+        terminalreporter.write_line(
+            f"{label}: {stats.hits}/{stats.lookups} hits "
+            f"({stats.hit_rate:.1%}), {stats.parse_calls} parses, "
+            f"{stats.cpg_builds} CPG builds, {stats.fingerprint_builds} fingerprints")
+        total_lookups += stats.lookups
+        total_hits += stats.hits
+        total_parses += stats.parse_calls
+    if total_lookups:
+        terminalreporter.write_line(
+            f"overall: {total_hits}/{total_lookups} hits "
+            f"({total_hits / total_lookups:.1%}), {total_parses} parses")
 
 
 @pytest.fixture(scope="session")
@@ -41,8 +75,14 @@ def sanctuary(qa_corpus):
 
 
 @pytest.fixture(scope="session")
-def study_result(qa_corpus, sanctuary):
+def study_result(qa_corpus, sanctuary, artifact_stats_registry):
     """One full study run shared by the Table 5-8 benchmarks."""
-    study = VulnerableCodeReuseStudy(StudyConfiguration(
-        validation_timeout_seconds=20, snippet_analysis_timeout_seconds=15))
-    return study.run(qa_corpus, sanctuary.contracts)
+    store = ArtifactStore()
+    with VulnerableCodeReuseStudy(
+        StudyConfiguration(validation_timeout_seconds=20,
+                           snippet_analysis_timeout_seconds=15),
+        store=store,
+    ) as study:
+        result = study.run(qa_corpus, sanctuary.contracts)
+    artifact_stats_registry.append(("study_result (shared fixture)", store.stats))
+    return result

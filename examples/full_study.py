@@ -5,9 +5,15 @@ pipeline stage (collection, clone mapping, snippet analysis, temporal
 filtering, two-phase validation), and prints the funnel (Table 7), the
 DASP distribution (Table 6), and the popularity correlations (Table 5).
 
-Run with ``python examples/full_study.py``.
+All stages share a parse-once :class:`~repro.core.artifacts.ArtifactStore`
+and run their hot loops through a configurable executor backend.
+
+Run with ``python examples/full_study.py [serial|thread|process]``.
 """
 
+import sys
+
+from repro.core import ArtifactStore
 from repro.datasets.sanctuary import generate_sanctuary
 from repro.datasets.snippets import generate_qa_corpus
 from repro.pipeline import StudyConfiguration, VulnerableCodeReuseStudy
@@ -15,14 +21,17 @@ from repro.pipeline.report import render_table
 
 
 def main() -> None:
+    backend = sys.argv[1] if len(sys.argv) > 1 else "serial"
     qa_corpus = generate_qa_corpus(
         seed=3, posts_per_site={"stackoverflow": 60, "ethereum.stackexchange": 150})
     sanctuary = generate_sanctuary(qa_corpus, seed=11, independent_contracts=60)
 
-    study = VulnerableCodeReuseStudy(StudyConfiguration(
-        ngram_size=3, ngram_threshold=0.5, similarity_threshold=0.9,
-        validation_timeout_seconds=30.0, snippet_analysis_timeout_seconds=15.0))
-    result = study.run(qa_corpus, sanctuary.contracts)
+    store = ArtifactStore()
+    with VulnerableCodeReuseStudy(StudyConfiguration(
+            ngram_size=3, ngram_threshold=0.5, similarity_threshold=0.9,
+            validation_timeout_seconds=30.0, snippet_analysis_timeout_seconds=15.0,
+            executor_backend=backend), store=store) as study:
+        result = study.run(qa_corpus, sanctuary.contracts)
 
     funnel = result.funnel()
     print(render_table(["Stage", "Count"], list(funnel.items()),
@@ -46,6 +55,11 @@ def main() -> None:
           f"{result.validation.completed} completed "
           f"({result.validation.completed_phase1} in phase 1), "
           f"{result.validation.vulnerable} confirmed vulnerable")
+
+    stats = store.stats
+    print(f"artifact cache [{backend}]: {stats.hits}/{stats.lookups} hits "
+          f"({stats.hit_rate:.1%}) — {stats.parse_calls} parses, "
+          f"{stats.cpg_builds} CPG builds, {stats.fingerprint_builds} fingerprints")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,18 @@
+"""Reproduction of the IMC'24 vulnerable-code-reuse measurement study.
+
+Layer map (see README.md for the full architecture):
+
+* :mod:`repro.solidity` — tolerant Solidity lexer/parser for snippets,
+* :mod:`repro.cpg` — code property graph construction and semantic passes,
+* :mod:`repro.ccd` — contract clone detection (normalize → fingerprint →
+  N-gram pre-filter → order-independent similarity),
+* :mod:`repro.ccc` — CPG-based vulnerability checker (17 DASP queries),
+* :mod:`repro.pipeline` — the end-to-end study (Figure 6),
+* :mod:`repro.core` — shared parse-once artifact store and serial /
+  thread / process batch executors,
+* :mod:`repro.datasets`, :mod:`repro.baselines`, :mod:`repro.metrics`,
+  :mod:`repro.evaluation`, :mod:`repro.query` — corpora, baseline tools,
+  metrics, and evaluation harnesses.
+"""
+
+__version__ = "0.2.0"

@@ -1,13 +1,24 @@
-"""The ContractChecker: CCC's public analysis API."""
+"""The ContractChecker: CCC's public analysis API.
+
+The checker optionally plugs into the shared analysis core
+(:mod:`repro.core`): with an :class:`~repro.core.artifacts.ArtifactStore`
+attached, the CPG of each unique source is built (and the source parsed)
+at most once per process and shared with CCD and the pipeline;
+:meth:`ContractChecker.analyze_many` fans a batch of sources out over an
+:class:`~repro.core.executor.Executor` (serial, thread, or process).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Iterable, Optional, Sequence
 
 from repro.ccc.dasp import DaspCategory
 from repro.ccc.finding import Finding
 from repro.ccc.registry import ALL_QUERIES, queries_for_categories, query_by_id
+from repro.core.artifacts import ArtifactStore, ArtifactStoreSpec, process_local_store
+from repro.core.executor import Executor
 from repro.cpg.builder import build_cpg
 from repro.cpg.graph import CPGGraph
 from repro.query import QueryContext, QueryTimeout
@@ -47,11 +58,21 @@ class ContractChecker:
         Bound on explored data-flow/control-flow path lengths.  ``None``
         (default) is the unbounded phase-1 configuration; a finite value
         reproduces the phase-2 "path reduction" fallback (Section 6.3).
+    store:
+        Optional shared :class:`~repro.core.artifacts.ArtifactStore`; when
+        set, snippet-mode analyses reuse the cached AST/CPG of each unique
+        source instead of re-parsing and re-translating it.
     """
 
-    def __init__(self, timeout: Optional[float] = None, max_flow_depth: Optional[int] = None):
+    def __init__(
+        self,
+        timeout: Optional[float] = None,
+        max_flow_depth: Optional[int] = None,
+        store: Optional[ArtifactStore] = None,
+    ):
         self.timeout = timeout
         self.max_flow_depth = max_flow_depth
+        self.store = store
 
     # -- public API ---------------------------------------------------------------
     def analyze(
@@ -72,7 +93,12 @@ class ContractChecker:
         """
         result = AnalysisResult()
         try:
-            graph = build_cpg(source, snippet=snippet)
+            if self.store is not None and snippet:
+                # full-contract mode bypasses the store: artifacts are
+                # cached for the tolerant snippet grammar only
+                graph = self.store.get(source).graph
+            else:
+                graph = build_cpg(source, snippet=snippet)
         except SolidityParseError as exc:
             result.parse_error = str(exc)
             return result
@@ -126,6 +152,48 @@ class ContractChecker:
         result.elapsed_seconds = ctx.elapsed
         return result
 
+    def analyze_many(
+        self,
+        sources: Sequence[str],
+        *,
+        executor: Optional[Executor] = None,
+        snippet: bool = True,
+        categories: Optional[Iterable[DaspCategory]] = None,
+        query_ids: Optional[Sequence[str]] = None,
+        timeout: Optional[float] = None,
+        max_flow_depth: Optional[int] = None,
+    ) -> list[AnalysisResult]:
+        """Analyse a batch of sources, optionally fanning out over workers.
+
+        Results are returned in input order.  Serial and thread backends
+        share this checker (and its artifact store); the process backend
+        ships a picklable task spec and rehydrates artifacts from source
+        inside each worker via a process-local store.
+        """
+        sources = list(sources)
+        categories = tuple(categories) if categories is not None else None
+        query_ids = tuple(query_ids) if query_ids is not None else None
+
+        if executor is None or executor.supports_shared_state:
+            def analyze_one(source: str) -> AnalysisResult:
+                return self.analyze(
+                    source, snippet=snippet, categories=categories,
+                    query_ids=query_ids, timeout=timeout, max_flow_depth=max_flow_depth,
+                )
+            if executor is None:
+                return [analyze_one(source) for source in sources]
+            return executor.map_batches(analyze_one, sources)
+
+        task = partial(_analyze_task, _AnalysisTaskSpec(
+            store_spec=self.store.spec if self.store is not None else None,
+            snippet=snippet,
+            categories=categories,
+            query_ids=query_ids,
+            timeout=timeout if timeout is not None else self.timeout,
+            max_flow_depth=max_flow_depth if max_flow_depth is not None else self.max_flow_depth,
+        ))
+        return executor.map_batches(task, sources)
+
     # -- convenience ---------------------------------------------------------------
     def is_vulnerable(self, source: str, **kwargs) -> bool:
         """``True`` when at least one query reports a finding for ``source``."""
@@ -134,3 +202,24 @@ class ContractChecker:
     @staticmethod
     def available_queries() -> list[str]:
         return [query.query_id for query in ALL_QUERIES]
+
+
+@dataclass(frozen=True)
+class _AnalysisTaskSpec:
+    """Picklable description of one batch-analysis configuration."""
+
+    store_spec: Optional[ArtifactStoreSpec]
+    snippet: bool = True
+    categories: Optional[tuple[DaspCategory, ...]] = None
+    query_ids: Optional[tuple[str, ...]] = None
+    timeout: Optional[float] = None
+    max_flow_depth: Optional[int] = None
+
+
+def _analyze_task(spec: _AnalysisTaskSpec, source: str) -> AnalysisResult:
+    """Analyse one source inside a process-backend worker."""
+    store = process_local_store(spec.store_spec) if spec.store_spec is not None else None
+    checker = ContractChecker(
+        timeout=spec.timeout, max_flow_depth=spec.max_flow_depth, store=store)
+    return checker.analyze(
+        source, snippet=spec.snippet, categories=spec.categories, query_ids=spec.query_ids)

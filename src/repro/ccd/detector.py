@@ -3,16 +3,32 @@
 ``CloneDetector`` indexes a corpus of Solidity sources (deployed contracts)
 and finds clones of query snippets: parse → normalize → fingerprint →
 N-gram pre-filter → order-independent similarity (Figure 4 of the paper).
+
+The detector optionally plugs into the shared analysis core
+(:mod:`repro.core`): when constructed with an
+:class:`~repro.core.artifacts.ArtifactStore`, fingerprints and N-gram sets
+are materialized through the store — each unique source is parsed at most
+once across CCD, CCC, and the pipeline — and the batch entry points
+(:meth:`CloneDetector.add_corpus`, :meth:`CloneDetector.find_clones_many`)
+accept an :class:`~repro.core.executor.Executor` to fan the hot loop out
+across threads or worker processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Optional
+from functools import partial
+from typing import Hashable, Iterable, Optional, Sequence
 
 from repro.ccd.fingerprint import Fingerprint, FingerprintGenerator
 from repro.ccd.ngram_index import NGramIndex
 from repro.ccd.similarity import order_independent_similarity
+
+# module-style import: repro.core.artifacts itself imports repro.ccd
+# (fingerprint), so attribute access must be deferred to call time to keep
+# either import order working
+import repro.core.artifacts as core_artifacts
+from repro.core.executor import Executor
 from repro.solidity.errors import SolidityParseError
 
 
@@ -24,7 +40,27 @@ class CloneMatch:
     similarity: float
 
     def __repr__(self):
-        return f"CloneMatch({self.document_id!r}, {self.similarity:.1f})"
+        return f"CloneMatch({self.document_id!r}, {self.similarity:.3f})"
+
+
+def _fingerprint_task(
+    spec: "core_artifacts.ArtifactStoreSpec", source: str, strict: bool = True,
+) -> Optional[Fingerprint]:
+    """Fingerprint ``source`` in a worker process, rehydrating via the spec.
+
+    ``strict=False`` swallows *any* error (the tolerance the clone-mapping
+    query path has always had for pathological snippets); corpus indexing
+    stays strict so unexpected failures surface.
+    """
+    store = core_artifacts.process_local_store(spec)
+    try:
+        return store.get(source).fingerprint
+    except (SolidityParseError, RecursionError):
+        return None
+    except Exception:
+        if strict:
+            raise
+        return None
 
 
 class CloneDetector:
@@ -40,6 +76,11 @@ class CloneDetector:
     The defaults are the best precision/recall combination reported by the
     paper (N=3, η=0.5, ε=0.7); the large-scale study uses the conservative
     ε=0.9 configuration (Section 6.3).
+
+    ``store`` attaches a shared :class:`~repro.core.artifacts.ArtifactStore`;
+    its CCD configuration (N-gram size, fuzzy-hash block size) must match
+    the detector's, because cached fingerprints and N-gram sets are only
+    valid for one configuration.
     """
 
     def __init__(
@@ -48,11 +89,22 @@ class CloneDetector:
         ngram_threshold: float = 0.5,
         similarity_threshold: float = 0.7,
         fingerprint_block_size: int = 2,
+        store: Optional["core_artifacts.ArtifactStore"] = None,
     ):
+        if store is not None:
+            if store.ngram_size != ngram_size:
+                raise ValueError(
+                    f"store ngram_size {store.ngram_size} != detector ngram_size {ngram_size}")
+            if store.generator.hasher.block_size != fingerprint_block_size:
+                raise ValueError(
+                    f"store fingerprint block size {store.generator.hasher.block_size} "
+                    f"!= detector fingerprint_block_size {fingerprint_block_size}")
         self.ngram_size = ngram_size
         self.ngram_threshold = ngram_threshold
         self.similarity_threshold = similarity_threshold
-        self.generator = FingerprintGenerator(block_size=fingerprint_block_size)
+        self.store = store
+        self.generator = store.generator if store is not None \
+            else FingerprintGenerator(block_size=fingerprint_block_size)
         self.index = NGramIndex(ngram_size=ngram_size)
         self.fingerprints: dict[Hashable, Fingerprint] = {}
         self.parse_failures: list[Hashable] = []
@@ -60,26 +112,56 @@ class CloneDetector:
     # -- corpus management ------------------------------------------------------
     def add_document(self, document_id: Hashable, source: str) -> bool:
         """Fingerprint and index one document; returns ``False`` when unparsable."""
-        try:
-            fingerprint = self.generator.from_source(source)
-        except (SolidityParseError, RecursionError):
+        fingerprint, grams = self._try_fingerprint_with_grams(source)
+        if fingerprint is None:
             self.parse_failures.append(document_id)
             return False
-        return self.add_fingerprint(document_id, fingerprint)
+        return self.add_fingerprint(document_id, fingerprint, grams=grams)
 
-    def add_fingerprint(self, document_id: Hashable, fingerprint: Fingerprint) -> bool:
+    def add_fingerprint(
+        self,
+        document_id: Hashable,
+        fingerprint: Fingerprint,
+        grams: Optional[frozenset] = None,
+    ) -> bool:
+        """Index one precomputed fingerprint (and optional cached N-gram set)."""
         if fingerprint.is_empty:
             self.parse_failures.append(document_id)
             return False
         self.fingerprints[document_id] = fingerprint
-        self.index.add(document_id, fingerprint.text)
+        if grams is not None:
+            self.index.add_grams(document_id, grams)
+        else:
+            self.index.add(document_id, fingerprint.text)
         return True
 
-    def add_corpus(self, documents: Iterable[tuple[Hashable, str]]) -> int:
-        """Index many documents; returns the number successfully indexed."""
+    def add_corpus(
+        self,
+        documents: Iterable[tuple[Hashable, str]],
+        executor: Optional[Executor] = None,
+    ) -> int:
+        """Index many documents; returns the number successfully indexed.
+
+        With an ``executor``, fingerprinting — the expensive part — fans
+        out across workers; index insertion stays serial (and therefore
+        deterministic).  The process backend rehydrates fingerprints from
+        source inside each worker.
+        """
+        documents = list(documents)
+        if executor is None:
+            results = [self._try_fingerprint_with_grams(source) for _, source in documents]
+        elif executor.supports_shared_state:
+            results = executor.map_batches(
+                self._try_fingerprint_with_grams, [source for _, source in documents])
+        else:
+            task = partial(_fingerprint_task, self._store_spec())
+            results = [(fingerprint, None) for fingerprint in executor.map_batches(
+                task, [source for _, source in documents])]
         added = 0
-        for document_id, source in documents:
-            if self.add_document(document_id, source):
+        for (document_id, _source), (fingerprint, grams) in zip(documents, results):
+            if fingerprint is None:
+                self.parse_failures.append(document_id)
+            elif self.add_fingerprint(document_id, fingerprint, grams=grams):
                 added += 1
         return added
 
@@ -89,6 +171,8 @@ class CloneDetector:
     # -- matching ---------------------------------------------------------------
     def fingerprint_source(self, source: str) -> Fingerprint:
         """Fingerprint a query snippet without indexing it."""
+        if self.store is not None:
+            return self.store.get(source).fingerprint
         return self.generator.from_source(source)
 
     def find_clones(
@@ -107,7 +191,7 @@ class CloneDetector:
         if fingerprint is None:
             if source is None:
                 raise ValueError("either source or fingerprint is required")
-            fingerprint = self.generator.from_source(source)
+            fingerprint = self.fingerprint_source(source)
         epsilon = (self.similarity_threshold if similarity_threshold is None else similarity_threshold) * 100.0
         eta = self.ngram_threshold if ngram_threshold is None else ngram_threshold
         matches: list[CloneMatch] = []
@@ -118,6 +202,55 @@ class CloneDetector:
                 matches.append(CloneMatch(document_id=document_id, similarity=score))
         matches.sort(key=lambda match: (-match.similarity, str(match.document_id)))
         return matches
+
+    def find_clones_many(
+        self,
+        queries: Sequence[tuple[Hashable, str]],
+        *,
+        executor: Optional[Executor] = None,
+        similarity_threshold: Optional[float] = None,
+        ngram_threshold: Optional[float] = None,
+    ) -> list[tuple[Hashable, Optional[list[CloneMatch]]]]:
+        """Match many ``(query_id, source)`` pairs against the index.
+
+        Returns ``(query_id, matches)`` in input order; ``matches`` is
+        ``None`` when the query source is unparsable.  Thread workers
+        share the index directly; for the process backend the query
+        fingerprints are computed in workers and the candidate scoring
+        runs in the parent (shipping the whole index to every worker
+        would dwarf the scoring cost).
+        """
+        queries = list(queries)
+
+        def match_one(source: str) -> Optional[list[CloneMatch]]:
+            try:
+                fingerprint = self.fingerprint_source(source)
+            except Exception:
+                # pathological query snippets count as unparsable rather
+                # than aborting the batch (long-standing pipeline behavior)
+                return None
+            return self.find_clones(
+                fingerprint=fingerprint,
+                similarity_threshold=similarity_threshold,
+                ngram_threshold=ngram_threshold,
+            )
+
+        if executor is None:
+            results = [match_one(source) for _, source in queries]
+        elif executor.supports_shared_state:
+            results = executor.map_batches(match_one, [source for _, source in queries])
+        else:
+            task = partial(_fingerprint_task, self._store_spec(), strict=False)
+            fingerprints = executor.map_batches(task, [source for _, source in queries])
+            results = [
+                None if fingerprint is None else self.find_clones(
+                    fingerprint=fingerprint,
+                    similarity_threshold=similarity_threshold,
+                    ngram_threshold=ngram_threshold,
+                )
+                for fingerprint in fingerprints
+            ]
+        return [(query_id, matches) for (query_id, _), matches in zip(queries, results)]
 
     def similarity(self, first_id: Hashable, second_id: Hashable) -> float:
         """Order-independent similarity between two indexed documents."""
@@ -142,3 +275,29 @@ class CloneDetector:
             )
             result[document_id] = [match for match in matches if match.document_id != document_id]
         return result
+
+    # -- helpers ----------------------------------------------------------------
+    def _try_fingerprint_with_grams(
+        self, source: str,
+    ) -> tuple[Optional[Fingerprint], Optional[frozenset]]:
+        """Fingerprint for indexing, plus the cached N-gram set when available."""
+        if self.store is not None:
+            artifact = self.store.get(source)
+            try:
+                return artifact.fingerprint, artifact.ngrams
+            except (SolidityParseError, RecursionError):
+                return None, None
+        try:
+            return self.generator.from_source(source), None
+        except (SolidityParseError, RecursionError):
+            return None, None
+
+    def _store_spec(self) -> "core_artifacts.ArtifactStoreSpec":
+        """The store recipe shipped to process-backend workers."""
+        if self.store is not None:
+            return self.store.spec
+        return core_artifacts.ArtifactStoreSpec(
+            ngram_size=self.ngram_size,
+            fingerprint_block_size=self.generator.hasher.block_size,
+            fingerprint_window=self.generator.hasher.window,
+        )

@@ -40,8 +40,11 @@ class NGramIndex:
 
     def add(self, document_id: Hashable, fingerprint_text: str) -> None:
         """Index ``fingerprint_text`` under ``document_id`` (idempotent)."""
-        grams = ngrams(fingerprint_text, self.ngram_size)
-        self._document_grams[document_id] = grams
+        self.add_grams(document_id, ngrams(fingerprint_text, self.ngram_size))
+
+    def add_grams(self, document_id: Hashable, grams: set[str] | frozenset[str]) -> None:
+        """Index a precomputed N-gram set (e.g. a cached ``SourceArtifact.ngrams``)."""
+        self._document_grams[document_id] = set(grams)
         for gram in grams:
             self._postings[gram].add(document_id)
 

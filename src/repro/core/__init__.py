@@ -1,0 +1,43 @@
+"""The shared analysis core: parse-once artifacts and batch execution.
+
+This package is the seam between the paper-reproduction layers (solidity,
+cpg, ccd, ccc, pipeline) and the scaling work described in ROADMAP.md:
+
+* :mod:`repro.core.artifacts` — a content-hash keyed, LRU-bounded
+  :class:`~repro.core.artifacts.ArtifactStore` that materializes each
+  source's AST, CPG, fingerprint, and N-gram set at most once per process,
+* :mod:`repro.core.executor` — serial / thread / process
+  :class:`~repro.core.executor.Executor` backends with chunked
+  ``map_batches`` used by every hot loop (corpus indexing, snippet
+  analysis, contract validation).
+"""
+
+from repro.core.artifacts import (
+    ArtifactStore,
+    ArtifactStoreSpec,
+    ArtifactStoreStats,
+    SourceArtifact,
+    content_key,
+    process_local_store,
+)
+from repro.core.executor import (
+    BACKENDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "ArtifactStoreSpec",
+    "ArtifactStoreStats",
+    "BACKENDS",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "SourceArtifact",
+    "ThreadExecutor",
+    "content_key",
+    "process_local_store",
+]

@@ -1,0 +1,340 @@
+"""Parse-once artifact store shared by CCD, CCC, and the study pipeline.
+
+Every analysis layer of the reproduction consumes the same chain of
+derived artifacts: Solidity source → AST (:class:`SourceUnit`) → either a
+code property graph (CCC) or a normalized fingerprint and its N-gram set
+(CCD).  Before this module existed each layer re-parsed the source
+independently — the clone detector, the contract checker, the two-phase
+validator, and the collection parsability filter all called the parser on
+the same text.
+
+:class:`ArtifactStore` removes that duplication.  It is a content-hash
+keyed, LRU-bounded cache of :class:`SourceArtifact` objects; each artifact
+lazily materializes its AST, CPG, fingerprint, and N-gram set exactly once
+and shares them with every consumer in the process.  The store is
+thread-safe, so the thread backend of :mod:`repro.core.executor` can fan
+out over a single shared store.  For the process backend — where graphs
+and ASTs are not worth pickling — :func:`process_local_store` rehydrates
+an equivalent store inside each worker from a small picklable
+:class:`ArtifactStoreSpec`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ccd.fingerprint import Fingerprint, FingerprintGenerator
+from repro.ccd.ngram_index import ngrams
+from repro.cpg.builder import build_cpg
+from repro.cpg.graph import CPGGraph
+from repro.solidity import ast_nodes as ast
+from repro.solidity.errors import SolidityParseError
+from repro.solidity.parser import parse_snippet
+
+_RECURSION_MESSAGE = "recursion limit exceeded while parsing"
+
+
+def content_key(source: str) -> str:
+    """Stable content hash used as the cache key for ``source``."""
+    return hashlib.sha256(source.encode("utf-8", "replace")).hexdigest()
+
+
+@dataclass
+class ArtifactStoreStats:
+    """Counters describing how much work the store performed and saved."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: number of actual ``parse_snippet`` invocations — the headline
+    #: "parse once" guarantee is ``parse_calls == misses`` (minus evictions)
+    parse_calls: int = 0
+    cpg_builds: int = 0
+    fingerprint_builds: int = 0
+
+    def __post_init__(self):
+        # artifacts and the store increment concurrently under the thread
+        # backend; a shared lock keeps the read-modify-write atomic
+        self._lock = threading.Lock()
+
+    def increment(self, counter: str) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0.0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "parse_calls": self.parse_calls,
+            "cpg_builds": self.cpg_builds,
+            "fingerprint_builds": self.fingerprint_builds,
+        }
+
+
+class SourceArtifact:
+    """Lazily-materialized per-source artifacts (AST, CPG, fingerprint).
+
+    All derived artifacts are computed on first access and cached on the
+    instance, so the expensive parse/translate/hash work happens at most
+    once per unique source no matter how many layers ask for it.  Parse
+    failures are cached too: retrying an unparsable source re-raises the
+    recorded :class:`SolidityParseError` without re-running the parser.
+    ``RecursionError`` raised anywhere in the chain is converted into a
+    :class:`SolidityParseError` with the same message the contract checker
+    historically reported, so downstream error handling is uniform.
+    """
+
+    __slots__ = ("source", "key", "_stats", "_generator", "_ngram_size", "_lock",
+                 "_unit", "_unit_error", "_graph", "_graph_error",
+                 "_fingerprint", "_fingerprint_error", "_ngrams")
+
+    def __init__(
+        self,
+        source: str,
+        key: str,
+        stats: ArtifactStoreStats,
+        generator: FingerprintGenerator,
+        ngram_size: int,
+    ):
+        self.source = source
+        self.key = key
+        self._stats = stats
+        self._generator = generator
+        self._ngram_size = ngram_size
+        self._lock = threading.RLock()
+        self._unit: Optional[ast.SourceUnit] = None
+        self._unit_error: Optional[str] = None
+        self._graph: Optional[CPGGraph] = None
+        self._graph_error: Optional[str] = None
+        self._fingerprint: Optional[Fingerprint] = None
+        self._fingerprint_error: Optional[str] = None
+        self._ngrams: Optional[frozenset] = None
+
+    # -- AST ------------------------------------------------------------------
+    @property
+    def unit(self) -> ast.SourceUnit:
+        """The parsed AST; parses at most once, caching failures."""
+        with self._lock:
+            if self._unit is not None:
+                return self._unit
+            if self._unit_error is not None:
+                raise SolidityParseError(self._unit_error)
+            self._stats.increment("parse_calls")
+            try:
+                self._unit = parse_snippet(self.source)
+            except SolidityParseError as exc:
+                self._unit_error = str(exc)
+                raise
+            except RecursionError:
+                self._unit_error = _RECURSION_MESSAGE
+                raise SolidityParseError(self._unit_error) from None
+            return self._unit
+
+    def try_unit(self) -> Optional[ast.SourceUnit]:
+        """The parsed AST, or ``None`` when the source is unparsable."""
+        try:
+            return self.unit
+        except SolidityParseError:
+            return None
+
+    @property
+    def parse_error(self) -> Optional[str]:
+        """The cached parse error message, materializing the AST if needed."""
+        self.try_unit()
+        return self._unit_error
+
+    @property
+    def parse_ok(self) -> bool:
+        return self.try_unit() is not None
+
+    # -- CPG ------------------------------------------------------------------
+    @property
+    def graph(self) -> CPGGraph:
+        """The code property graph, built at most once from the shared AST."""
+        with self._lock:
+            if self._graph is not None:
+                return self._graph
+            if self._graph_error is not None:
+                raise SolidityParseError(self._graph_error)
+            unit = self.unit
+            self._stats.increment("cpg_builds")
+            try:
+                self._graph = build_cpg(unit=unit)
+            except RecursionError:
+                self._graph_error = _RECURSION_MESSAGE
+                raise SolidityParseError(self._graph_error) from None
+            return self._graph
+
+    # -- fingerprint ----------------------------------------------------------
+    @property
+    def fingerprint(self) -> Fingerprint:
+        """The CCD fingerprint, normalized from the shared AST (no re-parse)."""
+        with self._lock:
+            if self._fingerprint is not None:
+                return self._fingerprint
+            if self._fingerprint_error is not None:
+                raise SolidityParseError(self._fingerprint_error)
+            unit = self.unit
+            self._stats.increment("fingerprint_builds")
+            try:
+                normalized = self._generator.normalizer.normalize_unit(unit)
+                self._fingerprint = self._generator.from_normalized(normalized)
+            except RecursionError:
+                self._fingerprint_error = _RECURSION_MESSAGE
+                raise SolidityParseError(self._fingerprint_error) from None
+            return self._fingerprint
+
+    @property
+    def ngrams(self) -> frozenset:
+        """The fingerprint's character N-gram set for the store's N."""
+        with self._lock:
+            if self._ngrams is None:
+                self._ngrams = frozenset(ngrams(self.fingerprint.text, self._ngram_size))
+            return self._ngrams
+
+
+@dataclass(frozen=True)
+class ArtifactStoreSpec:
+    """Picklable recipe for rebuilding an equivalent :class:`ArtifactStore`.
+
+    Process-backend workers cannot share the parent's store (graphs and
+    locks don't pickle), so they receive this spec and rehydrate their own
+    process-local store via :func:`process_local_store`.
+    """
+
+    max_entries: int = 8192
+    ngram_size: int = 3
+    fingerprint_block_size: int = 2
+    fingerprint_window: int = 4
+
+    def build(self) -> "ArtifactStore":
+        return ArtifactStore(
+            max_entries=self.max_entries,
+            ngram_size=self.ngram_size,
+            fingerprint_block_size=self.fingerprint_block_size,
+            fingerprint_window=self.fingerprint_window,
+        )
+
+
+class ArtifactStore:
+    """Content-hash keyed, LRU-bounded cache of :class:`SourceArtifact`.
+
+    Parameters
+    ----------
+    max_entries:
+        Upper bound on cached artifacts; least-recently-used entries are
+        evicted first.  Artifact references held by callers stay valid
+        after eviction — only the cache slot is reclaimed.
+    ngram_size / fingerprint_block_size / fingerprint_window:
+        CCD configuration shared by every artifact in the store.  A
+        detector attached to a store must use matching parameters (the
+        detector constructor enforces this).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 8192,
+        ngram_size: int = 3,
+        fingerprint_block_size: int = 2,
+        fingerprint_window: int = 4,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.ngram_size = ngram_size
+        self.generator = FingerprintGenerator(
+            block_size=fingerprint_block_size, window=fingerprint_window)
+        self.stats = ArtifactStoreStats()
+        self._entries: "OrderedDict[str, SourceArtifact]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    @classmethod
+    def from_spec(cls, spec: ArtifactStoreSpec) -> "ArtifactStore":
+        return spec.build()
+
+    @property
+    def spec(self) -> ArtifactStoreSpec:
+        """The picklable recipe workers use to rebuild this store."""
+        return ArtifactStoreSpec(
+            max_entries=self.max_entries,
+            ngram_size=self.ngram_size,
+            fingerprint_block_size=self.generator.hasher.block_size,
+            fingerprint_window=self.generator.hasher.window,
+        )
+
+    def get(self, source: str) -> SourceArtifact:
+        """The (possibly cached) artifact bundle for ``source``."""
+        key = content_key(source)
+        with self._lock:
+            artifact = self._entries.get(key)
+            if artifact is not None:
+                self._entries.move_to_end(key)
+                self.stats.increment("hits")
+                return artifact
+            self.stats.increment("misses")
+            artifact = SourceArtifact(
+                source, key, self.stats, self.generator, self.ngram_size)
+            self._entries[key] = artifact
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.increment("evictions")
+            return artifact
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, source: str) -> bool:
+        with self._lock:
+            return content_key(source) in self._entries
+
+    def clear(self) -> None:
+        """Drop all cached artifacts (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+
+#: per-process cache used by process-backend workers (spec -> store)
+_PROCESS_STORES: dict = {}
+_PROCESS_STORES_LOCK = threading.Lock()
+
+
+def process_local_store(spec: ArtifactStoreSpec) -> ArtifactStore:
+    """A process-wide store for ``spec``, created on first use.
+
+    Executor worker processes call this to rehydrate artifacts from source
+    instead of unpickling them; within one worker process, each unique
+    source is still parsed at most once.
+    """
+    with _PROCESS_STORES_LOCK:
+        store = _PROCESS_STORES.get(spec)
+        if store is None:
+            store = spec.build()
+            _PROCESS_STORES[spec] = store
+        return store
+
+
+__all__ = [
+    "ArtifactStore",
+    "ArtifactStoreSpec",
+    "ArtifactStoreStats",
+    "SourceArtifact",
+    "content_key",
+    "process_local_store",
+]

@@ -1,0 +1,187 @@
+"""Execution backends for batch analysis: serial, thread, and process.
+
+The hot loops of the reproduction — corpus fingerprinting, snippet
+analysis, candidate-contract validation — are embarrassingly parallel
+maps over independent sources.  :class:`Executor` abstracts how such a
+map runs:
+
+* ``serial`` — a plain loop; the default and the reference for parity,
+* ``thread`` — a :class:`~concurrent.futures.ThreadPoolExecutor`; workers
+  share one :class:`~repro.core.artifacts.ArtifactStore`, so the
+  parse-once guarantee holds process-wide,
+* ``process`` — a :class:`~concurrent.futures.ProcessPoolExecutor`;
+  graphs and ASTs are not picklable/worth shipping, so callers submit
+  module-level task functions that *rehydrate* artifacts from source in
+  the worker (see :func:`repro.core.artifacts.process_local_store`).
+  :attr:`Executor.supports_shared_state` is ``False`` for this backend —
+  callers use it to decide between closures over shared state and
+  picklable task payloads.
+
+All backends preserve input order and support chunked dispatch
+(:meth:`Executor.map_batches`) to amortize scheduling/IPC overhead.
+Pools are created lazily on first use; call :meth:`Executor.close` (or
+use the executor as a context manager) to release workers.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: backend names accepted by :meth:`Executor.create`
+BACKENDS = ("serial", "thread", "process")
+
+
+def _run_chunk(fn: Callable, chunk: Sequence) -> list:
+    """Apply ``fn`` to every item of ``chunk`` (module-level: picklable)."""
+    return [fn(item) for item in chunk]
+
+
+def _chunked(items: Sequence, chunk_size: int) -> Iterable[Sequence]:
+    for start in range(0, len(items), chunk_size):
+        yield items[start:start + chunk_size]
+
+
+class Executor:
+    """Base class and factory for the execution backends."""
+
+    backend = "serial"
+    #: whether mapped callables may close over shared in-process state
+    supports_shared_state = True
+
+    def __init__(self, max_workers: Optional[int] = None, chunk_size: int = 8):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+
+    @staticmethod
+    def create(
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        chunk_size: int = 8,
+    ) -> "Executor":
+        """Instantiate the executor named by ``backend``."""
+        if backend == "serial":
+            return SerialExecutor(max_workers=max_workers, chunk_size=chunk_size)
+        if backend == "thread":
+            return ThreadExecutor(max_workers=max_workers, chunk_size=chunk_size)
+        if backend == "process":
+            return ProcessExecutor(max_workers=max_workers, chunk_size=chunk_size)
+        raise ValueError(f"unknown executor backend {backend!r}; expected one of {BACKENDS}")
+
+    # -- mapping --------------------------------------------------------------
+    def map(self, fn: Callable[[ItemT], ResultT], items: Iterable[ItemT]) -> List[ResultT]:
+        """Apply ``fn`` to every item, preserving input order."""
+        raise NotImplementedError
+
+    def map_batches(
+        self,
+        fn: Callable[[ItemT], ResultT],
+        items: Iterable[ItemT],
+        chunk_size: Optional[int] = None,
+    ) -> List[ResultT]:
+        """Like :meth:`map`, but dispatches work in chunks.
+
+        Chunking amortizes per-task scheduling (thread backend) and
+        pickling/IPC (process backend) overhead; results are still
+        returned per item, flattened in input order.
+        """
+        raise NotImplementedError
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        """Release pooled workers (no-op for the serial backend)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"{self.__class__.__name__}(backend={self.backend!r}, "
+                f"max_workers={self.max_workers}, chunk_size={self.chunk_size})")
+
+
+class SerialExecutor(Executor):
+    """The reference backend: a plain in-order loop."""
+
+    backend = "serial"
+    supports_shared_state = True
+
+    def map(self, fn, items):
+        return [fn(item) for item in items]
+
+    def map_batches(self, fn, items, chunk_size=None):
+        return self.map(fn, items)
+
+
+class _PooledExecutor(Executor):
+    """Shared machinery for the thread and process backends."""
+
+    _pool_factory = None  # set by subclasses
+
+    def __init__(self, max_workers: Optional[int] = None, chunk_size: int = 8):
+        super().__init__(max_workers=max_workers, chunk_size=chunk_size)
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._pool_factory(max_workers=self.max_workers)
+        return self._pool
+
+    def map(self, fn, items):
+        return self.map_batches(fn, items, chunk_size=1)
+
+    def map_batches(self, fn, items, chunk_size=None):
+        items = list(items)
+        if not items:
+            return []
+        size = self.chunk_size if chunk_size is None else max(1, chunk_size)
+        pool = self._ensure_pool()
+        futures = [pool.submit(_run_chunk, fn, chunk) for chunk in _chunked(items, size)]
+        results: list = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadExecutor(_PooledExecutor):
+    """Thread-pool backend; shares the artifact store across workers."""
+
+    backend = "thread"
+    supports_shared_state = True
+    _pool_factory = staticmethod(concurrent.futures.ThreadPoolExecutor)
+
+
+class ProcessExecutor(_PooledExecutor):
+    """Process-pool backend; tasks must be picklable module-level callables.
+
+    Callers detect this backend via :attr:`supports_shared_state` and
+    submit payload-style tasks that rehydrate artifacts from source inside
+    the worker instead of closing over non-picklable shared state.
+    """
+
+    backend = "process"
+    supports_shared_state = False
+    _pool_factory = staticmethod(concurrent.futures.ProcessPoolExecutor)
+
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+]

@@ -22,12 +22,18 @@ from repro.pipeline.collection import CollectionFunnel, SnippetCollector
 from repro.pipeline.correlation import CorrelationResult, correlate_views_with_adoption
 from repro.pipeline.experiment import StudyConfiguration, StudyResult, VulnerableCodeReuseStudy
 from repro.pipeline.temporal import TemporalCategories, categorize_pairs
-from repro.pipeline.validation import ContractValidator, ValidationOutcome, ValidationSummary
+from repro.pipeline.validation import (
+    ContractValidator,
+    ValidationCandidate,
+    ValidationOutcome,
+    ValidationSummary,
+)
 
 __all__ = [
     "CloneMapping",
     "CollectionFunnel",
     "ContractValidator",
+    "ValidationCandidate",
     "CorrelationResult",
     "SnippetCollector",
     "StudyConfiguration",

@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.ccd.detector import CloneDetector
+from repro.core.artifacts import ArtifactStore
+from repro.core.executor import Executor
 from repro.datasets.corpus import DeployedContract, Snippet
 
 
@@ -37,32 +39,40 @@ def map_snippets_to_contracts(
     ngram_size: int = 3,
     ngram_threshold: float = 0.5,
     similarity_threshold: float = 0.9,
+    fingerprint_block_size: int = 2,
     detector: Optional[CloneDetector] = None,
+    store: Optional[ArtifactStore] = None,
+    executor: Optional[Executor] = None,
 ) -> CloneMapping:
     """Index the deployed contracts and find clones of every snippet.
 
     The default thresholds are the conservative configuration of the
-    large-scale study (N=3, η=0.5, ε=0.9; Section 6.3).
+    large-scale study (N=3, η=0.5, ε=0.9; Section 6.3).  ``store`` shares
+    a parse-once artifact cache with the other pipeline stages; with an
+    ``executor``, corpus fingerprinting and snippet matching fan out
+    across workers.
     """
     if detector is None:
         detector = CloneDetector(
             ngram_size=ngram_size,
             ngram_threshold=ngram_threshold,
             similarity_threshold=similarity_threshold,
+            fingerprint_block_size=fingerprint_block_size,
+            store=store,
         )
     mapping = CloneMapping()
-    indexed = detector.add_corpus((contract.address, contract.source) for contract in contracts)
+    indexed = detector.add_corpus(
+        [(contract.address, contract.source) for contract in contracts], executor=executor)
     mapping.indexed_contracts = indexed
     mapping.unparsable_contracts = len(contracts) - indexed
-    for snippet in snippets:
-        try:
-            fingerprint = detector.fingerprint_source(snippet.text)
-        except Exception:  # includes SolidityParseError
+    results = detector.find_clones_many(
+        [(snippet.snippet_id, snippet.text) for snippet in snippets], executor=executor)
+    for snippet_id, matches in results:
+        if matches is None:
             mapping.unparsable_snippets += 1
-            mapping.matches[snippet.snippet_id] = []
+            mapping.matches[snippet_id] = []
             continue
-        matches = detector.find_clones(fingerprint=fingerprint)
-        mapping.matches[snippet.snippet_id] = [
+        mapping.matches[snippet_id] = [
             (match.document_id, match.similarity) for match in matches
         ]
     return mapping

@@ -16,6 +16,9 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
+from typing import Optional
+
+from repro.core.artifacts import ArtifactStore
 from repro.datasets.corpus import Snippet
 from repro.datasets.snippets import QACorpus
 from repro.solidity.errors import SolidityParseError
@@ -76,10 +79,17 @@ class CollectionResult:
 
 
 class SnippetCollector:
-    """Apply the collection filters of Section 6.1 to a Q&A corpus."""
+    """Apply the collection filters of Section 6.1 to a Q&A corpus.
 
-    def __init__(self, min_unique_keywords: int = 1):
+    With a shared :class:`~repro.core.artifacts.ArtifactStore`, the
+    parsability filter materializes each snippet's AST through the store,
+    so the downstream stages (CCD fingerprinting, CCC analysis) reuse the
+    parse instead of repeating it.
+    """
+
+    def __init__(self, min_unique_keywords: int = 1, store: Optional[ArtifactStore] = None):
         self.min_unique_keywords = min_unique_keywords
+        self.store = store
 
     def collect(self, corpus: QACorpus) -> CollectionResult:
         """Filter the corpus and compute the funnel statistics."""
@@ -119,9 +129,11 @@ class SnippetCollector:
             }
         return result
 
-    @staticmethod
-    def _parse_shape(text: str) -> str | None:
+    def _parse_shape(self, text: str) -> str | None:
         """Return the snippet shape (contract/function/statements) or ``None``."""
+        if self.store is not None:
+            unit = self.store.get(text).try_unit()
+            return unit.shape if unit is not None else None
         try:
             unit = parse_snippet(text)
         except (SolidityParseError, RecursionError):

@@ -19,18 +19,33 @@ from typing import Optional
 
 from repro.ccc.checker import ContractChecker
 from repro.ccc.dasp import DaspCategory
+from repro.core.artifacts import ArtifactStore
+from repro.core.executor import Executor
 from repro.datasets.corpus import DeployedContract, Snippet
 from repro.datasets.snippets import QACorpus
 from repro.pipeline.clone_mapping import CloneMapping, map_snippets_to_contracts
 from repro.pipeline.collection import CollectionResult, SnippetCollector, canonical_text
 from repro.pipeline.correlation import CorrelationResult, correlate_views_with_adoption
 from repro.pipeline.temporal import TemporalCategories, categorize_pairs
-from repro.pipeline.validation import ContractValidator, ValidationOutcome, ValidationSummary
+from repro.pipeline.validation import (
+    ContractValidator,
+    ValidationCandidate,
+    ValidationOutcome,
+    ValidationSummary,
+)
 
 
 @dataclass
 class StudyConfiguration:
-    """Tunable parameters of the study (the paper's Section 6.3 settings)."""
+    """Tunable parameters of the study (the paper's Section 6.3 settings).
+
+    The ``executor_backend`` / ``max_workers`` / ``chunk_size`` fields
+    select how the hot loops (corpus fingerprinting, snippet analysis,
+    contract validation) run: ``"serial"`` (default), ``"thread"``, or
+    ``"process"`` — see :mod:`repro.core.executor`.  All three backends
+    produce identical study results.  ``artifact_cache_size`` bounds the
+    shared parse-once :class:`~repro.core.artifacts.ArtifactStore`.
+    """
 
     ngram_size: int = 3
     ngram_threshold: float = 0.5
@@ -38,6 +53,11 @@ class StudyConfiguration:
     validation_timeout_seconds: float = 30.0
     snippet_analysis_timeout_seconds: float = 20.0
     restrict_to_source_snippets: bool = False
+    executor_backend: str = "serial"
+    max_workers: Optional[int] = None
+    chunk_size: int = 8
+    artifact_cache_size: int = 8192
+    fingerprint_block_size: int = 2
 
 
 @dataclass
@@ -116,27 +136,66 @@ class StudyResult:
 
 
 class VulnerableCodeReuseStudy:
-    """Orchestrates the full study on a Q&A corpus and a deployed-contract corpus."""
+    """Orchestrates the full study on a Q&A corpus and a deployed-contract corpus.
 
-    def __init__(self, configuration: Optional[StudyConfiguration] = None):
+    All stages share one parse-once :class:`~repro.core.artifacts.ArtifactStore`
+    (each unique source — snippet or contract — is parsed exactly once per
+    process) and run their hot loops through the configured
+    :class:`~repro.core.executor.Executor`.  A ``store`` or ``executor``
+    argument overrides the ones derived from the configuration.
+    """
+
+    def __init__(
+        self,
+        configuration: Optional[StudyConfiguration] = None,
+        store: Optional[ArtifactStore] = None,
+        executor: Optional[Executor] = None,
+    ):
         self.configuration = configuration if configuration is not None else StudyConfiguration()
-        self.checker = ContractChecker(timeout=self.configuration.snippet_analysis_timeout_seconds)
+        self.store = store if store is not None else ArtifactStore(
+            max_entries=self.configuration.artifact_cache_size,
+            ngram_size=self.configuration.ngram_size,
+            fingerprint_block_size=self.configuration.fingerprint_block_size,
+        )
+        self.executor = executor if executor is not None else Executor.create(
+            self.configuration.executor_backend,
+            max_workers=self.configuration.max_workers,
+            chunk_size=self.configuration.chunk_size,
+        )
+        self._owns_executor = executor is None
+        self.checker = ContractChecker(
+            timeout=self.configuration.snippet_analysis_timeout_seconds, store=self.store)
         self.validator = ContractValidator(
             timeout_seconds=self.configuration.validation_timeout_seconds,
-            checker=ContractChecker(),
+            checker=ContractChecker(store=self.store),
         )
+
+    # -- lifecycle -----------------------------------------------------------------
+    def close(self) -> None:
+        """Release executor workers (only those this study created)."""
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> "VulnerableCodeReuseStudy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- pipeline stages -----------------------------------------------------------
     def run(self, qa_corpus: QACorpus, contracts: list[DeployedContract]) -> StudyResult:
         """Run every stage of Figure 6 and return the aggregated results."""
         result = StudyResult()
-        result.collection = SnippetCollector().collect(qa_corpus)
+        result.collection = SnippetCollector(store=self.store).collect(qa_corpus)
         snippets = result.collection.snippets
         result.clone_mapping = map_snippets_to_contracts(
             snippets, contracts,
             ngram_size=self.configuration.ngram_size,
             ngram_threshold=self.configuration.ngram_threshold,
             similarity_threshold=self.configuration.similarity_threshold,
+            fingerprint_block_size=self.configuration.fingerprint_block_size,
+            store=self.store,
+            executor=self.executor,
         )
         result.temporal = categorize_pairs(snippets, contracts, result.clone_mapping)
         result.correlations = correlate_views_with_adoption(snippets, contracts, result.temporal)
@@ -145,8 +204,9 @@ class VulnerableCodeReuseStudy:
         return result
 
     def _identify_vulnerable_snippets(self, snippets: list[Snippet], result: StudyResult) -> None:
-        for snippet in snippets:
-            analysis = self.checker.analyze(snippet.text)
+        analyses = self.checker.analyze_many(
+            [snippet.text for snippet in snippets], executor=self.executor)
+        for snippet, analysis in zip(snippets, analyses):
             if analysis.timed_out:
                 result.snippet_timeouts += 1
             if not analysis.findings:
@@ -172,6 +232,7 @@ class VulnerableCodeReuseStudy:
             seen_sources.setdefault(key, address)
             result.unique_contract_keys[address] = key
         validated_pairs: set[tuple[str, str]] = set()
+        candidates: list[ValidationCandidate] = []
         for snippet_id, query_ids in result.vulnerable_snippets.items():
             addresses = group.get(snippet_id, [])
             for address in addresses:
@@ -181,11 +242,11 @@ class VulnerableCodeReuseStudy:
                 if pair in validated_pairs:
                     continue
                 validated_pairs.add(pair)
-                contract = contract_index[representative]
-                outcome = self.validator.validate(
+                candidates.append(ValidationCandidate(
                     address=representative,
-                    source=contract.source,
+                    source=contract_index[representative].source,
                     snippet_id=snippet_id,
-                    query_ids=query_ids,
-                )
-                result.validation.outcomes.append(outcome)
+                    query_ids=tuple(query_ids),
+                ))
+        outcomes = self.validator.validate_many(candidates, executor=self.executor)
+        result.validation.outcomes.extend(outcomes)

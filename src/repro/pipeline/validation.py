@@ -12,10 +12,23 @@ positive part of the search).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Optional, Sequence
 
 from repro.ccc.checker import AnalysisResult, ContractChecker
 from repro.ccc.dasp import DaspCategory
+from repro.core.artifacts import ArtifactStore, ArtifactStoreSpec, process_local_store
+from repro.core.executor import Executor
+
+
+@dataclass(frozen=True)
+class ValidationCandidate:
+    """One snippet/contract pair queued for validation (picklable)."""
+
+    address: str
+    source: str
+    snippet_id: str
+    query_ids: tuple[str, ...] = ()
 
 
 @dataclass
@@ -73,10 +86,11 @@ class ContractValidator:
         timeout_seconds: float = 1800.0,
         reduced_flow_depths: Sequence[int] = (24, 12, 6),
         checker: Optional[ContractChecker] = None,
+        store: Optional[ArtifactStore] = None,
     ):
         self.timeout_seconds = timeout_seconds
         self.reduced_flow_depths = tuple(reduced_flow_depths)
-        self.checker = checker if checker is not None else ContractChecker()
+        self.checker = checker if checker is not None else ContractChecker(store=store)
 
     def validate(
         self,
@@ -111,6 +125,39 @@ class ContractValidator:
         outcome.phase = 2
         return outcome
 
+    def validate_candidate(self, candidate: ValidationCandidate) -> ValidationOutcome:
+        """Validate one queued :class:`ValidationCandidate`."""
+        return self.validate(
+            address=candidate.address,
+            source=candidate.source,
+            snippet_id=candidate.snippet_id,
+            query_ids=candidate.query_ids,
+        )
+
+    def validate_many(
+        self,
+        candidates: Sequence[ValidationCandidate],
+        executor: Optional[Executor] = None,
+    ) -> list[ValidationOutcome]:
+        """Validate a batch of candidates, optionally fanning out over workers.
+
+        Outcomes are returned in input order.  Serial and thread backends
+        share this validator's checker (and artifact store); the process
+        backend rebuilds an equivalent validator inside each worker and
+        rehydrates contract artifacts from source there.
+        """
+        candidates = list(candidates)
+        if executor is None:
+            return [self.validate_candidate(candidate) for candidate in candidates]
+        if executor.supports_shared_state:
+            return executor.map_batches(self.validate_candidate, candidates)
+        task = partial(_validate_task, _ValidationTaskSpec(
+            timeout_seconds=self.timeout_seconds,
+            reduced_flow_depths=self.reduced_flow_depths,
+            store_spec=self.checker.store.spec if self.checker.store is not None else None,
+        ))
+        return executor.map_batches(task, candidates)
+
     # -- helpers -------------------------------------------------------------
     def _run(
         self,
@@ -134,3 +181,23 @@ class ContractValidator:
         confirmed = sorted(result.query_ids())
         outcome.confirmed_queries = tuple(confirmed)
         outcome.vulnerable = bool(confirmed)
+
+
+@dataclass(frozen=True)
+class _ValidationTaskSpec:
+    """Picklable description of one validator configuration."""
+
+    timeout_seconds: float
+    reduced_flow_depths: tuple[int, ...]
+    store_spec: Optional[ArtifactStoreSpec]
+
+
+def _validate_task(spec: _ValidationTaskSpec, candidate: ValidationCandidate) -> ValidationOutcome:
+    """Validate one candidate inside a process-backend worker."""
+    store = process_local_store(spec.store_spec) if spec.store_spec is not None else None
+    validator = ContractValidator(
+        timeout_seconds=spec.timeout_seconds,
+        reduced_flow_depths=spec.reduced_flow_depths,
+        checker=ContractChecker(store=store),
+    )
+    return validator.validate_candidate(candidate)

@@ -1,0 +1,175 @@
+"""Tests for the parse-once artifact store (repro.core.artifacts)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.ccd.fingerprint import FingerprintGenerator
+from repro.ccd.ngram_index import ngrams
+from repro.core.artifacts import (
+    ArtifactStore,
+    ArtifactStoreSpec,
+    content_key,
+    process_local_store,
+)
+from repro.solidity.errors import SolidityParseError
+
+WALLET = """
+contract Wallet {
+    mapping(address => uint) balances;
+    function withdraw(uint amount) public {
+        require(balances[msg.sender] >= amount);
+        msg.sender.call.value(amount)();
+        balances[msg.sender] -= amount;
+    }
+}
+"""
+
+TOKEN = """
+contract Token {
+    mapping(address => uint) balances;
+    function transfer(address to, uint value) public {
+        balances[msg.sender] -= value;
+        balances[to] += value;
+    }
+}
+"""
+
+GARBAGE = "this is prose, definitely not solidity === ;;; <<<>>>"
+
+
+class TestContentKey:
+    def test_identical_sources_share_a_key(self):
+        assert content_key(WALLET) == content_key(str(WALLET))
+
+    def test_distinct_sources_get_distinct_keys(self):
+        assert content_key(WALLET) != content_key(TOKEN)
+        # content hashing is exact: whitespace variants are different entries
+        assert content_key(WALLET) != content_key(WALLET + " ")
+
+
+class TestCacheBehaviour:
+    def test_hit_miss_counting_and_identity(self):
+        store = ArtifactStore()
+        first = store.get(WALLET)
+        again = store.get(WALLET)
+        assert first is again
+        assert store.stats.misses == 1
+        assert store.stats.hits == 1
+        assert store.stats.hit_rate == 0.5
+        # equal content in a distinct str object still hits
+        assert store.get("".join(WALLET)) is first
+        assert store.stats.hits == 2
+
+    def test_parse_happens_at_most_once(self):
+        store = ArtifactStore()
+        artifact = store.get(WALLET)
+        unit = artifact.unit
+        assert artifact.unit is unit
+        assert store.stats.parse_calls == 1
+        # the fingerprint and CPG derive from the cached AST — no re-parse
+        fingerprint = artifact.fingerprint
+        graph = artifact.graph
+        assert store.stats.parse_calls == 1
+        assert store.stats.fingerprint_builds == 1
+        assert store.stats.cpg_builds == 1
+        assert artifact.fingerprint is fingerprint
+        assert artifact.graph is graph
+        assert store.stats.fingerprint_builds == 1
+        assert store.stats.cpg_builds == 1
+
+    def test_fingerprint_matches_direct_generation(self):
+        store = ArtifactStore()
+        artifact = store.get(WALLET)
+        direct = FingerprintGenerator().from_source(WALLET)
+        assert artifact.fingerprint.text == direct.text
+        assert artifact.fingerprint.contracts == direct.contracts
+
+    def test_ngrams_match_fingerprint_text(self):
+        store = ArtifactStore(ngram_size=3)
+        artifact = store.get(WALLET)
+        assert artifact.ngrams == frozenset(ngrams(artifact.fingerprint.text, 3))
+
+    def test_parse_failures_are_cached(self):
+        store = ArtifactStore()
+        artifact = store.get(GARBAGE)
+        with pytest.raises(SolidityParseError):
+            artifact.unit
+        with pytest.raises(SolidityParseError):
+            artifact.unit
+        assert store.stats.parse_calls == 1
+        assert artifact.try_unit() is None
+        assert not artifact.parse_ok
+        assert artifact.parse_error
+        with pytest.raises(SolidityParseError):
+            artifact.fingerprint
+        with pytest.raises(SolidityParseError):
+            artifact.graph
+        assert store.stats.parse_calls == 1
+
+    def test_thread_safety_single_parse(self):
+        store = ArtifactStore()
+        artifact = store.get(WALLET)
+        barrier = threading.Barrier(8)
+
+        def materialize():
+            barrier.wait()
+            artifact.unit
+            artifact.fingerprint
+
+        threads = [threading.Thread(target=materialize) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.stats.parse_calls == 1
+        assert store.stats.fingerprint_builds == 1
+
+
+class TestLRUEviction:
+    def test_least_recently_used_is_evicted_first(self):
+        store = ArtifactStore(max_entries=2)
+        store.get(WALLET)
+        store.get(TOKEN)
+        # touch WALLET so TOKEN becomes least recently used
+        store.get(WALLET)
+        store.get(GARBAGE)
+        assert store.stats.evictions == 1
+        assert len(store) == 2
+        assert WALLET in store
+        assert GARBAGE in store
+        assert TOKEN not in store
+        # re-requesting the evicted entry is a miss again
+        misses = store.stats.misses
+        store.get(TOKEN)
+        assert store.stats.misses == misses + 1
+
+    def test_evicted_artifacts_stay_usable(self):
+        store = ArtifactStore(max_entries=1)
+        wallet = store.get(WALLET)
+        store.get(TOKEN)
+        assert WALLET not in store
+        assert wallet.fingerprint.text  # still materializes after eviction
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ArtifactStore(max_entries=0)
+
+
+class TestSpec:
+    def test_spec_roundtrip(self):
+        store = ArtifactStore(max_entries=7, ngram_size=5,
+                              fingerprint_block_size=3, fingerprint_window=6)
+        spec = store.spec
+        rebuilt = spec.build()
+        assert rebuilt.max_entries == 7
+        assert rebuilt.ngram_size == 5
+        assert rebuilt.generator.hasher.block_size == 3
+        assert rebuilt.generator.hasher.window == 6
+
+    def test_process_local_store_is_cached_per_spec(self):
+        spec = ArtifactStoreSpec(ngram_size=5)
+        assert process_local_store(spec) is process_local_store(ArtifactStoreSpec(ngram_size=5))
+        assert process_local_store(spec) is not process_local_store(ArtifactStoreSpec(ngram_size=7))

@@ -1,0 +1,154 @@
+"""Tests for the serial/thread/process execution backends (repro.core.executor)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.ccc.checker import ContractChecker
+from repro.ccd.detector import CloneDetector
+from repro.core.artifacts import ArtifactStore
+from repro.core.executor import (
+    BACKENDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+
+REENTRANT = """
+contract Bank {
+    mapping(address => uint) balances;
+    function withdraw(uint amount) public {
+        require(balances[msg.sender] >= amount);
+        msg.sender.call.value(amount)();
+        balances[msg.sender] -= amount;
+    }
+}
+"""
+
+SAFE = """
+contract Safe {
+    uint value;
+    function set(uint v) public { value = v; }
+}
+"""
+
+CORPUS = [
+    ("reentrant", REENTRANT),
+    ("safe", SAFE),
+    ("reentrant-copy", REENTRANT),
+    ("garbage", "not solidity at all ==="),
+    ("suicidal", "contract Kill { function die() public { selfdestruct(msg.sender); } }"),
+]
+
+
+def _square(value: int) -> int:
+    """Module-level so the process backend can pickle it."""
+    return value * value
+
+
+class TestFactory:
+    def test_create_each_backend(self):
+        assert isinstance(Executor.create("serial"), SerialExecutor)
+        assert isinstance(Executor.create("thread"), ThreadExecutor)
+        assert isinstance(Executor.create("process"), ProcessExecutor)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError):
+            Executor.create("gpu")
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            Executor.create("serial", chunk_size=0)
+        with pytest.raises(ValueError):
+            Executor.create("thread", max_workers=0)
+
+    def test_shared_state_flags(self):
+        assert SerialExecutor().supports_shared_state
+        assert ThreadExecutor().supports_shared_state
+        assert not ProcessExecutor().supports_shared_state
+
+
+class TestMapping:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_map_preserves_order(self, backend):
+        with Executor.create(backend, max_workers=2) as executor:
+            assert executor.map(_square, range(17)) == [n * n for n in range(17)]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("chunk_size", [1, 3, 100])
+    def test_map_batches_matches_map(self, backend, chunk_size):
+        with Executor.create(backend, max_workers=2) as executor:
+            expected = [n * n for n in range(11)]
+            assert executor.map_batches(_square, range(11), chunk_size=chunk_size) == expected
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_input(self, backend):
+        with Executor.create(backend) as executor:
+            assert executor.map(_square, []) == []
+            assert executor.map_batches(_square, []) == []
+
+    def test_close_is_idempotent_and_reusable(self):
+        executor = ThreadExecutor(max_workers=1)
+        assert executor.map(_square, [2]) == [4]
+        executor.close()
+        executor.close()
+        # a fresh pool is created lazily after close
+        assert executor.map(_square, [3]) == [9]
+        executor.close()
+
+
+class TestAnalysisParity:
+    """Serial, thread, and process backends must produce identical results."""
+
+    def _sources(self):
+        return [source for _, source in CORPUS]
+
+    def test_checker_analyze_many_parity(self):
+        store = ArtifactStore()
+        checker = ContractChecker(store=store)
+        baseline = checker.analyze_many(self._sources())
+        for backend in ("thread", "process"):
+            with Executor.create(backend, max_workers=2, chunk_size=2) as executor:
+                results = checker.analyze_many(self._sources(), executor=executor)
+            assert [r.parse_error for r in results] == [r.parse_error for r in baseline]
+            assert [sorted(r.query_ids()) for r in results] == \
+                   [sorted(r.query_ids()) for r in baseline]
+            assert [r.findings for r in results] == [r.findings for r in baseline]
+
+    def test_detector_add_corpus_parity(self):
+        baseline = CloneDetector()
+        baseline.add_corpus(CORPUS)
+        for backend in BACKENDS:
+            detector = CloneDetector(store=ArtifactStore())
+            with Executor.create(backend, max_workers=2, chunk_size=2) as executor:
+                added = detector.add_corpus(CORPUS, executor=executor)
+            assert added == len(baseline)
+            assert set(detector.fingerprints) == set(baseline.fingerprints)
+            assert {doc: fp.text for doc, fp in detector.fingerprints.items()} == \
+                   {doc: fp.text for doc, fp in baseline.fingerprints.items()}
+            assert detector.parse_failures == baseline.parse_failures
+
+    def test_detector_find_clones_many_parity(self):
+        queries = [("q-reentrant", REENTRANT), ("q-garbage", "prose, not code ===")]
+        baseline = CloneDetector(similarity_threshold=0.8)
+        baseline.add_corpus(CORPUS)
+        expected = baseline.find_clones_many(queries)
+        assert expected[0][1], "reentrant query should match the indexed corpus"
+        assert expected[1][1] is None
+        for backend in BACKENDS:
+            detector = CloneDetector(similarity_threshold=0.8, store=ArtifactStore())
+            detector.add_corpus(CORPUS)
+            with Executor.create(backend, max_workers=2, chunk_size=1) as executor:
+                results = detector.find_clones_many(queries, executor=executor)
+            assert results == expected
+
+
+@pytest.mark.skipif(os.name != "posix", reason="process backend exercised on POSIX only")
+def test_process_pool_is_lazy():
+    executor = ProcessExecutor(max_workers=1)
+    assert executor._pool is None
+    executor.close()
+    assert executor._pool is None

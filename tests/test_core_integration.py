@@ -1,0 +1,107 @@
+"""Integration tests for the shared analysis core across the full study.
+
+Acceptance criteria of the core refactor:
+
+* ``VulnerableCodeReuseStudy.run`` parses each unique source exactly once
+  end-to-end (asserted via the shared store's stats counters),
+* the study produces identical results under the serial, thread, and
+  process executors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.artifacts import ArtifactStore
+from repro.core.executor import BACKENDS
+from repro.datasets.sanctuary import generate_sanctuary
+from repro.datasets.snippets import generate_qa_corpus
+from repro.pipeline import StudyConfiguration, VulnerableCodeReuseStudy
+
+
+@pytest.fixture(scope="module")
+def small_corpora():
+    qa_corpus = generate_qa_corpus(
+        seed=3, posts_per_site={"stackoverflow": 10, "ethereum.stackexchange": 20})
+    sanctuary = generate_sanctuary(qa_corpus, seed=11, independent_contracts=10)
+    return qa_corpus, sanctuary.contracts
+
+
+def _study_tables(result):
+    """Everything comparable that feeds Tables 4–8."""
+    return {
+        "funnel": result.funnel(),
+        "dasp": result.dasp_distribution(),
+        "vulnerable_snippets": result.vulnerable_snippets,
+        "snippet_categories": result.snippet_categories,
+        "snippet_timeouts": result.snippet_timeouts,
+        "collection": result.collection.total_funnel.as_row(),
+        "clone_matches": result.clone_mapping.matches,
+        "unique_contract_keys": result.unique_contract_keys,
+        "outcomes": [
+            (o.address, o.snippet_id, o.expected_queries, o.vulnerable,
+             o.confirmed_queries, o.timed_out, o.analysis_error, o.phase)
+            for o in result.validation.outcomes
+        ],
+    }
+
+
+class TestParseOnce:
+    def test_study_parses_each_unique_source_exactly_once(self, small_corpora):
+        qa_corpus, contracts = small_corpora
+        store = ArtifactStore()
+        with VulnerableCodeReuseStudy(StudyConfiguration(), store=store) as study:
+            study.run(qa_corpus, contracts)
+        stats = store.stats
+        # every cache miss creates one artifact, and only artifact misses
+        # may parse: parse_calls == misses <=> no source parsed twice
+        assert stats.evictions == 0
+        assert stats.parse_calls == stats.misses == len(store)
+        # the stages genuinely share artifacts (collection, CCD, CCC, and
+        # validation all touch overlapping sources)
+        assert stats.hits > 0
+        assert stats.hit_rate > 0.3
+        # CPGs and fingerprints are also built at most once per source
+        assert stats.cpg_builds <= stats.misses
+        assert stats.fingerprint_builds <= stats.misses
+
+    def test_rerunning_the_study_reuses_the_store(self, small_corpora):
+        qa_corpus, contracts = small_corpora
+        store = ArtifactStore()
+        with VulnerableCodeReuseStudy(StudyConfiguration(), store=store) as study:
+            study.run(qa_corpus, contracts)
+            parse_calls_after_first = store.stats.parse_calls
+            study.run(qa_corpus, contracts)
+        # the second run is answered entirely from cache
+        assert store.stats.parse_calls == parse_calls_after_first
+
+
+class TestConfigurationPlumbing:
+    def test_nondefault_fingerprint_block_size_reaches_the_detector(self, small_corpora):
+        qa_corpus, contracts = small_corpora
+        configuration = StudyConfiguration(fingerprint_block_size=3)
+        with VulnerableCodeReuseStudy(configuration) as study:
+            result = study.run(qa_corpus, contracts)
+        assert result.clone_mapping is not None
+        assert study.store.generator.hasher.block_size == 3
+
+
+class TestExecutorParity:
+    def test_identical_study_results_across_backends(self, small_corpora):
+        qa_corpus, contracts = small_corpora
+        tables = {}
+        for backend in BACKENDS:
+            configuration = StudyConfiguration(
+                executor_backend=backend, max_workers=2, chunk_size=4)
+            with VulnerableCodeReuseStudy(configuration) as study:
+                tables[backend] = _study_tables(study.run(qa_corpus, contracts))
+        assert tables["thread"] == tables["serial"]
+        assert tables["process"] == tables["serial"]
+
+    def test_thread_backend_shares_the_parse_once_store(self, small_corpora):
+        qa_corpus, contracts = small_corpora
+        store = ArtifactStore()
+        configuration = StudyConfiguration(executor_backend="thread", max_workers=4)
+        with VulnerableCodeReuseStudy(configuration, store=store) as study:
+            study.run(qa_corpus, contracts)
+        assert store.stats.parse_calls == store.stats.misses
