@@ -11,11 +11,19 @@ analysis core so that serial and parallel wall-clock can be compared
 (``--benchmark-group-by=func`` groups them side by side).  On a single-core
 runner the thread/process rows mostly measure dispatch overhead; the
 assertion is parity of results, not speedup.
+
+A second parametrization compares disk-cache temperature: the ``cold``
+row runs against an empty :class:`~repro.core.persistence.DiskArtifactStore`
+directory, the ``warm`` row reruns the identical study against the cache
+the cold run left behind and asserts the headline guarantee — **zero
+parses** — while producing an identical funnel.  The terminal summary
+reports memory- and disk-tier hit rates for every registered store.
 """
 
 import pytest
 
 from repro.core.artifacts import ArtifactStore
+from repro.core.persistence import DiskArtifactStore
 from repro.datasets.sanctuary import generate_sanctuary
 from repro.datasets.snippets import generate_qa_corpus
 from repro.pipeline import StudyConfiguration, VulnerableCodeReuseStudy
@@ -56,3 +64,53 @@ def test_fig6_end_to_end_study(benchmark, backend, fig6_corpora, artifact_stats_
     assert funnel["vulnerable_contracts"] >= 0.5 * max(funnel["validated_contracts"], 1)
     # the shared store keeps the parse-once guarantee during the whole study
     assert store.stats.parse_calls == store.stats.misses
+
+
+@pytest.fixture(scope="module")
+def fig6_cache_dir(tmp_path_factory):
+    """One cache directory shared by the cold and warm disk-cache rows."""
+    return tmp_path_factory.mktemp("fig6-disk-cache")
+
+
+@pytest.mark.parametrize("temperature", ["cold", "warm"])
+def test_fig6_disk_cache_cold_vs_warm(benchmark, temperature, fig6_corpora,
+                                      fig6_cache_dir, artifact_stats_registry):
+    """Cold-vs-warm study wall clock against a persistent artifact cache.
+
+    Parametrization order matters and pytest preserves it: ``cold``
+    populates the cache directory, ``warm`` reruns the identical study
+    against it.  The warm run must not parse, translate, or fingerprint
+    anything — every artifact hydrates from the SQLite tier.
+    """
+    qa_corpus, contracts = fig6_corpora
+
+    def run_study():
+        store = DiskArtifactStore(fig6_cache_dir)
+        with VulnerableCodeReuseStudy(
+            StudyConfiguration(validation_timeout_seconds=15,
+                               snippet_analysis_timeout_seconds=10),
+            store=store,
+        ) as study:
+            result = study.run(qa_corpus, contracts)
+        store.close()
+        return store, result
+
+    store, result = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    artifact_stats_registry.append((f"fig6 disk cache [{temperature}]", store.stats))
+    funnel = result.funnel()
+    print()
+    print(f"pipeline funnel [disk cache {temperature}]: {funnel}")
+    print(f"disk tier [{temperature}]: {store.stats.disk_hits} hits, "
+          f"{store.stats.disk_writes} writes "
+          f"({store.stats.disk_hit_rate:.1%} hit rate)")
+
+    assert funnel["vulnerable_contracts"] > 0
+    if temperature == "cold":
+        assert store.stats.parse_calls > 0
+        assert store.stats.disk_writes > 0
+    else:
+        # the headline guarantee: a warm rerun performs zero parses
+        assert store.stats.parse_calls == 0
+        assert store.stats.cpg_builds == 0
+        assert store.stats.fingerprint_builds == 0
+        assert store.stats.disk_hits > 0

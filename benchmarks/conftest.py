@@ -21,6 +21,7 @@ from repro.datasets.sanctuary import generate_sanctuary
 from repro.datasets.smartbugs import generate_smartbugs_corpus
 from repro.datasets.snippets import generate_qa_corpus
 from repro.pipeline import StudyConfiguration, VulnerableCodeReuseStudy
+from repro.pipeline.report import render_cache_stats
 
 #: (label, ArtifactStoreStats) pairs registered during the benchmark session
 _ARTIFACT_STATS: list[tuple[str, object]] = []
@@ -38,10 +39,7 @@ def pytest_terminal_summary(terminalreporter):
     terminalreporter.section("artifact cache hit rate")
     total_lookups = total_hits = total_parses = 0
     for label, stats in _ARTIFACT_STATS:
-        terminalreporter.write_line(
-            f"{label}: {stats.hits}/{stats.lookups} hits "
-            f"({stats.hit_rate:.1%}), {stats.parse_calls} parses, "
-            f"{stats.cpg_builds} CPG builds, {stats.fingerprint_builds} fingerprints")
+        terminalreporter.write_line(render_cache_stats(stats, label=label))
         total_lookups += stats.lookups
         total_hits += stats.hits
         total_parses += stats.parse_calls

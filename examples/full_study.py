@@ -6,60 +6,44 @@ filtering, two-phase validation), and prints the funnel (Table 7), the
 DASP distribution (Table 6), and the popularity correlations (Table 5).
 
 All stages share a parse-once :class:`~repro.core.artifacts.ArtifactStore`
-and run their hot loops through a configurable executor backend.
+and run their hot loops through a configurable executor backend.  With a
+cache directory, the store is a disk-backed
+:class:`~repro.core.persistence.DiskArtifactStore` — run the script twice
+with the same directory and the second run performs zero parses.
 
-Run with ``python examples/full_study.py [serial|thread|process]``.
+Run with ``python examples/full_study.py [serial|thread|process] [cache-dir]``.
 """
 
 import sys
 
-from repro.core import ArtifactStore
+from repro.core.persistence import DiskArtifactStore
 from repro.datasets.sanctuary import generate_sanctuary
 from repro.datasets.snippets import generate_qa_corpus
 from repro.pipeline import StudyConfiguration, VulnerableCodeReuseStudy
-from repro.pipeline.report import render_table
+from repro.pipeline.report import render_cache_stats, render_study_report
 
 
 def main() -> None:
     backend = sys.argv[1] if len(sys.argv) > 1 else "serial"
+    cache_dir = sys.argv[2] if len(sys.argv) > 2 else None
     qa_corpus = generate_qa_corpus(
         seed=3, posts_per_site={"stackoverflow": 60, "ethereum.stackexchange": 150})
     sanctuary = generate_sanctuary(qa_corpus, seed=11, independent_contracts=60)
 
-    store = ArtifactStore()
-    with VulnerableCodeReuseStudy(StudyConfiguration(
-            ngram_size=3, ngram_threshold=0.5, similarity_threshold=0.9,
-            validation_timeout_seconds=30.0, snippet_analysis_timeout_seconds=15.0,
-            executor_backend=backend), store=store) as study:
+    configuration = StudyConfiguration(
+        ngram_size=3, ngram_threshold=0.5, similarity_threshold=0.9,
+        validation_timeout_seconds=30.0, snippet_analysis_timeout_seconds=15.0,
+        executor_backend=backend, artifact_cache_dir=cache_dir)
+    with VulnerableCodeReuseStudy(configuration) as study:
         result = study.run(qa_corpus, sanctuary.contracts)
-
-    funnel = result.funnel()
-    print(render_table(["Stage", "Count"], list(funnel.items()),
-                       title="Pipeline funnel (Table 7)"))
-
-    print()
-    distribution = result.dasp_distribution()
-    print(render_table(["Vulnerability Category", "Snippets", "Contracts"],
-                       [[category.value, counts["snippets"], counts["contracts"]]
-                        for category, counts in distribution.items()],
-                       title="DASP distribution (Table 6)"))
-
-    print()
-    print(render_table(["Group", "Sample", "Spearman rho", "p-value"],
-                       [[c.category, c.sample_size, round(c.rho, 3), f"{c.p_value:.3g}"]
-                        for c in result.correlations],
-                       title="Views vs adoption (Table 5)"))
-
-    print()
-    print(f"validation: {result.validation.attempted} pairs attempted, "
-          f"{result.validation.completed} completed "
-          f"({result.validation.completed_phase1} in phase 1), "
-          f"{result.validation.vulnerable} confirmed vulnerable")
-
-    stats = store.stats
-    print(f"artifact cache [{backend}]: {stats.hits}/{stats.lookups} hits "
-          f"({stats.hit_rate:.1%}) — {stats.parse_calls} parses, "
-          f"{stats.cpg_builds} CPG builds, {stats.fingerprint_builds} fingerprints")
+        print(render_study_report(result), end="")
+        print()
+        print(render_cache_stats(study.store.stats,
+                                 label=f"artifact cache [{backend}]"))
+        if isinstance(study.store, DiskArtifactStore):
+            print(f"(rerun with the same cache directory {cache_dir!r} "
+                  f"for a zero-parse warm start)")
+            study.store.close()
 
 
 if __name__ == "__main__":

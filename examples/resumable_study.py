@@ -1,0 +1,72 @@
+"""Kill-and-resume demo: a checkpointed study survives its process.
+
+Runs the study with a :class:`~repro.pipeline.checkpoint.StudyCheckpoint`
+and simulates a hard kill halfway through the CCC checking stage, then
+resumes from the checkpoint directory and verifies the final report is
+byte-identical to an uninterrupted reference run.
+
+This is the library-level equivalent of::
+
+    repro study run --checkpoint out/study     # ... killed with ^C ...
+    repro study resume --checkpoint out/study
+
+Run with ``python examples/resumable_study.py [checkpoint-dir]``.
+"""
+
+import sys
+import tempfile
+
+from repro.datasets.sanctuary import generate_sanctuary
+from repro.datasets.snippets import generate_qa_corpus
+from repro.pipeline import (
+    StudyCheckpoint,
+    StudyConfiguration,
+    VulnerableCodeReuseStudy,
+    render_study_report,
+)
+
+
+class SimulatedKill(Exception):
+    """Stands in for SIGKILL: aborts the run between two durable chunks."""
+
+
+def main() -> None:
+    directory = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(prefix="study-ck-")
+    qa_corpus = generate_qa_corpus(
+        seed=3, posts_per_site={"stackoverflow": 30, "ethereum.stackexchange": 70})
+    sanctuary = generate_sanctuary(qa_corpus, seed=11, independent_contracts=30)
+    configuration = StudyConfiguration(
+        validation_timeout_seconds=15.0, snippet_analysis_timeout_seconds=10.0,
+        checkpoint_chunk_size=16)
+
+    def killer(stage: str, done: int, total: int) -> None:
+        print(f"  [{stage}] chunk {done}/{total}")
+        if stage == "checking" and done == 2:
+            raise SimulatedKill()
+
+    print(f"running with checkpoint {directory} (will die mid-checking) ...")
+    try:
+        with VulnerableCodeReuseStudy(configuration) as study:
+            study.run(qa_corpus, sanctuary.contracts,
+                      checkpoint=StudyCheckpoint(directory), progress=killer)
+    except SimulatedKill:
+        states = {row["stage"]: row["state"] for row in StudyCheckpoint(directory).summary()}
+        print(f"killed. checkpoint state: {states}")
+
+    print("resuming from the checkpoint directory ...")
+    with VulnerableCodeReuseStudy(configuration) as study:
+        resumed = study.run(qa_corpus, sanctuary.contracts,
+                            checkpoint=StudyCheckpoint(directory))
+
+    print("reference run (uninterrupted, no checkpoint) ...")
+    with VulnerableCodeReuseStudy(configuration) as study:
+        reference = study.run(qa_corpus, sanctuary.contracts)
+
+    identical = render_study_report(resumed) == render_study_report(reference)
+    print(f"resumed report byte-identical to uninterrupted run: {identical}")
+    print()
+    print(render_study_report(resumed), end="")
+
+
+if __name__ == "__main__":
+    main()

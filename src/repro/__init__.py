@@ -7,12 +7,14 @@ Layer map (see README.md for the full architecture):
 * :mod:`repro.ccd` — contract clone detection (normalize → fingerprint →
   N-gram pre-filter → order-independent similarity),
 * :mod:`repro.ccc` — CPG-based vulnerability checker (17 DASP queries),
-* :mod:`repro.pipeline` — the end-to-end study (Figure 6),
-* :mod:`repro.core` — shared parse-once artifact store and serial /
-  thread / process batch executors,
+* :mod:`repro.pipeline` — the end-to-end study (Figure 6), checkpointable
+  and resumable,
+* :mod:`repro.core` — shared parse-once artifact store (in-memory and
+  disk-backed) and serial / thread / process batch executors,
+* :mod:`repro.cli` — the ``repro`` console script (index / study / cache),
 * :mod:`repro.datasets`, :mod:`repro.baselines`, :mod:`repro.metrics`,
   :mod:`repro.evaluation`, :mod:`repro.query` — corpora, baseline tools,
   metrics, and evaluation harnesses.
 """
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"

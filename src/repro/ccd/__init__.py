@@ -18,6 +18,7 @@ of smart contracts (Section 5 of the paper).  The pipeline is
 from repro.ccd.detector import CloneDetector, CloneMatch
 from repro.ccd.fingerprint import Fingerprint, FingerprintGenerator
 from repro.ccd.fuzzyhash import FuzzyHasher, fuzzy_hash_tokens
+from repro.ccd.index_io import IndexFormatError, load_index, save_index
 from repro.ccd.ngram_index import NGramIndex
 from repro.ccd.normalizer import NormalizedContract, NormalizedFunction, NormalizedUnit, Normalizer
 from repro.ccd.similarity import edit_distance, order_independent_similarity, sub_fingerprint_similarity
@@ -28,6 +29,7 @@ __all__ = [
     "Fingerprint",
     "FingerprintGenerator",
     "FuzzyHasher",
+    "IndexFormatError",
     "NGramIndex",
     "NormalizedContract",
     "NormalizedFunction",
@@ -35,6 +37,8 @@ __all__ = [
     "Normalizer",
     "edit_distance",
     "fuzzy_hash_tokens",
+    "load_index",
     "order_independent_similarity",
+    "save_index",
     "sub_fingerprint_similarity",
 ]

@@ -89,6 +89,7 @@ class CloneDetector:
         ngram_threshold: float = 0.5,
         similarity_threshold: float = 0.7,
         fingerprint_block_size: int = 2,
+        fingerprint_window: int = 4,
         store: Optional["core_artifacts.ArtifactStore"] = None,
     ):
         if store is not None:
@@ -99,12 +100,17 @@ class CloneDetector:
                 raise ValueError(
                     f"store fingerprint block size {store.generator.hasher.block_size} "
                     f"!= detector fingerprint_block_size {fingerprint_block_size}")
+            if store.generator.hasher.window != fingerprint_window:
+                raise ValueError(
+                    f"store fingerprint window {store.generator.hasher.window} "
+                    f"!= detector fingerprint_window {fingerprint_window}")
         self.ngram_size = ngram_size
         self.ngram_threshold = ngram_threshold
         self.similarity_threshold = similarity_threshold
         self.store = store
         self.generator = store.generator if store is not None \
-            else FingerprintGenerator(block_size=fingerprint_block_size)
+            else FingerprintGenerator(block_size=fingerprint_block_size,
+                                      window=fingerprint_window)
         self.index = NGramIndex(ngram_size=ngram_size)
         self.fingerprints: dict[Hashable, Fingerprint] = {}
         self.parse_failures: list[Hashable] = []
@@ -251,6 +257,30 @@ class CloneDetector:
                 for fingerprint in fingerprints
             ]
         return [(query_id, matches) for (query_id, _), matches in zip(queries, results)]
+
+    # -- persistence ------------------------------------------------------------
+    def save_index(self, directory, shards: int = 1) -> dict:
+        """Persist the indexed corpus so it can be reloaded without re-parsing.
+
+        Shards the per-document fingerprints and N-gram sets by hash
+        prefix into ``directory`` (see :mod:`repro.ccd.index_io`); returns
+        the written manifest.
+        """
+        from repro.ccd.index_io import save_index
+
+        return save_index(self, directory, shards=shards)
+
+    @classmethod
+    def load(cls, directory, store=None, strict: bool = True) -> "CloneDetector":
+        """Rebuild a detector from a saved index — zero parses.
+
+        The detector configuration (N-gram size, thresholds, fuzzy-hash
+        parameters) comes from the index manifest; ``store`` optionally
+        attaches a shared artifact store with a matching configuration.
+        """
+        from repro.ccd.index_io import load_index
+
+        return load_index(directory, store=store, strict=strict)
 
     def similarity(self, first_id: Hashable, second_id: Hashable) -> float:
         """Order-independent similarity between two indexed documents."""

@@ -1,0 +1,173 @@
+"""Serialization of an indexed CCD corpus: save, shard, and reload.
+
+Indexing a large contract corpus is the expensive half of clone detection
+(every contract is parsed, normalized, and fuzzy-hashed).  This module
+persists the *result* of that work — the per-document fingerprints and
+N-gram sets — so a :class:`~repro.ccd.detector.CloneDetector` can be
+reloaded and answer queries **without re-parsing a single contract**.
+
+Layout of a saved index directory::
+
+    index.json       manifest: format version, detector configuration,
+                     shard count, document/parse-failure counts
+    shard-0000.pkl   pickled list of (document_id, Fingerprint, grams)
+    shard-0001.pkl   ...
+
+Documents are distributed over shards by the SHA-256 prefix of their
+document id, so a fixed corpus always produces the same shard layout
+(stable, diffable) and shards can be regenerated or distributed
+independently.  All files are written atomically
+(:func:`repro.core.persistence.atomic_write_bytes`), so a killed save
+never leaves a torn shard behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Hashable, Optional, Union
+
+from repro.ccd.detector import CloneDetector
+from repro.core.fileio import dump_json, dump_pickle, try_load_json, try_load_pickle
+
+#: bump when the manifest or shard payload layout changes
+INDEX_FORMAT_VERSION = 1
+
+MANIFEST_NAME = "index.json"
+
+PARSE_FAILURES_NAME = "parse-failures.pkl"
+
+
+class IndexFormatError(ValueError):
+    """A saved index is missing, truncated, or incompatible."""
+
+
+def shard_of(document_id: Hashable, shards: int) -> int:
+    """The shard a document belongs to, by SHA-256 prefix of its id.
+
+    The first 8 hex digits of the hash are reduced modulo ``shards``;
+    using a prefix of a cryptographic hash keeps shard sizes balanced for
+    any id scheme (addresses, snippet ids, integers).
+    """
+    digest = hashlib.sha256(repr(document_id).encode("utf-8", "replace")).hexdigest()
+    return int(digest[:8], 16) % shards
+
+
+def _shard_path(directory: Path, index: int) -> Path:
+    return directory / f"shard-{index:04d}.pkl"
+
+
+def save_index(
+    detector: CloneDetector,
+    directory: Union[str, Path],
+    shards: int = 1,
+) -> dict:
+    """Persist a detector's indexed corpus to ``directory``; returns the manifest.
+
+    Only corpus state (fingerprints, N-gram sets, parse failures) is
+    saved; thresholds are recorded in the manifest as defaults for
+    :func:`load_index` but can be overridden at query time as usual.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    buckets: list[list[tuple]] = [[] for _ in range(shards)]
+    for document_id, fingerprint in detector.fingerprints.items():
+        buckets[shard_of(document_id, shards)].append(
+            (document_id, fingerprint, detector.index.grams_for(document_id)))
+    for index, bucket in enumerate(buckets):
+        dump_pickle(_shard_path(directory, index), bucket)
+    # a re-save with fewer shards must not leave stale shards behind
+    for stale in directory.glob("shard-*.pkl"):
+        try:
+            if int(stale.stem.split("-", 1)[1]) >= shards:
+                stale.unlink()
+        except (ValueError, OSError):
+            continue
+    # pickled (not JSON) so document-id types and recording order survive
+    dump_pickle(directory / PARSE_FAILURES_NAME, list(detector.parse_failures))
+    manifest = {
+        "format_version": INDEX_FORMAT_VERSION,
+        "shards": shards,
+        "documents": len(detector.fingerprints),
+        "parse_failures": len(detector.parse_failures),
+        "configuration": {
+            "ngram_size": detector.ngram_size,
+            "ngram_threshold": detector.ngram_threshold,
+            "similarity_threshold": detector.similarity_threshold,
+            "fingerprint_block_size": detector.generator.hasher.block_size,
+            "fingerprint_window": detector.generator.hasher.window,
+        },
+    }
+    dump_json(directory / MANIFEST_NAME, manifest)
+    return manifest
+
+
+def read_manifest(directory: Union[str, Path]) -> dict:
+    """The manifest of a saved index, validated for format compatibility."""
+    directory = Path(directory)
+    manifest = try_load_json(directory / MANIFEST_NAME)
+    if not isinstance(manifest, dict):
+        raise IndexFormatError(f"no readable index manifest at {directory / MANIFEST_NAME}")
+    if manifest.get("format_version") != INDEX_FORMAT_VERSION:
+        raise IndexFormatError(
+            f"index at {directory} has format version "
+            f"{manifest.get('format_version')!r}, expected {INDEX_FORMAT_VERSION}")
+    return manifest
+
+
+def load_index(
+    directory: Union[str, Path],
+    store=None,
+    strict: bool = True,
+) -> CloneDetector:
+    """Rebuild a :class:`~repro.ccd.detector.CloneDetector` from a saved index.
+
+    No source is parsed: fingerprints and N-gram sets come straight out
+    of the shards.  ``store`` optionally attaches a shared
+    :class:`~repro.core.artifacts.ArtifactStore` (its configuration must
+    match the manifest's).  With ``strict=True`` (default) an unreadable
+    shard raises :class:`IndexFormatError`; with ``strict=False`` the
+    affected shard's documents are silently skipped — callers can compare
+    ``len(detector)`` against ``manifest['documents']`` to detect loss.
+    """
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    configuration = manifest["configuration"]
+    detector = CloneDetector(
+        ngram_size=configuration["ngram_size"],
+        ngram_threshold=configuration["ngram_threshold"],
+        similarity_threshold=configuration["similarity_threshold"],
+        fingerprint_block_size=configuration["fingerprint_block_size"],
+        fingerprint_window=configuration["fingerprint_window"],
+        store=store,
+    )
+    for index in range(manifest["shards"]):
+        path = _shard_path(directory, index)
+        bucket = try_load_pickle(path)
+        if bucket is None:
+            if strict:
+                raise IndexFormatError(f"unreadable index shard {path}")
+            continue
+        for document_id, fingerprint, grams in bucket:
+            detector.add_fingerprint(document_id, fingerprint, grams=grams)
+    failures = try_load_pickle(directory / PARSE_FAILURES_NAME)
+    if failures is None:
+        if strict and manifest.get("parse_failures", 0):
+            raise IndexFormatError(
+                f"unreadable parse-failure record {directory / PARSE_FAILURES_NAME}")
+        failures = []
+    detector.parse_failures.extend(failures)
+    return detector
+
+
+__all__ = [
+    "INDEX_FORMAT_VERSION",
+    "IndexFormatError",
+    "MANIFEST_NAME",
+    "load_index",
+    "read_manifest",
+    "save_index",
+    "shard_of",
+]

@@ -1,0 +1,343 @@
+"""``repro`` — the unified reproduction command-line interface.
+
+One console entry point over the persistent-analysis stack::
+
+    repro index build ...      fingerprint + index a contract corpus, save it sharded
+    repro index info ...       inspect a saved index (manifest, shard layout)
+    repro study run ...        run the Figure 6 study (checkpointable, cached)
+    repro study resume ...     resume a killed study from its checkpoint
+    repro cache stats ...      inspect a disk artifact cache
+    repro cache gc ...         evict old/excess cache entries
+
+The CLI is deliberately a thin shell: every subcommand is a few calls
+into :mod:`repro.core`, :mod:`repro.ccd`, and :mod:`repro.pipeline`, so
+everything it does is equally scriptable from Python.  Corpora are the
+deterministic synthetic substrates of :mod:`repro.datasets`; the
+generation parameters are recorded in the study checkpoint manifest so
+``repro study resume`` can rebuild byte-identical inputs.
+
+See ``docs/cli.md`` for a walkthrough of every subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.ccd.detector import CloneDetector
+from repro.ccd.index_io import IndexFormatError, read_manifest
+from repro.core.executor import BACKENDS
+from repro.core.persistence import CacheConfigurationError, DiskArtifactStore
+from repro.datasets.sanctuary import generate_sanctuary
+from repro.datasets.snippets import generate_qa_corpus
+from repro.pipeline.checkpoint import StudyCheckpoint, StudyCheckpointError
+from repro.pipeline.experiment import StudyConfiguration, VulnerableCodeReuseStudy
+from repro.pipeline.report import render_cache_stats, render_study_report, render_table
+
+PROG = "repro"
+
+
+# ---------------------------------------------------------------------------
+# corpus construction (shared by `index build` and `study run`)
+# ---------------------------------------------------------------------------
+
+def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("synthetic corpus")
+    group.add_argument("--seed", type=int, default=3,
+                       help="Q&A corpus generator seed (default: 3)")
+    group.add_argument("--sanctuary-seed", type=int, default=11,
+                       help="contract corpus generator seed (default: 11)")
+    group.add_argument("--posts-stackoverflow", type=int, default=60,
+                       help="stackoverflow posts to generate (default: 60)")
+    group.add_argument("--posts-ethereum", type=int, default=150,
+                       help="ethereum.stackexchange posts to generate (default: 150)")
+    group.add_argument("--independent-contracts", type=int, default=60,
+                       help="clone-free contracts in the corpus (default: 60)")
+
+
+def _corpus_metadata(args: argparse.Namespace) -> dict:
+    return {
+        "seed": args.seed,
+        "sanctuary_seed": args.sanctuary_seed,
+        "posts_stackoverflow": args.posts_stackoverflow,
+        "posts_ethereum": args.posts_ethereum,
+        "independent_contracts": args.independent_contracts,
+    }
+
+
+def _build_corpora(metadata: dict):
+    qa_corpus = generate_qa_corpus(
+        seed=metadata["seed"],
+        posts_per_site={
+            "stackoverflow": metadata["posts_stackoverflow"],
+            "ethereum.stackexchange": metadata["posts_ethereum"],
+        })
+    sanctuary = generate_sanctuary(
+        qa_corpus,
+        seed=metadata["sanctuary_seed"],
+        independent_contracts=metadata["independent_contracts"])
+    return qa_corpus, sanctuary.contracts
+
+
+def _add_detector_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("CCD configuration")
+    group.add_argument("--ngram-size", type=int, default=3,
+                       help="N-gram size N (default: 3)")
+    group.add_argument("--ngram-threshold", type=float, default=0.5,
+                       help="candidate pre-filter threshold eta (default: 0.5)")
+    group.add_argument("--similarity-threshold", type=float, default=0.9,
+                       help="clone decision threshold epsilon (default: 0.9)")
+
+
+def _open_cache(args: argparse.Namespace, **store_kwargs) -> Optional[DiskArtifactStore]:
+    if args.cache is None:
+        return None
+    return DiskArtifactStore(args.cache, **store_kwargs)
+
+
+# ---------------------------------------------------------------------------
+# repro index
+# ---------------------------------------------------------------------------
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    metadata = _corpus_metadata(args)
+    _, contracts = _build_corpora(metadata)
+    try:
+        store = _open_cache(args, ngram_size=args.ngram_size)
+    except CacheConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    detector = CloneDetector(
+        ngram_size=args.ngram_size,
+        ngram_threshold=args.ngram_threshold,
+        similarity_threshold=args.similarity_threshold,
+        store=store,
+    )
+    started = time.perf_counter()
+    indexed = detector.add_corpus(
+        [(contract.address, contract.source) for contract in contracts])
+    elapsed = time.perf_counter() - started
+    manifest = detector.save_index(args.output, shards=args.shards)
+    print(f"indexed {indexed}/{len(contracts)} contracts in {elapsed:.2f}s "
+          f"({len(detector.parse_failures)} unparsable)")
+    print(f"saved {manifest['documents']} fingerprints in {manifest['shards']} "
+          f"shard(s) to {args.output}")
+    if store is not None:
+        print(render_cache_stats(store.stats))
+        store.close()
+    return 0
+
+
+def _cmd_index_info(args: argparse.Namespace) -> int:
+    try:
+        manifest = read_manifest(args.index)
+    except IndexFormatError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    rows = [["documents", manifest["documents"]],
+            ["shards", manifest["shards"]],
+            ["parse failures", manifest.get("parse_failures", 0)]]
+    rows.extend([key, value] for key, value in sorted(manifest["configuration"].items()))
+    print(render_table(["Field", "Value"], rows, title=f"Index at {args.index}"))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro study
+# ---------------------------------------------------------------------------
+
+def _print_progress(stage: str, done: int, total: int) -> None:
+    print(f"  [{stage}] {done}/{total}", file=sys.stderr)
+
+
+def _run_study(configuration: StudyConfiguration, metadata: dict,
+               checkpoint: Optional[StudyCheckpoint], quiet: bool) -> int:
+    qa_corpus, contracts = _build_corpora(metadata)
+    progress = None if quiet else _print_progress
+    with VulnerableCodeReuseStudy(configuration) as study:
+        result = study.run(qa_corpus, contracts, checkpoint=checkpoint, progress=progress)
+        print(render_study_report(result), end="")
+        print(render_cache_stats(study.store.stats,
+                                 label=f"artifact cache [{configuration.executor_backend}]"))
+        if isinstance(study.store, DiskArtifactStore):
+            study.store.close()
+    return 0
+
+
+def _cmd_study_run(args: argparse.Namespace) -> int:
+    configuration = StudyConfiguration(
+        ngram_size=args.ngram_size,
+        ngram_threshold=args.ngram_threshold,
+        similarity_threshold=args.similarity_threshold,
+        executor_backend=args.backend,
+        max_workers=args.max_workers,
+        checkpoint_chunk_size=args.checkpoint_chunk_size,
+        artifact_cache_dir=args.cache,
+    )
+    checkpoint = None
+    metadata = _corpus_metadata(args)
+    if args.checkpoint is not None:
+        try:
+            checkpoint = StudyCheckpoint(args.checkpoint)
+        except StudyCheckpointError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        recorded = checkpoint.metadata.get("corpus")
+        if recorded is not None and recorded != metadata:
+            print(f"error: checkpoint at {args.checkpoint} was created for "
+                  f"different corpus parameters; resume it with "
+                  f"'{PROG} study resume --checkpoint {args.checkpoint}' or "
+                  f"choose a fresh directory", file=sys.stderr)
+            return 1
+        checkpoint.update_metadata(corpus=metadata)
+    try:
+        return _run_study(configuration, metadata, checkpoint, args.quiet)
+    except (StudyCheckpointError, CacheConfigurationError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _cmd_study_resume(args: argparse.Namespace) -> int:
+    try:
+        checkpoint = StudyCheckpoint(args.checkpoint)
+    except StudyCheckpointError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    metadata = checkpoint.metadata
+    if "configuration" not in metadata or "corpus" not in metadata:
+        print(f"error: {args.checkpoint} does not contain a resumable study "
+              f"(missing configuration/corpus metadata); start one with "
+              f"'{PROG} study run --checkpoint {args.checkpoint}'", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        rows = [[row["stage"], row.get("state", "pending"),
+                 f"{row.get('chunks', '')}/{row.get('total', '')}"
+                 if "chunks" in row else ""]
+                for row in checkpoint.summary()]
+        print(render_table(["Stage", "State", "Chunks"], rows,
+                           title=f"Resuming study at {args.checkpoint}"), file=sys.stderr)
+    configuration = StudyConfiguration(**metadata["configuration"])
+    try:
+        return _run_study(configuration, metadata["corpus"], checkpoint, args.quiet)
+    except (StudyCheckpointError, CacheConfigurationError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+# ---------------------------------------------------------------------------
+# repro cache
+# ---------------------------------------------------------------------------
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    usage = DiskArtifactStore.read_usage(args.cache)
+    rows = [["entries", usage["entries"]],
+            ["payload bytes", usage["payload_bytes"]]]
+    if "file_bytes" in usage:
+        rows.append(["database bytes", usage["file_bytes"]])
+    if usage.get("corrupt"):
+        rows.append(["status", "CORRUPT (will be rebuilt on next use)"])
+    configuration = usage.get("configuration") or {}
+    rows.extend([key, value] for key, value in sorted(configuration.items()))
+    print(render_table(["Field", "Value"], rows, title=f"Artifact cache at {args.cache}"))
+    return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    max_age_seconds = args.max_age_days * 86400.0 if args.max_age_days is not None else None
+    deleted = DiskArtifactStore.collect_garbage(
+        args.cache,
+        max_entries=args.max_entries,
+        max_age_seconds=max_age_seconds,
+        vacuum=not args.no_vacuum,
+    )
+    print(f"evicted {deleted} cache entries from {args.cache}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser wiring
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """The complete ``repro`` argument parser (exposed for the docs/tests)."""
+    parser = argparse.ArgumentParser(
+        prog=PROG,
+        description="Reproduction toolchain: index corpora, run resumable "
+                    "studies, manage artifact caches.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    # -- index --------------------------------------------------------------
+    index = commands.add_parser(
+        "index", help="build or inspect a saved CCD corpus index")
+    index_commands = index.add_subparsers(dest="subcommand", required=True)
+    build = index_commands.add_parser(
+        "build", help="fingerprint a contract corpus and save it sharded")
+    build.add_argument("--output", required=True, help="index output directory")
+    build.add_argument("--shards", type=int, default=4,
+                       help="number of hash-prefix shards (default: 4)")
+    build.add_argument("--cache", default=None,
+                       help="disk artifact cache directory (warm restarts)")
+    _add_detector_arguments(build)
+    _add_corpus_arguments(build)
+    build.set_defaults(handler=_cmd_index_build)
+    info = index_commands.add_parser("info", help="print a saved index's manifest")
+    info.add_argument("index", help="index directory")
+    info.set_defaults(handler=_cmd_index_info)
+
+    # -- study --------------------------------------------------------------
+    study = commands.add_parser(
+        "study", help="run or resume the vulnerable-code-reuse study")
+    study_commands = study.add_subparsers(dest="subcommand", required=True)
+    run = study_commands.add_parser(
+        "run", help="run the full Figure 6 study (optionally checkpointed)")
+    run.add_argument("--checkpoint", default=None,
+                     help="checkpoint directory (enables kill-and-resume)")
+    run.add_argument("--cache", default=None,
+                     help="disk artifact cache directory (warm reruns)")
+    run.add_argument("--backend", choices=BACKENDS, default="serial",
+                     help="executor backend for the hot loops (default: serial)")
+    run.add_argument("--max-workers", type=int, default=None,
+                     help="worker count for thread/process backends")
+    run.add_argument("--checkpoint-chunk-size", type=int, default=32,
+                     help="snippets/candidates per durable chunk (default: 32)")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-chunk progress output")
+    _add_detector_arguments(run)
+    _add_corpus_arguments(run)
+    run.set_defaults(handler=_cmd_study_run)
+    resume = study_commands.add_parser(
+        "resume", help="resume a killed study from its checkpoint directory")
+    resume.add_argument("--checkpoint", required=True, help="checkpoint directory")
+    resume.add_argument("--quiet", action="store_true",
+                        help="suppress progress and stage-state output")
+    resume.set_defaults(handler=_cmd_study_resume)
+
+    # -- cache --------------------------------------------------------------
+    cache = commands.add_parser("cache", help="inspect or garbage-collect artifact caches")
+    cache_commands = cache.add_subparsers(dest="subcommand", required=True)
+    stats = cache_commands.add_parser("stats", help="print disk cache statistics")
+    stats.add_argument("cache", help="cache directory")
+    stats.set_defaults(handler=_cmd_cache_stats)
+    gc = cache_commands.add_parser("gc", help="evict old or excess cache entries")
+    gc.add_argument("cache", help="cache directory")
+    gc.add_argument("--max-entries", type=int, default=None,
+                    help="keep at most this many most-recently-used entries")
+    gc.add_argument("--max-age-days", type=float, default=None,
+                    help="evict entries not used within this many days")
+    gc.add_argument("--no-vacuum", action="store_true",
+                    help="skip reclaiming file space after eviction")
+    gc.set_defaults(handler=_cmd_cache_gc)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro`` console script; returns the exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+__all__ = ["build_parser", "main"]

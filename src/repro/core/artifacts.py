@@ -62,11 +62,13 @@ class ArtifactStoreStats:
         self._lock = threading.Lock()
 
     def increment(self, counter: str) -> None:
+        """Atomically add one to the named counter (thread-safe)."""
         with self._lock:
             setattr(self, counter, getattr(self, counter) + 1)
 
     @property
     def lookups(self) -> int:
+        """Total store lookups (hits plus misses)."""
         return self.hits + self.misses
 
     @property
@@ -75,6 +77,7 @@ class ArtifactStoreStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def as_dict(self) -> dict:
+        """All counters (and derived rates) as a plain dict."""
         return {
             "lookups": self.lookups,
             "hits": self.hits,
@@ -102,7 +105,12 @@ class SourceArtifact:
 
     __slots__ = ("source", "key", "_stats", "_generator", "_ngram_size", "_lock",
                  "_unit", "_unit_error", "_graph", "_graph_error",
-                 "_fingerprint", "_fingerprint_error", "_ngrams")
+                 "_fingerprint", "_fingerprint_error", "_ngrams", "_on_materialize")
+
+    #: names of the derived-value slots captured by :meth:`snapshot` /
+    #: preloaded by :meth:`restore` (the persistence payload format)
+    PAYLOAD_FIELDS = ("unit", "unit_error", "graph", "graph_error",
+                      "fingerprint", "fingerprint_error", "ngrams")
 
     def __init__(
         self,
@@ -111,6 +119,7 @@ class SourceArtifact:
         stats: ArtifactStoreStats,
         generator: FingerprintGenerator,
         ngram_size: int,
+        on_materialize=None,
     ):
         self.source = source
         self.key = key
@@ -125,6 +134,45 @@ class SourceArtifact:
         self._fingerprint: Optional[Fingerprint] = None
         self._fingerprint_error: Optional[str] = None
         self._ngrams: Optional[frozenset] = None
+        #: optional ``callback(artifact, field)`` invoked (under the artifact
+        #: lock) every time the named derived value is computed for the first
+        #: time; the disk store uses it to write that value through to disk
+        self._on_materialize = on_materialize
+
+    def _materialized(self, field: str) -> None:
+        if self._on_materialize is not None:
+            self._on_materialize(self, field)
+
+    # -- persistence ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The materialized derived values as a picklable payload dict.
+
+        Only values computed so far are included; :meth:`restore` on a
+        fresh artifact for the same source is the inverse.  Used by
+        :class:`~repro.core.persistence.DiskArtifactStore` to serialize
+        artifacts (ASTs, CPGs, fingerprints, and cached parse errors all
+        pickle).
+        """
+        with self._lock:
+            payload = {}
+            for name in self.PAYLOAD_FIELDS:
+                value = getattr(self, "_" + name)
+                if value is not None:
+                    payload[name] = value
+            return payload
+
+    def restore(self, payload: dict) -> None:
+        """Preload derived values from a :meth:`snapshot` payload.
+
+        Already-materialized values win over the payload, so restoring is
+        safe at any point in the artifact's life.  No statistics counters
+        are touched: restored values count as neither parses nor builds.
+        """
+        with self._lock:
+            for name in self.PAYLOAD_FIELDS:
+                value = payload.get(name)
+                if value is not None and getattr(self, "_" + name) is None:
+                    setattr(self, "_" + name, value)
 
     # -- AST ------------------------------------------------------------------
     @property
@@ -140,10 +188,13 @@ class SourceArtifact:
                 self._unit = parse_snippet(self.source)
             except SolidityParseError as exc:
                 self._unit_error = str(exc)
+                self._materialized("unit_error")
                 raise
             except RecursionError:
                 self._unit_error = _RECURSION_MESSAGE
+                self._materialized("unit_error")
                 raise SolidityParseError(self._unit_error) from None
+            self._materialized("unit")
             return self._unit
 
     def try_unit(self) -> Optional[ast.SourceUnit]:
@@ -161,6 +212,7 @@ class SourceArtifact:
 
     @property
     def parse_ok(self) -> bool:
+        """Whether the source parses (materializing the AST if needed)."""
         return self.try_unit() is not None
 
     # -- CPG ------------------------------------------------------------------
@@ -178,7 +230,9 @@ class SourceArtifact:
                 self._graph = build_cpg(unit=unit)
             except RecursionError:
                 self._graph_error = _RECURSION_MESSAGE
+                self._materialized("graph_error")
                 raise SolidityParseError(self._graph_error) from None
+            self._materialized("graph")
             return self._graph
 
     # -- fingerprint ----------------------------------------------------------
@@ -197,7 +251,9 @@ class SourceArtifact:
                 self._fingerprint = self._generator.from_normalized(normalized)
             except RecursionError:
                 self._fingerprint_error = _RECURSION_MESSAGE
+                self._materialized("fingerprint_error")
                 raise SolidityParseError(self._fingerprint_error) from None
+            self._materialized("fingerprint")
             return self._fingerprint
 
     @property
@@ -206,6 +262,7 @@ class SourceArtifact:
         with self._lock:
             if self._ngrams is None:
                 self._ngrams = frozenset(ngrams(self.fingerprint.text, self._ngram_size))
+                self._materialized("ngrams")
             return self._ngrams
 
 
@@ -213,17 +270,34 @@ class SourceArtifact:
 class ArtifactStoreSpec:
     """Picklable recipe for rebuilding an equivalent :class:`ArtifactStore`.
 
-    Process-backend workers cannot share the parent's store (graphs and
-    locks don't pickle), so they receive this spec and rehydrate their own
-    process-local store via :func:`process_local_store`.
+    Process-backend workers cannot share the parent's store (locks and
+    open database handles don't pickle), so they receive this spec and
+    rehydrate their own process-local store via
+    :func:`process_local_store`.  When ``path`` is set the rebuilt store
+    is a :class:`~repro.core.persistence.DiskArtifactStore`, so worker
+    processes share the parent's on-disk artifact cache.
     """
 
     max_entries: int = 8192
     ngram_size: int = 3
     fingerprint_block_size: int = 2
     fingerprint_window: int = 4
+    #: cache directory of a :class:`~repro.core.persistence.DiskArtifactStore`,
+    #: or ``None`` for a purely in-memory store
+    path: Optional[str] = None
 
     def build(self) -> "ArtifactStore":
+        """Instantiate the store this spec describes."""
+        if self.path is not None:
+            from repro.core.persistence import DiskArtifactStore
+
+            return DiskArtifactStore(
+                self.path,
+                max_entries=self.max_entries,
+                ngram_size=self.ngram_size,
+                fingerprint_block_size=self.fingerprint_block_size,
+                fingerprint_window=self.fingerprint_window,
+            )
         return ArtifactStore(
             max_entries=self.max_entries,
             ngram_size=self.ngram_size,
@@ -266,6 +340,7 @@ class ArtifactStore:
 
     @classmethod
     def from_spec(cls, spec: ArtifactStoreSpec) -> "ArtifactStore":
+        """Build the store described by a (possibly disk-backed) spec."""
         return spec.build()
 
     @property
@@ -288,13 +363,16 @@ class ArtifactStore:
                 self.stats.increment("hits")
                 return artifact
             self.stats.increment("misses")
-            artifact = SourceArtifact(
-                source, key, self.stats, self.generator, self.ngram_size)
+            artifact = self._create_artifact(source, key)
             self._entries[key] = artifact
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.stats.increment("evictions")
             return artifact
+
+    def _create_artifact(self, source: str, key: str) -> SourceArtifact:
+        """Build the artifact for a cache miss (the disk store's tier seam)."""
+        return SourceArtifact(source, key, self.stats, self.generator, self.ngram_size)
 
     def __len__(self) -> int:
         with self._lock:

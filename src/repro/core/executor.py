@@ -116,9 +116,11 @@ class SerialExecutor(Executor):
     supports_shared_state = True
 
     def map(self, fn, items):
+        """Apply ``fn`` to every item with a plain loop."""
         return [fn(item) for item in items]
 
     def map_batches(self, fn, items, chunk_size=None):
+        """Same as :meth:`map`; chunking is meaningless without workers."""
         return self.map(fn, items)
 
 
@@ -137,9 +139,11 @@ class _PooledExecutor(Executor):
         return self._pool
 
     def map(self, fn, items):
+        """Apply ``fn`` per item across the pool (one task per item)."""
         return self.map_batches(fn, items, chunk_size=1)
 
     def map_batches(self, fn, items, chunk_size=None):
+        """Apply ``fn`` across the pool in chunks, flattened in input order."""
         items = list(items)
         if not items:
             return []
@@ -152,6 +156,7 @@ class _PooledExecutor(Executor):
         return results
 
     def close(self):
+        """Shut the pool down and wait for workers to exit."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

@@ -16,6 +16,11 @@ from typing import Callable, Iterable, Iterator, Optional
 from repro.cpg.nodes import CPGNode
 
 
+def _edge_lists() -> "defaultdict[str, list[CPGEdge]]":
+    """Adjacency-map factory (module-level so graphs pickle)."""
+    return defaultdict(list)
+
+
 class EdgeLabel:
     """Edge label constants used throughout the CPG and the queries."""
 
@@ -60,14 +65,20 @@ class CPGEdge:
 
 
 class CPGGraph:
-    """An in-memory property graph."""
+    """An in-memory property graph.
+
+    The graph is picklable (all adjacency maps use module-level factory
+    functions), which is what lets a
+    :class:`~repro.core.persistence.DiskArtifactStore` persist built CPGs
+    and reload them on warm runs without re-parsing or re-translating.
+    """
 
     def __init__(self):
         self._nodes: list[CPGNode] = []
         self._node_ids: set[int] = set()
         self._by_label: dict[str, list[CPGNode]] = defaultdict(list)
-        self._outgoing: dict[int, dict[str, list[CPGEdge]]] = defaultdict(lambda: defaultdict(list))
-        self._incoming: dict[int, dict[str, list[CPGEdge]]] = defaultdict(lambda: defaultdict(list))
+        self._outgoing: dict[int, dict[str, list[CPGEdge]]] = defaultdict(_edge_lists)
+        self._incoming: dict[int, dict[str, list[CPGEdge]]] = defaultdict(_edge_lists)
         self._edges: list[CPGEdge] = []
 
     # -- construction --------------------------------------------------------

@@ -12,15 +12,19 @@ Modules:
   analysis (Table 5),
 * :mod:`repro.pipeline.validation` — two-phase CCC validation of candidate
   contracts with timeouts and path reduction (Section 6.3),
+* :mod:`repro.pipeline.checkpoint` — durable, resumable study progress
+  (manifest + per-stage/per-chunk payloads),
 * :mod:`repro.pipeline.experiment` — the end-to-end study orchestration
-  (Figure 6, Tables 6 and 7),
-* :mod:`repro.pipeline.report` — plain-text table rendering.
+  (Figure 6, Tables 6 and 7), checkpointable and incremental,
+* :mod:`repro.pipeline.report` — plain-text table and report rendering.
 """
 
+from repro.pipeline.checkpoint import StudyCheckpoint, StudyCheckpointError
 from repro.pipeline.clone_mapping import CloneMapping, map_snippets_to_contracts
-from repro.pipeline.collection import CollectionFunnel, SnippetCollector
+from repro.pipeline.collection import CollectionFunnel, CollectionResult, SnippetCollector
 from repro.pipeline.correlation import CorrelationResult, correlate_views_with_adoption
 from repro.pipeline.experiment import StudyConfiguration, StudyResult, VulnerableCodeReuseStudy
+from repro.pipeline.report import render_study_report
 from repro.pipeline.temporal import TemporalCategories, categorize_pairs
 from repro.pipeline.validation import (
     ContractValidator,
@@ -32,17 +36,21 @@ from repro.pipeline.validation import (
 __all__ = [
     "CloneMapping",
     "CollectionFunnel",
+    "CollectionResult",
     "ContractValidator",
-    "ValidationCandidate",
     "CorrelationResult",
     "SnippetCollector",
+    "StudyCheckpoint",
+    "StudyCheckpointError",
     "StudyConfiguration",
     "StudyResult",
     "TemporalCategories",
+    "ValidationCandidate",
     "ValidationOutcome",
     "ValidationSummary",
     "VulnerableCodeReuseStudy",
     "categorize_pairs",
     "correlate_views_with_adoption",
     "map_snippets_to_contracts",
+    "render_study_report",
 ]

@@ -22,13 +22,16 @@ class CloneMapping:
     unparsable_snippets: int = 0
 
     def contracts_for(self, snippet_id: str) -> list[str]:
+        """Addresses of the contracts containing a clone of the snippet."""
         return [address for address, _score in self.matches.get(snippet_id, [])]
 
     def snippets_with_clones(self) -> list[str]:
+        """Ids of the snippets with at least one containing contract."""
         return [snippet_id for snippet_id, matches in self.matches.items() if matches]
 
     @property
     def total_pairs(self) -> int:
+        """Total number of snippet/contract clone pairs."""
         return sum(len(matches) for matches in self.matches.values())
 
 

@@ -47,6 +47,7 @@ class CollectionFunnel:
     unique: int = 0
 
     def as_row(self) -> dict:
+        """The funnel counts as one Table 4 row dict."""
         return {
             "site": self.site,
             "posts": self.posts,
@@ -68,6 +69,7 @@ class CollectionResult:
 
     @property
     def total_funnel(self) -> CollectionFunnel:
+        """The per-site funnels summed into one "Total" row."""
         total = CollectionFunnel(site="Total")
         for funnel in self.funnels.values():
             total.posts += funnel.posts

@@ -20,6 +20,7 @@ class CorrelationResult:
     p_value: float
 
     def as_row(self) -> dict:
+        """The correlation as one Table 5 row dict (ρ rounded to 3 digits)."""
         return {
             "category": self.category,
             "sample_size": self.sample_size,

@@ -14,15 +14,17 @@ The study combines every pipeline stage:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Optional
 
 from repro.ccc.checker import ContractChecker
 from repro.ccc.dasp import DaspCategory
 from repro.core.artifacts import ArtifactStore
 from repro.core.executor import Executor
+from repro.core.persistence import DiskArtifactStore
 from repro.datasets.corpus import DeployedContract, Snippet
 from repro.datasets.snippets import QACorpus
+from repro.pipeline.checkpoint import StudyCheckpoint, StudyCheckpointError
 from repro.pipeline.clone_mapping import CloneMapping, map_snippets_to_contracts
 from repro.pipeline.collection import CollectionResult, SnippetCollector, canonical_text
 from repro.pipeline.correlation import CorrelationResult, correlate_views_with_adoption
@@ -34,6 +36,9 @@ from repro.pipeline.validation import (
     ValidationSummary,
 )
 
+#: signature of the optional study progress callback: ``(stage, done, total)``
+ProgressCallback = Callable[[str, int, int], None]
+
 
 @dataclass
 class StudyConfiguration:
@@ -44,7 +49,13 @@ class StudyConfiguration:
     contract validation) run: ``"serial"`` (default), ``"thread"``, or
     ``"process"`` — see :mod:`repro.core.executor`.  All three backends
     produce identical study results.  ``artifact_cache_size`` bounds the
-    shared parse-once :class:`~repro.core.artifacts.ArtifactStore`.
+    shared parse-once :class:`~repro.core.artifacts.ArtifactStore`;
+    ``artifact_cache_dir`` makes that store a disk-backed
+    :class:`~repro.core.persistence.DiskArtifactStore`, so a rerun over
+    the same corpus starts warm (zero parses).
+    ``checkpoint_chunk_size`` is the number of snippets/candidates per
+    durable checkpoint chunk in the checking and validation stages — a
+    killed run resumes from the last completed chunk.
     """
 
     ngram_size: int = 3
@@ -58,6 +69,12 @@ class StudyConfiguration:
     chunk_size: int = 8
     artifact_cache_size: int = 8192
     fingerprint_block_size: int = 2
+    artifact_cache_dir: Optional[str] = None
+    checkpoint_chunk_size: int = 32
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (recorded in checkpoint manifests)."""
+        return asdict(self)
 
 
 @dataclass
@@ -142,7 +159,14 @@ class VulnerableCodeReuseStudy:
     (each unique source — snippet or contract — is parsed exactly once per
     process) and run their hot loops through the configured
     :class:`~repro.core.executor.Executor`.  A ``store`` or ``executor``
-    argument overrides the ones derived from the configuration.
+    argument overrides the ones derived from the configuration; with
+    ``artifact_cache_dir`` set, the derived store is a disk-backed
+    :class:`~repro.core.persistence.DiskArtifactStore`.
+
+    Pass a :class:`~repro.pipeline.checkpoint.StudyCheckpoint` to
+    :meth:`run` to make the run durable: completed stages and chunks are
+    replayed from disk, so a killed run resumed with the same inputs and
+    configuration produces byte-identical results.
     """
 
     def __init__(
@@ -152,11 +176,21 @@ class VulnerableCodeReuseStudy:
         executor: Optional[Executor] = None,
     ):
         self.configuration = configuration if configuration is not None else StudyConfiguration()
-        self.store = store if store is not None else ArtifactStore(
-            max_entries=self.configuration.artifact_cache_size,
-            ngram_size=self.configuration.ngram_size,
-            fingerprint_block_size=self.configuration.fingerprint_block_size,
-        )
+        if store is not None:
+            self.store = store
+        elif self.configuration.artifact_cache_dir is not None:
+            self.store = DiskArtifactStore(
+                self.configuration.artifact_cache_dir,
+                max_entries=self.configuration.artifact_cache_size,
+                ngram_size=self.configuration.ngram_size,
+                fingerprint_block_size=self.configuration.fingerprint_block_size,
+            )
+        else:
+            self.store = ArtifactStore(
+                max_entries=self.configuration.artifact_cache_size,
+                ngram_size=self.configuration.ngram_size,
+                fingerprint_block_size=self.configuration.fingerprint_block_size,
+            )
         self.executor = executor if executor is not None else Executor.create(
             self.configuration.executor_backend,
             max_workers=self.configuration.max_workers,
@@ -183,44 +217,154 @@ class VulnerableCodeReuseStudy:
         self.close()
 
     # -- pipeline stages -----------------------------------------------------------
-    def run(self, qa_corpus: QACorpus, contracts: list[DeployedContract]) -> StudyResult:
-        """Run every stage of Figure 6 and return the aggregated results."""
+    def run(
+        self,
+        qa_corpus: QACorpus,
+        contracts: list[DeployedContract],
+        checkpoint: Optional[StudyCheckpoint] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> StudyResult:
+        """Run every stage of Figure 6 and return the aggregated results.
+
+        Parameters
+        ----------
+        qa_corpus / contracts:
+            The two input corpora (Q&A snippets, deployed contracts).
+        checkpoint:
+            Optional :class:`~repro.pipeline.checkpoint.StudyCheckpoint`.
+            Completed stages and chunks recorded there are replayed
+            instead of recomputed; new progress is written through after
+            every stage/chunk, so the run can be killed and resumed at any
+            point with byte-identical final results.
+        progress:
+            Optional ``callback(stage, done, total)`` invoked after every
+            completed (or replayed) stage and chunk.
+        """
+        if checkpoint is not None:
+            self._bind_checkpoint(checkpoint)
         result = StudyResult()
-        result.collection = SnippetCollector(store=self.store).collect(qa_corpus)
+        result.collection = self._run_stage(
+            checkpoint, progress, "collection",
+            lambda: SnippetCollector(store=self.store).collect(qa_corpus))
         snippets = result.collection.snippets
-        result.clone_mapping = map_snippets_to_contracts(
-            snippets, contracts,
-            ngram_size=self.configuration.ngram_size,
-            ngram_threshold=self.configuration.ngram_threshold,
-            similarity_threshold=self.configuration.similarity_threshold,
-            fingerprint_block_size=self.configuration.fingerprint_block_size,
-            store=self.store,
-            executor=self.executor,
-        )
+        result.clone_mapping = self._run_stage(
+            checkpoint, progress, "clone_mapping",
+            lambda: map_snippets_to_contracts(
+                snippets, contracts,
+                ngram_size=self.configuration.ngram_size,
+                ngram_threshold=self.configuration.ngram_threshold,
+                similarity_threshold=self.configuration.similarity_threshold,
+                fingerprint_block_size=self.configuration.fingerprint_block_size,
+                store=self.store,
+                executor=self.executor,
+            ))
+        # temporal categorisation and the correlation analysis are cheap,
+        # deterministic pure functions of the stages above — recomputing
+        # them on resume is faster than checkpointing them
         result.temporal = categorize_pairs(snippets, contracts, result.clone_mapping)
         result.correlations = correlate_views_with_adoption(snippets, contracts, result.temporal)
-        self._identify_vulnerable_snippets(snippets, result)
-        self._validate_contracts(snippets, contracts, result)
+        self._identify_vulnerable_snippets(snippets, result, checkpoint, progress)
+        self._validate_contracts(snippets, contracts, result, checkpoint, progress)
         return result
 
-    def _identify_vulnerable_snippets(self, snippets: list[Snippet], result: StudyResult) -> None:
-        analyses = self.checker.analyze_many(
-            [snippet.text for snippet in snippets], executor=self.executor)
-        for snippet, analysis in zip(snippets, analyses):
-            if analysis.timed_out:
-                result.snippet_timeouts += 1
-            if not analysis.findings:
-                continue
-            result.vulnerable_snippets[snippet.snippet_id] = tuple(sorted(analysis.query_ids()))
-            result.snippet_categories[snippet.snippet_id] = tuple(sorted(
+    def _bind_checkpoint(self, checkpoint: StudyCheckpoint) -> None:
+        """Record (or verify) the study configuration in the checkpoint.
+
+        Resuming with a different configuration would silently mix results
+        computed under different thresholds/chunk sizes, so it is refused.
+        """
+        configuration = self.configuration.as_dict()
+        recorded = checkpoint.metadata.get("configuration")
+        if recorded is None:
+            checkpoint.update_metadata(configuration=configuration)
+        elif recorded != configuration:
+            raise StudyCheckpointError(
+                f"checkpoint at {checkpoint.directory} was written with a "
+                f"different study configuration; resume with the recorded "
+                f"configuration or start a fresh checkpoint directory")
+
+    def _run_stage(self, checkpoint, progress, name: str, compute):
+        """Replay stage ``name`` from the checkpoint or compute and record it."""
+        payload = checkpoint.load_stage(name) if checkpoint is not None else None
+        if payload is None:
+            payload = compute()
+            if checkpoint is not None:
+                checkpoint.save_stage(name, payload)
+        if progress is not None:
+            progress(name, 1, 1)
+        return payload
+
+    def _chunks(self, items: list) -> list[list]:
+        size = max(1, self.configuration.checkpoint_chunk_size)
+        return [items[start:start + size] for start in range(0, len(items), size)]
+
+    def _identify_vulnerable_snippets(
+        self,
+        snippets: list[Snippet],
+        result: StudyResult,
+        checkpoint: Optional[StudyCheckpoint] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        """CCC analysis of every snippet (the ``checking`` stage), chunked.
+
+        Each chunk's reduced records — ``(snippet_id, timed_out,
+        query_ids, categories)`` tuples, all picklable — are checkpointed
+        as they complete; a resumed run replays them and analyses only the
+        remaining chunks.
+        """
+        chunks = self._chunks(snippets)
+        replayed = checkpoint.load_chunks("checking") if checkpoint is not None else []
+        if checkpoint is not None and not chunks:
+            checkpoint.mark_stage_complete("checking")
+        for index, chunk in enumerate(chunks):
+            if index < len(replayed):
+                records = replayed[index]
+            else:
+                analyses = self.checker.analyze_many(
+                    [snippet.text for snippet in chunk], executor=self.executor)
+                records = [self._checking_record(snippet, analysis)
+                           for snippet, analysis in zip(chunk, analyses)]
+                if checkpoint is not None:
+                    checkpoint.save_chunk("checking", index, records, total=len(chunks))
+            for record in records:
+                self._apply_checking_record(result, record)
+            if progress is not None:
+                progress("checking", index + 1, len(chunks))
+
+    @staticmethod
+    def _checking_record(snippet: Snippet, analysis) -> tuple:
+        if analysis.findings:
+            query_ids = tuple(sorted(analysis.query_ids()))
+            categories = tuple(sorted(
                 analysis.categories(), key=lambda category: category.value))
+        else:
+            query_ids = categories = None
+        return (snippet.snippet_id, analysis.timed_out, query_ids, categories)
+
+    @staticmethod
+    def _apply_checking_record(result: StudyResult, record: tuple) -> None:
+        snippet_id, timed_out, query_ids, categories = record
+        if timed_out:
+            result.snippet_timeouts += 1
+        if query_ids is None:
+            return
+        result.vulnerable_snippets[snippet_id] = query_ids
+        result.snippet_categories[snippet_id] = categories
 
     def _validate_contracts(
         self,
         snippets: list[Snippet],
         contracts: list[DeployedContract],
         result: StudyResult,
+        checkpoint: Optional[StudyCheckpoint] = None,
+        progress: Optional[ProgressCallback] = None,
     ) -> None:
+        """Two-phase CCC validation (the ``validation`` stage), chunked.
+
+        The candidate list is a deterministic function of the earlier
+        stages, so a resumed run rebuilds it identically and replays the
+        checkpointed :class:`ValidationOutcome` chunks in order.
+        """
         contract_index = {contract.address: contract for contract in contracts}
         assert result.temporal is not None and result.clone_mapping is not None
         group = result.temporal.source if self.configuration.restrict_to_source_snippets \
@@ -248,5 +392,17 @@ class VulnerableCodeReuseStudy:
                     snippet_id=snippet_id,
                     query_ids=tuple(query_ids),
                 ))
-        outcomes = self.validator.validate_many(candidates, executor=self.executor)
-        result.validation.outcomes.extend(outcomes)
+        chunks = self._chunks(candidates)
+        replayed = checkpoint.load_chunks("validation") if checkpoint is not None else []
+        if checkpoint is not None and not chunks:
+            checkpoint.mark_stage_complete("validation")
+        for index, chunk in enumerate(chunks):
+            if index < len(replayed):
+                outcomes = replayed[index]
+            else:
+                outcomes = self.validator.validate_many(chunk, executor=self.executor)
+                if checkpoint is not None:
+                    checkpoint.save_chunk("validation", index, outcomes, total=len(chunks))
+            result.validation.outcomes.extend(outcomes)
+            if progress is not None:
+                progress("validation", index + 1, len(chunks))

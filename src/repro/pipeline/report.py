@@ -37,3 +37,57 @@ def _fmt(value: object) -> str:
 def render_percentage(value: float) -> str:
     """Format a 0..1 fraction as a percentage string."""
     return f"{value * 100:.1f}%"
+
+
+def render_study_report(result) -> str:
+    """The canonical plain-text report of a study run (Tables 5–7).
+
+    Contains the pipeline funnel, the DASP category distribution, the
+    popularity correlations, and the validation summary.  The rendering is
+    a pure function of the study's *semantic* results — per-candidate wall
+    -clock timings are deliberately excluded — so an interrupted-and-
+    resumed run produces a byte-identical report to an uninterrupted one
+    (asserted by ``tests/test_pipeline_checkpoint.py``).
+
+    ``result`` is a :class:`~repro.pipeline.experiment.StudyResult`
+    (structurally typed to avoid a circular import).
+    """
+    sections = []
+    funnel = result.funnel()
+    sections.append(render_table(
+        ["Stage", "Count"], list(funnel.items()), title="Pipeline funnel (Table 7)"))
+    distribution = result.dasp_distribution()
+    sections.append(render_table(
+        ["Vulnerability Category", "Snippets", "Contracts"],
+        [[category.value, counts["snippets"], counts["contracts"]]
+         for category, counts in distribution.items()],
+        title="DASP distribution (Table 6)"))
+    sections.append(render_table(
+        ["Group", "Sample", "Spearman rho", "p-value"],
+        [[c.category, c.sample_size, round(c.rho, 3), f"{c.p_value:.3g}"]
+         for c in result.correlations],
+        title="Views vs adoption (Table 5)"))
+    validation = result.validation
+    sections.append(
+        f"validation: {validation.attempted} pairs attempted, "
+        f"{validation.completed} completed "
+        f"({validation.completed_phase1} in phase 1), "
+        f"{validation.vulnerable} confirmed vulnerable")
+    return "\n\n".join(sections) + "\n"
+
+
+def render_cache_stats(stats, label: str = "artifact cache") -> str:
+    """One-line summary of :class:`~repro.core.artifacts.ArtifactStoreStats`.
+
+    Includes the disk-tier counters when ``stats`` is a
+    :class:`~repro.core.persistence.DiskArtifactStoreStats`.
+    """
+    line = (f"{label}: {stats.hits}/{stats.lookups} hits "
+            f"({stats.hit_rate:.1%}) — {stats.parse_calls} parses, "
+            f"{stats.cpg_builds} CPG builds, {stats.fingerprint_builds} fingerprints")
+    if hasattr(stats, "disk_hits"):
+        line += (f"; disk tier: {stats.disk_hits}/{stats.disk_lookups} hits "
+                 f"({stats.disk_hit_rate:.1%}), {stats.disk_writes} writes")
+        if stats.disk_corruptions:
+            line += f", {stats.disk_corruptions} corrupt entries discarded"
+    return line

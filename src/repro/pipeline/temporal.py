@@ -32,17 +32,21 @@ class TemporalCategories:
 
     @property
     def all_contract_addresses(self) -> set[str]:
+        """Every containing-contract address, regardless of deployment date."""
         return {address for addresses in self.all_snippets.values() for address in addresses}
 
     @property
     def disseminator_contract_addresses(self) -> set[str]:
+        """Containing-contract addresses deployed after their snippet."""
         return {address for addresses in self.disseminator.values() for address in addresses}
 
     @property
     def source_contract_addresses(self) -> set[str]:
+        """Containing-contract addresses counted for Source snippets."""
         return {address for addresses in self.source.values() for address in addresses}
 
     def summary(self) -> dict[str, int]:
+        """Snippet and contract counts per temporal category."""
         return {
             "all_snippets": len(self.all_snippets),
             "disseminator_snippets": len(self.disseminator),

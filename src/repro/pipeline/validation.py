@@ -54,27 +54,33 @@ class ValidationSummary:
 
     @property
     def attempted(self) -> int:
+        """Number of snippet/contract pairs that entered validation."""
         return len(self.outcomes)
 
     @property
     def completed(self) -> int:
+        """Pairs whose analysis finished (no timeout, no parse error)."""
         return sum(1 for outcome in self.outcomes if not outcome.timed_out and outcome.analysis_error is None)
 
     @property
     def completed_phase1(self) -> int:
+        """Pairs that completed without needing phase-2 path reduction."""
         return sum(1 for outcome in self.outcomes
                    if outcome.phase == 1 and not outcome.timed_out and outcome.analysis_error is None)
 
     @property
     def vulnerable(self) -> int:
+        """Pairs whose contract confirmed at least one expected query."""
         return sum(1 for outcome in self.outcomes if outcome.vulnerable)
 
     @property
     def vulnerable_addresses(self) -> set[str]:
+        """Addresses of the contracts confirmed vulnerable."""
         return {outcome.address for outcome in self.outcomes if outcome.vulnerable}
 
     @property
     def vulnerable_snippet_ids(self) -> set[str]:
+        """Ids of the snippets confirmed in at least one contract."""
         return {outcome.snippet_id for outcome in self.outcomes if outcome.vulnerable}
 
 

@@ -1,0 +1,142 @@
+"""Tests for CCD corpus index serialization (save / shard / reload)."""
+
+import pytest
+
+from repro.ccd.detector import CloneDetector
+from repro.ccd.index_io import (
+    IndexFormatError,
+    MANIFEST_NAME,
+    load_index,
+    read_manifest,
+    save_index,
+    shard_of,
+)
+from repro.core.persistence import DiskArtifactStore
+from repro.datasets.sanctuary import generate_sanctuary
+from repro.datasets.snippets import generate_qa_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    qa = generate_qa_corpus(
+        seed=3, posts_per_site={"stackoverflow": 8, "ethereum.stackexchange": 16})
+    sanctuary = generate_sanctuary(qa, seed=11, independent_contracts=8)
+    queries = [(snippet.snippet_id, snippet.text)
+               for post in qa.posts for snippet in post.snippets][:25]
+    return sanctuary.contracts, queries
+
+
+@pytest.fixture(scope="module")
+def detector(corpus):
+    contracts, _ = corpus
+    detector = CloneDetector(similarity_threshold=0.9)
+    detector.add_corpus([(contract.address, contract.source) for contract in contracts])
+    return detector
+
+
+class TestShardOf:
+    def test_stable_and_in_range(self):
+        for shards in (1, 4, 16):
+            for document_id in ("0xabc", "s1", 42, ("tuple", 1)):
+                shard = shard_of(document_id, shards)
+                assert 0 <= shard < shards
+                assert shard == shard_of(document_id, shards)
+
+    def test_distributes_documents(self):
+        shards = {shard_of(f"0x{i:040x}", 8) for i in range(200)}
+        assert len(shards) == 8
+
+
+class TestSaveLoadEquivalence:
+    def test_roundtrip_results_identical(self, tmp_path, detector, corpus):
+        _, queries = corpus
+        baseline = detector.find_clones_many(queries)
+        manifest = save_index(detector, tmp_path / "index", shards=4)
+        assert manifest["documents"] == len(detector)
+        reloaded = load_index(tmp_path / "index")
+        assert len(reloaded) == len(detector)
+        assert reloaded.find_clones_many(queries) == baseline
+
+    def test_shard_counts_are_equivalent(self, tmp_path, detector, corpus):
+        _, queries = corpus
+        results = []
+        for shards in (1, 3, 8):
+            directory = tmp_path / f"index-{shards}"
+            save_index(detector, directory, shards=shards)
+            assert read_manifest(directory)["shards"] == shards
+            results.append(load_index(directory).find_clones_many(queries))
+        assert results[0] == results[1] == results[2]
+
+    def test_resave_with_fewer_shards_drops_stale_files(self, tmp_path, detector):
+        directory = tmp_path / "index"
+        save_index(detector, directory, shards=8)
+        save_index(detector, directory, shards=2)
+        names = sorted(p.name for p in directory.glob("shard-*.pkl"))
+        assert names == ["shard-0000.pkl", "shard-0001.pkl"]
+
+    def test_load_performs_zero_parses(self, tmp_path, detector):
+        save_index(detector, tmp_path / "index", shards=2)
+        store = DiskArtifactStore(tmp_path / "cache")
+        reloaded = load_index(tmp_path / "index", store=store)
+        assert len(reloaded) == len(detector)
+        assert store.stats.parse_calls == 0
+        store.close()
+
+    def test_parse_failures_survive_roundtrip(self, tmp_path):
+        detector = CloneDetector()
+        detector.add_corpus([("good", "contract c { function f() public {} }"),
+                             ("bad", "not solidity {{{")])
+        assert detector.parse_failures == ["bad"]
+        save_index(detector, tmp_path / "index")
+        assert load_index(tmp_path / "index").parse_failures == ["bad"]
+
+    def test_fuzzy_hash_parameters_survive_roundtrip(self, tmp_path, corpus):
+        contracts, _ = corpus
+        detector = CloneDetector(fingerprint_block_size=3, fingerprint_window=6)
+        detector.add_corpus([(c.address, c.source) for c in contracts])
+        save_index(detector, tmp_path / "index")
+        reloaded = load_index(tmp_path / "index")
+        assert reloaded.generator.hasher.block_size == 3
+        assert reloaded.generator.hasher.window == 6
+
+    def test_non_string_parse_failure_ids_survive_roundtrip(self, tmp_path):
+        detector = CloneDetector()
+        detector.add_corpus([(7, "not solidity {{{"), (12, "also not {{{")])
+        assert detector.parse_failures == [7, 12]
+        save_index(detector, tmp_path / "index")
+        assert load_index(tmp_path / "index").parse_failures == [7, 12]
+
+    def test_detector_convenience_methods(self, tmp_path, detector, corpus):
+        _, queries = corpus
+        detector.save_index(tmp_path / "index", shards=2)
+        reloaded = CloneDetector.load(tmp_path / "index")
+        assert reloaded.find_clones_many(queries) == detector.find_clones_many(queries)
+        assert reloaded.ngram_size == detector.ngram_size
+        assert reloaded.similarity_threshold == detector.similarity_threshold
+
+
+class TestCorruptionHandling:
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(IndexFormatError):
+            load_index(tmp_path / "nothing-here")
+
+    def test_bad_format_version_raises(self, tmp_path, detector):
+        directory = tmp_path / "index"
+        save_index(detector, directory)
+        (directory / MANIFEST_NAME).write_text('{"format_version": 999}')
+        with pytest.raises(IndexFormatError):
+            load_index(directory)
+
+    def test_corrupt_shard_strict_raises(self, tmp_path, detector):
+        directory = tmp_path / "index"
+        save_index(detector, directory, shards=2)
+        (directory / "shard-0001.pkl").write_bytes(b"garbage")
+        with pytest.raises(IndexFormatError):
+            load_index(directory)
+
+    def test_corrupt_shard_lenient_skips(self, tmp_path, detector):
+        directory = tmp_path / "index"
+        manifest = save_index(detector, directory, shards=2)
+        (directory / "shard-0001.pkl").write_bytes(b"garbage")
+        partial = load_index(directory, strict=False)
+        assert 0 < len(partial) < manifest["documents"]

@@ -1,0 +1,138 @@
+"""Tests for the ``repro`` console-script CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL_CORPUS = ["--posts-stackoverflow", "4", "--posts-ethereum", "8",
+                "--independent-contracts", "4"]
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParser:
+    def test_every_subcommand_is_wired(self):
+        parser = build_parser()
+        for argv in (["index", "build", "--output", "x"],
+                     ["index", "info", "x"],
+                     ["study", "run"],
+                     ["study", "resume", "--checkpoint", "x"],
+                     ["cache", "stats", "x"],
+                     ["cache", "gc", "x"]):
+            args = parser.parse_args(argv)
+            assert callable(args.handler)
+
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["index"])
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "run", "--backend", "rocket"])
+
+
+class TestIndexCommands:
+    def test_build_then_info(self, tmp_path, capsys):
+        index = str(tmp_path / "index")
+        code, out, _ = run_cli(capsys, "index", "build", "--output", index,
+                               "--shards", "2", *SMALL_CORPUS)
+        assert code == 0
+        assert "saved" in out and "2 shard(s)" in out
+        code, out, _ = run_cli(capsys, "index", "info", index)
+        assert code == 0
+        assert "documents" in out and "similarity_threshold" in out
+
+    def test_build_with_cache_warm_rebuild(self, tmp_path, capsys):
+        index = str(tmp_path / "index")
+        cache = str(tmp_path / "cache")
+        code, out, _ = run_cli(capsys, "index", "build", "--output", index,
+                               "--cache", cache, *SMALL_CORPUS)
+        assert code == 0
+        code, out, _ = run_cli(capsys, "index", "build", "--output", index,
+                               "--cache", cache, *SMALL_CORPUS)
+        assert code == 0
+        assert "0 parses" in out  # warm rebuild hydrated from the disk cache
+
+    def test_info_on_missing_index_fails(self, tmp_path, capsys):
+        code, _, err = run_cli(capsys, "index", "info", str(tmp_path / "nope"))
+        assert code == 1
+        assert "error" in err
+
+
+class TestStudyCommands:
+    def test_run_then_resume_same_report(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "ck")
+        code, first, _ = run_cli(capsys, "study", "run", "--checkpoint", checkpoint,
+                                 "--quiet", *SMALL_CORPUS)
+        assert code == 0
+        assert "Pipeline funnel" in first
+        code, second, _ = run_cli(capsys, "study", "resume",
+                                  "--checkpoint", checkpoint, "--quiet")
+        assert code == 0
+
+        def report_of(text):
+            return text[:text.index("artifact cache")]
+
+        assert report_of(first) == report_of(second)
+
+    def test_run_with_cache_reports_disk_tier(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        code, out, _ = run_cli(capsys, "study", "run", "--cache", cache,
+                               "--quiet", *SMALL_CORPUS)
+        assert code == 0
+        assert "disk tier" in out
+
+    def test_run_refuses_mismatched_corpus_checkpoint(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "ck")
+        code, _, _ = run_cli(capsys, "study", "run", "--checkpoint", checkpoint,
+                             "--quiet", *SMALL_CORPUS)
+        assert code == 0
+        code, _, err = run_cli(capsys, "study", "run", "--checkpoint", checkpoint,
+                               "--quiet", "--posts-stackoverflow", "5",
+                               "--posts-ethereum", "8", "--independent-contracts", "4")
+        assert code == 1
+        assert "different corpus parameters" in err
+
+    def test_resume_without_study_fails(self, tmp_path, capsys):
+        code, _, err = run_cli(capsys, "study", "resume",
+                               "--checkpoint", str(tmp_path / "empty"))
+        assert code == 1
+        assert "resumable" in err
+
+
+class TestCacheCommands:
+    def test_stats_and_gc(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        run_cli(capsys, "study", "run", "--cache", cache, "--quiet", *SMALL_CORPUS)
+        code, out, _ = run_cli(capsys, "cache", "stats", cache)
+        assert code == 0
+        assert "entries" in out
+        code, out, _ = run_cli(capsys, "cache", "gc", cache, "--max-entries", "5")
+        assert code == 0
+        assert "evicted" in out
+        code, out, _ = run_cli(capsys, "cache", "stats", cache)
+        assert code == 0
+
+    def test_mismatched_cache_configuration_is_a_clean_error(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        code, _, _ = run_cli(capsys, "study", "run", "--cache", cache,
+                             "--quiet", *SMALL_CORPUS)
+        assert code == 0
+        code, _, err = run_cli(capsys, "study", "run", "--cache", cache, "--quiet",
+                               "--ngram-size", "5", *SMALL_CORPUS)
+        assert code == 1
+        assert "error" in err and "cache" in err
+        code, _, err = run_cli(capsys, "index", "build", "--output",
+                               str(tmp_path / "idx"), "--cache", cache,
+                               "--ngram-size", "5", *SMALL_CORPUS)
+        assert code == 1
+        assert "error" in err
+
+    def test_stats_on_empty_directory(self, tmp_path, capsys):
+        code, out, _ = run_cli(capsys, "cache", "stats", str(tmp_path / "none"))
+        assert code == 0
+        assert "0" in out

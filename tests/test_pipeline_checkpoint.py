@@ -1,0 +1,253 @@
+"""Kill-and-resume study tests: checkpoint durability and warm-cache reruns."""
+
+import pytest
+
+from repro.core.persistence import DiskArtifactStore
+from repro.datasets.sanctuary import generate_sanctuary
+from repro.datasets.snippets import generate_qa_corpus
+from repro.pipeline import (
+    StudyCheckpoint,
+    StudyCheckpointError,
+    StudyConfiguration,
+    VulnerableCodeReuseStudy,
+    render_study_report,
+)
+from repro.pipeline.checkpoint import CHECKPOINT_FORMAT_VERSION
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    qa = generate_qa_corpus(
+        seed=3, posts_per_site={"stackoverflow": 10, "ethereum.stackexchange": 20})
+    sanctuary = generate_sanctuary(qa, seed=11, independent_contracts=10)
+    return qa, sanctuary.contracts
+
+
+def make_configuration(**overrides):
+    settings = dict(validation_timeout_seconds=15.0,
+                    snippet_analysis_timeout_seconds=10.0,
+                    checkpoint_chunk_size=6)
+    settings.update(overrides)
+    return StudyConfiguration(**settings)
+
+
+@pytest.fixture(scope="module")
+def reference(corpora):
+    qa, contracts = corpora
+    with VulnerableCodeReuseStudy(make_configuration()) as study:
+        return study.run(qa, contracts)
+
+
+class KilledMidStage(Exception):
+    pass
+
+
+def outcome_fields(result):
+    """Validation outcomes minus wall-clock timing (measurement, not result)."""
+    return [{name: value for name, value in vars(outcome).items()
+             if name != "elapsed_seconds"}
+            for outcome in result.validation.outcomes]
+
+
+# ---------------------------------------------------------------------------
+# StudyCheckpoint unit behavior
+# ---------------------------------------------------------------------------
+
+class TestStudyCheckpoint:
+    def test_fresh_directory_starts_pending(self, tmp_path):
+        checkpoint = StudyCheckpoint(tmp_path / "ck")
+        assert [row["state"] for row in checkpoint.summary()] == ["pending"] * 4
+
+    def test_stage_roundtrip(self, tmp_path):
+        checkpoint = StudyCheckpoint(tmp_path / "ck")
+        checkpoint.save_stage("collection", {"x": 1})
+        assert checkpoint.is_complete("collection")
+        assert StudyCheckpoint(tmp_path / "ck").load_stage("collection") == {"x": 1}
+
+    def test_corrupt_stage_payload_demotes_to_pending(self, tmp_path):
+        checkpoint = StudyCheckpoint(tmp_path / "ck")
+        checkpoint.save_stage("collection", {"x": 1})
+        (tmp_path / "ck" / "stage-collection.pkl").write_bytes(b"garbage")
+        reopened = StudyCheckpoint(tmp_path / "ck")
+        assert reopened.load_stage("collection") is None
+        assert not reopened.is_complete("collection")
+
+    def test_chunk_prefix_replay(self, tmp_path):
+        checkpoint = StudyCheckpoint(tmp_path / "ck")
+        checkpoint.save_chunk("checking", 0, ["a"], total=3)
+        checkpoint.save_chunk("checking", 1, ["b"], total=3)
+        assert checkpoint.stage_state("checking")["state"] == "partial"
+        assert checkpoint.load_chunks("checking") == [["a"], ["b"]]
+        checkpoint.save_chunk("checking", 2, ["c"], total=3)
+        assert checkpoint.is_complete("checking")
+
+    def test_corrupt_chunk_truncates_replay(self, tmp_path):
+        checkpoint = StudyCheckpoint(tmp_path / "ck")
+        for index in range(3):
+            checkpoint.save_chunk("checking", index, [index], total=4)
+        (tmp_path / "ck" / "stage-checking.chunk-0001.pkl").write_bytes(b"garbage")
+        assert StudyCheckpoint(tmp_path / "ck").load_chunks("checking") == [[0]]
+
+    def test_metadata_roundtrip(self, tmp_path):
+        checkpoint = StudyCheckpoint(tmp_path / "ck")
+        checkpoint.update_metadata(corpus={"seed": 3})
+        assert StudyCheckpoint(tmp_path / "ck").metadata["corpus"] == {"seed": 3}
+
+    def test_format_version_mismatch_raises(self, tmp_path):
+        directory = tmp_path / "ck"
+        directory.mkdir()
+        (directory / "manifest.json").write_text(
+            f'{{"format_version": {CHECKPOINT_FORMAT_VERSION + 1}, "stages": {{}}}}')
+        with pytest.raises(StudyCheckpointError):
+            StudyCheckpoint(directory)
+
+
+# ---------------------------------------------------------------------------
+# kill-and-resume
+# ---------------------------------------------------------------------------
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("kill_stage,kill_after", [
+        ("checking", 1),       # killed during CCC snippet analysis
+        ("validation", 1),     # killed during candidate validation
+        ("clone_mapping", 1),  # killed right after clone mapping completed
+    ])
+    def test_resume_is_byte_identical(self, tmp_path, corpora, reference,
+                                      kill_stage, kill_after):
+        qa, contracts = corpora
+        directory = tmp_path / "ck"
+        seen = {"count": 0}
+
+        def killer(stage, done, total):
+            if stage == kill_stage:
+                seen["count"] += 1
+                if seen["count"] >= kill_after:
+                    raise KilledMidStage()
+
+        with pytest.raises(KilledMidStage):
+            with VulnerableCodeReuseStudy(make_configuration()) as study:
+                study.run(qa, contracts, checkpoint=StudyCheckpoint(directory),
+                          progress=killer)
+
+        with VulnerableCodeReuseStudy(make_configuration()) as study:
+            resumed = study.run(qa, contracts, checkpoint=StudyCheckpoint(directory))
+
+        assert render_study_report(resumed).encode() == \
+            render_study_report(reference).encode()
+        assert resumed.funnel() == reference.funnel()
+        assert resumed.dasp_distribution() == reference.dasp_distribution()
+        assert outcome_fields(resumed) == outcome_fields(reference)
+
+    def test_resume_skips_replayed_chunks(self, tmp_path, corpora):
+        qa, contracts = corpora
+        directory = tmp_path / "ck"
+        seen = {"count": 0}
+
+        def killer(stage, done, total):
+            if stage == "checking":
+                seen["count"] += 1
+                if seen["count"] >= 3:
+                    raise KilledMidStage()
+
+        with pytest.raises(KilledMidStage):
+            with VulnerableCodeReuseStudy(make_configuration()) as study:
+                study.run(qa, contracts, checkpoint=StudyCheckpoint(directory),
+                          progress=killer)
+        state = StudyCheckpoint(directory).stage_state("checking")
+        assert state["state"] == "partial" and state["chunks"] >= 2
+
+        with VulnerableCodeReuseStudy(make_configuration()) as study:
+            analyzed = []
+            original = study.checker.analyze_many
+
+            def counting(sources, **kwargs):
+                analyzed.extend(sources)
+                return original(sources, **kwargs)
+
+            study.checker.analyze_many = counting
+            resumed = study.run(qa, contracts, checkpoint=StudyCheckpoint(directory))
+        total_snippets = resumed.collection.total_funnel.unique
+        replayed = state["chunks"] * make_configuration().checkpoint_chunk_size
+        assert len(analyzed) == total_snippets - replayed
+
+    def test_fully_checkpointed_resume_recomputes_nothing(self, tmp_path, corpora,
+                                                          reference):
+        qa, contracts = corpora
+        directory = tmp_path / "ck"
+        with VulnerableCodeReuseStudy(make_configuration()) as study:
+            study.run(qa, contracts, checkpoint=StudyCheckpoint(directory))
+        with VulnerableCodeReuseStudy(make_configuration()) as study:
+            replayed = study.run(qa, contracts, checkpoint=StudyCheckpoint(directory))
+            # every stage replayed from disk: nothing was parsed at all
+            assert study.store.stats.parse_calls == 0
+            assert study.store.stats.lookups == 0
+        assert render_study_report(replayed).encode() == \
+            render_study_report(reference).encode()
+
+    def test_resume_with_different_configuration_is_refused(self, tmp_path, corpora):
+        qa, contracts = corpora
+        directory = tmp_path / "ck"
+        with VulnerableCodeReuseStudy(make_configuration()) as study:
+            study.run(qa, contracts, checkpoint=StudyCheckpoint(directory))
+        with pytest.raises(StudyCheckpointError):
+            with VulnerableCodeReuseStudy(
+                    make_configuration(similarity_threshold=0.7)) as study:
+                study.run(qa, contracts, checkpoint=StudyCheckpoint(directory))
+
+    def test_progress_reports_all_stages(self, tmp_path, corpora):
+        qa, contracts = corpora
+        events = []
+        with VulnerableCodeReuseStudy(make_configuration()) as study:
+            study.run(qa, contracts, progress=lambda *event: events.append(event))
+        stages = {stage for stage, _, _ in events}
+        assert stages == {"collection", "clone_mapping", "checking", "validation"}
+        # chunked stages count up to their totals
+        checking = [event for event in events if event[0] == "checking"]
+        assert checking[-1][1] == checking[-1][2]
+
+
+# ---------------------------------------------------------------------------
+# warm disk-cache reruns
+# ---------------------------------------------------------------------------
+
+class TestWarmCacheRerun:
+    def test_warm_rerun_performs_zero_parses(self, tmp_path, corpora, reference):
+        qa, contracts = corpora
+        cache = tmp_path / "cache"
+        with VulnerableCodeReuseStudy(
+                make_configuration(artifact_cache_dir=str(cache))) as study:
+            cold = study.run(qa, contracts)
+            assert study.store.stats.parse_calls > 0
+            study.store.close()
+        with VulnerableCodeReuseStudy(
+                make_configuration(artifact_cache_dir=str(cache))) as study:
+            warm = study.run(qa, contracts)
+            stats = study.store.stats
+            assert stats.parse_calls == 0
+            assert stats.cpg_builds == 0
+            assert stats.fingerprint_builds == 0
+            assert stats.disk_hits > 0
+            study.store.close()
+        assert render_study_report(warm).encode() == \
+            render_study_report(cold).encode() == \
+            render_study_report(reference).encode()
+
+    def test_incremental_rerun_parses_only_new_sources(self, tmp_path, corpora):
+        qa, contracts = corpora
+        cache = tmp_path / "cache"
+        with VulnerableCodeReuseStudy(
+                make_configuration(artifact_cache_dir=str(cache))) as study:
+            study.run(qa, contracts)
+            study.store.close()
+        extra = generate_sanctuary(
+            generate_qa_corpus(seed=99, posts_per_site={"stackoverflow": 2}),
+            seed=7, independent_contracts=3)
+        known = {contract.source for contract in contracts}
+        new_sources = [contract for contract in extra.contracts
+                       if contract.source not in known]
+        with VulnerableCodeReuseStudy(
+                make_configuration(artifact_cache_dir=str(cache))) as study:
+            study.run(qa, contracts + new_sources)
+            # only the genuinely new contract sources were parsed
+            assert 0 < study.store.stats.parse_calls <= len(new_sources)
+            study.store.close()

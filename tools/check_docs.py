@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs tree (stdlib only, used by CI).
+
+Scans the repository's Markdown files for inline links and validates
+every *relative* target (external ``http(s)://`` URLs and anchors are
+not fetched).  Exits non-zero listing each broken link, so a renamed
+file or a stale cross-reference fails the docs job instead of shipping.
+
+Usage::
+
+    python tools/check_docs.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline Markdown links: [text](target) — images share the syntax
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: directories never scanned for Markdown sources
+SKIPPED_DIRECTORIES = {".git", ".github", "node_modules", "__pycache__",
+                       ".pytest_cache", ".ruff_cache"}
+
+
+def markdown_files(root: Path) -> list[Path]:
+    """All Markdown files under ``root``, skipping tooling directories."""
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in SKIPPED_DIRECTORIES for part in path.parts):
+            files.append(path)
+    return files
+
+
+def broken_links(path: Path, root: Path) -> list[str]:
+    """Broken relative link targets referenced from ``path``."""
+    problems = []
+    for target in LINK_RE.findall(path.read_text(encoding="utf-8")):
+        if "://" in target or target.startswith(("mailto:", "#")):
+            continue
+        candidate = target.split("#", 1)[0]
+        if not candidate:
+            continue
+        resolved = (root / candidate) if candidate.startswith("/") \
+            else (path.parent / candidate)
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(root)}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """Check every Markdown file; returns a process exit code."""
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    files = markdown_files(root)
+    problems = [problem for path in files for problem in broken_links(path, root)]
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s): "
+          f"{len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
