@@ -20,8 +20,12 @@ parses** — while producing an identical funnel.  The terminal summary
 reports memory- and disk-tier hit rates for every registered store.
 """
 
+import time
+import tracemalloc
+
 import pytest
 
+from repro.api import AnalysisSession, SessionConfig
 from repro.core.artifacts import ArtifactStore
 from repro.core.persistence import DiskArtifactStore
 from repro.datasets.sanctuary import generate_sanctuary
@@ -64,6 +68,59 @@ def test_fig6_end_to_end_study(benchmark, backend, fig6_corpora, artifact_stats_
     assert funnel["vulnerable_contracts"] >= 0.5 * max(funnel["validated_contracts"], 1)
     # the shared store keeps the parse-once guarantee during the whole study
     assert store.stats.parse_calls == store.stats.misses
+
+
+#: funnel counts per session mode, asserted identical between the rows
+_MODE_COUNTS: dict[str, tuple] = {}
+
+
+@pytest.mark.parametrize("mode", ["batch", "stream"])
+def test_fig6_session_batch_vs_stream(benchmark, mode, fig6_corpora,
+                                      session_mode_registry):
+    """Batch ``session.run`` vs streaming ``session.run_iter`` on ccd+ccc.
+
+    Both modes aggregate the same counters from the same corpus; the
+    streaming row never holds the envelope list, so its peak traced heap
+    is what a million-contract corpus would save.  The terminal summary
+    reports both rows and their delta.
+    """
+    _, contracts = fig6_corpora
+
+    def run_session():
+        with AnalysisSession(SessionConfig(checker_timeout=10)) as session:
+            tracemalloc.start()
+            started = time.perf_counter()
+            items = with_clones = flagged = 0
+            if mode == "batch":
+                envelopes = session.run(contracts, analyses=["ccd", "ccc"])
+            else:
+                envelopes = session.run_iter(contracts, analyses=["ccd", "ccc"])
+            for envelope in envelopes:
+                items += 1
+                if envelope.analyzer == "ccd" and envelope.payload:
+                    with_clones += 1
+                elif envelope.analyzer == "ccc" and envelope.payload.findings:
+                    flagged += 1
+            wall = time.perf_counter() - started
+            peak = tracemalloc.get_traced_memory()[1]
+            tracemalloc.stop()
+        return items, with_clones, flagged, wall, peak
+
+    items, with_clones, flagged, wall, peak = benchmark.pedantic(
+        run_session, rounds=1, iterations=1)
+    session_mode_registry[mode] = {"wall": wall, "peak": peak}
+    print()
+    print(f"session [{mode}]: {items} envelopes over {len(contracts)} "
+          f"contracts, {with_clones} with clones, {flagged} flagged; "
+          f"peak heap {peak / 1024.0:.0f} KiB")
+
+    assert items == 2 * len(contracts)
+    assert with_clones > 0 and flagged > 0
+    # parametrization order is preserved: the stream row checks parity
+    # against the batch row's aggregate counts
+    _MODE_COUNTS[mode] = (items, with_clones, flagged)
+    if mode == "stream" and "batch" in _MODE_COUNTS:
+        assert _MODE_COUNTS["stream"] == _MODE_COUNTS["batch"]
 
 
 @pytest.fixture(scope="module")

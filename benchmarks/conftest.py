@@ -26,6 +26,10 @@ from repro.pipeline.report import render_cache_stats
 #: (label, ArtifactStoreStats) pairs registered during the benchmark session
 _ARTIFACT_STATS: list[tuple[str, object]] = []
 
+#: mode -> {"wall": s, "peak": bytes} rows of the batch-vs-streaming
+#: session comparison (bench_fig6), reported with their delta below
+_SESSION_MODES: dict[str, dict] = {}
+
 
 @pytest.fixture(scope="session")
 def artifact_stats_registry():
@@ -33,20 +37,38 @@ def artifact_stats_registry():
     return _ARTIFACT_STATS
 
 
+@pytest.fixture(scope="session")
+def session_mode_registry():
+    """Register per-mode wall/peak rows of the batch-vs-streaming benchmark."""
+    return _SESSION_MODES
+
+
 def pytest_terminal_summary(terminalreporter):
-    if not _ARTIFACT_STATS:
-        return
-    terminalreporter.section("artifact cache hit rate")
-    total_lookups = total_hits = total_parses = 0
-    for label, stats in _ARTIFACT_STATS:
-        terminalreporter.write_line(render_cache_stats(stats, label=label))
-        total_lookups += stats.lookups
-        total_hits += stats.hits
-        total_parses += stats.parse_calls
-    if total_lookups:
-        terminalreporter.write_line(
-            f"overall: {total_hits}/{total_lookups} hits "
-            f"({total_hits / total_lookups:.1%}), {total_parses} parses")
+    if _ARTIFACT_STATS:
+        terminalreporter.section("artifact cache hit rate")
+        total_lookups = total_hits = total_parses = 0
+        for label, stats in _ARTIFACT_STATS:
+            terminalreporter.write_line(render_cache_stats(stats, label=label))
+            total_lookups += stats.lookups
+            total_hits += stats.hits
+            total_parses += stats.parse_calls
+        if total_lookups:
+            terminalreporter.write_line(
+                f"overall: {total_hits}/{total_lookups} hits "
+                f"({total_hits / total_lookups:.1%}), {total_parses} parses")
+    if _SESSION_MODES:
+        terminalreporter.section("session batch vs streaming (fig6)")
+        for mode, row in _SESSION_MODES.items():
+            terminalreporter.write_line(
+                f"{mode:>6}: peak heap {row['peak'] / 1024.0:.0f} KiB, "
+                f"wall {row['wall']:.2f}s")
+        if {"batch", "stream"} <= set(_SESSION_MODES):
+            batch, stream = _SESSION_MODES["batch"], _SESSION_MODES["stream"]
+            saved = batch["peak"] - stream["peak"]
+            terminalreporter.write_line(
+                f" delta: streaming holds {saved / 1024.0:.0f} KiB less "
+                f"({saved / max(batch['peak'], 1):.1%} of batch peak), "
+                f"wall {stream['wall'] - batch['wall']:+.2f}s")
 
 
 @pytest.fixture(scope="session")

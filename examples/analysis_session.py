@@ -1,0 +1,75 @@
+"""Tour of the unified analysis API (``repro.api``).
+
+Builds a synthetic deployed-contract corpus, then runs clone detection
+and vulnerability checking through one :class:`~repro.api.AnalysisSession`
+— batch first, then streaming — and registers a tiny custom analyzer to
+show the registry extension point.  The batch and streaming runs produce
+byte-identical canonical envelopes, and every unique source is parsed
+exactly once for both analyzers.
+
+Run with ``python examples/analysis_session.py [serial|thread|process]``.
+"""
+
+import sys
+
+from repro.api import (
+    AnalysisSession,
+    Analyzer,
+    AnalyzerRegistry,
+    SessionConfig,
+    register_analyzer,
+)
+from repro.datasets.sanctuary import generate_sanctuary
+from repro.datasets.snippets import generate_qa_corpus
+
+#: a private registry so the example does not pollute the process-wide one
+EXAMPLE_REGISTRY = AnalyzerRegistry()
+
+
+@register_analyzer("loc", registry=EXAMPLE_REGISTRY)
+class LineCountAnalyzer(Analyzer):
+    """A three-line custom analyzer: lines of code per contract."""
+
+    title = "source line count"
+
+    def analyze(self, session, state, request):
+        """Count the request's source lines."""
+        return request.source.count("\n") + 1
+
+
+def main() -> None:
+    backend = sys.argv[1] if len(sys.argv) > 1 else "serial"
+    qa_corpus = generate_qa_corpus(
+        seed=3, posts_per_site={"stackoverflow": 20, "ethereum.stackexchange": 40})
+    contracts = generate_sanctuary(qa_corpus, seed=11, independent_contracts=20).contracts
+
+    config = SessionConfig(backend=backend, max_workers=4, checker_timeout=15.0)
+    with AnalysisSession(config) as session:
+        # batch: materialize every envelope at once
+        results = session.run(contracts, analyses=["ccd", "ccc"])
+        with_clones = sum(1 for r in results if r.analyzer == "ccd" and r.payload)
+        flagged = sum(1 for r in results
+                      if r.analyzer == "ccc" and r.payload.findings)
+        print(f"batch     [{backend}]: {len(results)} envelopes, "
+              f"{with_clones} contracts with clones, {flagged} flagged")
+
+        # streaming: identical canonical output, flat memory
+        batch_canonical = [r.as_dict() for r in results]
+        stream_canonical = [r.as_dict()
+                            for r in session.run_iter(contracts, analyses=["ccd", "ccc"])]
+        print(f"streaming [{backend}]: {len(stream_canonical)} envelopes, "
+              f"byte-identical to batch: {stream_canonical == batch_canonical}")
+
+        stats = session.stats
+        print(f"parse-once: {stats.parse_calls} parses for "
+              f"{len(contracts)} contracts across 2 analyzers "
+              f"({stats.hits}/{stats.lookups} store hits)")
+
+    # a custom analyzer runs through the same session machinery
+    with AnalysisSession(registry=EXAMPLE_REGISTRY) as session:
+        sizes = [r.payload for r in session.run(contracts[:5], analyses=["loc"])]
+        print(f"custom 'loc' analyzer over 5 contracts: {sizes} lines")
+
+
+if __name__ == "__main__":
+    main()

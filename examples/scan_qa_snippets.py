@@ -2,13 +2,17 @@
 
 Reproduces the snippet-side half of the study (Sections 6.1 and 6.4): the
 collection funnel of Table 4 and the per-category counts feeding Table 6.
+The vulnerability scan streams through the unified analysis session
+(:meth:`~repro.api.AnalysisSession.run_iter`), so per-snippet results are
+tallied as they complete and each snippet is parsed exactly once across
+the collection filter and the CCC analysis.
 
 Run with ``python examples/scan_qa_snippets.py``.
 """
 
 from collections import Counter
 
-from repro.ccc import ContractChecker
+from repro.api import AnalysisSession, SessionConfig
 from repro.datasets.snippets import generate_qa_corpus
 from repro.pipeline import SnippetCollector
 from repro.pipeline.report import render_table
@@ -17,28 +21,31 @@ from repro.pipeline.report import render_table
 def main() -> None:
     corpus = generate_qa_corpus(
         seed=3, posts_per_site={"stackoverflow": 60, "ethereum.stackexchange": 150})
-    collection = SnippetCollector().collect(corpus)
 
-    rows = [list(funnel.as_row().values()) for funnel in collection.funnels.values()]
-    rows.append(list(collection.total_funnel.as_row().values()))
-    print(render_table(["Q&A Website", "Posts", "Snippets", "Solidity", "Parsable", "Unique"],
-                       rows, title="Snippet collection funnel"))
+    with AnalysisSession(SessionConfig(checker_timeout=15.0)) as session:
+        collection = SnippetCollector(store=session.store).collect(corpus)
 
-    checker = ContractChecker(timeout=15.0)
-    per_category = Counter()
-    vulnerable = 0
-    for snippet in collection.snippets:
-        analysis = checker.analyze(snippet.text)
-        if analysis.findings:
-            vulnerable += 1
-            for category in analysis.categories():
-                per_category[category.value] += 1
+        rows = [list(funnel.as_row().values()) for funnel in collection.funnels.values()]
+        rows.append(list(collection.total_funnel.as_row().values()))
+        print(render_table(["Q&A Website", "Posts", "Snippets", "Solidity", "Parsable", "Unique"],
+                           rows, title="Snippet collection funnel"))
 
-    print()
-    print(render_table(
-        ["Vulnerability Category", "Snippets"],
-        sorted(per_category.items(), key=lambda item: -item[1]),
-        title=f"Vulnerable snippets: {vulnerable} of {len(collection.snippets)} unique snippets"))
+        per_category = Counter()
+        vulnerable = 0
+        for result in session.run_iter(collection.snippets, analyses=["ccc"]):
+            if result.payload.findings:
+                vulnerable += 1
+                for category in result.payload.categories():
+                    per_category[category.value] += 1
+
+        print()
+        print(render_table(
+            ["Vulnerability Category", "Snippets"],
+            sorted(per_category.items(), key=lambda item: -item[1]),
+            title=f"Vulnerable snippets: {vulnerable} of {len(collection.snippets)} unique snippets"))
+        print()
+        print(f"parse-once: {session.stats.parse_calls} parses, "
+              f"{session.stats.hits}/{session.stats.lookups} store hits")
 
 
 if __name__ == "__main__":

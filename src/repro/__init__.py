@@ -2,19 +2,23 @@
 
 Layer map (see README.md for the full architecture):
 
+* :mod:`repro.api` — the unified analysis façade: ``AnalysisSession``
+  (one store + one executor), a pluggable analyzer registry, uniform
+  request/result envelopes, batch ``run`` and streaming ``run_iter``,
 * :mod:`repro.solidity` — tolerant Solidity lexer/parser for snippets,
 * :mod:`repro.cpg` — code property graph construction and semantic passes,
 * :mod:`repro.ccd` — contract clone detection (normalize → fingerprint →
   N-gram pre-filter → order-independent similarity),
 * :mod:`repro.ccc` — CPG-based vulnerability checker (17 DASP queries),
 * :mod:`repro.pipeline` — the end-to-end study (Figure 6), checkpointable
-  and resumable,
+  and resumable, orchestrated over an analysis session,
 * :mod:`repro.core` — shared parse-once artifact store (in-memory and
   disk-backed) and serial / thread / process batch executors,
-* :mod:`repro.cli` — the ``repro`` console script (index / study / cache),
+* :mod:`repro.cli` — the ``repro`` console script (analyze / index /
+  study / cache),
 * :mod:`repro.datasets`, :mod:`repro.baselines`, :mod:`repro.metrics`,
   :mod:`repro.evaluation`, :mod:`repro.query` — corpora, baseline tools,
   metrics, and evaluation harnesses.
 """
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"

@@ -1,0 +1,51 @@
+"""``repro.api`` — the unified analysis API.
+
+One façade over every workload of the reproduction.  An
+:class:`AnalysisSession` owns exactly one parse-once
+:class:`~repro.core.artifacts.ArtifactStore` (memory tier plus optional
+SQLite disk tier) and one :class:`~repro.core.executor.Executor`, wired
+from a typed :class:`SessionConfig`.  Workloads are :class:`Analyzer`
+implementations in an :class:`AnalyzerRegistry` — clone detection
+(``ccd``), vulnerability checking (``ccc``), two-phase validation
+(``validate``), temporal categorisation (``temporal``), and correlation
+(``correlation``) ship built in, and new workloads register with the
+:func:`register_analyzer` decorator instead of hand-wiring another
+store/executor/cache combination.
+
+Every analyzer consumes uniform :class:`AnalysisRequest` objects and
+emits uniform :class:`AnalysisResult` envelopes (analyzer id, contract
+id, payload, timings, cache info).  ``session.run`` returns the whole
+batch; ``session.run_iter`` streams per-contract envelopes as they
+complete under all three executor backends with byte-identical canonical
+output — see :doc:`docs/api.md </docs/api>` for the full tour and the
+migration table from the legacy entry points.
+"""
+
+from repro.api.envelope import AnalysisRequest, AnalysisResult, canonicalize
+from repro.api.registry import (
+    REGISTRY,
+    Analyzer,
+    AnalyzerRegistry,
+    all_analyzers,
+    get_analyzer,
+    register_analyzer,
+)
+from repro.api.session import AnalysisSession, SessionConfig, as_request
+
+# importing the module registers the built-in analyzers in REGISTRY
+from repro.api import analyzers as _builtin_analyzers  # noqa: F401  (side effect)
+
+__all__ = [
+    "AnalysisRequest",
+    "AnalysisResult",
+    "AnalysisSession",
+    "Analyzer",
+    "AnalyzerRegistry",
+    "REGISTRY",
+    "SessionConfig",
+    "all_analyzers",
+    "as_request",
+    "canonicalize",
+    "get_analyzer",
+    "register_analyzer",
+]

@@ -1,0 +1,106 @@
+"""The uniform request/result envelope shared by every analyzer.
+
+Every analyzer registered with the :class:`~repro.api.registry.AnalyzerRegistry`
+consumes :class:`AnalysisRequest` objects — one per contract or snippet —
+and emits :class:`AnalysisResult` envelopes.  The envelope separates the
+*identity* of a result (which analyzer, which contract), its *payload*
+(the analyzer-specific result object: clone matches, CCC findings, a
+validation outcome, …), and its *run metadata* (timings and cache
+information, which vary between runs and backends by nature).
+
+:func:`canonicalize` converts any payload into a deterministic,
+JSON-compatible structure with run-dependent fields (wall-clock timings)
+stripped, so two runs over the same corpus — batch vs. streaming, serial
+vs. thread vs. process — can be compared byte for byte.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import Any, Hashable, Mapping, Optional
+
+#: payload fields that are run metadata, not results — stripped by
+#: :func:`canonicalize` so canonical forms are reproducible across runs
+TIMING_FIELDS = frozenset({"elapsed_seconds"})
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """One unit of work for an analyzer: a contract (or snippet) source.
+
+    ``options`` carries per-item extras an analyzer may consume — e.g.
+    the validation analyzer reads ``query_ids`` and ``snippet_id`` from
+    it.  Requests must stay picklable: the process executor backend ships
+    them to worker processes verbatim.
+    """
+
+    contract_id: Hashable
+    source: str
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class AnalysisResult:
+    """The uniform result envelope emitted by every analyzer.
+
+    ``payload`` keeps the analyzer's native result object (a list of
+    :class:`~repro.ccd.detector.CloneMatch`, a
+    :class:`~repro.ccc.checker.AnalysisResult`, a
+    :class:`~repro.pipeline.validation.ValidationOutcome`, …) so nothing
+    is lost relative to the legacy entry points; :meth:`as_dict` is the
+    canonical, timing-free view used for parity comparisons and reports.
+    ``contract_id`` is ``None`` for corpus-scope analyzers (temporal,
+    correlation), which emit one envelope per run.
+    """
+
+    analyzer: str
+    contract_id: Optional[Hashable]
+    payload: Any
+    #: wall-clock seconds spent computing the payload (run metadata)
+    elapsed_seconds: float = 0.0
+    #: best-effort cache information, e.g. whether the source's artifact
+    #: was already materialized in the session store (run metadata)
+    cache: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the analyzer produced a payload (``None`` = unanalyzable)."""
+        return self.payload is not None
+
+    def as_dict(self) -> dict:
+        """Deterministic, JSON-compatible form (timings and cache stripped)."""
+        return {
+            "analyzer": self.analyzer,
+            "contract_id": self.contract_id,
+            "payload": canonicalize(self.payload),
+        }
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to a deterministic JSON-compatible structure.
+
+    Dataclasses become dicts (timing fields dropped), enums become their
+    values, sets become sorted lists, tuples become lists, and mapping
+    keys are emitted in sorted order.  The result is identical across
+    executor backends and between batch and streaming runs.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canonicalize(getattr(value, f.name))
+            for f in fields(value)
+            if f.name not in TIMING_FIELDS
+        }
+    if isinstance(value, enum.Enum):
+        return canonicalize(value.value)
+    if isinstance(value, Mapping):
+        return {str(key): canonicalize(value[key])
+                for key in sorted(value, key=str)}
+    if isinstance(value, (set, frozenset)):
+        return sorted((canonicalize(item) for item in value), key=repr)
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    return value
+
+
+__all__ = ["AnalysisRequest", "AnalysisResult", "TIMING_FIELDS", "canonicalize"]

@@ -1,0 +1,210 @@
+"""The pluggable analyzer registry behind :class:`~repro.api.AnalysisSession`.
+
+This generalizes the pattern the CCC query layer already uses for its 17
+DASP queries: instead of a new hand-wired class per workload, a workload
+is an :class:`Analyzer` subclass registered under a stable id::
+
+    from repro.api import Analyzer, register_analyzer
+
+    @register_analyzer("loc")
+    class LineCountAnalyzer(Analyzer):
+        title = "source line count"
+
+        def analyze(self, session, state, request):
+            return request.source.count("\\n") + 1
+
+    session.run(corpus, analyses=["loc"])
+
+Contract-scope analyzers implement the per-item hooks (:meth:`Analyzer.analyze`
+for the shared-state serial/thread path, :meth:`Analyzer.task` +
+:meth:`Analyzer.finish` for the process path); corpus-scope analyzers
+implement :meth:`Analyzer.analyze_corpus` and emit a single envelope.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional, Sequence, Union
+
+from repro.api.envelope import AnalysisRequest
+
+
+class Analyzer:
+    """Base class for everything runnable through an analysis session.
+
+    Class attributes
+    ----------------
+    analyzer_id:
+        Stable registry id (set by :func:`register_analyzer`).
+    title:
+        Human-readable one-liner shown by ``repro analyzers list``.
+    dasp_category:
+        Optional :class:`~repro.ccc.dasp.DaspCategory` when the analyzer
+        maps to one DASP Top-10 category.
+    scope:
+        ``"contract"`` (one result per corpus item) or ``"corpus"``
+        (one result per run).
+
+    Analyzer instances are stateless; per-run state is created by
+    :meth:`prepare` and threaded through the per-item hooks, so one
+    registered instance can serve concurrent sessions.
+    """
+
+    analyzer_id: str = ""
+    title: str = ""
+    dasp_category = None
+    scope: str = "contract"
+
+    # -- lifecycle ------------------------------------------------------------
+    def prepare(self, session, requests: Sequence[AnalysisRequest], options: dict) -> Any:
+        """Create per-run state (build indexes, wire checkers) in the parent.
+
+        Runs once before any per-item work, with the full request list —
+        the clone-detection analyzer uses it to index the corpus.  The
+        return value is passed to every other hook as ``state``.
+        """
+        return None
+
+    # -- contract scope -------------------------------------------------------
+    def analyze(self, session, state: Any, request: AnalysisRequest) -> Any:
+        """Compute one request's payload with shared in-process state.
+
+        Used by the serial and thread executor backends, which may close
+        over ``state`` (stores, indexes, checkers) directly.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement contract-scope analysis")
+
+    def task(self, session, state: Any, options: dict) -> Callable[[AnalysisRequest], Any]:
+        """A picklable per-request callable for the process backend.
+
+        The returned callable runs inside worker processes, so it must not
+        close over unpicklable state — the built-in analyzers ship an
+        :class:`~repro.core.artifacts.ArtifactStoreSpec` and rehydrate
+        artifacts worker-side.  Its return value is handed to
+        :meth:`finish` in the parent process.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support the process executor backend")
+
+    def finish(self, session, state: Any, request: AnalysisRequest, intermediate: Any) -> Any:
+        """Turn a worker's intermediate value into the final payload.
+
+        Runs in the parent process; the default passes the intermediate
+        through unchanged.  The clone-detection analyzer scores the
+        worker-computed fingerprint against the parent-side index here.
+        """
+        return intermediate
+
+    # -- corpus scope ---------------------------------------------------------
+    def analyze_corpus(self, session, corpus: Sequence, options: dict) -> Any:
+        """Compute the single corpus-scope payload (``scope == "corpus"``).
+
+        ``corpus`` is the caller's original item sequence (typed dataset
+        objects survive, unlike in per-item requests), so analyzers like
+        the temporal categorizer can read posting dates and view counts.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement corpus-scope analysis")
+
+    def __repr__(self) -> str:
+        return f"<Analyzer {self.analyzer_id or type(self).__name__} scope={self.scope}>"
+
+
+class AnalyzerRegistry:
+    """An id -> :class:`Analyzer` instance mapping with decorator registration."""
+
+    def __init__(self):
+        self._analyzers: dict[str, Analyzer] = {}
+
+    def register(self, analyzer_id: str, *, replace: bool = False):
+        """Class decorator registering an :class:`Analyzer` under ``analyzer_id``.
+
+        Parameters
+        ----------
+        analyzer_id:
+            Stable id used in ``analyses=[...]`` lists and on the CLI.
+        replace:
+            Allow overwriting an existing registration (off by default so
+            accidental id collisions fail loudly).
+        """
+        if not analyzer_id:
+            raise ValueError("analyzer_id must be a non-empty string")
+
+        def decorator(cls):
+            if not (isinstance(cls, type) and issubclass(cls, Analyzer)):
+                raise TypeError(
+                    f"@register_analyzer({analyzer_id!r}) expects an Analyzer "
+                    f"subclass, got {cls!r}")
+            if not replace and analyzer_id in self._analyzers:
+                raise ValueError(f"analyzer id {analyzer_id!r} is already registered")
+            cls.analyzer_id = analyzer_id
+            self._analyzers[analyzer_id] = cls()
+            return cls
+
+        return decorator
+
+    def get(self, analyzer_id: str) -> Analyzer:
+        """The registered analyzer for ``analyzer_id`` (KeyError when unknown)."""
+        try:
+            return self._analyzers[analyzer_id]
+        except KeyError:
+            known = ", ".join(sorted(self._analyzers)) or "(none)"
+            raise KeyError(
+                f"unknown analyzer id {analyzer_id!r}; registered: {known}") from None
+
+    def ids(self) -> list[str]:
+        """All registered analyzer ids, sorted."""
+        return sorted(self._analyzers)
+
+    def __iter__(self) -> Iterator[Analyzer]:
+        for analyzer_id in self.ids():
+            yield self._analyzers[analyzer_id]
+
+    def __contains__(self, analyzer_id: str) -> bool:
+        return analyzer_id in self._analyzers
+
+    def __len__(self) -> int:
+        return len(self._analyzers)
+
+
+#: the default registry every session uses unless given its own
+REGISTRY = AnalyzerRegistry()
+
+
+def register_analyzer(analyzer_id: str, *, registry: Optional[AnalyzerRegistry] = None,
+                      replace: bool = False):
+    """Register an :class:`Analyzer` subclass in the (default) registry.
+
+    Parameters
+    ----------
+    analyzer_id:
+        Stable id used in ``analyses=[...]`` lists and on the CLI.
+    registry:
+        Target registry; the module-level :data:`REGISTRY` when omitted.
+    replace:
+        Allow overwriting an existing registration.
+    """
+    return (registry if registry is not None else REGISTRY).register(
+        analyzer_id, replace=replace)
+
+
+def get_analyzer(ref: Union[str, Analyzer], registry: Optional[AnalyzerRegistry] = None) -> Analyzer:
+    """Resolve an analyzer reference: an id string or an instance passes through."""
+    if isinstance(ref, Analyzer):
+        return ref
+    return (registry if registry is not None else REGISTRY).get(ref)
+
+
+def all_analyzers(registry: Optional[AnalyzerRegistry] = None) -> list[Analyzer]:
+    """Every registered analyzer, sorted by id."""
+    return list(registry if registry is not None else REGISTRY)
+
+
+__all__ = [
+    "Analyzer",
+    "AnalyzerRegistry",
+    "REGISTRY",
+    "all_analyzers",
+    "get_analyzer",
+    "register_analyzer",
+]

@@ -10,8 +10,8 @@ at most once per process and shared with CCD and the pipeline;
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from functools import partial
 from typing import Iterable, Optional, Sequence
 
 from repro.ccc.dasp import DaspCategory
@@ -165,34 +165,32 @@ class ContractChecker:
     ) -> list[AnalysisResult]:
         """Analyse a batch of sources, optionally fanning out over workers.
 
-        Results are returned in input order.  Serial and thread backends
-        share this checker (and its artifact store); the process backend
-        ships a picklable task spec and rehydrates artifacts from source
-        inside each worker via a process-local store.
+        .. deprecated::
+            Use :meth:`repro.api.AnalysisSession.run` (or
+            ``run_iter`` for streaming) with ``analyses=["ccc"]``
+            instead; this shim delegates to a session wrapping this
+            checker and unwraps the envelopes back to the legacy
+            :class:`AnalysisResult` list, in input order.
         """
-        sources = list(sources)
-        categories = tuple(categories) if categories is not None else None
-        query_ids = tuple(query_ids) if query_ids is not None else None
+        warnings.warn(
+            "ContractChecker.analyze_many is deprecated; run the 'ccc' "
+            "analyzer through repro.api.AnalysisSession instead",
+            DeprecationWarning, stacklevel=2)
+        from repro.api import AnalysisSession
 
-        if executor is None or executor.supports_shared_state:
-            def analyze_one(source: str) -> AnalysisResult:
-                return self.analyze(
-                    source, snippet=snippet, categories=categories,
-                    query_ids=query_ids, timeout=timeout, max_flow_depth=max_flow_depth,
-                )
-            if executor is None:
-                return [analyze_one(source) for source in sources]
-            return executor.map_batches(analyze_one, sources)
-
-        task = partial(_analyze_task, _AnalysisTaskSpec(
-            store_spec=self.store.spec if self.store is not None else None,
-            snippet=snippet,
-            categories=categories,
-            query_ids=query_ids,
-            timeout=timeout if timeout is not None else self.timeout,
-            max_flow_depth=max_flow_depth if max_flow_depth is not None else self.max_flow_depth,
-        ))
-        return executor.map_batches(task, sources)
+        session = AnalysisSession(store=self.store, executor=executor)
+        try:
+            envelopes = session.run(list(sources), analyses=["ccc"], options={"ccc": {
+                "checker": self,
+                "snippet": snippet,
+                "categories": categories,
+                "query_ids": query_ids,
+                "timeout": timeout,
+                "max_flow_depth": max_flow_depth,
+            }})
+        finally:
+            session.close()
+        return [envelope.payload for envelope in envelopes]
 
     # -- convenience ---------------------------------------------------------------
     def is_vulnerable(self, source: str, **kwargs) -> bool:

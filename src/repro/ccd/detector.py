@@ -16,6 +16,7 @@ across threads or worker processes.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import partial
 from typing import Hashable, Iterable, Optional, Sequence
@@ -219,44 +220,32 @@ class CloneDetector:
     ) -> list[tuple[Hashable, Optional[list[CloneMatch]]]]:
         """Match many ``(query_id, source)`` pairs against the index.
 
-        Returns ``(query_id, matches)`` in input order; ``matches`` is
-        ``None`` when the query source is unparsable.  Thread workers
-        share the index directly; for the process backend the query
-        fingerprints are computed in workers and the candidate scoring
-        runs in the parent (shipping the whole index to every worker
-        would dwarf the scoring cost).
+        .. deprecated::
+            Use :meth:`repro.api.AnalysisSession.run` with
+            ``analyses=["ccd"]`` and ``options={"ccd": {"detector":
+            detector}}`` instead; this shim delegates to a session and
+            unwraps the envelopes back to the legacy ``(query_id,
+            matches)`` shape (``matches`` is ``None`` when the query
+            source is unparsable).
         """
+        warnings.warn(
+            "CloneDetector.find_clones_many is deprecated; run the 'ccd' "
+            "analyzer through repro.api.AnalysisSession instead",
+            DeprecationWarning, stacklevel=2)
+        from repro.api import AnalysisSession
+
         queries = list(queries)
-
-        def match_one(source: str) -> Optional[list[CloneMatch]]:
-            try:
-                fingerprint = self.fingerprint_source(source)
-            except Exception:
-                # pathological query snippets count as unparsable rather
-                # than aborting the batch (long-standing pipeline behavior)
-                return None
-            return self.find_clones(
-                fingerprint=fingerprint,
-                similarity_threshold=similarity_threshold,
-                ngram_threshold=ngram_threshold,
-            )
-
-        if executor is None:
-            results = [match_one(source) for _, source in queries]
-        elif executor.supports_shared_state:
-            results = executor.map_batches(match_one, [source for _, source in queries])
-        else:
-            task = partial(_fingerprint_task, self._store_spec(), strict=False)
-            fingerprints = executor.map_batches(task, [source for _, source in queries])
-            results = [
-                None if fingerprint is None else self.find_clones(
-                    fingerprint=fingerprint,
-                    similarity_threshold=similarity_threshold,
-                    ngram_threshold=ngram_threshold,
-                )
-                for fingerprint in fingerprints
-            ]
-        return [(query_id, matches) for (query_id, _), matches in zip(queries, results)]
+        session = AnalysisSession(store=self.store, executor=executor)
+        try:
+            envelopes = session.run(queries, analyses=["ccd"], options={"ccd": {
+                "detector": self,
+                "similarity_threshold": similarity_threshold,
+                "ngram_threshold": ngram_threshold,
+            }})
+        finally:
+            session.close()
+        return [(query_id, envelope.payload)
+                for (query_id, _), envelope in zip(queries, envelopes)]
 
     # -- persistence ------------------------------------------------------------
     def save_index(self, directory, shards: int = 1) -> dict:

@@ -1,22 +1,27 @@
 """``repro`` — the unified reproduction command-line interface.
 
-One console entry point over the persistent-analysis stack::
+One console entry point over the analysis-session stack::
 
-    repro index build ...      fingerprint + index a contract corpus, save it sharded
-    repro index info ...       inspect a saved index (manifest, shard layout)
-    repro study run ...        run the Figure 6 study (checkpointable, cached)
-    repro study resume ...     resume a killed study from its checkpoint
-    repro cache stats ...      inspect a disk artifact cache
-    repro cache gc ...         evict old/excess cache entries
+    repro analyze <corpus> ...  run registered analyzers over a corpus (streaming)
+    repro analyzers list        print the analyzer registry
+    repro queries list          print the CCC vulnerability-query registry
+    repro index build ...       fingerprint + index a contract corpus, save it sharded
+    repro index info ...        inspect a saved index (manifest, shard layout)
+    repro study run ...         run the Figure 6 study (checkpointable, cached)
+    repro study resume ...      resume a killed study from its checkpoint
+    repro cache stats ...       inspect a disk artifact cache
+    repro cache gc ...          evict old/excess cache entries
 
 The CLI is deliberately a thin shell: every subcommand is a few calls
-into :mod:`repro.core`, :mod:`repro.ccd`, and :mod:`repro.pipeline`, so
-everything it does is equally scriptable from Python.  Corpora are the
-deterministic synthetic substrates of :mod:`repro.datasets`; the
-generation parameters are recorded in the study checkpoint manifest so
-``repro study resume`` can rebuild byte-identical inputs.
+into :mod:`repro.api`, :mod:`repro.core`, :mod:`repro.ccd`, and
+:mod:`repro.pipeline`, so everything it does is equally scriptable from
+Python.  Corpora are the deterministic synthetic substrates of
+:mod:`repro.datasets`; the generation parameters are recorded in the
+study checkpoint manifest so ``repro study resume`` can rebuild
+byte-identical inputs.
 
-See ``docs/cli.md`` for a walkthrough of every subcommand.
+See ``docs/cli.md`` for a walkthrough of every subcommand and
+``docs/api.md`` for the session API the ``analyze`` command fronts.
 """
 
 from __future__ import annotations
@@ -24,15 +29,19 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.api import REGISTRY, AnalysisSession, SessionConfig, all_analyzers
+from repro.ccc.registry import ALL_QUERIES
 from repro.ccd.detector import CloneDetector
 from repro.ccd.index_io import IndexFormatError, read_manifest
 from repro.core.executor import BACKENDS
-from repro.core.persistence import CacheConfigurationError, DiskArtifactStore
+from repro.core.persistence import DATABASE_NAME, CacheConfigurationError, DiskArtifactStore
 from repro.datasets.sanctuary import generate_sanctuary
 from repro.datasets.snippets import generate_qa_corpus
 from repro.pipeline.checkpoint import StudyCheckpoint, StudyCheckpointError
+from repro.pipeline.collection import SnippetCollector
 from repro.pipeline.experiment import StudyConfiguration, VulnerableCodeReuseStudy
 from repro.pipeline.report import render_cache_stats, render_study_report, render_table
 
@@ -227,17 +236,166 @@ def _cmd_study_resume(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# repro analyze
+# ---------------------------------------------------------------------------
+
+def _analysis_tally(payload, tally: dict) -> None:
+    """Fold one per-contract payload into the analyzer's summary counters."""
+    tally["items"] += 1
+    if payload is None:
+        tally["errors"] += 1
+        return
+    parse_error = getattr(payload, "parse_error", None)
+    analysis_error = getattr(payload, "analysis_error", None)
+    if parse_error is not None or analysis_error is not None:
+        tally["errors"] += 1
+    if getattr(payload, "timed_out", False):
+        tally["timeouts"] += 1
+    if isinstance(payload, list):
+        flagged = bool(payload)  # ccd: non-empty clone-match list
+    else:
+        flagged = bool(getattr(payload, "findings", None)) \
+            or bool(getattr(payload, "vulnerable", False))
+    if flagged:
+        tally["flagged"] += 1
+
+
+def _render_corpus_envelope(envelope) -> str:
+    """A table for one corpus-scope envelope (temporal, correlation, ...)."""
+    payload = envelope.payload
+    title = f"{envelope.analyzer} (corpus scope)"
+    if hasattr(payload, "summary"):
+        rows = sorted(payload.summary().items())
+        return render_table(["Metric", "Value"], rows, title=title)
+    if isinstance(payload, list) and payload and hasattr(payload[0], "as_row"):
+        rows = [list(item.as_row().values()) for item in payload]
+        headers = [key.replace("_", " ") for key in payload[0].as_row()]
+        return render_table(headers, rows, title=title)
+    return render_table(["Payload"], [[repr(payload)[:120]]], title=title)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    analyses = [name.strip() for name in args.analyses.split(",") if name.strip()]
+    if not analyses:
+        print("error: --analyses needs at least one analyzer id", file=sys.stderr)
+        return 1
+    unknown = [name for name in analyses if name not in REGISTRY]
+    if unknown:
+        print(f"error: unknown analyzer(s) {', '.join(unknown)}; registered: "
+              f"{', '.join(REGISTRY.ids())} (see '{PROG} analyzers list')",
+              file=sys.stderr)
+        return 1
+    metadata = _corpus_metadata(args)
+    qa_corpus, contracts = _build_corpora(metadata)
+    configuration = SessionConfig(
+        backend=args.backend,
+        max_workers=args.max_workers,
+        cache_dir=args.cache,
+        ngram_size=args.ngram_size,
+        ngram_threshold=args.ngram_threshold,
+        similarity_threshold=args.similarity_threshold,
+        checker_timeout=args.timeout,
+    )
+    try:
+        session = AnalysisSession(configuration)
+    except CacheConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    with session:
+        if args.corpus == "contracts":
+            corpus = contracts
+        else:
+            corpus = SnippetCollector(store=session.store).collect(qa_corpus).snippets
+        # temporal/correlation categorize the snippet corpus against the
+        # deployed contracts; harmless to offer when not requested
+        options = {"temporal": {"contracts": contracts},
+                   "correlation": {"contracts": contracts}}
+        started = time.perf_counter()
+        tallies: dict[str, dict] = {}
+        corpus_scope = []
+        try:
+            if args.batch:
+                envelopes = iter(session.run(corpus, analyses=analyses, options=options))
+            else:
+                envelopes = session.run_iter(corpus, analyses=analyses, options=options)
+            for envelope in envelopes:
+                if envelope.contract_id is None:
+                    corpus_scope.append(envelope)
+                    continue
+                tally = tallies.setdefault(envelope.analyzer, {
+                    "items": 0, "flagged": 0, "errors": 0, "timeouts": 0})
+                _analysis_tally(envelope.payload, tally)
+                if args.verbose:
+                    print(f"  [{envelope.analyzer}] {envelope.contract_id}: "
+                          f"{'-' if envelope.payload is None else 'ok'} "
+                          f"({envelope.elapsed_seconds * 1000.0:.1f} ms)", file=sys.stderr)
+        except ValueError as error:
+            # an analyzer rejected its inputs (e.g. temporal/correlation
+            # without a snippet corpus): report it like every other CLI error
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        elapsed = time.perf_counter() - started
+        mode = "batch" if args.batch else "streaming"
+        rows = [[analyzer_id, tally["items"], tally["flagged"],
+                 tally["errors"], tally["timeouts"]]
+                for analyzer_id, tally in tallies.items()]
+        if rows:
+            print(render_table(
+                ["Analyzer", "Items", "Flagged", "Errors", "Timeouts"], rows,
+                title=f"Analyses over {len(corpus)} {args.corpus} ({mode})"))
+        for envelope in corpus_scope:
+            print(_render_corpus_envelope(envelope))
+        print(f"analyzed {len(corpus)} {args.corpus} with "
+              f"{', '.join(analyses)} in {elapsed:.2f}s [{args.backend}]")
+        print(render_cache_stats(session.stats,
+                                 label=f"artifact cache [{args.backend}]"))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro analyzers / repro queries
+# ---------------------------------------------------------------------------
+
+def _cmd_analyzers_list(args: argparse.Namespace) -> int:
+    rows = [[analyzer.analyzer_id, analyzer.scope,
+             analyzer.dasp_category.value if analyzer.dasp_category is not None else "-",
+             analyzer.title]
+            for analyzer in all_analyzers()]
+    print(render_table(["Id", "Scope", "DASP Category", "Title"], rows,
+                       title=f"Analyzer registry ({len(rows)} analyzers)"))
+    return 0
+
+
+def _cmd_queries_list(args: argparse.Namespace) -> int:
+    rows = [[query.query_id, query.category.value, query.title]
+            for query in ALL_QUERIES]
+    print(render_table(["Id", "DASP Category", "Title"], rows,
+                       title=f"CCC query registry ({len(rows)} queries)"))
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # repro cache
 # ---------------------------------------------------------------------------
 
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    database = Path(args.cache) / DATABASE_NAME
+    if not database.is_file():
+        print(f"error: no artifact cache at {args.cache} (missing "
+              f"{DATABASE_NAME}); create one by passing --cache {args.cache} "
+              f"to '{PROG} study run', '{PROG} index build', or "
+              f"'{PROG} analyze'", file=sys.stderr)
+        return 1
     usage = DiskArtifactStore.read_usage(args.cache)
+    if usage.get("corrupt"):
+        print(f"error: {database} is not a valid SQLite artifact cache "
+              f"(corrupt or not SQLite); delete it to start fresh, or point "
+              f"at a directory created with --cache", file=sys.stderr)
+        return 1
     rows = [["entries", usage["entries"]],
             ["payload bytes", usage["payload_bytes"]]]
     if "file_bytes" in usage:
         rows.append(["database bytes", usage["file_bytes"]])
-    if usage.get("corrupt"):
-        rows.append(["status", "CORRUPT (will be rebuilt on next use)"])
     configuration = usage.get("configuration") or {}
     rows.extend([key, value] for key, value in sorted(configuration.items()))
     print(render_table(["Field", "Value"], rows, title=f"Artifact cache at {args.cache}"))
@@ -264,9 +422,52 @@ def build_parser() -> argparse.ArgumentParser:
     """The complete ``repro`` argument parser (exposed for the docs/tests)."""
     parser = argparse.ArgumentParser(
         prog=PROG,
-        description="Reproduction toolchain: index corpora, run resumable "
-                    "studies, manage artifact caches.")
+        description="Reproduction toolchain: run analyses through the unified "
+                    "session API, index corpora, run resumable studies, "
+                    "manage artifact caches.")
     commands = parser.add_subparsers(dest="command", required=True)
+
+    # -- analyze ------------------------------------------------------------
+    analyze = commands.add_parser(
+        "analyze",
+        help="run registered analyzers over a corpus via the session API")
+    analyze.add_argument("corpus", choices=("contracts", "snippets"),
+                         help="which synthetic corpus to analyze: deployed "
+                              "contracts or collected Q&A snippets")
+    analyze.add_argument("--analyses", default="ccd,ccc",
+                         help="comma-separated analyzer ids (default: ccd,ccc; "
+                              "see 'repro analyzers list')")
+    analyze.add_argument("--batch", action="store_true",
+                         help="materialize all results at once via session.run "
+                              "(default: stream via session.run_iter)")
+    analyze.add_argument("--backend", choices=BACKENDS, default="serial",
+                         help="executor backend (default: serial)")
+    analyze.add_argument("--max-workers", type=int, default=None,
+                         help="worker count for thread/process backends")
+    analyze.add_argument("--cache", default=None,
+                         help="disk artifact cache directory (warm reruns)")
+    analyze.add_argument("--timeout", type=float, default=None,
+                         help="CCC per-unit timeout in seconds (default: none)")
+    analyze.add_argument("--verbose", action="store_true",
+                         help="print one line per analyzed item to stderr")
+    _add_detector_arguments(analyze)
+    _add_corpus_arguments(analyze)
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    # -- analyzers / queries ------------------------------------------------
+    analyzers = commands.add_parser(
+        "analyzers", help="inspect the analyzer registry")
+    analyzers_commands = analyzers.add_subparsers(dest="subcommand", required=True)
+    analyzers_list = analyzers_commands.add_parser(
+        "list", help="print every registered analyzer (id, scope, title)")
+    analyzers_list.set_defaults(handler=_cmd_analyzers_list)
+
+    queries = commands.add_parser(
+        "queries", help="inspect the CCC vulnerability-query registry")
+    queries_commands = queries.add_subparsers(dest="subcommand", required=True)
+    queries_list = queries_commands.add_parser(
+        "list", help="print every CCC query (id, DASP category, title)")
+    queries_list.set_defaults(handler=_cmd_queries_list)
 
     # -- index --------------------------------------------------------------
     index = commands.add_parser(

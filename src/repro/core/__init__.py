@@ -12,8 +12,9 @@ cpg, ccd, ccc, pipeline) and the scaling work described in ROADMAP.md:
   the atomic-file helpers behind index serialization and study checkpoints,
 * :mod:`repro.core.executor` — serial / thread / process
   :class:`~repro.core.executor.Executor` backends with chunked
-  ``map_batches`` used by every hot loop (corpus indexing, snippet
-  analysis, contract validation).
+  ``map_batches`` (and streaming ``imap_batches``) used by every hot
+  loop (corpus indexing, snippet analysis, contract validation) and by
+  the :mod:`repro.api` session façade.
 """
 
 from repro.core.artifacts import (

@@ -18,15 +18,19 @@ map runs:
   picklable task payloads.
 
 All backends preserve input order and support chunked dispatch
-(:meth:`Executor.map_batches`) to amortize scheduling/IPC overhead.
-Pools are created lazily on first use; call :meth:`Executor.close` (or
-use the executor as a context manager) to release workers.
+(:meth:`Executor.map_batches`) to amortize scheduling/IPC overhead, plus
+a streaming variant (:meth:`Executor.imap_batches`) that yields per-item
+results as chunks complete with a bounded in-flight window — the seam
+behind :meth:`repro.api.AnalysisSession.run_iter`.  Pools are created
+lazily on first use; call :meth:`Executor.close` (or use the executor as
+a context manager) to release workers.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from collections import deque
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, TypeVar
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
@@ -94,6 +98,23 @@ class Executor:
         """
         raise NotImplementedError
 
+    def imap_batches(
+        self,
+        fn: Callable[[ItemT], ResultT],
+        items: Iterable[ItemT],
+        chunk_size: Optional[int] = None,
+        window: int = 4,
+    ) -> Iterator[ResultT]:
+        """Like :meth:`map_batches`, but yields results as chunks complete.
+
+        Results are still yielded in input order; ``window`` bounds how
+        many chunks are in flight at once, so the peak number of results
+        held in memory is ``window * chunk_size`` instead of the whole
+        batch.  This is the streaming seam behind
+        :meth:`repro.api.AnalysisSession.run_iter`.
+        """
+        raise NotImplementedError
+
     # -- lifecycle ------------------------------------------------------------
     def close(self) -> None:
         """Release pooled workers (no-op for the serial backend)."""
@@ -122,6 +143,11 @@ class SerialExecutor(Executor):
     def map_batches(self, fn, items, chunk_size=None):
         """Same as :meth:`map`; chunking is meaningless without workers."""
         return self.map(fn, items)
+
+    def imap_batches(self, fn, items, chunk_size=None, window=4):
+        """Yield ``fn(item)`` lazily, one item at a time."""
+        for item in items:
+            yield fn(item)
 
 
 class _PooledExecutor(Executor):
@@ -154,6 +180,22 @@ class _PooledExecutor(Executor):
         for future in futures:
             results.extend(future.result())
         return results
+
+    def imap_batches(self, fn, items, chunk_size=None, window=4):
+        """Yield per-item results in input order, ``window`` chunks in flight."""
+        items = list(items)
+        if not items:
+            return
+        size = self.chunk_size if chunk_size is None else max(1, chunk_size)
+        window = max(1, window)
+        pool = self._ensure_pool()
+        pending: deque = deque()
+        for chunk in _chunked(items, size):
+            pending.append(pool.submit(_run_chunk, fn, chunk))
+            if len(pending) >= window:
+                yield from pending.popleft().result()
+        while pending:
+            yield from pending.popleft().result()
 
     def close(self):
         """Shut the pool down and wait for workers to exit."""

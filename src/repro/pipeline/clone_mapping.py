@@ -46,15 +46,22 @@ def map_snippets_to_contracts(
     detector: Optional[CloneDetector] = None,
     store: Optional[ArtifactStore] = None,
     executor: Optional[Executor] = None,
+    session=None,
 ) -> CloneMapping:
     """Index the deployed contracts and find clones of every snippet.
 
     The default thresholds are the conservative configuration of the
-    large-scale study (N=3, η=0.5, ε=0.9; Section 6.3).  ``store`` shares
-    a parse-once artifact cache with the other pipeline stages; with an
-    ``executor``, corpus fingerprinting and snippet matching fan out
-    across workers.
+    large-scale study (N=3, η=0.5, ε=0.9; Section 6.3).  ``session``
+    supplies the shared :class:`~repro.api.AnalysisSession` whose store
+    and executor the mapping runs through (the study passes its own);
+    ``store``/``executor`` remain as direct overrides, and without
+    either a throwaway serial session is wired up internally.
     """
+    from repro.api import AnalysisSession
+
+    if session is not None:
+        store = store if store is not None else session.store
+        executor = executor if executor is not None else session.executor
     if detector is None:
         detector = CloneDetector(
             ngram_size=ngram_size,
@@ -68,14 +75,22 @@ def map_snippets_to_contracts(
         [(contract.address, contract.source) for contract in contracts], executor=executor)
     mapping.indexed_contracts = indexed
     mapping.unparsable_contracts = len(contracts) - indexed
-    results = detector.find_clones_many(
-        [(snippet.snippet_id, snippet.text) for snippet in snippets], executor=executor)
-    for snippet_id, matches in results:
-        if matches is None:
+    owns_session = session is None
+    if session is None:
+        session = AnalysisSession(store=store, executor=executor)
+    try:
+        envelopes = session.run(
+            [(snippet.snippet_id, snippet.text) for snippet in snippets],
+            analyses=["ccd"], options={"ccd": {"detector": detector}})
+    finally:
+        if owns_session:
+            session.close()
+    for snippet, envelope in zip(snippets, envelopes):
+        if envelope.payload is None:
             mapping.unparsable_snippets += 1
-            mapping.matches[snippet_id] = []
+            mapping.matches[snippet.snippet_id] = []
             continue
-        mapping.matches[snippet_id] = [
-            (match.document_id, match.similarity) for match in matches
+        mapping.matches[snippet.snippet_id] = [
+            (match.document_id, match.similarity) for match in envelope.payload
         ]
     return mapping

@@ -21,14 +21,13 @@ from repro.ccc.checker import ContractChecker
 from repro.ccc.dasp import DaspCategory
 from repro.core.artifacts import ArtifactStore
 from repro.core.executor import Executor
-from repro.core.persistence import DiskArtifactStore
 from repro.datasets.corpus import DeployedContract, Snippet
 from repro.datasets.snippets import QACorpus
 from repro.pipeline.checkpoint import StudyCheckpoint, StudyCheckpointError
 from repro.pipeline.clone_mapping import CloneMapping, map_snippets_to_contracts
 from repro.pipeline.collection import CollectionResult, SnippetCollector, canonical_text
-from repro.pipeline.correlation import CorrelationResult, correlate_views_with_adoption
-from repro.pipeline.temporal import TemporalCategories, categorize_pairs
+from repro.pipeline.correlation import CorrelationResult
+from repro.pipeline.temporal import TemporalCategories
 from repro.pipeline.validation import (
     ContractValidator,
     ValidationCandidate,
@@ -75,6 +74,24 @@ class StudyConfiguration:
     def as_dict(self) -> dict:
         """JSON-serializable form (recorded in checkpoint manifests)."""
         return asdict(self)
+
+    def session_config(self):
+        """The :class:`~repro.api.SessionConfig` equivalent of this study config."""
+        from repro.api.session import SessionConfig
+
+        return SessionConfig(
+            backend=self.executor_backend,
+            max_workers=self.max_workers,
+            chunk_size=self.chunk_size,
+            cache_size=self.artifact_cache_size,
+            cache_dir=self.artifact_cache_dir,
+            ngram_size=self.ngram_size,
+            fingerprint_block_size=self.fingerprint_block_size,
+            ngram_threshold=self.ngram_threshold,
+            similarity_threshold=self.similarity_threshold,
+            checker_timeout=self.snippet_analysis_timeout_seconds,
+            validation_timeout_seconds=self.validation_timeout_seconds,
+        )
 
 
 @dataclass
@@ -155,13 +172,17 @@ class StudyResult:
 class VulnerableCodeReuseStudy:
     """Orchestrates the full study on a Q&A corpus and a deployed-contract corpus.
 
-    All stages share one parse-once :class:`~repro.core.artifacts.ArtifactStore`
-    (each unique source — snippet or contract — is parsed exactly once per
-    process) and run their hot loops through the configured
-    :class:`~repro.core.executor.Executor`.  A ``store`` or ``executor``
-    argument overrides the ones derived from the configuration; with
-    ``artifact_cache_dir`` set, the derived store is a disk-backed
-    :class:`~repro.core.persistence.DiskArtifactStore`.
+    The study is a thin orchestration over one
+    :class:`~repro.api.AnalysisSession`: every stage runs through the
+    session's registered analyzers (``ccd`` for clone mapping, ``ccc``
+    for snippet checking, ``validate`` for two-phase validation,
+    ``temporal``/``correlation`` for the categorisation stages), so all
+    stages share the session's parse-once
+    :class:`~repro.core.artifacts.ArtifactStore` and its executor.  A
+    ``session`` argument adopts an existing session; ``store`` /
+    ``executor`` override the session components derived from the
+    configuration (with ``artifact_cache_dir`` set, the derived store is
+    a disk-backed :class:`~repro.core.persistence.DiskArtifactStore`).
 
     Pass a :class:`~repro.pipeline.checkpoint.StudyCheckpoint` to
     :meth:`run` to make the run durable: completed stages and chunks are
@@ -174,29 +195,19 @@ class VulnerableCodeReuseStudy:
         configuration: Optional[StudyConfiguration] = None,
         store: Optional[ArtifactStore] = None,
         executor: Optional[Executor] = None,
+        session=None,
     ):
+        from repro.api.session import AnalysisSession
+
         self.configuration = configuration if configuration is not None else StudyConfiguration()
-        if store is not None:
-            self.store = store
-        elif self.configuration.artifact_cache_dir is not None:
-            self.store = DiskArtifactStore(
-                self.configuration.artifact_cache_dir,
-                max_entries=self.configuration.artifact_cache_size,
-                ngram_size=self.configuration.ngram_size,
-                fingerprint_block_size=self.configuration.fingerprint_block_size,
-            )
+        if session is not None:
+            self.session = session
         else:
-            self.store = ArtifactStore(
-                max_entries=self.configuration.artifact_cache_size,
-                ngram_size=self.configuration.ngram_size,
-                fingerprint_block_size=self.configuration.fingerprint_block_size,
-            )
-        self.executor = executor if executor is not None else Executor.create(
-            self.configuration.executor_backend,
-            max_workers=self.configuration.max_workers,
-            chunk_size=self.configuration.chunk_size,
-        )
-        self._owns_executor = executor is None
+            self.session = AnalysisSession(
+                self.configuration.session_config(), store=store, executor=executor)
+        self._owns_session = session is None
+        self.store = self.session.store
+        self.executor = self.session.executor
         self.checker = ContractChecker(
             timeout=self.configuration.snippet_analysis_timeout_seconds, store=self.store)
         self.validator = ContractValidator(
@@ -206,9 +217,9 @@ class VulnerableCodeReuseStudy:
 
     # -- lifecycle -----------------------------------------------------------------
     def close(self) -> None:
-        """Release executor workers (only those this study created)."""
-        if self._owns_executor:
-            self.executor.close()
+        """Release the analysis session (only when this study created it)."""
+        if self._owns_session:
+            self.session.close()
 
     def __enter__(self) -> "VulnerableCodeReuseStudy":
         return self
@@ -255,14 +266,19 @@ class VulnerableCodeReuseStudy:
                 ngram_threshold=self.configuration.ngram_threshold,
                 similarity_threshold=self.configuration.similarity_threshold,
                 fingerprint_block_size=self.configuration.fingerprint_block_size,
-                store=self.store,
-                executor=self.executor,
+                session=self.session,
             ))
         # temporal categorisation and the correlation analysis are cheap,
         # deterministic pure functions of the stages above — recomputing
         # them on resume is faster than checkpointing them
-        result.temporal = categorize_pairs(snippets, contracts, result.clone_mapping)
-        result.correlations = correlate_views_with_adoption(snippets, contracts, result.temporal)
+        result.temporal = self.session.run(
+            snippets, analyses=["temporal"],
+            options={"temporal": {"contracts": contracts,
+                                  "mapping": result.clone_mapping}})[0].payload
+        result.correlations = self.session.run(
+            snippets, analyses=["correlation"],
+            options={"correlation": {"contracts": contracts,
+                                     "temporal": result.temporal}})[0].payload
         self._identify_vulnerable_snippets(snippets, result, checkpoint, progress)
         self._validate_contracts(snippets, contracts, result, checkpoint, progress)
         return result
@@ -320,10 +336,11 @@ class VulnerableCodeReuseStudy:
             if index < len(replayed):
                 records = replayed[index]
             else:
-                analyses = self.checker.analyze_many(
-                    [snippet.text for snippet in chunk], executor=self.executor)
-                records = [self._checking_record(snippet, analysis)
-                           for snippet, analysis in zip(chunk, analyses)]
+                envelopes = self.session.run(
+                    chunk, analyses=["ccc"],
+                    options={"ccc": {"checker": self.checker}})
+                records = [self._checking_record(snippet, envelope.payload)
+                           for snippet, envelope in zip(chunk, envelopes)]
                 if checkpoint is not None:
                     checkpoint.save_chunk("checking", index, records, total=len(chunks))
             for record in records:
@@ -400,7 +417,9 @@ class VulnerableCodeReuseStudy:
             if index < len(replayed):
                 outcomes = replayed[index]
             else:
-                outcomes = self.validator.validate_many(chunk, executor=self.executor)
+                outcomes = [envelope.payload for envelope in self.session.run(
+                    chunk, analyses=["validate"],
+                    options={"validate": {"validator": self.validator}})]
                 if checkpoint is not None:
                     checkpoint.save_chunk("validation", index, outcomes, total=len(chunks))
             result.validation.outcomes.extend(outcomes)

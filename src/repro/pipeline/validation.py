@@ -11,8 +11,8 @@ positive part of the search).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from functools import partial
 from typing import Optional, Sequence
 
 from repro.ccc.checker import AnalysisResult, ContractChecker
@@ -147,22 +147,27 @@ class ContractValidator:
     ) -> list[ValidationOutcome]:
         """Validate a batch of candidates, optionally fanning out over workers.
 
-        Outcomes are returned in input order.  Serial and thread backends
-        share this validator's checker (and artifact store); the process
-        backend rebuilds an equivalent validator inside each worker and
-        rehydrates contract artifacts from source there.
+        .. deprecated::
+            Use :meth:`repro.api.AnalysisSession.run` (or ``run_iter``
+            for streaming) with ``analyses=["validate"]`` instead; this
+            shim delegates to a session wrapping this validator and
+            unwraps the envelopes back to the legacy
+            :class:`ValidationOutcome` list, in input order.
         """
-        candidates = list(candidates)
-        if executor is None:
-            return [self.validate_candidate(candidate) for candidate in candidates]
-        if executor.supports_shared_state:
-            return executor.map_batches(self.validate_candidate, candidates)
-        task = partial(_validate_task, _ValidationTaskSpec(
-            timeout_seconds=self.timeout_seconds,
-            reduced_flow_depths=self.reduced_flow_depths,
-            store_spec=self.checker.store.spec if self.checker.store is not None else None,
-        ))
-        return executor.map_batches(task, candidates)
+        warnings.warn(
+            "ContractValidator.validate_many is deprecated; run the "
+            "'validate' analyzer through repro.api.AnalysisSession instead",
+            DeprecationWarning, stacklevel=2)
+        from repro.api import AnalysisSession
+
+        session = AnalysisSession(store=self.checker.store, executor=executor)
+        try:
+            envelopes = session.run(
+                list(candidates), analyses=["validate"],
+                options={"validate": {"validator": self}})
+        finally:
+            session.close()
+        return [envelope.payload for envelope in envelopes]
 
     # -- helpers -------------------------------------------------------------
     def _run(

@@ -1,0 +1,169 @@
+"""Tests for the deprecated legacy batch entry points (session shims).
+
+The old ``CloneDetector.find_clones_many`` / ``ContractChecker.analyze_many``
+/ ``ContractValidator.validate_many`` entry points survive as thin shims
+that delegate to :class:`repro.api.AnalysisSession`.  They must emit
+``DeprecationWarning`` and produce results identical to the session path,
+including under the thread and process executor backends.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import AnalysisSession
+from repro.ccc.checker import ContractChecker
+from repro.ccd.detector import CloneDetector
+from repro.core.artifacts import ArtifactStore
+from repro.core.executor import BACKENDS, Executor
+from repro.pipeline.validation import ContractValidator, ValidationCandidate
+
+WALLET = """
+contract Wallet {
+    mapping(address => uint) balances;
+    function withdraw() public {
+        uint amount = balances[msg.sender];
+        msg.sender.call{value: amount}("");
+        balances[msg.sender] = 0;
+    }
+}
+"""
+
+LOTTERY = """
+contract Lottery {
+    function draw() public {
+        if (block.timestamp % 2 == 0) {
+            msg.sender.transfer(address(this).balance);
+        }
+    }
+}
+"""
+
+COUNTER = """
+contract Counter {
+    uint total;
+    function add(uint value) public {
+        total = total + value;
+    }
+}
+"""
+
+UNPARSABLE = "}}} %%% {{{"
+
+SOURCES = [WALLET, LOTTERY, WALLET, COUNTER, UNPARSABLE]
+
+
+def make_executor(backend):
+    return Executor.create(backend, max_workers=2, chunk_size=2)
+
+
+def ccc_fields(result):
+    """The comparable (timing-free) fields of a ccc AnalysisResult."""
+    return (tuple(result.findings), result.timed_out, result.parse_error,
+            result.graph_nodes)
+
+
+def outcome_fields(outcome):
+    """The comparable (timing-free) fields of a ValidationOutcome."""
+    return (outcome.address, outcome.snippet_id, outcome.expected_queries,
+            outcome.vulnerable, outcome.confirmed_queries, outcome.timed_out,
+            outcome.analysis_error, outcome.phase)
+
+
+class TestDeprecationWarnings:
+    def test_analyze_many_warns(self):
+        with pytest.warns(DeprecationWarning, match="analyze_many is deprecated"):
+            ContractChecker().analyze_many([COUNTER])
+
+    def test_find_clones_many_warns(self):
+        detector = CloneDetector()
+        detector.add_corpus([("w", WALLET)])
+        with pytest.warns(DeprecationWarning, match="find_clones_many is deprecated"):
+            detector.find_clones_many([("q", WALLET)])
+
+    def test_validate_many_warns(self):
+        validator = ContractValidator(timeout_seconds=10.0)
+        candidate = ValidationCandidate(address="0xa", source=COUNTER, snippet_id="s")
+        with pytest.warns(DeprecationWarning, match="validate_many is deprecated"):
+            validator.validate_many([candidate])
+
+    def test_single_item_entry_points_do_not_warn(self):
+        detector = CloneDetector()
+        detector.add_corpus([("w", WALLET)])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ContractChecker().analyze(COUNTER)
+            detector.find_clones(WALLET)
+            ContractValidator(timeout_seconds=10.0).validate_candidate(
+                ValidationCandidate(address="0xa", source=COUNTER, snippet_id="s"))
+
+
+class TestShimSessionParity:
+    """Shim results must be identical to the direct session path."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_analyze_many_matches_session(self, backend):
+        store = ArtifactStore()
+        checker = ContractChecker(timeout=10.0, store=store)
+        with make_executor(backend) as executor:
+            with pytest.warns(DeprecationWarning):
+                legacy = checker.analyze_many(SOURCES, executor=executor)
+            with AnalysisSession(store=store, executor=executor) as session:
+                envelopes = session.run(SOURCES, analyses=["ccc"],
+                                        options={"ccc": {"checker": checker}})
+        assert [ccc_fields(r) for r in legacy] == \
+            [ccc_fields(e.payload) for e in envelopes]
+        assert any(result.findings for result in legacy)
+        assert legacy[-1].parse_error is not None
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_find_clones_many_matches_session(self, backend):
+        store = ArtifactStore()
+        detector = CloneDetector(similarity_threshold=0.7, store=store)
+        detector.add_corpus([("wallet", WALLET), ("counter", COUNTER)])
+        queries = [("q1", WALLET), ("q2", LOTTERY), ("q3", UNPARSABLE)]
+        with make_executor(backend) as executor:
+            with pytest.warns(DeprecationWarning):
+                legacy = detector.find_clones_many(queries, executor=executor)
+            with AnalysisSession(store=store, executor=executor) as session:
+                envelopes = session.run(queries, analyses=["ccd"],
+                                        options={"ccd": {"detector": detector}})
+        assert legacy == [(query_id, envelope.payload)
+                          for (query_id, _), envelope in zip(queries, envelopes)]
+        assert legacy[0][1] and legacy[0][1][0].document_id == "wallet"
+        assert legacy[2][1] is None
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_validate_many_matches_session(self, backend):
+        store = ArtifactStore()
+        validator = ContractValidator(
+            timeout_seconds=10.0, checker=ContractChecker(store=store))
+        candidates = [
+            ValidationCandidate(address="0xa", source=WALLET, snippet_id="s1",
+                                query_ids=("reentrancy-call-before-write",)),
+            ValidationCandidate(address="0xb", source=LOTTERY, snippet_id="s2",
+                                query_ids=("time-manipulation-timestamp",)),
+            ValidationCandidate(address="0xc", source=COUNTER, snippet_id="s3",
+                                query_ids=("reentrancy-call-before-write",)),
+        ]
+        with make_executor(backend) as executor:
+            with pytest.warns(DeprecationWarning):
+                legacy = validator.validate_many(candidates, executor=executor)
+            with AnalysisSession(store=store, executor=executor) as session:
+                envelopes = session.run(candidates, analyses=["validate"],
+                                        options={"validate": {"validator": validator}})
+        assert [outcome_fields(o) for o in legacy] == \
+            [outcome_fields(e.payload) for e in envelopes]
+        assert legacy[0].vulnerable and legacy[1].vulnerable
+        assert not legacy[2].vulnerable
+
+    def test_shims_do_not_close_the_callers_executor(self):
+        executor = make_executor("thread")
+        checker = ContractChecker()
+        with pytest.warns(DeprecationWarning):
+            checker.analyze_many([COUNTER], executor=executor)
+        # still usable: the ephemeral shim session adopted, not owned, it
+        assert executor.map(len, ["abc"]) == [3]
+        executor.close()

@@ -17,7 +17,10 @@ def run_cli(capsys, *argv):
 class TestParser:
     def test_every_subcommand_is_wired(self):
         parser = build_parser()
-        for argv in (["index", "build", "--output", "x"],
+        for argv in (["analyze", "contracts"],
+                     ["analyzers", "list"],
+                     ["queries", "list"],
+                     ["index", "build", "--output", "x"],
                      ["index", "info", "x"],
                      ["study", "run"],
                      ["study", "resume", "--checkpoint", "x"],
@@ -132,7 +135,76 @@ class TestCacheCommands:
         assert code == 1
         assert "error" in err
 
-    def test_stats_on_empty_directory(self, tmp_path, capsys):
-        code, out, _ = run_cli(capsys, "cache", "stats", str(tmp_path / "none"))
+    def test_stats_on_missing_path_is_a_clean_error(self, tmp_path, capsys):
+        code, _, err = run_cli(capsys, "cache", "stats", str(tmp_path / "none"))
+        assert code == 1
+        assert "no artifact cache" in err and "Traceback" not in err
+
+    def test_stats_on_non_sqlite_path_is_a_clean_error(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        (cache / "artifacts.sqlite").write_text("definitely not a database")
+        code, _, err = run_cli(capsys, "cache", "stats", str(cache))
+        assert code == 1
+        assert "not a valid SQLite" in err and "Traceback" not in err
+
+
+class TestRegistryCommands:
+    def test_analyzers_list(self, capsys):
+        code, out, _ = run_cli(capsys, "analyzers", "list")
         assert code == 0
-        assert "0" in out
+        for analyzer_id in ("ccd", "ccc", "validate", "temporal", "correlation"):
+            assert analyzer_id in out
+        assert "corpus" in out and "contract" in out
+
+    def test_queries_list(self, capsys):
+        code, out, _ = run_cli(capsys, "queries", "list")
+        assert code == 0
+        assert "17 queries" in out
+        assert "reentrancy-call-before-write" in out
+        assert "Access Control" in out
+
+
+class TestAnalyzeCommand:
+    def test_streaming_and_batch_summaries_agree(self, capsys):
+        code, stream_out, _ = run_cli(capsys, "analyze", "contracts", *SMALL_CORPUS)
+        assert code == 0
+        assert "(streaming)" in stream_out and "ccd" in stream_out and "ccc" in stream_out
+        code, batch_out, _ = run_cli(capsys, "analyze", "contracts", "--batch",
+                                     *SMALL_CORPUS)
+        assert code == 0
+        assert "(batch)" in batch_out
+
+        def rows_of(text):
+            # drop the mode word, timing line, and title underline; the
+            # tallies themselves must be identical between the two modes
+            return [line for line in text.splitlines()
+                    if not line.startswith(("=", "analyzed "))
+                    and "(streaming)" not in line and "(batch)" not in line]
+
+        assert rows_of(stream_out) == rows_of(batch_out)
+
+    def test_snippet_corpus_with_corpus_scope_analyzers(self, capsys):
+        code, out, _ = run_cli(capsys, "analyze", "snippets",
+                               "--analyses", "ccc,temporal,correlation",
+                               *SMALL_CORPUS)
+        assert code == 0
+        assert "temporal (corpus scope)" in out
+        assert "correlation (corpus scope)" in out
+        assert "disseminator_snippets" in out
+
+    def test_unknown_analyzer_is_a_clean_error(self, capsys):
+        code, _, err = run_cli(capsys, "analyze", "contracts",
+                               "--analyses", "nope", *SMALL_CORPUS)
+        assert code == 1
+        assert "unknown analyzer" in err and "analyzers list" in err
+
+    def test_warm_cache_rerun_parses_nothing(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        code, _, _ = run_cli(capsys, "analyze", "contracts", "--cache", cache,
+                             *SMALL_CORPUS)
+        assert code == 0
+        code, out, _ = run_cli(capsys, "analyze", "contracts", "--cache", cache,
+                               *SMALL_CORPUS)
+        assert code == 0
+        assert "0 parses" in out

@@ -100,6 +100,51 @@ class TestMapping:
         executor.close()
 
 
+class TestStreaming:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("chunk_size", [1, 3, 100])
+    def test_imap_batches_matches_map(self, backend, chunk_size):
+        with Executor.create(backend, max_workers=2) as executor:
+            expected = [n * n for n in range(11)]
+            assert list(executor.imap_batches(
+                _square, range(11), chunk_size=chunk_size)) == expected
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_imap_batches_empty_input(self, backend):
+        with Executor.create(backend) as executor:
+            assert list(executor.imap_batches(_square, [])) == []
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_imap_batches_is_lazy(self, backend):
+        """The stream can be abandoned after the first item."""
+        with Executor.create(backend, max_workers=2, chunk_size=2) as executor:
+            stream = executor.imap_batches(_square, range(100), window=2)
+            assert next(stream) == 0
+            assert next(stream) == 1
+            stream.close()
+
+    def test_serial_imap_never_runs_ahead(self):
+        """The serial backend computes each item only when it is consumed."""
+        computed = []
+
+        def track(value):
+            computed.append(value)
+            return value
+
+        stream = SerialExecutor().imap_batches(track, range(5))
+        assert next(stream) == 0
+        assert next(stream) == 1
+        assert computed == [0, 1]
+
+    def test_window_bounds_in_flight_chunks(self):
+        """At most window chunks of results are materialized ahead."""
+        with ThreadExecutor(max_workers=1) as executor:
+            stream = executor.imap_batches(_square, range(20), chunk_size=2, window=3)
+            assert next(stream) == 0
+            # pool has at most window=3 chunks submitted; draining works
+            assert list(stream) == [n * n for n in range(1, 20)]
+
+
 class TestAnalysisParity:
     """Serial, thread, and process backends must produce identical results."""
 

@@ -158,13 +158,13 @@ class TestKillAndResume:
 
         with VulnerableCodeReuseStudy(make_configuration()) as study:
             analyzed = []
-            original = study.checker.analyze_many
+            original = study.checker.analyze
 
-            def counting(sources, **kwargs):
-                analyzed.extend(sources)
-                return original(sources, **kwargs)
+            def counting(source, **kwargs):
+                analyzed.append(source)
+                return original(source, **kwargs)
 
-            study.checker.analyze_many = counting
+            study.checker.analyze = counting
             resumed = study.run(qa, contracts, checkpoint=StudyCheckpoint(directory))
         total_snippets = resumed.collection.total_funnel.unique
         replayed = state["chunks"] * make_configuration().checkpoint_chunk_size

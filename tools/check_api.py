@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Check that docs/api.md matches the actual public API (used by CI).
+
+Two contracts are enforced, both ways:
+
+* every name in ``repro.api.__all__`` appears in the marked *surface*
+  block of ``docs/api.md``, and the block documents no stale names,
+* every CLI command path (``repro analyze``, ``repro cache stats``, …)
+  derived from the real argument parser appears in the marked *cli*
+  block, and the block documents no removed commands.
+
+Exits non-zero listing each mismatch, so an API change that forgets the
+docs — or docs that promise an API that does not exist — fails the docs
+job instead of shipping.
+
+Usage::
+
+    python tools/check_api.py [repo-root]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: inline code spans inside a marker block
+CODE_SPAN_RE = re.compile(r"`([^`]+)`")
+
+
+def marker_block(text: str, name: str, path: Path) -> str:
+    """The contents of a ``<!-- check_api:NAME -->`` block in ``text``."""
+    match = re.search(
+        rf"<!--\s*check_api:{name}\s*-->(.*?)<!--\s*/check_api:{name}\s*-->",
+        text, re.DOTALL)
+    if match is None:
+        raise SystemExit(f"{path}: missing '<!-- check_api:{name} -->' block")
+    return match.group(1)
+
+
+def documented_surface(text: str, path: Path) -> set[str]:
+    """The public names documented in the api.md surface block."""
+    return set(CODE_SPAN_RE.findall(marker_block(text, "surface", path)))
+
+
+def documented_commands(text: str, path: Path) -> set[str]:
+    """The ``repro ...`` command paths documented in the api.md cli block.
+
+    Spans carrying flags (``repro analyze --batch``) are example
+    invocations, not command-path declarations, and are skipped.
+    """
+    commands = set()
+    for span in CODE_SPAN_RE.findall(marker_block(text, "cli", path)):
+        if not span.startswith("repro "):
+            continue
+        if any(part.startswith("-") for part in span.split()):
+            continue
+        commands.add(span.removeprefix("repro ").strip())
+    return commands
+
+
+def actual_surface() -> set[str]:
+    """The names ``repro.api`` actually exports."""
+    import repro.api
+
+    return set(repro.api.__all__)
+
+
+def _walk_commands(parser: argparse.ArgumentParser, prefix: str = "") -> set[str]:
+    subparsers = [action for action in parser._actions
+                  if isinstance(action, argparse._SubParsersAction)]
+    if not subparsers:
+        return {prefix} if prefix else set()
+    commands: set[str] = set()
+    for action in subparsers:
+        for name, child in action.choices.items():
+            path = f"{prefix} {name}".strip()
+            commands |= _walk_commands(child, path)
+    return commands
+
+
+def actual_commands() -> set[str]:
+    """Every leaf command path of the real ``repro`` argument parser."""
+    from repro.cli import build_parser
+
+    return _walk_commands(build_parser())
+
+
+def check(kind: str, documented: set[str], actual: set[str]) -> list[str]:
+    """Mismatch messages between the documented and the actual set."""
+    problems = []
+    for name in sorted(actual - documented):
+        problems.append(f"docs/api.md: {kind} {name!r} exists but is undocumented")
+    for name in sorted(documented - actual):
+        problems.append(f"docs/api.md: {kind} {name!r} is documented but does not exist")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """Check both surfaces; returns a process exit code."""
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    sys.path.insert(0, str(root / "src"))
+    path = root / "docs" / "api.md"
+    text = path.read_text(encoding="utf-8")
+    problems = check("public name", documented_surface(text, path), actual_surface())
+    problems += check("CLI command", documented_commands(text, path), actual_commands())
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(actual_surface())} public names and "
+          f"{len(actual_commands())} CLI commands against docs/api.md: "
+          f"{len(problems)} mismatch(es)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
