@@ -30,6 +30,11 @@ _ARTIFACT_STATS: list[tuple[str, object]] = []
 #: session comparison (bench_fig6), reported with their delta below
 _SESSION_MODES: dict[str, dict] = {}
 
+#: backend name -> {"wall": s, "stats": MatchStats} rows of the staged
+#: clone-matcher comparison (bench_fig5), reported with pruning counters
+#: and the exact-vs-bounded verification speedup below
+_MATCHER_BACKENDS: dict[str, dict] = {}
+
 
 @pytest.fixture(scope="session")
 def artifact_stats_registry():
@@ -41,6 +46,12 @@ def artifact_stats_registry():
 def session_mode_registry():
     """Register per-mode wall/peak rows of the batch-vs-streaming benchmark."""
     return _SESSION_MODES
+
+
+@pytest.fixture(scope="session")
+def matcher_backend_registry():
+    """Register per-backend wall/stats rows of the staged-matcher benchmark."""
+    return _MATCHER_BACKENDS
 
 
 def pytest_terminal_summary(terminalreporter):
@@ -69,6 +80,29 @@ def pytest_terminal_summary(terminalreporter):
                 f" delta: streaming holds {saved / 1024.0:.0f} KiB less "
                 f"({saved / max(batch['peak'], 1):.1%} of batch peak), "
                 f"wall {stream['wall'] - batch['wall']:+.2f}s")
+    if _MATCHER_BACKENDS:
+        terminalreporter.section("clone matcher: staged pruning (fig5)")
+        for backend, row in _MATCHER_BACKENDS.items():
+            stats = row["stats"]
+            terminalreporter.write_line(
+                f"{backend:>8}: verify {stats.verify_seconds:.3f}s "
+                f"(candidates {stats.candidate_seconds:.3f}s), "
+                f"{stats.verified} candidates -> {stats.matched} matches, "
+                f"{stats.pairs_scored} pair distances")
+            terminalreporter.write_line(
+                f"          dropped: {stats.pruned_by_length} by length bucket, "
+                f"{stats.abandoned_by_mean} by mean bound, "
+                f"{stats.pairs_skipped_by_bound} pairs by length bound, "
+                f"{stats.pairs_cutoff} pairs by band cutoff "
+                f"({stats.memo_hits} memo hits)")
+        if {"exact", "bounded"} <= set(_MATCHER_BACKENDS):
+            exact = _MATCHER_BACKENDS["exact"]["stats"]
+            bounded = _MATCHER_BACKENDS["bounded"]["stats"]
+            speedup = exact.verify_seconds / max(bounded.verify_seconds, 1e-9)
+            terminalreporter.write_line(
+                f"   delta: bounded verification {speedup:.1f}x faster "
+                f"({exact.verify_seconds:.3f}s -> {bounded.verify_seconds:.3f}s) "
+                f"with byte-identical matches")
 
 
 @pytest.fixture(scope="session")

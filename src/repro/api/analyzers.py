@@ -57,8 +57,13 @@ class CloneDetectionAnalyzer(Analyzer):
     during :meth:`prepare` and each item is matched pairwise against the
     rest (the honeypot protocol of Section 5.7.1).
     ``similarity_threshold`` / ``ngram_threshold`` override the
-    detector's thresholds per run.  The payload is a list of
-    :class:`~repro.ccd.detector.CloneMatch` (sorted by similarity), or
+    detector's thresholds per run; ``similarity_backend`` selects the
+    verification backend of a freshly built detector (the session
+    config's by default).  ``profile_sink``, when given, is a mutable
+    list the analyzer appends its detector to, so callers can read the
+    per-stage :class:`~repro.ccd.matcher.MatchStats` afterwards (the CLI
+    ``--profile`` flag uses this).  The payload is a list of
+    :class:`~repro.ccd.matcher.CloneMatch` (sorted by similarity), or
     ``None`` when the item is unparsable.
     """
 
@@ -77,11 +82,16 @@ class CloneDetectionAnalyzer(Analyzer):
                 fingerprint_block_size=config.fingerprint_block_size,
                 fingerprint_window=config.fingerprint_window,
                 store=session.store,
+                similarity_backend=options.get(
+                    "similarity_backend", config.similarity_backend),
             )
             detector.add_corpus(
                 [(request.contract_id, request.source) for request in requests],
                 executor=session.executor)
             exclude_self = True
+        sink = options.get("profile_sink")
+        if sink is not None:
+            sink.append(detector)
         return _CloneDetectionState(
             detector=detector,
             exclude_self=exclude_self,

@@ -62,6 +62,9 @@ class SessionConfig:
     fingerprint_window: int = 4
     ngram_threshold: float = 0.5
     similarity_threshold: float = 0.7
+    #: CCD verification backend: ``"bounded"`` (pruned, byte-identical
+    #: results) or ``"exact"`` (the naive reference)
+    similarity_backend: str = "bounded"
     #: default CCC per-unit timeout (seconds; ``None`` = unbounded)
     checker_timeout: Optional[float] = None
     #: defaults of the two-phase validation analyzer

@@ -11,17 +11,34 @@ of smart contracts (Section 5 of the paper).  The pipeline is
 4. **fingerprint generation** with context-triggered piecewise (fuzzy)
    hashing; functions are separated by ``.`` and contracts by ``:``
    (Section 5.4),
-5. **matching** via an N-gram pre-filter and an order-independent
-   edit-distance similarity score (Section 5.5, Algorithm 1).
+5. **matching** through the staged :mod:`repro.ccd.matcher` engine: an
+   N-gram candidate pre-filter walked in ascending document-frequency
+   order, then verification of each candidate with the order-independent
+   edit-distance similarity score (Section 5.5, Algorithm 1) under a
+   pluggable :class:`~repro.ccd.matcher.SimilarityBackend` (``"bounded"``
+   by default; ``"exact"`` is the naive reference with identical results).
 """
 
-from repro.ccd.detector import CloneDetector, CloneMatch
+from repro.ccd.detector import CloneDetector
 from repro.ccd.fingerprint import Fingerprint, FingerprintGenerator
 from repro.ccd.fuzzyhash import FuzzyHasher, fuzzy_hash_tokens
 from repro.ccd.index_io import IndexFormatError, load_index, save_index
+from repro.ccd.matcher import (
+    SIMILARITY_BACKENDS,
+    CloneMatch,
+    MatchPipeline,
+    MatchStats,
+    SimilarityBackend,
+    resolve_similarity_backend,
+)
 from repro.ccd.ngram_index import NGramIndex
 from repro.ccd.normalizer import NormalizedContract, NormalizedFunction, NormalizedUnit, Normalizer
-from repro.ccd.similarity import edit_distance, order_independent_similarity, sub_fingerprint_similarity
+from repro.ccd.similarity import (
+    bounded_edit_distance,
+    edit_distance,
+    order_independent_similarity,
+    sub_fingerprint_similarity,
+)
 
 __all__ = [
     "CloneDetector",
@@ -30,15 +47,21 @@ __all__ = [
     "FingerprintGenerator",
     "FuzzyHasher",
     "IndexFormatError",
+    "MatchPipeline",
+    "MatchStats",
     "NGramIndex",
     "NormalizedContract",
     "NormalizedFunction",
     "NormalizedUnit",
     "Normalizer",
+    "SIMILARITY_BACKENDS",
+    "SimilarityBackend",
+    "bounded_edit_distance",
     "edit_distance",
     "fuzzy_hash_tokens",
     "load_index",
     "order_independent_similarity",
+    "resolve_similarity_backend",
     "save_index",
     "sub_fingerprint_similarity",
 ]

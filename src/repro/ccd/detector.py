@@ -17,11 +17,11 @@ across threads or worker processes.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
 from functools import partial
-from typing import Hashable, Iterable, Optional, Sequence
+from typing import Hashable, Iterable, Optional, Sequence, Union
 
 from repro.ccd.fingerprint import Fingerprint, FingerprintGenerator
+from repro.ccd.matcher import CloneMatch, MatchPipeline, MatchStats, SimilarityBackend
 from repro.ccd.ngram_index import NGramIndex
 from repro.ccd.similarity import order_independent_similarity
 
@@ -31,17 +31,6 @@ from repro.ccd.similarity import order_independent_similarity
 import repro.core.artifacts as core_artifacts
 from repro.core.executor import Executor
 from repro.solidity.errors import SolidityParseError
-
-
-@dataclass(frozen=True)
-class CloneMatch:
-    """A detected clone relation between a query and an indexed document."""
-
-    document_id: Hashable
-    similarity: float
-
-    def __repr__(self):
-        return f"CloneMatch({self.document_id!r}, {self.similarity:.3f})"
 
 
 def _fingerprint_task(
@@ -82,6 +71,12 @@ class CloneDetector:
     its CCD configuration (N-gram size, fuzzy-hash block size) must match
     the detector's, because cached fingerprints and N-gram sets are only
     valid for one configuration.
+
+    ``similarity_backend`` selects the verification strategy of the
+    staged :class:`~repro.ccd.matcher.MatchPipeline`: ``"bounded"``
+    (default — pruned, byte-identical matches) or ``"exact"`` (the naive
+    reference); a :class:`~repro.ccd.matcher.SimilarityBackend` instance
+    is also accepted.
     """
 
     def __init__(
@@ -92,6 +87,7 @@ class CloneDetector:
         fingerprint_block_size: int = 2,
         fingerprint_window: int = 4,
         store: Optional["core_artifacts.ArtifactStore"] = None,
+        similarity_backend: Union[str, SimilarityBackend, None] = None,
     ):
         if store is not None:
             if store.ngram_size != ngram_size:
@@ -115,6 +111,18 @@ class CloneDetector:
         self.index = NGramIndex(ngram_size=ngram_size)
         self.fingerprints: dict[Hashable, Fingerprint] = {}
         self.parse_failures: list[Hashable] = []
+        self.matcher = MatchPipeline(
+            self.index, self.fingerprints, backend=similarity_backend)
+
+    @property
+    def similarity_backend(self) -> str:
+        """The name of the configured verification backend."""
+        return self.matcher.backend.name
+
+    @property
+    def match_stats(self) -> MatchStats:
+        """Accumulated per-stage matcher statistics across all queries."""
+        return self.matcher.stats
 
     # -- corpus management ------------------------------------------------------
     def add_document(self, document_id: Hashable, source: str) -> bool:
@@ -201,14 +209,7 @@ class CloneDetector:
             fingerprint = self.fingerprint_source(source)
         epsilon = (self.similarity_threshold if similarity_threshold is None else similarity_threshold) * 100.0
         eta = self.ngram_threshold if ngram_threshold is None else ngram_threshold
-        matches: list[CloneMatch] = []
-        for document_id in self.index.candidates(fingerprint.text, eta):
-            candidate = self.fingerprints[document_id]
-            score = order_independent_similarity(fingerprint, candidate)
-            if score >= epsilon:
-                matches.append(CloneMatch(document_id=document_id, similarity=score))
-        matches.sort(key=lambda match: (-match.similarity, str(match.document_id)))
-        return matches
+        return self.matcher.match(fingerprint, eta, epsilon)
 
     def find_clones_many(
         self,

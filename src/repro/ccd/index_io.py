@@ -24,10 +24,12 @@ never leaves a torn shard behind.
 from __future__ import annotations
 
 import hashlib
+import warnings
 from pathlib import Path
 from typing import Hashable, Optional, Union
 
 from repro.ccd.detector import CloneDetector
+from repro.ccd.matcher import SIMILARITY_BACKENDS, resolve_similarity_backend
 from repro.core.fileio import dump_json, dump_pickle, try_load_json, try_load_pickle
 
 #: bump when the manifest or shard payload layout changes
@@ -70,6 +72,13 @@ def save_index(
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
+    if detector.similarity_backend not in SIMILARITY_BACKENDS:
+        # surface the problem at save time, not at some later load
+        warnings.warn(
+            f"saving an index with unregistered similarity backend "
+            f"{detector.similarity_backend!r}; load_index will fail unless "
+            f"that name is registered in repro.ccd.matcher.SIMILARITY_BACKENDS",
+            stacklevel=2)
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     buckets: list[list[tuple]] = [[] for _ in range(shards)]
@@ -98,6 +107,7 @@ def save_index(
             "similarity_threshold": detector.similarity_threshold,
             "fingerprint_block_size": detector.generator.hasher.block_size,
             "fingerprint_window": detector.generator.hasher.window,
+            "similarity_backend": detector.similarity_backend,
         },
     }
     dump_json(directory / MANIFEST_NAME, manifest)
@@ -135,6 +145,15 @@ def load_index(
     directory = Path(directory)
     manifest = read_manifest(directory)
     configuration = manifest["configuration"]
+    try:
+        # older manifests predate the staged matcher: default backend
+        backend = resolve_similarity_backend(configuration.get("similarity_backend"))
+    except ValueError as error:
+        # the index was saved by a detector carrying a custom
+        # SimilarityBackend whose name is not in SIMILARITY_BACKENDS here;
+        # store/configuration mismatches stay ValueError (caller-side)
+        raise IndexFormatError(
+            f"index at {directory} has an unloadable configuration: {error}") from error
     detector = CloneDetector(
         ngram_size=configuration["ngram_size"],
         ngram_threshold=configuration["ngram_threshold"],
@@ -142,6 +161,7 @@ def load_index(
         fingerprint_block_size=configuration["fingerprint_block_size"],
         fingerprint_window=configuration["fingerprint_window"],
         store=store,
+        similarity_backend=backend,
     )
     for index in range(manifest["shards"]):
         path = _shard_path(directory, index)

@@ -14,21 +14,48 @@ sub-fingerprint, and averages the maxima.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.ccd.fingerprint import Fingerprint
 
 
+def _strip_common_affixes(first: str, second: str) -> tuple[str, str]:
+    """Drop the shared prefix and suffix — they never contribute to the distance."""
+    start = 0
+    shortest = min(len(first), len(second))
+    while start < shortest and first[start] == second[start]:
+        start += 1
+    end_first, end_second = len(first), len(second)
+    while end_first > start and end_second > start \
+            and first[end_first - 1] == second[end_second - 1]:
+        end_first -= 1
+        end_second -= 1
+    return first[start:end_first], second[start:end_second]
+
+
 def edit_distance(first: str, second: str) -> int:
-    """Levenshtein edit distance between two strings (iterative, O(n*m))."""
+    """Levenshtein edit distance between two strings (iterative, O(n*m)).
+
+    Fast paths handle the shapes that dominate fingerprint matching
+    before the quadratic loop runs: equal strings, strings that are
+    equal after stripping their common prefix/suffix (one stretch of
+    insertions — e.g. one string is a prefix of the other, where the
+    distance is just the length difference), and single-character
+    remainders.
+    """
     if first == second:
         return 0
+    first, second = _strip_common_affixes(first, second)
     if not first:
         return len(second)
     if not second:
         return len(first)
     if len(first) < len(second):
         first, second = second, first
+    if len(second) == 1:
+        # align the lone character to a match if one exists: then the
+        # rest are deletions; otherwise one of them is a substitution
+        return len(first) - (1 if second in first else 0)
     previous = list(range(len(second) + 1))
     for row, char_first in enumerate(first, start=1):
         current = [row]
@@ -39,6 +66,69 @@ def edit_distance(first: str, second: str) -> int:
             current.append(min(insert_cost, delete_cost, substitute_cost))
         previous = current
     return previous[-1]
+
+
+def bounded_edit_distance(first: str, second: str, limit: int) -> Optional[int]:
+    """Levenshtein distance when it is at most ``limit``, else ``None``.
+
+    A banded (Ukkonen-style) variant of :func:`edit_distance`: only the
+    diagonal band of width ``2 * limit + 1`` is filled in, so the cost is
+    O(max_len * limit) instead of O(n * m).  When the true distance is
+    within the band the returned value is **exactly** the Levenshtein
+    distance; when every band cell exceeds ``limit`` the computation is
+    abandoned early and ``None`` is returned.
+    """
+    if first == second:
+        return 0
+    if limit <= 0:
+        return None
+    first, second = _strip_common_affixes(first, second)
+    if not first:
+        return len(second) if len(second) <= limit else None
+    if not second:
+        return len(first) if len(first) <= limit else None
+    if len(first) < len(second):
+        first, second = second, first
+    if len(first) - len(second) > limit:
+        return None
+    if len(second) == 1:
+        distance = len(first) - (1 if second in first else 0)
+        return distance if distance <= limit else None
+    columns = len(second)
+    big = limit + 1
+    previous = [column if column <= limit else big for column in range(columns + 1)]
+    # two reusable row buffers; cells outside the band are kept at `big`
+    # by explicitly resetting the one boundary cell the next row can read
+    current = [big] * (columns + 1)
+    for row, char_first in enumerate(first, start=1):
+        low = row - limit
+        if low < 1:
+            low = 1
+        high = row + limit
+        if high > columns:
+            high = columns
+        left = row if row <= limit else big
+        current[low - 1] = left
+        row_minimum = left
+        for column in range(low, high + 1):
+            value = previous[column - 1]
+            if char_first != second[column - 1]:
+                value += 1
+            delete_cost = previous[column] + 1
+            if delete_cost < value:
+                value = delete_cost
+            insert_cost = current[column - 1] + 1
+            if insert_cost < value:
+                value = insert_cost
+            current[column] = value
+            if value < row_minimum:
+                row_minimum = value
+        if row_minimum > limit:
+            return None
+        if high < columns:
+            current[high + 1] = big
+        previous, current = current, previous
+    return previous[columns] if previous[columns] <= limit else None
 
 
 def sub_fingerprint_similarity(first: str, second: str) -> float:

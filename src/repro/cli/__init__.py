@@ -36,6 +36,7 @@ from repro.api import REGISTRY, AnalysisSession, SessionConfig, all_analyzers
 from repro.ccc.registry import ALL_QUERIES
 from repro.ccd.detector import CloneDetector
 from repro.ccd.index_io import IndexFormatError, read_manifest
+from repro.ccd.matcher import SIMILARITY_BACKENDS
 from repro.core.executor import BACKENDS
 from repro.core.persistence import DATABASE_NAME, CacheConfigurationError, DiskArtifactStore
 from repro.datasets.sanctuary import generate_sanctuary
@@ -98,6 +99,11 @@ def _add_detector_arguments(parser: argparse.ArgumentParser) -> None:
                        help="candidate pre-filter threshold eta (default: 0.5)")
     group.add_argument("--similarity-threshold", type=float, default=0.9,
                        help="clone decision threshold epsilon (default: 0.9)")
+    group.add_argument("--similarity-backend", choices=sorted(SIMILARITY_BACKENDS),
+                       default="bounded",
+                       help="clone verification backend: bounded (pruned, "
+                            "default) or exact (naive reference); both "
+                            "produce identical matches")
 
 
 def _open_cache(args: argparse.Namespace, **store_kwargs) -> Optional[DiskArtifactStore]:
@@ -123,6 +129,7 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
         ngram_threshold=args.ngram_threshold,
         similarity_threshold=args.similarity_threshold,
         store=store,
+        similarity_backend=args.similarity_backend,
     )
     started = time.perf_counter()
     indexed = detector.add_corpus(
@@ -180,6 +187,7 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
         ngram_size=args.ngram_size,
         ngram_threshold=args.ngram_threshold,
         similarity_threshold=args.similarity_threshold,
+        similarity_backend=args.similarity_backend,
         executor_backend=args.backend,
         max_workers=args.max_workers,
         checkpoint_chunk_size=args.checkpoint_chunk_size,
@@ -294,6 +302,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         ngram_size=args.ngram_size,
         ngram_threshold=args.ngram_threshold,
         similarity_threshold=args.similarity_threshold,
+        similarity_backend=args.similarity_backend,
         checker_timeout=args.timeout,
     )
     try:
@@ -310,6 +319,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         # deployed contracts; harmless to offer when not requested
         options = {"temporal": {"contracts": contracts},
                    "correlation": {"contracts": contracts}}
+        profile_sink: list = []
+        if args.profile:
+            if "ccd" in analyses:
+                options["ccd"] = {"profile_sink": profile_sink}
+            else:
+                print("note: --profile shows the clone-matcher stages and "
+                      "needs 'ccd' among --analyses; no profile will be "
+                      "printed", file=sys.stderr)
         started = time.perf_counter()
         tallies: dict[str, dict] = {}
         corpus_scope = []
@@ -345,6 +362,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 title=f"Analyses over {len(corpus)} {args.corpus} ({mode})"))
         for envelope in corpus_scope:
             print(_render_corpus_envelope(envelope))
+        for detector in profile_sink:
+            stats = detector.match_stats
+            print(render_table(
+                ["Stage", "Counter", "Value"], stats.stage_rows(),
+                title=f"Match pipeline profile "
+                      f"[{detector.similarity_backend} backend]"))
         print(f"analyzed {len(corpus)} {args.corpus} with "
               f"{', '.join(analyses)} in {elapsed:.2f}s [{args.backend}]")
         print(render_cache_stats(session.stats,
@@ -450,6 +473,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="CCC per-unit timeout in seconds (default: none)")
     analyze.add_argument("--verbose", action="store_true",
                          help="print one line per analyzed item to stderr")
+    analyze.add_argument("--profile", action="store_true",
+                         help="print the per-stage clone-matcher profile "
+                              "(candidate generation vs verification: "
+                              "counts, pruning, wall time)")
     _add_detector_arguments(analyze)
     _add_corpus_arguments(analyze)
     analyze.set_defaults(handler=_cmd_analyze)

@@ -43,6 +43,7 @@ def map_snippets_to_contracts(
     ngram_threshold: float = 0.5,
     similarity_threshold: float = 0.9,
     fingerprint_block_size: int = 2,
+    similarity_backend: Optional[str] = None,
     detector: Optional[CloneDetector] = None,
     store: Optional[ArtifactStore] = None,
     executor: Optional[Executor] = None,
@@ -51,11 +52,14 @@ def map_snippets_to_contracts(
     """Index the deployed contracts and find clones of every snippet.
 
     The default thresholds are the conservative configuration of the
-    large-scale study (N=3, η=0.5, ε=0.9; Section 6.3).  ``session``
-    supplies the shared :class:`~repro.api.AnalysisSession` whose store
-    and executor the mapping runs through (the study passes its own);
-    ``store``/``executor`` remain as direct overrides, and without
-    either a throwaway serial session is wired up internally.
+    large-scale study (N=3, η=0.5, ε=0.9; Section 6.3).
+    ``similarity_backend`` selects the verification backend of the
+    internally built detector (``"bounded"`` by default — see
+    :mod:`repro.ccd.matcher`; every backend maps identically).
+    ``session`` supplies the shared :class:`~repro.api.AnalysisSession`
+    whose store and executor the mapping runs through (the study passes
+    its own); ``store``/``executor`` remain as direct overrides, and
+    without either a throwaway serial session is wired up internally.
     """
     from repro.api import AnalysisSession
 
@@ -69,6 +73,7 @@ def map_snippets_to_contracts(
             similarity_threshold=similarity_threshold,
             fingerprint_block_size=fingerprint_block_size,
             store=store,
+            similarity_backend=similarity_backend,
         )
     mapping = CloneMapping()
     indexed = detector.add_corpus(

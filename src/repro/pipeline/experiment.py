@@ -60,6 +60,8 @@ class StudyConfiguration:
     ngram_size: int = 3
     ngram_threshold: float = 0.5
     similarity_threshold: float = 0.9
+    #: CCD verification backend ("bounded" or "exact"; identical results)
+    similarity_backend: str = "bounded"
     validation_timeout_seconds: float = 30.0
     snippet_analysis_timeout_seconds: float = 20.0
     restrict_to_source_snippets: bool = False
@@ -89,6 +91,7 @@ class StudyConfiguration:
             fingerprint_block_size=self.fingerprint_block_size,
             ngram_threshold=self.ngram_threshold,
             similarity_threshold=self.similarity_threshold,
+            similarity_backend=self.similarity_backend,
             checker_timeout=self.snippet_analysis_timeout_seconds,
             validation_timeout_seconds=self.validation_timeout_seconds,
         )
@@ -266,6 +269,7 @@ class VulnerableCodeReuseStudy:
                 ngram_threshold=self.configuration.ngram_threshold,
                 similarity_threshold=self.configuration.similarity_threshold,
                 fingerprint_block_size=self.configuration.fingerprint_block_size,
+                similarity_backend=self.configuration.similarity_backend,
                 session=self.session,
             ))
         # temporal categorisation and the correlation analysis are cheap,

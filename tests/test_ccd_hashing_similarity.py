@@ -5,7 +5,12 @@ import pytest
 from repro.ccd.fingerprint import Fingerprint, FingerprintGenerator
 from repro.ccd.fuzzyhash import BASE64_ALPHABET, FuzzyHasher, fuzzy_hash_tokens
 from repro.ccd.ngram_index import NGramIndex, ngrams
-from repro.ccd.similarity import edit_distance, order_independent_similarity, sub_fingerprint_similarity
+from repro.ccd.similarity import (
+    bounded_edit_distance,
+    edit_distance,
+    order_independent_similarity,
+    sub_fingerprint_similarity,
+)
 
 
 class TestFuzzyHasher:
@@ -110,6 +115,61 @@ class TestEditDistance:
         a, b, c = "contract", "contrast", "context"
         assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
 
+    @pytest.mark.parametrize("first,second,expected", [
+        # one string is a prefix of the other: distance = length difference
+        ("abc", "abcdef", 3),
+        ("abcdef", "abc", 3),
+        ("A", "ABCDEFGH", 7),
+        # equal after stripping the common prefix and suffix
+        ("prefixXsuffix", "prefixYsuffix", 1),
+        ("aaaaXbbbb", "aaaaYYbbbb", 2),
+        ("same", "same", 0),
+        # single-character remainders after the strip
+        ("h", "hello", 4),
+        ("x", "hello", 5),
+        ("hello", "h", 4),
+        ("aXa", "aYa", 1),
+        # shared-suffix-only shapes
+        ("Xend", "YZend", 2),
+    ])
+    def test_fast_path_distances_pinned(self, first, second, expected):
+        assert edit_distance(first, second) == expected
+
+
+class TestBoundedEditDistance:
+    @pytest.mark.parametrize("first,second", [
+        ("", ""), ("abc", "abc"), ("abc", ""), ("", "xyz"),
+        ("kitten", "sitting"), ("flaw", "lawn"), ("abc", "acb"),
+        ("abc", "abcdef"), ("prefixXsuffix", "prefixYsuffix"),
+        ("h", "hello"), ("x", "hello"),
+    ])
+    def test_matches_exact_distance_when_within_limit(self, first, second):
+        distance = edit_distance(first, second)
+        for limit in (distance, distance + 1, distance + 10):
+            assert bounded_edit_distance(first, second, limit) == distance
+
+    def test_returns_none_beyond_limit(self):
+        assert bounded_edit_distance("kitten", "sitting", 2) is None
+        assert bounded_edit_distance("abc", "", 2) is None
+        assert bounded_edit_distance("AAAAAAAA", "BBBBBBBB", 5) is None
+
+    def test_zero_limit(self):
+        assert bounded_edit_distance("same", "same", 0) == 0
+        assert bounded_edit_distance("a", "b", 0) is None
+
+    def test_randomized_agreement_with_exact(self):
+        import random
+
+        rng = random.Random(5)
+        alphabet = "abcdef"
+        for _ in range(500):
+            first = "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 20)))
+            second = "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 20)))
+            distance = edit_distance(first, second)
+            for limit in (0, 1, 3, 8, 20):
+                bounded = bounded_edit_distance(first, second, limit)
+                assert bounded == (distance if distance <= limit else None)
+
 
 class TestSimilarityScores:
     def test_identical_sub_fingerprints_score_100(self):
@@ -174,6 +234,25 @@ class TestNGramIndex:
         index.remove("doc")
         assert index.candidates("ABCDEF", 0.1) == []
         assert "doc" not in index
+
+    def test_readd_purges_stale_postings(self):
+        # regression: re-adding a document with different grams used to
+        # leave the old grams' postings pointing at the document, so the
+        # removed n-grams still yielded it as a candidate
+        index = NGramIndex(ngram_size=3)
+        index.add("doc", "ABCDEF")
+        index.add("doc", "UVWXYZ")
+        assert index.candidates("ABCDEF", 0.1) == []
+        assert index.candidates("UVWXYZ", 0.5) == ["doc"]
+        assert len(index) == 1
+        assert index.overlap("ABCDEF", "doc") == 0.0
+
+    def test_readd_with_overlapping_grams(self):
+        index = NGramIndex(ngram_size=3)
+        index.add("doc", "ABCDEF")
+        index.add("doc", "CDEFGH")  # shares CDE/DEF with the old text
+        assert index.candidates("CDEFGH", 0.9) == ["doc"]
+        assert "doc" not in index.candidates("ABCDEF", 0.9)
 
     def test_len_and_contains(self):
         index = NGramIndex(ngram_size=3)

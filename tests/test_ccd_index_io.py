@@ -140,3 +140,41 @@ class TestCorruptionHandling:
         (directory / "shard-0001.pkl").write_bytes(b"garbage")
         partial = load_index(directory, strict=False)
         assert 0 < len(partial) < manifest["documents"]
+
+
+class TestSimilarityBackendRoundtrip:
+    def test_backend_recorded_and_restored(self, tmp_path, corpus):
+        contracts, _ = corpus
+        detector = CloneDetector(similarity_backend="exact")
+        detector.add_corpus([(c.address, c.source) for c in contracts[:5]])
+        manifest = save_index(detector, tmp_path / "index")
+        assert manifest["configuration"]["similarity_backend"] == "exact"
+        assert load_index(tmp_path / "index").similarity_backend == "exact"
+
+    def test_default_backend_roundtrip(self, tmp_path, detector):
+        manifest = save_index(detector, tmp_path / "index")
+        assert manifest["configuration"]["similarity_backend"] == "bounded"
+        assert load_index(tmp_path / "index").similarity_backend == "bounded"
+
+    def test_legacy_manifest_without_backend_loads_with_default(self, tmp_path, detector):
+        import json
+
+        directory = tmp_path / "index"
+        save_index(detector, directory)
+        manifest_path = directory / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["configuration"]["similarity_backend"]
+        manifest_path.write_text(json.dumps(manifest))
+        assert load_index(directory).similarity_backend == "bounded"
+
+    def test_unregistered_backend_name_is_a_format_error(self, tmp_path, detector):
+        import json
+
+        directory = tmp_path / "index"
+        save_index(detector, directory)
+        manifest_path = directory / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["configuration"]["similarity_backend"] = "custom-unregistered"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(IndexFormatError, match="unloadable configuration"):
+            load_index(directory)

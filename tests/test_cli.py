@@ -208,3 +208,52 @@ class TestAnalyzeCommand:
                                *SMALL_CORPUS)
         assert code == 0
         assert "0 parses" in out
+
+
+class TestMatcherCliOptions:
+    def test_profile_prints_stage_table(self, capsys):
+        code, out, _ = run_cli(capsys, "analyze", "snippets", "--analyses", "ccd",
+                               "--profile", *SMALL_CORPUS)
+        assert code == 0
+        assert "Match pipeline profile [bounded backend]" in out
+        assert "candidates" in out and "verification" in out
+        assert "pruned by length bucket" in out
+        assert "abandoned by mean bound" in out
+        assert "seconds (summed over queries)" in out
+
+    def test_exact_and_bounded_backends_agree(self, capsys):
+        code, bounded_out, _ = run_cli(capsys, "analyze", "snippets",
+                                       "--analyses", "ccd", *SMALL_CORPUS)
+        assert code == 0
+        code, exact_out, _ = run_cli(capsys, "analyze", "snippets",
+                                     "--analyses", "ccd",
+                                     "--similarity-backend", "exact",
+                                     *SMALL_CORPUS)
+        assert code == 0
+
+        def tally_rows(text):
+            return [line for line in text.splitlines()
+                    if not line.startswith("analyzed ")]
+
+        assert tally_rows(bounded_out) == tally_rows(exact_out)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", "contracts", "--similarity-backend", "fuzzy"])
+
+    def test_index_build_records_backend(self, tmp_path, capsys):
+        index = str(tmp_path / "index")
+        code, _, _ = run_cli(capsys, "index", "build", "--output", index,
+                             "--similarity-backend", "exact", *SMALL_CORPUS)
+        assert code == 0
+        code, out, _ = run_cli(capsys, "index", "info", index)
+        assert code == 0
+        assert "similarity_backend" in out and "exact" in out
+
+    def test_profile_without_ccd_warns(self, capsys):
+        code, out, err = run_cli(capsys, "analyze", "snippets",
+                                 "--analyses", "ccc", "--profile", *SMALL_CORPUS)
+        assert code == 0
+        assert "Match pipeline profile" not in out
+        assert "needs 'ccd'" in err
