@@ -1,0 +1,123 @@
+"""Service daemon throughput — cold vs. resident-index serving.
+
+Benchmarks the analysis service (``repro.service``) end to end over real
+HTTP on a loopback port, comparing the two serving regimes the daemon
+exists to separate:
+
+* **cold** — every job pays the batch-world warm-up: a fresh service
+  (empty artifact store, empty index), the corpus ingested, then the
+  query job.  This is what each ``repro analyze`` invocation costs.
+* **resident** — one long-lived daemon with the corpus ingested once;
+  jobs hit the warm parse-once store and the already-loaded index.
+
+The terminal summary reports jobs/sec and client-observed p50/p95 job
+latency for both regimes, plus the resident speedup.  The assertion is
+parity: both regimes produce byte-identical canonical envelopes.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.api import canonical_json
+from repro.datasets.sanctuary import generate_sanctuary
+from repro.datasets.snippets import generate_qa_corpus
+from repro.service import AnalysisService, ServiceClient, ServiceConfig
+
+#: sequential submit+wait cycles sampled for the latency percentiles
+LATENCY_SAMPLES = 12
+
+
+@pytest.fixture(scope="module")
+def service_corpora():
+    qa_corpus = generate_qa_corpus(
+        seed=3, posts_per_site={"stackoverflow": 8, "ethereum.stackexchange": 20})
+    sanctuary = generate_sanctuary(qa_corpus, seed=11, independent_contracts=8)
+    contracts = [(contract.address, contract.source)
+                 for contract in sanctuary.contracts]
+    snippets = [(snippet.snippet_id, snippet.text)
+                for post in qa_corpus.posts for snippet in post.snippets][:12]
+    return contracts, snippets
+
+
+def _service_config(tmp_path, name):
+    return ServiceConfig(data_dir=str(tmp_path / name), port=0, backend="serial")
+
+
+def _run_jobs(client, snippets):
+    """Submit one ccd+ccc job per snippet and wait for all, FIFO."""
+    latencies = []
+    results = []
+    for pair in snippets:
+        started = time.perf_counter()
+        job = client.submit([pair], analyses=["ccd", "ccc"])
+        # a tight poll so the measured latency is the daemon's, not the poll's
+        finished = client.wait(job["id"], timeout=120.0, poll=0.002)
+        latencies.append(time.perf_counter() - started)
+        results.extend(canonical_json(envelope)
+                       for envelope in finished["results"])
+    return latencies, results
+
+
+def _register(registry, mode, wall, latencies, jobs):
+    registry[mode] = {
+        "jobs_per_sec": jobs / wall,
+        "p50": statistics.median(latencies),
+        "p95": sorted(latencies)[max(0, int(len(latencies) * 0.95) - 1)],
+        "jobs": jobs,
+    }
+
+
+#: canonical envelopes per mode, asserted identical between the rows
+_MODE_RESULTS: dict = {}
+
+
+def test_service_cold_serving(benchmark, service_corpora, tmp_path_factory,
+                              service_latency_registry):
+    contracts, snippets = service_corpora
+    sample = snippets[:LATENCY_SAMPLES]
+    tmp_path = tmp_path_factory.mktemp("svc-cold")
+    counter = iter(range(1_000_000))
+
+    def cold_run():
+        # a brand-new daemon per run: cold store, cold index, full ingest
+        config = _service_config(tmp_path, f"run-{next(counter)}")
+        with AnalysisService(config) as service:
+            client = ServiceClient(service.url)
+            client.ingest(contracts)
+            return _run_jobs(client, sample)
+
+    started = time.perf_counter()
+    latencies, results = benchmark.pedantic(cold_run, rounds=1, iterations=1)
+    wall = time.perf_counter() - started
+    _register(service_latency_registry, "cold", wall, latencies, len(sample))
+    _MODE_RESULTS["cold"] = results
+    assert len(results) == 2 * len(sample)
+
+
+def test_service_resident_serving(benchmark, service_corpora, tmp_path_factory,
+                                  service_latency_registry):
+    contracts, snippets = service_corpora
+    sample = snippets[:LATENCY_SAMPLES]
+    tmp_path = tmp_path_factory.mktemp("svc-resident")
+    with AnalysisService(_service_config(tmp_path, "daemon")) as service:
+        client = ServiceClient(service.url)
+        client.ingest(contracts)  # paid once, outside the benchmark
+        _run_jobs(client, sample[:2])  # warm the artifact store
+
+        def resident_run():
+            return _run_jobs(client, sample)
+
+        started = time.perf_counter()
+        latencies, results = benchmark.pedantic(
+            resident_run, rounds=1, iterations=1)
+        wall = time.perf_counter() - started
+        stats = client.stats()
+    _register(service_latency_registry, "resident", wall, latencies, len(sample))
+    _MODE_RESULTS["resident"] = results
+    assert len(results) == 2 * len(sample)
+    assert stats["index"]["documents"] == len(contracts)
+    # the regimes must be indistinguishable in their (canonical) results
+    if "cold" in _MODE_RESULTS:
+        assert _MODE_RESULTS["cold"] == results

@@ -35,6 +35,10 @@ _SESSION_MODES: dict[str, dict] = {}
 #: and the exact-vs-bounded verification speedup below
 _MATCHER_BACKENDS: dict[str, dict] = {}
 
+#: mode -> {"jobs_per_sec", "p50", "p95", "jobs"} rows of the service
+#: daemon benchmark (bench_service_throughput), cold vs resident serving
+_SERVICE_LATENCIES: dict[str, dict] = {}
+
 
 @pytest.fixture(scope="session")
 def artifact_stats_registry():
@@ -52,6 +56,12 @@ def session_mode_registry():
 def matcher_backend_registry():
     """Register per-backend wall/stats rows of the staged-matcher benchmark."""
     return _MATCHER_BACKENDS
+
+
+@pytest.fixture(scope="session")
+def service_latency_registry():
+    """Register per-mode jobs/sec + latency rows of the service benchmark."""
+    return _SERVICE_LATENCIES
 
 
 def pytest_terminal_summary(terminalreporter):
@@ -103,6 +113,20 @@ def pytest_terminal_summary(terminalreporter):
                 f"   delta: bounded verification {speedup:.1f}x faster "
                 f"({exact.verify_seconds:.3f}s -> {bounded.verify_seconds:.3f}s) "
                 f"with byte-identical matches")
+    if _SERVICE_LATENCIES:
+        terminalreporter.section("service daemon: cold vs resident serving")
+        for mode, row in _SERVICE_LATENCIES.items():
+            terminalreporter.write_line(
+                f"{mode:>9}: {row['jobs_per_sec']:.1f} jobs/sec over "
+                f"{row['jobs']} jobs, latency p50 {row['p50'] * 1000.0:.1f} ms, "
+                f"p95 {row['p95'] * 1000.0:.1f} ms")
+        if {"cold", "resident"} <= set(_SERVICE_LATENCIES):
+            cold, resident = _SERVICE_LATENCIES["cold"], _SERVICE_LATENCIES["resident"]
+            speedup = resident["jobs_per_sec"] / max(cold["jobs_per_sec"], 1e-9)
+            terminalreporter.write_line(
+                f"    delta: resident index serves {speedup:.1f}x more jobs/sec "
+                f"(p50 {cold['p50'] * 1000.0:.1f} ms -> "
+                f"{resident['p50'] * 1000.0:.1f} ms) with identical envelopes")
 
 
 @pytest.fixture(scope="session")

@@ -14,11 +14,13 @@ Layer map (see README.md for the full architecture):
   and resumable, orchestrated over an analysis session,
 * :mod:`repro.core` — shared parse-once artifact store (in-memory and
   disk-backed) and serial / thread / process batch executors,
+* :mod:`repro.service` — the analysis service daemon: resident session
+  + live CCD index, persistent SQLite job queue, stdlib HTTP API,
 * :mod:`repro.cli` — the ``repro`` console script (analyze / index /
-  study / cache),
+  study / cache / serve / submit / jobs),
 * :mod:`repro.datasets`, :mod:`repro.baselines`, :mod:`repro.metrics`,
   :mod:`repro.evaluation`, :mod:`repro.query` — corpora, baseline tools,
   metrics, and evaluation harnesses.
 """
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"

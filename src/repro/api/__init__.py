@@ -21,7 +21,12 @@ output — see :doc:`docs/api.md </docs/api>` for the full tour and the
 migration table from the legacy entry points.
 """
 
-from repro.api.envelope import AnalysisRequest, AnalysisResult, canonicalize
+from repro.api.envelope import (
+    AnalysisRequest,
+    AnalysisResult,
+    canonical_json,
+    canonicalize,
+)
 from repro.api.registry import (
     REGISTRY,
     Analyzer,
@@ -45,6 +50,7 @@ __all__ = [
     "SessionConfig",
     "all_analyzers",
     "as_request",
+    "canonical_json",
     "canonicalize",
     "get_analyzer",
     "register_analyzer",

@@ -17,6 +17,7 @@ vs. thread vs. process — can be compared byte for byte.
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass, field, fields, is_dataclass
 from typing import Any, Hashable, Mapping, Optional
 
@@ -103,4 +104,22 @@ def canonicalize(value: Any) -> Any:
     return value
 
 
-__all__ = ["AnalysisRequest", "AnalysisResult", "TIMING_FIELDS", "canonicalize"]
+def canonical_json(value: Any) -> str:
+    """One deterministic JSON encoding of a (canonicalized) value.
+
+    This is the wire format of the analysis service: an
+    :class:`AnalysisResult` is reduced to :meth:`AnalysisResult.as_dict`
+    first, everything else goes through :func:`canonicalize`, and the
+    encoding pins key order, separators, and non-ASCII handling — so the
+    same envelope serializes to the same bytes on every run, which is
+    what makes HTTP-served results comparable byte for byte against a
+    local :meth:`~repro.api.session.AnalysisSession.run`.
+    """
+    if isinstance(value, AnalysisResult):
+        value = value.as_dict()
+    return json.dumps(canonicalize(value), sort_keys=True,
+                      separators=(",", ":"), ensure_ascii=False)
+
+
+__all__ = ["AnalysisRequest", "AnalysisResult", "TIMING_FIELDS",
+           "canonical_json", "canonicalize"]

@@ -26,7 +26,7 @@ from __future__ import annotations
 import hashlib
 import warnings
 from pathlib import Path
-from typing import Hashable, Optional, Union
+from typing import Hashable, Iterable, Optional, Union
 
 from repro.ccd.detector import CloneDetector
 from repro.ccd.matcher import SIMILARITY_BACKENDS, resolve_similarity_backend
@@ -114,6 +114,69 @@ def save_index(
     return manifest
 
 
+def append_to_index(
+    detector: CloneDetector,
+    directory: Union[str, Path],
+    document_ids: Iterable[Hashable],
+    shards: int = 1,
+    remove_ids: Iterable[Hashable] = (),
+) -> dict:
+    """Incrementally persist newly indexed documents into a saved index.
+
+    This is the live-ingest path of the analysis service: after
+    ``detector`` (loaded from ``directory``) has indexed new documents
+    in memory, only the shards those documents hash into — plus the
+    manifest and the parse-failure record — are rewritten, so ingest
+    cost scales with the batch, not the corpus.  ``remove_ids`` names
+    documents retired from the live index (e.g. a known id re-ingested
+    with now-unparsable source) whose persisted entries must go too.
+    ``shards`` is only used when ``directory`` holds no index yet (a
+    full :func:`save_index`).
+
+    Returns a summary: the updated manifest plus ``appended`` (documents
+    written) and ``shards_rewritten``.
+    """
+    directory = Path(directory)
+    document_ids = list(document_ids)
+    remove_ids = [document_id for document_id in remove_ids
+                  if document_id not in detector.fingerprints]
+    try:
+        manifest = read_manifest(directory)
+    except IndexFormatError:
+        manifest = save_index(detector, directory, shards=shards)
+        return {"manifest": manifest,
+                "appended": sum(1 for document_id in document_ids
+                                if document_id in detector.fingerprints),
+                "shards_rewritten": manifest["shards"]}
+    shard_count = manifest["shards"]
+    buckets: dict[int, list[Hashable]] = {}
+    for document_id in document_ids:
+        if document_id not in detector.fingerprints:
+            continue  # a parse failure; recorded below, never sharded
+        buckets.setdefault(shard_of(document_id, shard_count), []).append(document_id)
+    doomed: dict[int, set] = {}
+    for document_id in remove_ids:
+        doomed.setdefault(shard_of(document_id, shard_count), set()).add(document_id)
+    for index in sorted(set(buckets) | set(doomed)):
+        path = _shard_path(directory, index)
+        bucket_ids = buckets.get(index, [])
+        stale = set(bucket_ids) | doomed.get(index, set())
+        bucket = [entry for entry in (try_load_pickle(path) or [])
+                  if entry[0] not in stale]
+        bucket.extend(
+            (document_id, detector.fingerprints[document_id],
+             detector.index.grams_for(document_id))
+            for document_id in bucket_ids)
+        dump_pickle(path, bucket)
+    dump_pickle(directory / PARSE_FAILURES_NAME, list(detector.parse_failures))
+    manifest["documents"] = len(detector.fingerprints)
+    manifest["parse_failures"] = len(detector.parse_failures)
+    dump_json(directory / MANIFEST_NAME, manifest)
+    return {"manifest": manifest,
+            "appended": sum(len(bucket_ids) for bucket_ids in buckets.values()),
+            "shards_rewritten": len(set(buckets) | set(doomed))}
+
+
 def read_manifest(directory: Union[str, Path]) -> dict:
     """The manifest of a saved index, validated for format compatibility."""
     directory = Path(directory)
@@ -186,6 +249,7 @@ __all__ = [
     "INDEX_FORMAT_VERSION",
     "IndexFormatError",
     "MANIFEST_NAME",
+    "append_to_index",
     "load_index",
     "read_manifest",
     "save_index",

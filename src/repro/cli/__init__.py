@@ -11,6 +11,10 @@ One console entry point over the analysis-session stack::
     repro study resume ...      resume a killed study from its checkpoint
     repro cache stats ...       inspect a disk artifact cache
     repro cache gc ...          evict old/excess cache entries
+    repro serve ...             run the analysis service daemon (HTTP API)
+    repro submit ...            submit a job to a running daemon
+    repro jobs list/show ...    inspect a running daemon's job queue
+    repro version               print the package version (also --version)
 
 The CLI is deliberately a thin shell: every subcommand is a few calls
 into :mod:`repro.api`, :mod:`repro.core`, :mod:`repro.ccd`, and
@@ -27,6 +31,7 @@ See ``docs/cli.md`` for a walkthrough of every subcommand and
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from pathlib import Path
@@ -45,8 +50,35 @@ from repro.pipeline.checkpoint import StudyCheckpoint, StudyCheckpointError
 from repro.pipeline.collection import SnippetCollector
 from repro.pipeline.experiment import StudyConfiguration, VulnerableCodeReuseStudy
 from repro.pipeline.report import render_cache_stats, render_study_report, render_table
+from repro.service import (
+    AnalysisService,
+    JobFailedError,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+)
 
 PROG = "repro"
+
+#: the installed distribution queried by ``repro --version``
+DISTRIBUTION_NAME = "vulnerable-code-reuse-repro"
+
+
+def package_version() -> str:
+    """The package version: installed metadata, or the source tree's own.
+
+    Prefers :func:`importlib.metadata.version` (the single source of
+    truth once installed); an uninstalled source checkout (e.g. plain
+    ``PYTHONPATH=src``) falls back to ``repro.__version__``.
+    """
+    from importlib.metadata import PackageNotFoundError, version
+
+    try:
+        return version(DISTRIBUTION_NAME)
+    except PackageNotFoundError:
+        import repro
+
+        return repro.__version__
 
 
 # ---------------------------------------------------------------------------
@@ -438,6 +470,175 @@ def _cmd_cache_gc(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# repro serve / submit / jobs
+# ---------------------------------------------------------------------------
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    configuration = ServiceConfig(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        max_workers=args.max_workers,
+        workers=args.workers,
+        cache=not args.no_cache,
+        ngram_size=args.ngram_size,
+        ngram_threshold=args.ngram_threshold,
+        similarity_threshold=args.similarity_threshold,
+        similarity_backend=args.similarity_backend,
+        index_shards=args.index_shards,
+        log_requests=args.verbose,
+    )
+    try:
+        service = AnalysisService(configuration)
+    except (CacheConfigurationError, IndexFormatError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: cannot start service: {error}", file=sys.stderr)
+        return 1
+
+    def _request_stop(signum, frame):
+        service.request_stop()
+
+    try:  # signal handlers only exist in the main thread (tests run elsewhere)
+        signal.signal(signal.SIGINT, _request_stop)
+        signal.signal(signal.SIGTERM, _request_stop)
+    except ValueError:
+        pass
+    try:
+        service.start()  # this is where the socket bind happens
+    except OSError as error:
+        print(f"error: cannot start service: {error}", file=sys.stderr)
+        service.stop()
+        return 1
+    print(f"serving on {service.url} (data dir: {args.data_dir}, "
+          f"index: {len(service.detector)} documents, "
+          f"recovered jobs: {service.recovered_jobs})", flush=True)
+    service.serve_forever()
+    print("service stopped", flush=True)
+    return 0
+
+
+def _payload_flagged(payload) -> bool:
+    """Whether a wire-form (canonicalized) payload flags its contract."""
+    if isinstance(payload, list):
+        return bool(payload)  # ccd: non-empty clone-match list
+    if isinstance(payload, dict):
+        return bool(payload.get("findings")) or bool(payload.get("vulnerable"))
+    return False
+
+
+def _summarize_envelopes(results: list, title: str) -> str:
+    """The `repro submit --wait` summary table over wire-form envelopes."""
+    tallies: dict[str, dict] = {}
+    for envelope in results:
+        tally = tallies.setdefault(
+            envelope["analyzer"], {"items": 0, "flagged": 0, "errors": 0})
+        tally["items"] += 1
+        payload = envelope["payload"]
+        if payload is None or (isinstance(payload, dict)
+                               and (payload.get("parse_error")
+                                    or payload.get("analysis_error"))):
+            tally["errors"] += 1
+        if _payload_flagged(payload):
+            tally["flagged"] += 1
+    rows = [[analyzer_id, tally["items"], tally["flagged"], tally["errors"]]
+            for analyzer_id, tally in tallies.items()]
+    return render_table(["Analyzer", "Items", "Flagged", "Errors"], rows, title=title)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    analyses = [name.strip() for name in args.analyses.split(",") if name.strip()]
+    if not analyses:
+        print("error: --analyses needs at least one analyzer id", file=sys.stderr)
+        return 1
+    metadata = _corpus_metadata(args)
+    qa_corpus, contracts = _build_corpora(metadata)
+    if args.corpus == "contracts":
+        sources = [(contract.address, contract.source) for contract in contracts]
+    else:
+        snippets = SnippetCollector().collect(qa_corpus).snippets
+        sources = [(snippet.snippet_id, snippet.text) for snippet in snippets]
+    client = ServiceClient(args.url)
+    try:
+        if args.ingest:
+            summary = client.ingest(
+                [(contract.address, contract.source) for contract in contracts])
+            print(f"ingested {summary['ingested']} contracts "
+                  f"({len(summary['rejected'])} unparsable; index now "
+                  f"{summary['documents']} documents, "
+                  f"{summary['shards_rewritten']} shard(s) rewritten)")
+        job = client.submit(sources, analyses=analyses)
+        print(f"submitted job {job['id']} ({len(sources)} {args.corpus}, "
+              f"analyses: {', '.join(analyses)})")
+        if not args.wait:
+            return 0
+        started = time.perf_counter()
+        finished = client.wait(job["id"], timeout=args.timeout)
+        elapsed = time.perf_counter() - started
+        print(_summarize_envelopes(
+            finished["results"],
+            title=f"Job {job['id']} over {len(sources)} {args.corpus}"))
+        print(f"job {job['id']} done in {elapsed:.2f}s")
+        return 0
+    except JobFailedError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except (ServiceError, TimeoutError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _job_rows(jobs: list) -> list:
+    return [[job["id"], job["state"], ",".join(job["analyses"]),
+             job["corpus_size"],
+             f"{job['elapsed_seconds']:.2f}s" if job["elapsed_seconds"] is not None
+             else "-",
+             job["error"] or ""]
+            for job in jobs]
+
+
+def _cmd_jobs_list(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    try:
+        jobs = client.jobs(state=args.state, limit=args.limit)
+        health = client.healthz()
+    except (ServiceError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(render_table(
+        ["Id", "State", "Analyses", "Items", "Elapsed", "Error"],
+        _job_rows(jobs),
+        title=f"Jobs at {args.url} (queue depth {health['queue_depth']})"))
+    return 0
+
+
+def _cmd_jobs_show(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    try:
+        status = client.job(args.job_id)
+    except (ServiceError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    job = status["job"]
+    rows = [[key, job[key]] for key in
+            ("id", "state", "analyses", "corpus_size", "submitted",
+             "started", "finished", "elapsed_seconds", "error")]
+    print(render_table(["Field", "Value"], rows, title=f"Job {args.job_id}"))
+    results = status["results"]
+    if results:
+        print(_summarize_envelopes(
+            results, title=f"Results ({len(results)} envelopes)"))
+    return 0
+
+
+def _cmd_version(args: argparse.Namespace) -> int:
+    print(f"{PROG} {package_version()}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # parser wiring
 # ---------------------------------------------------------------------------
 
@@ -447,7 +648,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog=PROG,
         description="Reproduction toolchain: run analyses through the unified "
                     "session API, index corpora, run resumable studies, "
-                    "manage artifact caches.")
+                    "manage artifact caches, serve analyses as a daemon.")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {package_version()}")
     commands = parser.add_subparsers(dest="command", required=True)
 
     # -- analyze ------------------------------------------------------------
@@ -557,6 +760,78 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument("--no-vacuum", action="store_true",
                     help="skip reclaiming file space after eviction")
     gc.set_defaults(handler=_cmd_cache_gc)
+
+    # -- serve ----------------------------------------------------------------
+    serve = commands.add_parser(
+        "serve", help="run the analysis service daemon (resident index + "
+                      "persistent job queue + HTTP API)")
+    serve.add_argument("--data-dir", required=True,
+                       help="service state directory (job store, persisted "
+                            "index, artifact cache)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8741,
+                       help="TCP port; 0 picks a free port (default: 8741)")
+    serve.add_argument("--backend", choices=BACKENDS, default="thread",
+                       help="executor backend of the resident session "
+                            "(default: thread)")
+    serve.add_argument("--max-workers", type=int, default=None,
+                       help="worker count for thread/process backends")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="scheduler worker threads; 1 keeps job execution "
+                            "strictly FIFO, more run claimed jobs "
+                            "concurrently (default: 1)")
+    serve.add_argument("--index-shards", type=int, default=4,
+                       help="hash-prefix shards of the persisted index "
+                            "(default: 4)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the disk artifact cache under the data dir")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per HTTP request to stderr")
+    _add_detector_arguments(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    # -- submit ---------------------------------------------------------------
+    submit = commands.add_parser(
+        "submit", help="submit an analysis job to a running daemon")
+    submit.add_argument("corpus", choices=("contracts", "snippets"),
+                        help="which synthetic corpus to submit: deployed "
+                             "contracts or collected Q&A snippets")
+    submit.add_argument("--url", required=True,
+                        help="base URL of the daemon (e.g. http://127.0.0.1:8741)")
+    submit.add_argument("--analyses", default="ccd,ccc",
+                        help="comma-separated analyzer ids (default: ccd,ccc)")
+    submit.add_argument("--ingest", action="store_true",
+                        help="POST the synthetic contract corpus to /v1/corpus "
+                             "first, so submitted snippets match against it")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job completes and print a summary")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="--wait timeout in seconds (default: 300)")
+    _add_corpus_arguments(submit)
+    submit.set_defaults(handler=_cmd_submit)
+
+    # -- jobs -----------------------------------------------------------------
+    jobs = commands.add_parser(
+        "jobs", help="inspect a running daemon's job queue")
+    jobs_commands = jobs.add_subparsers(dest="subcommand", required=True)
+    jobs_list = jobs_commands.add_parser("list", help="list recent jobs")
+    jobs_list.add_argument("--url", required=True, help="base URL of the daemon")
+    jobs_list.add_argument("--state", default=None,
+                           choices=("queued", "running", "done", "failed"),
+                           help="only jobs in this state")
+    jobs_list.add_argument("--limit", type=int, default=20,
+                           help="maximum jobs to list (default: 20)")
+    jobs_list.set_defaults(handler=_cmd_jobs_list)
+    jobs_show = jobs_commands.add_parser(
+        "show", help="show one job's status and result summary")
+    jobs_show.add_argument("job_id", type=int, help="job id")
+    jobs_show.add_argument("--url", required=True, help="base URL of the daemon")
+    jobs_show.set_defaults(handler=_cmd_jobs_show)
+
+    # -- version --------------------------------------------------------------
+    version = commands.add_parser("version", help="print the package version")
+    version.set_defaults(handler=_cmd_version)
 
     return parser
 

@@ -63,6 +63,7 @@ class Executor:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
         self.chunk_size = chunk_size
+        self._closed = False
 
     @staticmethod
     def create(
@@ -116,8 +117,27 @@ class Executor:
         raise NotImplementedError
 
     # -- lifecycle ------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run; a closed executor refuses new work."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        """Fail fast instead of hanging on a shut-down worker pool."""
+        if self._closed:
+            raise RuntimeError(
+                f"{type(self).__name__} is closed; create a new executor "
+                f"(or a new session) instead of reusing a shut-down one")
+
     def close(self) -> None:
-        """Release pooled workers (no-op for the serial backend)."""
+        """Release pooled workers; idempotent, and a barrier for in-flight work.
+
+        After ``close()`` every mapping entry point raises
+        :exc:`RuntimeError` — long-lived callers (the analysis service
+        daemon tears executors down on shutdown) get a crisp error
+        instead of work silently queued on a dead pool.
+        """
+        self._closed = True
 
     def __enter__(self) -> "Executor":
         return self
@@ -138,6 +158,7 @@ class SerialExecutor(Executor):
 
     def map(self, fn, items):
         """Apply ``fn`` to every item with a plain loop."""
+        self._check_open()
         return [fn(item) for item in items]
 
     def map_batches(self, fn, items, chunk_size=None):
@@ -146,6 +167,7 @@ class SerialExecutor(Executor):
 
     def imap_batches(self, fn, items, chunk_size=None, window=4):
         """Yield ``fn(item)`` lazily, one item at a time."""
+        self._check_open()
         for item in items:
             yield fn(item)
 
@@ -160,6 +182,7 @@ class _PooledExecutor(Executor):
         self._pool = None
 
     def _ensure_pool(self):
+        self._check_open()
         if self._pool is None:
             self._pool = self._pool_factory(max_workers=self.max_workers)
         return self._pool
@@ -198,7 +221,8 @@ class _PooledExecutor(Executor):
             yield from pending.popleft().result()
 
     def close(self):
-        """Shut the pool down and wait for workers to exit."""
+        """Shut the pool down and wait for workers to exit (idempotent)."""
+        super().close()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

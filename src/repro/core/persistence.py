@@ -59,6 +59,39 @@ FORMAT_VERSION = 1
 #: file name of the SQLite database inside a cache directory
 DATABASE_NAME = "artifacts.sqlite"
 
+#: default SQLite busy timeout (seconds) for every connection this module
+#: (and the service :class:`~repro.service.jobstore.JobStore`) opens
+DEFAULT_BUSY_TIMEOUT_SECONDS = 30.0
+
+
+def is_busy_error(error: sqlite3.OperationalError) -> bool:
+    """Whether an :class:`sqlite3.OperationalError` is SQLITE_BUSY/LOCKED.
+
+    The stdlib driver surfaces both as ``OperationalError`` with a
+    message, not a code, so the message is what can be matched.
+    """
+    message = str(error).lower()
+    return "database is locked" in message or "database table is locked" in message
+
+
+def retry_on_busy(operation, attempts: int = 6, base_delay: float = 0.02):
+    """Run ``operation()`` retrying on SQLITE_BUSY with linear backoff.
+
+    The busy timeout already makes SQLite wait *inside* one call, but a
+    writer can still lose the race the moment the timeout elapses (WAL
+    checkpoints, many processes hammering one cache).  This wrapper is
+    the second line of defense shared by :class:`DiskArtifactStore` and
+    the service job store: up to ``attempts`` tries, sleeping
+    ``base_delay * try`` between them, re-raising the final error.
+    """
+    for attempt in range(1, attempts + 1):
+        try:
+            return operation()
+        except sqlite3.OperationalError as error:
+            if not is_busy_error(error) or attempt == attempts:
+                raise
+            time.sleep(base_delay * attempt)
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS artifacts (
     key       TEXT NOT NULL,
@@ -185,6 +218,7 @@ class DiskArtifactStore(ArtifactStore):
         ngram_size: int = 3,
         fingerprint_block_size: int = 2,
         fingerprint_window: int = 4,
+        busy_timeout_seconds: float = DEFAULT_BUSY_TIMEOUT_SECONDS,
     ):
         super().__init__(
             max_entries=max_entries,
@@ -193,6 +227,7 @@ class DiskArtifactStore(ArtifactStore):
             fingerprint_window=fingerprint_window,
         )
         self.stats = DiskArtifactStoreStats()
+        self.busy_timeout_seconds = busy_timeout_seconds
         self.directory = Path(directory)
         self.database_path = self.directory / DATABASE_NAME
         self._db_lock = threading.Lock()
@@ -214,7 +249,8 @@ class DiskArtifactStore(ArtifactStore):
             str(self.database_path), check_same_thread=False, isolation_level=None)
         connection.executescript(_SCHEMA)
         connection.execute("PRAGMA journal_mode=WAL")
-        connection.execute("PRAGMA busy_timeout=30000")
+        connection.execute(
+            f"PRAGMA busy_timeout={int(self.busy_timeout_seconds * 1000)}")
         return connection
 
     def _open(self) -> None:
@@ -331,10 +367,10 @@ class DiskArtifactStore(ArtifactStore):
             if self._connection is None:
                 return
             try:
-                self._connection.execute(
+                retry_on_busy(lambda: self._connection.execute(
                     "REPLACE INTO artifacts (key, field, payload, size, created, "
                     "last_used) VALUES (?, ?, ?, ?, ?, ?)",
-                    (artifact.key, field, blob, len(blob), now, now))
+                    (artifact.key, field, blob, len(blob), now, now)))
                 self.stats.increment("disk_writes")
             except sqlite3.DatabaseError:
                 self.stats.increment("disk_errors")
@@ -467,9 +503,12 @@ class DiskArtifactStore(ArtifactStore):
 __all__ = [
     "CacheConfigurationError",
     "DATABASE_NAME",
+    "DEFAULT_BUSY_TIMEOUT_SECONDS",
     "DiskArtifactStore",
     "DiskArtifactStoreStats",
     "FORMAT_VERSION",
+    "is_busy_error",
+    "retry_on_busy",
     "atomic_write_bytes",
     "dump_json",
     "dump_pickle",

@@ -1,0 +1,53 @@
+"""``repro.service`` — the analysis service daemon.
+
+Everything below the service was built batch-first: the CLI, the study
+pipeline, and :class:`~repro.api.session.AnalysisSession` all pay index
+and parse warm-up per invocation and exit.  This package turns the same
+substrate into a *servable system*: a long-lived daemon holding one warm
+session (parse-once artifact store + executor pool) and one live CCD
+index, fed by a persistent job queue, fronted by a stdlib HTTP API.
+
+* :mod:`repro.service.jobstore` — SQLite-backed persistent job queue
+  (``queued → running → done/failed``), crash-safe: a killed daemon
+  requeues its in-flight jobs on restart, with no losses or duplicates,
+* :mod:`repro.service.scheduler` — the worker pool draining the queue
+  FIFO through the resident session, streaming envelopes into the store
+  as they complete,
+* :mod:`repro.service.server` — :class:`AnalysisService` and the HTTP
+  endpoints (``POST /v1/jobs``, ``GET /v1/jobs/{id}[/stream]``,
+  ``POST /v1/corpus``, ``GET /v1/healthz``, ``GET /v1/stats``),
+* :mod:`repro.service.client` — the small stdlib client used by
+  ``repro submit`` / ``repro jobs`` and the tests.
+
+Start a daemon with ``repro serve --data-dir DIR`` (see ``docs/service.md``)
+or in-process::
+
+    from repro.service import AnalysisService, ServiceConfig
+
+    with AnalysisService(ServiceConfig(data_dir="svc", port=0)) as service:
+        print(service.url)
+"""
+
+from repro.service.client import JobFailedError, ServiceClient, ServiceError
+from repro.service.jobstore import JOB_STATES, Job, JobStore
+from repro.service.scheduler import Scheduler
+from repro.service.server import (
+    ROUTES,
+    AnalysisService,
+    ServiceConfig,
+    ServiceValidationError,
+)
+
+__all__ = [
+    "AnalysisService",
+    "JOB_STATES",
+    "Job",
+    "JobFailedError",
+    "JobStore",
+    "ROUTES",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceValidationError",
+]

@@ -1,0 +1,170 @@
+"""A small stdlib HTTP client for the analysis service daemon.
+
+:class:`ServiceClient` wraps :mod:`urllib.request` around the daemon's
+JSON API — submit jobs, poll or stream results, ingest corpus documents,
+read health and stats.  It is what ``repro submit`` / ``repro jobs``
+use, what the tests drive the daemon with, and a reference for talking
+to the service from any other HTTP client::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8741")
+    client.ingest([["0xabc...", contract_source]])
+    job = client.submit([["q1", snippet]], analyses=["ccd", "ccc"])
+    finished = client.wait(job["id"])
+    for envelope in finished["results"]:
+        print(envelope["analyzer"], envelope["contract_id"])
+
+Failures surface as :class:`ServiceError` carrying the HTTP status and
+the daemon's ``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator, Optional
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error from the daemon (status code + server message)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class JobFailedError(ServiceError):
+    """A waited-on job finished in the ``failed`` state."""
+
+    def __init__(self, job: dict):
+        super().__init__(200, f"job {job.get('id')} failed: {job.get('error')}")
+        self.job = job
+
+
+class ServiceClient:
+    """Talk to a running :class:`~repro.service.server.AnalysisService`.
+
+    Parameters
+    ----------
+    base_url:
+        E.g. ``http://127.0.0.1:8741`` (trailing slash tolerated).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        request = urllib.request.Request(
+            self.base_url + path, method=method,
+            headers={"Content-Type": "application/json"},
+            data=json.dumps(payload).encode("utf-8") if payload is not None else None)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raise ServiceError(error.code, _error_message(error)) from None
+
+    # -- jobs -----------------------------------------------------------------
+    def submit(self, sources, analyses, options: Optional[dict] = None) -> dict:
+        """Submit a job; returns the queued job's wire form (with ``id``)."""
+        body = {"sources": [list(pair) for pair in sources],
+                "analyses": list(analyses)}
+        if options is not None:
+            body["options"] = options
+        return self._request("POST", "/v1/jobs", body)["job"]
+
+    def job(self, job_id: int, results: bool = True) -> dict:
+        """One job's status envelope: ``{"job": {...}, "results": [...]}``.
+
+        ``results=False`` asks the daemon to omit the result envelopes
+        (``?results=0``) — the cheap form :meth:`wait` polls with.
+        """
+        path = f"/v1/jobs/{job_id}"
+        if not results:
+            path += "?results=0"
+        return self._request("GET", path)
+
+    def jobs(self, state: Optional[str] = None, limit: int = 100) -> list:
+        """Recent jobs (newest first), optionally filtered by state."""
+        path = f"/v1/jobs?limit={limit}"
+        if state is not None:
+            path += f"&state={state}"
+        return self._request("GET", path)["jobs"]
+
+    def wait(self, job_id: int, timeout: float = 120.0, poll: float = 0.05) -> dict:
+        """Poll until the job completes; returns its final status envelope.
+
+        Raises :class:`JobFailedError` when the job fails and
+        :class:`TimeoutError` when it does not finish in time.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            # poll without results; download the envelopes exactly once
+            status = self.job(job_id, results=False)
+            if status["job"]["state"] == "done":
+                return self.job(job_id)
+            if status["job"]["state"] == "failed":
+                raise JobFailedError(status["job"])
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['job']['state']} "
+                    f"after {timeout:.1f}s")
+            time.sleep(poll)
+
+    def stream(self, job_id: int, timeout: Optional[float] = None,
+               raw: bool = False) -> Iterator:
+        """Yield result envelopes as the daemon streams them (NDJSON lines).
+
+        With ``raw=True`` the undecoded line bytes are yielded instead —
+        these are exactly the canonical-JSON bytes of each envelope,
+        which is what the byte-parity tests compare.
+        """
+        path = f"/v1/jobs/{job_id}/stream"
+        if timeout is not None:
+            path += f"?timeout={timeout}"
+        request = urllib.request.Request(self.base_url + path)
+        try:
+            response = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            raise ServiceError(error.code, _error_message(error)) from None
+        with response:
+            for line in response:
+                line = line.rstrip(b"\n")
+                if not line:
+                    continue
+                yield line if raw else json.loads(line.decode("utf-8"))
+
+    # -- corpus and introspection ---------------------------------------------
+    def ingest(self, documents) -> dict:
+        """Ingest ``[id, source]`` documents into the live CCD index."""
+        return self._request(
+            "POST", "/v1/corpus",
+            {"documents": [list(pair) for pair in documents]})
+
+    def healthz(self) -> dict:
+        """The daemon's liveness payload."""
+        return self._request("GET", "/v1/healthz")
+
+    def stats(self) -> dict:
+        """The daemon's counters (cache, index, match stats, queue)."""
+        return self._request("GET", "/v1/stats")
+
+
+def _error_message(error: urllib.error.HTTPError) -> str:
+    """The daemon's ``error`` field, or the raw body when not JSON."""
+    try:
+        body = error.read().decode("utf-8")
+        return json.loads(body).get("error", body)
+    except (ValueError, UnicodeDecodeError):
+        return error.reason
+
+
+__all__ = ["JobFailedError", "ServiceClient", "ServiceError"]

@@ -1,0 +1,323 @@
+"""The persistent job queue of the analysis service daemon.
+
+A :class:`JobStore` is one SQLite database (``jobs.sqlite`` inside the
+service data directory) holding every submitted job and its results.
+Jobs move through a fixed lifecycle::
+
+    queued -> running -> done
+                      -> failed
+
+and the whole lifecycle is durable: a daemon killed mid-run loses
+nothing.  On startup :meth:`JobStore.recover` moves every ``running``
+job back to ``queued`` and drops its partial results, so each job's
+envelopes are computed exactly once per completion — no lost jobs, no
+duplicated results.
+
+Results are stored one row per envelope, in completion order, as
+*canonical JSON* strings (:func:`repro.api.envelope.canonical_json`).
+Storing the exact wire bytes is what lets the HTTP layer serve results
+byte-identical to a local :meth:`~repro.api.session.AnalysisSession.run`
+— and lets ``GET /v1/jobs/{id}/stream`` serve envelopes incrementally
+while the job is still running.
+
+Concurrency follows :mod:`repro.core.persistence`: one connection behind
+a lock (``check_same_thread=False``), WAL journal, an explicit busy
+timeout, and :func:`~repro.core.persistence.retry_on_busy` around writes
+so concurrent daemons (or a daemon racing the CLI) degrade to waiting
+instead of failing.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.core.persistence import DEFAULT_BUSY_TIMEOUT_SECONDS, retry_on_busy
+
+#: the job lifecycle, in order
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: job states that will never change again
+TERMINAL_STATES = ("done", "failed")
+
+#: file name of the SQLite database inside a service data directory
+JOBS_DATABASE_NAME = "jobs.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id        INTEGER PRIMARY KEY AUTOINCREMENT,
+    state     TEXT NOT NULL DEFAULT 'queued',
+    analyses  TEXT NOT NULL,
+    corpus    TEXT NOT NULL,
+    options   TEXT NOT NULL DEFAULT '{}',
+    error     TEXT,
+    submitted REAL NOT NULL,
+    started   REAL,
+    finished  REAL
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, id);
+CREATE TABLE IF NOT EXISTS job_results (
+    job_id   INTEGER NOT NULL,
+    seq      INTEGER NOT NULL,
+    envelope TEXT NOT NULL,
+    PRIMARY KEY (job_id, seq)
+);
+"""
+
+
+@dataclass(frozen=True)
+class Job:
+    """One submitted analysis job, as read from the store."""
+
+    job_id: int
+    state: str
+    #: analyzer ids to run, in order (analysis-major result ordering)
+    analyses: tuple
+    #: ``[id, source]`` pairs, exactly as submitted
+    corpus: list
+    #: per-analyzer options forwarded to :meth:`AnalysisSession.run_iter`
+    options: dict
+    error: Optional[str] = None
+    submitted: Optional[float] = None
+    started: Optional[float] = None
+    finished: Optional[float] = None
+
+    @property
+    def elapsed_seconds(self) -> Optional[float]:
+        """Wall-clock run time, once the job has started and finished."""
+        if self.started is None or self.finished is None:
+            return None
+        return self.finished - self.started
+
+    def as_dict(self, include_corpus: bool = False) -> dict:
+        """The JSON wire form served by ``GET /v1/jobs/{id}``.
+
+        The corpus (potentially megabytes of source) is omitted unless
+        ``include_corpus`` is set; ``corpus_size`` always rides along.
+        """
+        data = {
+            "id": self.job_id,
+            "state": self.state,
+            "analyses": list(self.analyses),
+            "options": self.options,
+            "error": self.error,
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+            "elapsed_seconds": self.elapsed_seconds,
+            "corpus_size": len(self.corpus),
+        }
+        if include_corpus:
+            data["corpus"] = self.corpus
+        return data
+
+
+class JobStore:
+    """SQLite-backed persistent job queue (see the module docstring).
+
+    Parameters
+    ----------
+    path:
+        The database file (parent directories are created on demand).
+    busy_timeout_seconds:
+        How long SQLite itself waits on a locked database before the
+        :func:`~repro.core.persistence.retry_on_busy` layer kicks in.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        busy_timeout_seconds: float = DEFAULT_BUSY_TIMEOUT_SECONDS,
+    ):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._connection: Optional[sqlite3.Connection] = sqlite3.connect(
+            str(self.path), check_same_thread=False, isolation_level=None)
+        self._connection.executescript(_SCHEMA)
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute(
+            f"PRAGMA busy_timeout={int(busy_timeout_seconds * 1000)}")
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        """Close the database connection (idempotent)."""
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _execute(self, sql: str, parameters: tuple = ()):
+        if self._connection is None:
+            raise RuntimeError("JobStore is closed")
+        return retry_on_busy(lambda: self._connection.execute(sql, parameters))
+
+    def _rollback(self) -> None:
+        """Best-effort ROLLBACK that never masks the original exception."""
+        try:
+            if self._connection is not None:
+                self._connection.execute("ROLLBACK")
+        except sqlite3.Error:
+            pass
+
+    # -- submission and claiming ----------------------------------------------
+    def submit(self, corpus: Iterable, analyses: Iterable[str],
+               options: Optional[dict] = None) -> Job:
+        """Enqueue a job; returns it in ``queued`` state with its id assigned."""
+        corpus = [list(pair) for pair in corpus]
+        analyses = tuple(analyses)
+        options = dict(options or {})
+        now = time.time()
+        with self._lock:
+            cursor = self._execute(
+                "INSERT INTO jobs (state, analyses, corpus, options, submitted) "
+                "VALUES ('queued', ?, ?, ?, ?)",
+                (json.dumps(list(analyses)), json.dumps(corpus),
+                 json.dumps(options), now))
+            job_id = cursor.lastrowid
+        return Job(job_id=job_id, state="queued", analyses=analyses,
+                   corpus=corpus, options=options, submitted=now)
+
+    def claim_next(self) -> Optional[Job]:
+        """Atomically move the oldest ``queued`` job to ``running`` and return it.
+
+        FIFO by job id.  The claim runs inside ``BEGIN IMMEDIATE`` so two
+        daemons sharing one database can never claim the same job.
+        """
+        with self._lock:
+            self._execute("BEGIN IMMEDIATE")
+            try:
+                row = self._execute(
+                    "SELECT id FROM jobs WHERE state = 'queued' "
+                    "ORDER BY id LIMIT 1").fetchone()
+                if row is not None:
+                    self._execute(
+                        "UPDATE jobs SET state = 'running', started = ? "
+                        "WHERE id = ?", (time.time(), row[0]))
+            except BaseException:
+                self._rollback()
+                raise
+            self._execute("COMMIT")
+            if row is None:
+                return None
+            return self._read_job(row[0])
+
+    # -- results --------------------------------------------------------------
+    def append_result(self, job_id: int, seq: int, envelope_json: str) -> None:
+        """Persist one completed envelope (canonical JSON) under ``seq``."""
+        with self._lock:
+            self._execute(
+                "REPLACE INTO job_results (job_id, seq, envelope) VALUES (?, ?, ?)",
+                (job_id, seq, envelope_json))
+
+    def results(self, job_id: int, after: int = -1) -> list:
+        """``(seq, envelope_json)`` rows of a job with ``seq > after``, in order."""
+        with self._lock:
+            return self._execute(
+                "SELECT seq, envelope FROM job_results "
+                "WHERE job_id = ? AND seq > ? ORDER BY seq",
+                (job_id, after)).fetchall()
+
+    def finish(self, job_id: int, state: str, error: Optional[str] = None) -> None:
+        """Move a job to a terminal state (``done`` or ``failed``)."""
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"finish() takes a terminal state, not {state!r}")
+        with self._lock:
+            self._execute(
+                "UPDATE jobs SET state = ?, error = ?, finished = ? WHERE id = ?",
+                (state, error, time.time(), job_id))
+
+    # -- introspection --------------------------------------------------------
+    def get(self, job_id: int) -> Optional[Job]:
+        """The job with ``job_id``, or ``None`` when unknown."""
+        with self._lock:
+            return self._read_job(job_id)
+
+    def _read_job(self, job_id: int) -> Optional[Job]:
+        row = self._execute(
+            "SELECT id, state, analyses, corpus, options, error, submitted, "
+            "started, finished FROM jobs WHERE id = ?", (job_id,)).fetchone()
+        if row is None:
+            return None
+        return Job(job_id=row[0], state=row[1],
+                   analyses=tuple(json.loads(row[2])), corpus=json.loads(row[3]),
+                   options=json.loads(row[4]), error=row[5], submitted=row[6],
+                   started=row[7], finished=row[8])
+
+    def list_jobs(self, state: Optional[str] = None, limit: int = 100) -> list:
+        """The most recent jobs (newest first), optionally filtered by state."""
+        with self._lock:
+            if state is None:
+                rows = self._execute(
+                    "SELECT id FROM jobs ORDER BY id DESC LIMIT ?",
+                    (limit,)).fetchall()
+            else:
+                rows = self._execute(
+                    "SELECT id FROM jobs WHERE state = ? ORDER BY id DESC LIMIT ?",
+                    (state, limit)).fetchall()
+            return [self._read_job(row[0]) for row in rows]
+
+    def counts(self) -> dict:
+        """Jobs per state (every state present, zero when empty)."""
+        with self._lock:
+            rows = self._execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state").fetchall()
+        counts = {state: 0 for state in JOB_STATES}
+        counts.update(dict(rows))
+        return counts
+
+    def queue_depth(self) -> int:
+        """Number of jobs still waiting or running."""
+        counts = self.counts()
+        return counts["queued"] + counts["running"]
+
+    # -- crash recovery -------------------------------------------------------
+    def recover(self) -> int:
+        """Requeue jobs left ``running`` by a killed daemon; returns how many.
+
+        Partial results of the interrupted run are dropped, so the rerun
+        starts from envelope zero — exactly-once results per completion,
+        never a duplicate row.
+
+        Recovery assumes it runs while no other daemon is draining this
+        database (the one-daemon-per-data-directory deployment): a
+        ``running`` job cannot be distinguished from one a *live* peer
+        is executing right now, so recovering next to an active peer
+        would requeue — and duplicate — its in-flight work.
+        """
+        with self._lock:
+            self._execute("BEGIN IMMEDIATE")
+            try:
+                rows = self._execute(
+                    "SELECT id FROM jobs WHERE state = 'running'").fetchall()
+                for (job_id,) in rows:
+                    self._execute(
+                        "DELETE FROM job_results WHERE job_id = ?", (job_id,))
+                    self._execute(
+                        "UPDATE jobs SET state = 'queued', started = NULL "
+                        "WHERE id = ?", (job_id,))
+            except BaseException:
+                self._rollback()
+                raise
+            self._execute("COMMIT")
+            return len(rows)
+
+
+__all__ = [
+    "JOB_STATES",
+    "JOBS_DATABASE_NAME",
+    "Job",
+    "JobStore",
+    "TERMINAL_STATES",
+]

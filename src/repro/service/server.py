@@ -1,0 +1,565 @@
+"""The analysis service daemon: a stdlib HTTP API over one warm session.
+
+:class:`AnalysisService` keeps the expensive state of the reproduction
+*resident* — one :class:`~repro.api.session.AnalysisSession` (a warm
+parse-once artifact store plus an executor pool) and one live
+:class:`~repro.ccd.detector.CloneDetector` index — and serves analysis
+jobs over HTTP (:class:`http.server.ThreadingHTTPServer`; no third-party
+web framework, per the project's stdlib-only rule).  Every batch entry
+point pays index/parse warm-up per invocation; the daemon pays it once
+per process and amortizes it over every request.
+
+Endpoints (see ``docs/service.md`` for the full reference):
+
+* ``POST /v1/jobs`` — submit sources + analyses; returns the queued job,
+* ``GET /v1/jobs`` — list recent jobs,
+* ``GET /v1/jobs/{id}`` — poll one job's status and result envelopes,
+* ``GET /v1/jobs/{id}/stream`` — chunked NDJSON envelopes as they
+  complete (jobs run through ``Executor.imap_batches`` underneath),
+* ``POST /v1/corpus`` — ingest documents into the live CCD index,
+  persisted incrementally via :func:`repro.ccd.index_io.append_to_index`,
+* ``GET /v1/healthz`` / ``GET /v1/stats`` — liveness and counters
+  (cache hit rates, match stats, queue depth).
+
+Durability: jobs live in a :class:`~repro.service.jobstore.JobStore`
+(SQLite) and survive restarts — on startup, jobs a killed daemon left
+``running`` are requeued and drained again, and the CCD index reloads
+from its sharded on-disk form with zero parses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Union
+from urllib.parse import parse_qs, urlparse
+
+from repro.api.registry import REGISTRY
+from repro.api.session import AnalysisSession, SessionConfig
+from repro.ccd.detector import CloneDetector
+from repro.ccd.index_io import MANIFEST_NAME, append_to_index
+from repro.service.jobstore import JOBS_DATABASE_NAME, Job, JobStore
+from repro.service.scheduler import ReadWriteLock, Scheduler
+
+#: every HTTP route the daemon serves — kept in lockstep with
+#: ``docs/service.md`` by ``tools/check_api.py``
+ROUTES = (
+    ("GET", "/v1/healthz"),
+    ("GET", "/v1/jobs"),
+    ("GET", "/v1/jobs/{id}"),
+    ("GET", "/v1/jobs/{id}/stream"),
+    ("GET", "/v1/stats"),
+    ("POST", "/v1/corpus"),
+    ("POST", "/v1/jobs"),
+)
+
+#: subdirectory of the data dir holding the persisted CCD index
+INDEX_DIRECTORY_NAME = "index"
+
+#: subdirectory of the data dir holding the disk artifact cache
+CACHE_DIRECTORY_NAME = "cache"
+
+
+class ServiceValidationError(ValueError):
+    """A request body failed validation (mapped to HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Typed configuration of an :class:`AnalysisService` daemon.
+
+    Extends the session knobs of
+    :class:`~repro.api.session.SessionConfig` with the daemon's own:
+    bind address, data directory (job store + index + cache), worker
+    count, and index shard layout.
+    """
+
+    #: directory holding ``jobs.sqlite``, ``index/``, and ``cache/``
+    data_dir: str = "repro-service"
+    host: str = "127.0.0.1"
+    #: TCP port; ``0`` binds an ephemeral free port (see ``port`` property)
+    port: int = 8741
+    #: executor backend of the resident session
+    backend: str = "thread"
+    max_workers: Optional[int] = None
+    chunk_size: int = 8
+    #: scheduler worker threads (1 = strict FIFO job execution)
+    workers: int = 1
+    #: disk artifact cache under ``data_dir/cache`` (warm restarts)
+    cache: bool = True
+    #: CCD configuration of the resident index (must match a reloaded one)
+    ngram_size: int = 3
+    fingerprint_block_size: int = 2
+    fingerprint_window: int = 4
+    ngram_threshold: float = 0.5
+    similarity_threshold: float = 0.7
+    similarity_backend: str = "bounded"
+    checker_timeout: Optional[float] = None
+    stream_window: int = 4
+    #: hash-prefix shards of the persisted index
+    index_shards: int = 4
+    #: idle queue-poll interval of the scheduler and the stream endpoint
+    poll_interval: float = 0.05
+    #: emit one access-log line per request to stderr
+    log_requests: bool = False
+
+    def session_config(self) -> SessionConfig:
+        """The resident session this daemon configuration describes."""
+        cache_dir = str(Path(self.data_dir) / CACHE_DIRECTORY_NAME) \
+            if self.cache else None
+        return SessionConfig(
+            backend=self.backend,
+            max_workers=self.max_workers,
+            chunk_size=self.chunk_size,
+            cache_dir=cache_dir,
+            ngram_size=self.ngram_size,
+            fingerprint_block_size=self.fingerprint_block_size,
+            fingerprint_window=self.fingerprint_window,
+            ngram_threshold=self.ngram_threshold,
+            similarity_threshold=self.similarity_threshold,
+            similarity_backend=self.similarity_backend,
+            checker_timeout=self.checker_timeout,
+            stream_window=self.stream_window,
+        )
+
+
+class AnalysisService:
+    """The resident daemon: warm session + live index + queue + HTTP API.
+
+    Constructing the service performs crash recovery (requeueing jobs a
+    killed daemon left ``running``) and reloads the persisted CCD index
+    with zero parses; :meth:`start` binds the HTTP server and spawns the
+    scheduler workers.  Use as a context manager, or pair
+    :meth:`start`/:meth:`stop` (both idempotent).
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config if config is not None else ServiceConfig()
+        self.data_dir = Path(self.config.data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.started_at = time.time()
+        self.session = AnalysisSession(self.config.session_config())
+        self.jobstore = JobStore(self.data_dir / JOBS_DATABASE_NAME)
+        #: jobs requeued from a previous daemon's crash, for /v1/stats
+        self.recovered_jobs = self.jobstore.recover()
+        self.index_dir = self.data_dir / INDEX_DIRECTORY_NAME
+        self.detector = self._open_detector()
+        self._work_lock = ReadWriteLock()
+        self.scheduler = Scheduler(
+            self.session, self.jobstore,
+            resolve_options=self._job_options,
+            workers=self.config.workers,
+            poll_interval=self.config.poll_interval,
+            work_lock=self._work_lock,
+        )
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._stop_requested = threading.Event()
+        self._stopped = False
+
+    def _open_detector(self) -> CloneDetector:
+        """Reload the persisted index (zero parses) or start an empty one."""
+        config = self.config
+        if (self.index_dir / MANIFEST_NAME).exists():
+            detector = CloneDetector.load(self.index_dir, store=self.session.store)
+            # the structural parameters (N-gram size, fuzzy-hash shape) are
+            # baked into the persisted artifacts and validated by load();
+            # the thresholds are query-time knobs and follow the daemon
+            # configuration, so /v1/stats never misreports the live values
+            detector.ngram_threshold = config.ngram_threshold
+            detector.similarity_threshold = config.similarity_threshold
+            return detector
+        return CloneDetector(
+            ngram_size=config.ngram_size,
+            ngram_threshold=config.ngram_threshold,
+            similarity_threshold=config.similarity_threshold,
+            fingerprint_block_size=config.fingerprint_block_size,
+            fingerprint_window=config.fingerprint_window,
+            store=self.session.store,
+            similarity_backend=config.similarity_backend,
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        """Bind the HTTP server and start draining the queue (idempotent)."""
+        if self._httpd is not None:
+            return
+        self.scheduler.start()
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), _handler_class(self))
+        self._httpd.daemon_threads = True
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-service-http",
+            daemon=True)
+        self._http_thread.start()
+
+    @property
+    def port(self) -> int:
+        """The actually bound TCP port (resolves ``port=0`` requests)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self.config.port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running daemon."""
+        return f"http://{self.config.host}:{self.port}"
+
+    def request_stop(self) -> None:
+        """Ask :meth:`serve_forever` to return (signal-handler safe)."""
+        self._stop_requested.set()
+
+    def stop(self) -> None:
+        """Graceful shutdown: HTTP first, then workers, then state (idempotent).
+
+        The in-flight job finishes and is persisted; queued jobs stay
+        queued for the next daemon over the same data directory.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self._stop_requested.set()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join()
+            self._http_thread = None
+        self.scheduler.close()
+        self.session.close()
+        self.jobstore.close()
+
+    def serve_forever(self) -> None:
+        """Run until :meth:`request_stop` (or Ctrl-C), then shut down."""
+        self.start()
+        try:
+            self._stop_requested.wait()
+        except KeyboardInterrupt:
+            pass
+        self.stop()
+
+    def __enter__(self) -> "AnalysisService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- operations (shared by HTTP handlers, the CLI, and tests) -------------
+    def submit(self, sources, analyses, options: Optional[dict] = None) -> Job:
+        """Validate and enqueue a job, waking the scheduler."""
+        sources = self._validated_sources(sources, what="sources")
+        if not isinstance(analyses, (list, tuple)) or not analyses:
+            raise ServiceValidationError(
+                "'analyses' must be a non-empty list of analyzer ids")
+        for analyzer_id in analyses:
+            if not isinstance(analyzer_id, str):
+                raise ServiceValidationError(
+                    "'analyses' must contain analyzer id strings")
+            if analyzer_id not in self.session.registry:
+                raise ServiceValidationError(
+                    f"unknown analyzer {analyzer_id!r}; registered: "
+                    f"{', '.join(self.session.registry.ids())}")
+            if self.session.registry.get(analyzer_id).scope != "contract":
+                raise ServiceValidationError(
+                    f"analyzer {analyzer_id!r} is corpus-scope and needs "
+                    f"typed dataset inputs; the service API only runs "
+                    f"contract-scope analyzers")
+        if options is None:
+            options = {}
+        if not isinstance(options, dict):
+            raise ServiceValidationError("'options' must be an object")
+        job = self.jobstore.submit(sources, analyses, options)
+        self.scheduler.notify()
+        return job
+
+    def ingest(self, documents) -> dict:
+        """Add documents to the live CCD index and persist them incrementally.
+
+        New sources become matchable immediately — no restart, no full
+        re-index: the in-memory N-gram index is appended live, and only
+        the on-disk shards the new documents hash into are rewritten.
+        Unparsable documents are reported in ``rejected``, and
+        re-ingesting a known id replaces its indexed fingerprint — a
+        known id re-ingested with unparsable source is *retired* from
+        the index (in memory and on disk) rather than left matchable.
+        """
+        documents = self._validated_sources(documents, what="documents")
+        # duplicate ids within one batch collapse to the last occurrence,
+        # so the persisted shards never carry two rows for one document
+        documents = list({document_id: (document_id, source)
+                          for document_id, source in documents}.values())
+        with self._work_lock.write():  # exclusive: no matching during mutation
+            detector = self.detector
+            ingested, rejected, retired = [], [], []
+            for document_id, source in documents:
+                previously_indexed = document_id in detector.fingerprints
+                if detector.add_document(document_id, source):
+                    ingested.append(document_id)
+                    # a fixed re-ingest clears the old failure record
+                    if document_id in detector.parse_failures:
+                        detector.parse_failures.remove(document_id)
+                else:
+                    rejected.append(document_id)
+                    if previously_indexed:
+                        # replace semantics: an unparsable re-ingest retires
+                        # the stale fingerprint instead of leaving it matchable
+                        detector.fingerprints.pop(document_id, None)
+                        detector.index.remove(document_id)
+                        retired.append(document_id)
+            # one failure record per document, however often it was re-posted
+            detector.parse_failures[:] = dict.fromkeys(detector.parse_failures)
+            summary = append_to_index(
+                detector, self.index_dir, ingested,
+                shards=self.config.index_shards, remove_ids=retired)
+        return {
+            "ingested": len(ingested),
+            "rejected": rejected,
+            "documents": len(self.detector),
+            "parse_failures": len(self.detector.parse_failures),
+            "shards_rewritten": summary["shards_rewritten"],
+        }
+
+    def health(self) -> dict:
+        """The ``/v1/healthz`` payload: liveness plus queue depth."""
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started_at,
+            "queue_depth": self.jobstore.queue_depth(),
+        }
+
+    def stats(self) -> dict:
+        """The ``/v1/stats`` payload: cache, index, match, and queue counters."""
+        store_stats = self.session.stats.as_dict()
+        store_stats["hit_rate"] = self.session.stats.hit_rate
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "jobs": self.jobstore.counts(),
+            "jobs_completed": self.scheduler.jobs_completed,
+            "jobs_failed": self.scheduler.jobs_failed,
+            "recovered_jobs": self.recovered_jobs,
+            "store": store_stats,
+            "index": {
+                "documents": len(self.detector),
+                "parse_failures": len(self.detector.parse_failures),
+                "similarity_backend": self.detector.similarity_backend,
+            },
+            "match_stats": dataclasses.asdict(self.detector.match_stats),
+            "config": {
+                "backend": self.config.backend,
+                "workers": self.config.workers,
+                "ngram_size": self.config.ngram_size,
+                "similarity_threshold": self.config.similarity_threshold,
+            },
+        }
+
+    def _job_options(self, job: Job) -> dict:
+        """Thread the resident index into ``ccd`` jobs (unless opted out).
+
+        The resident index is authoritative even when empty — an
+        un-ingested daemon answers ``ccd`` jobs with zero matches rather
+        than silently switching to self-indexing the submitted sources
+        (``{"ccd": {"resident": false}}`` requests that explicitly).
+        """
+        options = {key: dict(value) if isinstance(value, dict) else value
+                   for key, value in job.options.items()}
+        if "ccd" in job.analyses:
+            ccd_options = options.setdefault("ccd", {})
+            if ccd_options.pop("resident", True):
+                ccd_options["detector"] = self.detector
+        return options
+
+    @staticmethod
+    def _validated_sources(sources, what: str) -> list:
+        if not isinstance(sources, (list, tuple)) or not sources:
+            raise ServiceValidationError(
+                f"{what!r} must be a non-empty list of [id, source] pairs")
+        validated = []
+        for pair in sources:
+            if (not isinstance(pair, (list, tuple)) or len(pair) != 2
+                    or not isinstance(pair[0], (str, int))
+                    or not isinstance(pair[1], str)):
+                raise ServiceValidationError(
+                    f"every item of {what!r} must be an [id, source] pair "
+                    f"(id: string or integer, source: string)")
+            validated.append((pair[0], pair[1]))
+        return validated
+
+
+def _handler_class(service: AnalysisService):
+    """Bind a request-handler class to one service instance."""
+
+    class Handler(_ServiceRequestHandler):
+        """The per-server handler (carries its service as a class attr)."""
+
+    Handler.service = service
+    return Handler
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes ``/v1/*`` requests onto the bound :class:`AnalysisService`."""
+
+    service: AnalysisService  # bound by _handler_class
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service"
+
+    # -- plumbing -------------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 (stdlib signature)
+        """Access-log line (stderr), only when configured."""
+        if self.service.config.log_requests:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Optional[dict]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._send_error_json(400, "request body is not valid JSON")
+            return None
+        if not isinstance(payload, dict):
+            self._send_error_json(400, "request body must be a JSON object")
+            return None
+        return payload
+
+    def _job_or_404(self, raw_id: str) -> Optional[Job]:
+        try:
+            job_id = int(raw_id)
+        except ValueError:
+            self._send_error_json(404, f"malformed job id {raw_id!r}")
+            return None
+        job = self.service.jobstore.get(job_id)
+        if job is None:
+            self._send_error_json(404, f"no job {job_id}")
+        return job
+
+    # -- routing --------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        """Dispatch GET endpoints."""
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        query = parse_qs(url.query, keep_blank_values=True)
+        if parts == ["v1", "healthz"]:
+            self._send_json(200, self.service.health())
+        elif parts == ["v1", "stats"]:
+            self._send_json(200, self.service.stats())
+        elif parts == ["v1", "jobs"]:
+            self._get_jobs(query)
+        elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            job = self._job_or_404(parts[2])
+            if job is not None:
+                self._get_job(job, query)
+        elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "stream":
+            job = self._job_or_404(parts[2])
+            if job is not None:
+                self._stream_job(job, query)
+        else:
+            self._send_error_json(404, f"no such endpoint: GET {url.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        """Dispatch POST endpoints."""
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        payload = self._read_body()
+        if payload is None:
+            return
+        try:
+            if parts == ["v1", "jobs"]:
+                job = self.service.submit(
+                    payload.get("sources"), payload.get("analyses"),
+                    payload.get("options"))
+                self._send_json(202, {"job": job.as_dict()})
+            elif parts == ["v1", "corpus"]:
+                self._send_json(200, self.service.ingest(payload.get("documents")))
+            else:
+                self._send_error_json(404, f"no such endpoint: POST {url.path}")
+        except ServiceValidationError as error:
+            self._send_error_json(400, str(error))
+
+    # -- GET endpoint bodies --------------------------------------------------
+    def _get_jobs(self, query: dict) -> None:
+        state = query.get("state", [None])[0]
+        try:
+            limit = int(query.get("limit", ["100"])[0])
+        except ValueError:
+            self._send_error_json(400, "'limit' must be an integer")
+            return
+        jobs = self.service.jobstore.list_jobs(state=state, limit=limit)
+        self._send_json(200, {"jobs": [job.as_dict() for job in jobs]})
+
+    def _get_job(self, job: Job, query: dict) -> None:
+        payload = {"job": job.as_dict(include_corpus="corpus" in query)}
+        # ?results=0 is the cheap status poll: clients following a long
+        # job should not re-download every envelope on every poll
+        if query.get("results", ["1"])[0] not in ("0", "false", "none"):
+            rows = self.service.jobstore.results(job.job_id)
+            payload["results"] = [json.loads(envelope)
+                                  for _seq, envelope in rows]
+        self._send_json(200, payload)
+
+    def _stream_job(self, job: Job, query: dict) -> None:
+        """Chunked NDJSON: one canonical envelope per line, as they complete.
+
+        The bytes of each line are exactly the stored canonical JSON of
+        the envelope, so a streamed job compares byte-for-byte against a
+        local batch run.  The stream ends when the job reaches a
+        terminal state (or after ``?timeout=seconds``).
+        """
+        try:
+            timeout = float(query["timeout"][0]) if "timeout" in query else None
+        except ValueError:
+            self._send_error_json(400, "'timeout' must be a number")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        last_seq = -1
+        try:
+            while True:
+                # read the state BEFORE the results: envelopes are appended
+                # before the job is finished, so a terminal state observed
+                # here guarantees the fetch below has the complete tail
+                current = self.service.jobstore.get(job.job_id)
+                for seq, envelope in self.service.jobstore.results(
+                        job.job_id, after=last_seq):
+                    self._write_chunk(envelope.encode("utf-8") + b"\n")
+                    last_seq = seq
+                if current is None or current.state in ("done", "failed"):
+                    break
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+                time.sleep(self.service.config.poll_interval)
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True  # client hung up mid-stream
+
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(b"%X\r\n" % len(data) + data + b"\r\n")
+
+
+__all__ = [
+    "AnalysisService",
+    "CACHE_DIRECTORY_NAME",
+    "INDEX_DIRECTORY_NAME",
+    "ROUTES",
+    "ServiceConfig",
+    "ServiceValidationError",
+]

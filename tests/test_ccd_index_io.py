@@ -178,3 +178,55 @@ class TestSimilarityBackendRoundtrip:
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(IndexFormatError, match="unloadable configuration"):
             load_index(directory)
+
+
+class TestAppendToIndex:
+    """Incremental persistence of newly indexed documents (the service path)."""
+
+    def _fresh_copy(self, detector):
+        copy = CloneDetector(similarity_threshold=detector.similarity_threshold)
+        for document_id, fingerprint in detector.fingerprints.items():
+            copy.add_fingerprint(document_id, fingerprint,
+                                 grams=detector.index.grams_for(document_id))
+        return copy
+
+    def test_append_rewrites_only_affected_shards(self, detector, tmp_path):
+        from repro.ccd.index_io import append_to_index
+
+        live = self._fresh_copy(detector)
+        save_index(live, tmp_path, shards=8)
+        new_id = "0xfreshly-ingested"
+        source = "contract Fresh { function f() public { msg.sender.transfer(1); } }"
+        assert live.add_document(new_id, source)
+        summary = append_to_index(live, tmp_path, [new_id])
+        assert summary["appended"] == 1
+        assert summary["shards_rewritten"] == 1  # one document -> one shard
+        assert summary["manifest"]["documents"] == len(live)
+        reloaded = load_index(tmp_path)
+        assert new_id in reloaded.fingerprints
+        assert len(reloaded) == len(live)
+        assert reloaded.find_clones(source)[0].document_id == new_id
+
+    def test_append_to_empty_directory_falls_back_to_save(self, detector, tmp_path):
+        from repro.ccd.index_io import append_to_index
+
+        live = self._fresh_copy(detector)
+        summary = append_to_index(
+            live, tmp_path / "fresh", live.fingerprints, shards=3)
+        assert summary["appended"] == len(live)
+        reloaded = load_index(tmp_path / "fresh")
+        assert set(reloaded.fingerprints) == set(live.fingerprints)
+
+    def test_reingesting_a_document_replaces_it(self, detector, tmp_path):
+        from repro.ccd.index_io import append_to_index
+
+        live = self._fresh_copy(detector)
+        save_index(live, tmp_path, shards=2)
+        victim = next(iter(live.fingerprints))
+        replacement = "contract Replaced { function g() public {} }"
+        assert live.add_document(victim, replacement)
+        append_to_index(live, tmp_path, [victim])
+        reloaded = load_index(tmp_path)
+        assert len(reloaded) == len(live)  # replaced, not duplicated
+        assert reloaded.fingerprints[victim].text == \
+            live.fingerprints[victim].text

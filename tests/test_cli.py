@@ -257,3 +257,74 @@ class TestMatcherCliOptions:
         assert code == 0
         assert "Match pipeline profile" not in out
         assert "needs 'ccd'" in err
+
+
+class TestVersion:
+    def test_version_subcommand(self, capsys):
+        code, out, _ = run_cli(capsys, "version")
+        assert code == 0
+        from repro import __version__
+
+        assert out.strip() == f"repro {__version__}"
+
+    def test_version_flag_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        from repro import __version__
+
+        assert __version__ in out and out.startswith("repro")
+
+    def test_version_matches_installed_metadata_when_available(self):
+        from repro.cli import package_version
+
+        assert package_version()  # never raises, installed or not
+
+
+class TestServiceCommands:
+    def test_serve_submit_jobs_are_wired(self):
+        parser = build_parser()
+        for argv in (["serve", "--data-dir", "x"],
+                     ["submit", "snippets", "--url", "http://localhost:1"],
+                     ["jobs", "list", "--url", "http://localhost:1"],
+                     ["jobs", "show", "3", "--url", "http://localhost:1"],
+                     ["version"]):
+            args = parser.parse_args(argv)
+            assert callable(args.handler)
+
+    def test_serve_requires_data_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_submit_against_dead_daemon_is_a_clean_error(self, capsys):
+        code, _, err = run_cli(capsys, "submit", "snippets",
+                               "--url", "http://127.0.0.1:9",  # discard port
+                               *SMALL_CORPUS)
+        assert code == 1
+        assert "error" in err and "Traceback" not in err
+
+    def test_jobs_list_against_dead_daemon_is_a_clean_error(self, capsys):
+        code, _, err = run_cli(capsys, "jobs", "list", "--url", "http://127.0.0.1:9")
+        assert code == 1
+        assert "error" in err
+
+    def test_submit_and_jobs_against_in_process_daemon(self, tmp_path, capsys):
+        from repro.service import AnalysisService, ServiceConfig
+
+        config = ServiceConfig(data_dir=str(tmp_path / "svc"), port=0,
+                               backend="serial")
+        with AnalysisService(config) as service:
+            code, out, _ = run_cli(capsys, "submit", "snippets",
+                                   "--url", service.url, "--ingest", "--wait",
+                                   *SMALL_CORPUS)
+            assert code == 0
+            assert "submitted job" in out and "done in" in out
+            assert "ingested" in out
+            code, out, _ = run_cli(capsys, "jobs", "list", "--url", service.url)
+            assert code == 0
+            assert "done" in out
+            code, out, _ = run_cli(capsys, "jobs", "show", "1",
+                                   "--url", service.url)
+            assert code == 0
+            assert "Results" in out

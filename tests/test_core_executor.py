@@ -90,14 +90,15 @@ class TestMapping:
             assert executor.map(_square, []) == []
             assert executor.map_batches(_square, []) == []
 
-    def test_close_is_idempotent_and_reusable(self):
+    def test_close_is_idempotent_and_terminal(self):
         executor = ThreadExecutor(max_workers=1)
         assert executor.map(_square, [2]) == [4]
         executor.close()
         executor.close()
-        # a fresh pool is created lazily after close
-        assert executor.map(_square, [3]) == [9]
-        executor.close()
+        # close is terminal: no silent pool resurrection after teardown
+        # (long-lived daemons must not leak workers past shutdown)
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.map(_square, [3])
 
 
 class TestStreaming:
@@ -197,3 +198,39 @@ def test_process_pool_is_lazy():
     assert executor._pool is None
     executor.close()
     assert executor._pool is None
+
+
+class TestLifecycle:
+    """close() is idempotent, terminal, and safe as a context manager."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_close_is_idempotent(self, backend):
+        executor = Executor.create(backend, max_workers=1)
+        assert not executor.closed
+        executor.map(_square, [1, 2])
+        executor.close()
+        assert executor.closed
+        executor.close()  # second close must be a no-op, not an error
+        assert executor.closed
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mapping_after_close_raises(self, backend):
+        executor = Executor.create(backend, max_workers=1)
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.map(_square, [1])
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.map_batches(_square, [1])
+        with pytest.raises(RuntimeError, match="closed"):
+            list(executor.imap_batches(_square, [1]))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_context_manager_closes(self, backend):
+        with Executor.create(backend, max_workers=1) as executor:
+            assert executor.map(_square, [3]) == [9]
+        assert executor.closed
+
+    def test_close_never_started_pool(self):
+        executor = ThreadExecutor(max_workers=1)
+        executor.close()  # pool was never created; still clean
+        assert executor.closed and executor._pool is None

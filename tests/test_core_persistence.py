@@ -222,3 +222,96 @@ class TestDiskArtifactStore:
         for counter in ("disk_hits", "disk_misses", "disk_writes",
                         "disk_corruptions", "disk_errors"):
             assert counter in data
+
+
+# ---------------------------------------------------------------------------
+# busy handling under concurrent writers
+# ---------------------------------------------------------------------------
+
+class TestBusyHandling:
+    def test_retry_on_busy_retries_then_succeeds(self):
+        from repro.core.persistence import retry_on_busy
+
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        assert retry_on_busy(flaky, attempts=5, base_delay=0.0) == "ok"
+        assert len(calls) == 3
+
+    def test_retry_on_busy_gives_up_after_attempts(self):
+        from repro.core.persistence import retry_on_busy
+
+        def always_locked():
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(sqlite3.OperationalError):
+            retry_on_busy(always_locked, attempts=3, base_delay=0.0)
+
+    def test_retry_on_busy_propagates_other_errors_immediately(self):
+        from repro.core.persistence import retry_on_busy
+
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise sqlite3.OperationalError("no such table: artifacts")
+
+        with pytest.raises(sqlite3.OperationalError):
+            retry_on_busy(broken, attempts=5, base_delay=0.0)
+        assert len(calls) == 1  # not a busy error: no retry
+
+    def test_busy_timeout_is_configurable_and_applied(self, tmp_path):
+        store = DiskArtifactStore(tmp_path / "cache", busy_timeout_seconds=1.5)
+        try:
+            timeout_ms = store._connection.execute(
+                "PRAGMA busy_timeout").fetchone()[0]
+            assert timeout_ms == 1500
+        finally:
+            store.close()
+
+    def test_concurrent_writers_one_cache_path(self, tmp_path):
+        """Two stores (two connections) hammering one cache concurrently.
+
+        The regression this guards: without a busy timeout + retry, one
+        writer hits SQLITE_BUSY mid-burst and its artifacts are silently
+        dropped (counted as disk_errors).  With them, every write lands.
+        """
+        import threading
+
+        directory = tmp_path / "cache"
+        sources = [
+            f"contract C{index} {{ function f() public returns (uint) "
+            f"{{ return {index}; }} }}"
+            for index in range(24)
+        ]
+        stores = [DiskArtifactStore(directory) for _ in range(2)]
+        errors: list = []
+
+        def hammer(store, chunk):
+            try:
+                for source in chunk:
+                    store.get(source).fingerprint  # materialize -> write-through
+            except Exception as error:  # pragma: no cover - the regression
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(stores[0], sources[:12])),
+            threading.Thread(target=hammer, args=(stores[1], sources[12:])),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        try:
+            assert errors == []
+            assert stores[0].stats.disk_errors == 0
+            assert stores[1].stats.disk_errors == 0
+            assert stores[0].disk_entries() == len(sources)
+        finally:
+            for store in stores:
+                store.close()

@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
-"""Check that docs/api.md matches the actual public API (used by CI).
+"""Check that the docs match the actual public API (used by CI).
 
-Two contracts are enforced, both ways:
+Three contracts are enforced, all both ways:
 
 * every name in ``repro.api.__all__`` appears in the marked *surface*
   block of ``docs/api.md``, and the block documents no stale names,
 * every CLI command path (``repro analyze``, ``repro cache stats``, …)
   derived from the real argument parser appears in the marked *cli*
-  block, and the block documents no removed commands.
+  block, and the block documents no removed commands,
+* every HTTP route of the analysis service daemon
+  (``repro.service.server.ROUTES``) appears in the marked *endpoints*
+  block of ``docs/service.md``, and the block documents no removed
+  endpoints.
 
 Exits non-zero listing each mismatch, so an API change that forgets the
 docs — or docs that promise an API that does not exist — fails the docs
@@ -27,6 +31,10 @@ from pathlib import Path
 
 #: inline code spans inside a marker block
 CODE_SPAN_RE = re.compile(r"`([^`]+)`")
+
+#: an HTTP endpoint declaration: method + path (other spans in the
+#: endpoints block — query parameters, JSON examples — are prose)
+ENDPOINT_RE = re.compile(r"^(GET|POST|PUT|PATCH|DELETE) /\S+$")
 
 
 def marker_block(text: str, name: str, path: Path) -> str:
@@ -60,6 +68,19 @@ def documented_commands(text: str, path: Path) -> set[str]:
     return commands
 
 
+def documented_endpoints(text: str, path: Path) -> set[str]:
+    """The ``METHOD /path`` endpoints documented in the service.md block."""
+    return {span for span in CODE_SPAN_RE.findall(marker_block(text, "endpoints", path))
+            if ENDPOINT_RE.match(span)}
+
+
+def actual_endpoints() -> set[str]:
+    """Every HTTP route the analysis service daemon actually serves."""
+    from repro.service.server import ROUTES
+
+    return {f"{method} {route}" for method, route in ROUTES}
+
+
 def actual_surface() -> set[str]:
     """The names ``repro.api`` actually exports."""
     import repro.api
@@ -87,13 +108,14 @@ def actual_commands() -> set[str]:
     return _walk_commands(build_parser())
 
 
-def check(kind: str, documented: set[str], actual: set[str]) -> list[str]:
+def check(kind: str, documented: set[str], actual: set[str],
+          where: str = "docs/api.md") -> list[str]:
     """Mismatch messages between the documented and the actual set."""
     problems = []
     for name in sorted(actual - documented):
-        problems.append(f"docs/api.md: {kind} {name!r} exists but is undocumented")
+        problems.append(f"{where}: {kind} {name!r} exists but is undocumented")
     for name in sorted(documented - actual):
-        problems.append(f"docs/api.md: {kind} {name!r} is documented but does not exist")
+        problems.append(f"{where}: {kind} {name!r} is documented but does not exist")
     return problems
 
 
@@ -105,10 +127,16 @@ def main(argv: list[str]) -> int:
     text = path.read_text(encoding="utf-8")
     problems = check("public name", documented_surface(text, path), actual_surface())
     problems += check("CLI command", documented_commands(text, path), actual_commands())
+    service_path = root / "docs" / "service.md"
+    service_text = service_path.read_text(encoding="utf-8")
+    problems += check("service endpoint",
+                      documented_endpoints(service_text, service_path),
+                      actual_endpoints(), where="docs/service.md")
     for problem in problems:
         print(problem, file=sys.stderr)
-    print(f"checked {len(actual_surface())} public names and "
-          f"{len(actual_commands())} CLI commands against docs/api.md: "
+    print(f"checked {len(actual_surface())} public names, "
+          f"{len(actual_commands())} CLI commands, and "
+          f"{len(actual_endpoints())} service endpoints against the docs: "
           f"{len(problems)} mismatch(es)")
     return 1 if problems else 0
 
