@@ -9,9 +9,19 @@ Benchmarks that route work through the shared analysis core can register
 their :class:`~repro.core.artifacts.ArtifactStore` statistics with the
 session-scoped ``artifact_stats_registry`` fixture; the aggregate
 artifact-cache hit rate is reported in the terminal summary.
+
+The terminal summary also writes machine-readable perf-trajectory
+artifacts — ``BENCH_fig5.json`` (staged-matcher backends) and
+``BENCH_service.json`` (cold vs resident serving) — into
+``$BENCH_ARTIFACTS_DIR`` (default: the working directory), so CI uploads
+and future re-anchors can track the speed curve across PRs.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -64,6 +74,48 @@ def service_latency_registry():
     return _SERVICE_LATENCIES
 
 
+def _write_bench_artifact(terminalreporter, name: str, payload: dict) -> None:
+    """Write one ``BENCH_*.json`` perf-trajectory artifact (best effort)."""
+    directory = Path(os.environ.get("BENCH_ARTIFACTS_DIR") or ".")
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / name
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    except OSError as error:
+        terminalreporter.write_line(f"could not write {name}: {error}")
+        return
+    terminalreporter.write_line(f"wrote {path}")
+
+
+def _fig5_artifact() -> dict:
+    """The ``BENCH_fig5.json`` payload: per-backend verify timings + stats."""
+    backends = {backend: {"wall_seconds": row["wall"],
+                          "stats": row["stats"].as_dict()}
+                for backend, row in _MATCHER_BACKENDS.items()}
+    payload = {"benchmark": "fig5_staged_matcher",
+               "reduced": bool(os.environ.get("BENCH_FIG5_REDUCED")),
+               "backends": backends}
+    baseline = _MATCHER_BACKENDS.get("exact")
+    if baseline is not None:
+        for backend, row in _MATCHER_BACKENDS.items():
+            backends[backend]["verify_speedup_vs_exact"] = (
+                baseline["stats"].verify_seconds
+                / max(row["stats"].verify_seconds, 1e-9))
+    return payload
+
+
+def _service_artifact() -> dict:
+    """The ``BENCH_service.json`` payload: per-mode throughput + latency."""
+    payload = {"benchmark": "service_throughput",
+               "modes": {mode: dict(row) for mode, row in _SERVICE_LATENCIES.items()}}
+    if {"cold", "resident"} <= set(_SERVICE_LATENCIES):
+        payload["resident_speedup"] = (
+            _SERVICE_LATENCIES["resident"]["jobs_per_sec"]
+            / max(_SERVICE_LATENCIES["cold"]["jobs_per_sec"], 1e-9))
+    return payload
+
+
 def pytest_terminal_summary(terminalreporter):
     if _ARTIFACT_STATS:
         terminalreporter.section("artifact cache hit rate")
@@ -113,6 +165,16 @@ def pytest_terminal_summary(terminalreporter):
                 f"   delta: bounded verification {speedup:.1f}x faster "
                 f"({exact.verify_seconds:.3f}s -> {bounded.verify_seconds:.3f}s) "
                 f"with byte-identical matches")
+        if {"bounded", "myers"} <= set(_MATCHER_BACKENDS):
+            bounded = _MATCHER_BACKENDS["bounded"]["stats"]
+            myers = _MATCHER_BACKENDS["myers"]["stats"]
+            speedup = bounded.verify_seconds / max(myers.verify_seconds, 1e-9)
+            terminalreporter.write_line(
+                f"   delta: myers verification {speedup:.1f}x faster than "
+                f"bounded ({bounded.verify_seconds:.3f}s -> "
+                f"{myers.verify_seconds:.3f}s), "
+                f"{myers.myers_words} bit-parallel words")
+        _write_bench_artifact(terminalreporter, "BENCH_fig5.json", _fig5_artifact())
     if _SERVICE_LATENCIES:
         terminalreporter.section("service daemon: cold vs resident serving")
         for mode, row in _SERVICE_LATENCIES.items():
@@ -127,6 +189,8 @@ def pytest_terminal_summary(terminalreporter):
                 f"    delta: resident index serves {speedup:.1f}x more jobs/sec "
                 f"(p50 {cold['p50'] * 1000.0:.1f} ms -> "
                 f"{resident['p50'] * 1000.0:.1f} ms) with identical envelopes")
+        _write_bench_artifact(terminalreporter, "BENCH_service.json",
+                              _service_artifact())
 
 
 @pytest.fixture(scope="session")

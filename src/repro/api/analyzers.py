@@ -22,6 +22,7 @@ from repro.api.envelope import AnalysisRequest
 from repro.api.registry import Analyzer, register_analyzer
 from repro.ccc.checker import ContractChecker, _analyze_task, _AnalysisTaskSpec
 from repro.ccd.detector import CloneDetector, _fingerprint_task
+from repro.ccd.score_memo import ScoreMemoTable
 from repro.pipeline.correlation import correlate_views_with_adoption
 from repro.pipeline.temporal import TemporalCategories, categorize_pairs
 from repro.pipeline.validation import (
@@ -59,7 +60,9 @@ class CloneDetectionAnalyzer(Analyzer):
     ``similarity_threshold`` / ``ngram_threshold`` override the
     detector's thresholds per run; ``similarity_backend`` selects the
     verification backend of a freshly built detector (the session
-    config's by default).  ``profile_sink``, when given, is a mutable
+    config's by default) and ``score_memo_path`` attaches a persistent
+    corpus-global score memo to it (the session config's
+    ``score_memo_path`` by default).  ``profile_sink``, when given, is a mutable
     list the analyzer appends its detector to, so callers can read the
     per-stage :class:`~repro.ccd.matcher.MatchStats` afterwards (the CLI
     ``--profile`` flag uses this).  The payload is a list of
@@ -75,6 +78,8 @@ class CloneDetectionAnalyzer(Analyzer):
         exclude_self = False
         if detector is None:
             config = session.config
+            memo_path = options.get(
+                "score_memo_path", getattr(config, "score_memo_path", None))
             detector = CloneDetector(
                 ngram_size=config.ngram_size,
                 ngram_threshold=config.ngram_threshold,
@@ -84,6 +89,7 @@ class CloneDetectionAnalyzer(Analyzer):
                 store=session.store,
                 similarity_backend=options.get(
                     "similarity_backend", config.similarity_backend),
+                score_memo=ScoreMemoTable(memo_path) if memo_path else None,
             )
             detector.add_corpus(
                 [(request.contract_id, request.source) for request in requests],

@@ -63,8 +63,13 @@ class SessionConfig:
     ngram_threshold: float = 0.5
     similarity_threshold: float = 0.7
     #: CCD verification backend: ``"bounded"`` (pruned, byte-identical
-    #: results) or ``"exact"`` (the naive reference)
+    #: results), ``"myers"`` (same pruning, bit-parallel distance
+    #: kernel), or ``"exact"`` (the naive reference)
     similarity_backend: str = "bounded"
+    #: SQLite file of the corpus-global (sub₁, sub₂) score memo; ``None``
+    #: keeps pair scores in memory only (still shared across the
+    #: session's queries, but cold after a restart)
+    score_memo_path: Optional[str] = None
     #: default CCC per-unit timeout (seconds; ``None`` = unbounded)
     checker_timeout: Optional[float] = None
     #: defaults of the two-phase validation analyzer

@@ -23,6 +23,7 @@ from typing import Hashable, Iterable, Optional, Sequence, Union
 from repro.ccd.fingerprint import Fingerprint, FingerprintGenerator
 from repro.ccd.matcher import CloneMatch, MatchPipeline, MatchStats, SimilarityBackend
 from repro.ccd.ngram_index import NGramIndex
+from repro.ccd.score_memo import ScoreMemoTable
 from repro.ccd.similarity import order_independent_similarity
 
 # module-style import: repro.core.artifacts itself imports repro.ccd
@@ -74,9 +75,15 @@ class CloneDetector:
 
     ``similarity_backend`` selects the verification strategy of the
     staged :class:`~repro.ccd.matcher.MatchPipeline`: ``"bounded"``
-    (default — pruned, byte-identical matches) or ``"exact"`` (the naive
-    reference); a :class:`~repro.ccd.matcher.SimilarityBackend` instance
-    is also accepted.
+    (default — pruned, byte-identical matches), ``"myers"`` (the same
+    pruning with a bit-parallel distance kernel), or ``"exact"`` (the
+    naive reference); a :class:`~repro.ccd.matcher.SimilarityBackend`
+    instance is also accepted.
+
+    ``score_memo`` attaches a corpus-global
+    :class:`~repro.ccd.score_memo.ScoreMemoTable` (e.g. one with a
+    persistent disk tier); by default the pipeline creates a fresh
+    in-memory table.
     """
 
     def __init__(
@@ -88,6 +95,7 @@ class CloneDetector:
         fingerprint_window: int = 4,
         store: Optional["core_artifacts.ArtifactStore"] = None,
         similarity_backend: Union[str, SimilarityBackend, None] = None,
+        score_memo: Optional[ScoreMemoTable] = None,
     ):
         if store is not None:
             if store.ngram_size != ngram_size:
@@ -112,12 +120,18 @@ class CloneDetector:
         self.fingerprints: dict[Hashable, Fingerprint] = {}
         self.parse_failures: list[Hashable] = []
         self.matcher = MatchPipeline(
-            self.index, self.fingerprints, backend=similarity_backend)
+            self.index, self.fingerprints, backend=similarity_backend,
+            score_memo=score_memo)
 
     @property
     def similarity_backend(self) -> str:
         """The name of the configured verification backend."""
         return self.matcher.backend.name
+
+    @property
+    def score_memo(self) -> ScoreMemoTable:
+        """The corpus-global (sub₁, sub₂) score memo of the pipeline."""
+        return self.matcher.score_memo
 
     @property
     def match_stats(self) -> MatchStats:
@@ -143,12 +157,35 @@ class CloneDetector:
         if fingerprint.is_empty:
             self.parse_failures.append(document_id)
             return False
+        previous = self.fingerprints.get(document_id)
         self.fingerprints[document_id] = fingerprint
+        # register before releasing the replaced fingerprint: subs shared
+        # between the two (the common case on re-ingest) never transit
+        # through refcount zero, so their memoized scores survive the swap
+        self.score_memo.register(fingerprint.sub_fingerprints)
+        if previous is not None:
+            self.score_memo.release(previous.sub_fingerprints)
         if grams is not None:
             self.index.add_grams(document_id, grams)
         else:
             self.index.add(document_id, fingerprint.text)
         return True
+
+    def remove_fingerprint(self, document_id: Hashable) -> Optional[Fingerprint]:
+        """Retire one indexed document; returns its fingerprint (or ``None``).
+
+        Removes the document from the N-gram index and the fingerprint
+        map and releases its sub-fingerprints from the score memo —
+        memoized pair scores that only existed because of this document
+        are dropped (from the disk tier too, when one is attached).
+        """
+        fingerprint = self.fingerprints.pop(document_id, None)
+        if fingerprint is None:
+            return None
+        self.index.remove(document_id)
+        self.matcher.forget(document_id)
+        self.score_memo.release(fingerprint.sub_fingerprints)
+        return fingerprint
 
     def add_corpus(
         self,

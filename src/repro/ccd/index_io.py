@@ -12,6 +12,9 @@ Layout of a saved index directory::
                      shard count, document/parse-failure counts
     shard-0000.pkl   pickled list of (document_id, Fingerprint, grams)
     shard-0001.pkl   ...
+    scores.sqlite    corpus-global (sub₁, sub₂) score memo disk tier
+                     (:mod:`repro.ccd.score_memo`) — saved warm, loaded
+                     warm, so a reloaded index re-scores zero known pairs
 
 Documents are distributed over shards by the SHA-256 prefix of their
 document id, so a fixed corpus always produces the same shard layout
@@ -30,6 +33,7 @@ from typing import Hashable, Iterable, Optional, Union
 
 from repro.ccd.detector import CloneDetector
 from repro.ccd.matcher import SIMILARITY_BACKENDS, resolve_similarity_backend
+from repro.ccd.score_memo import SCORE_MEMO_NAME, ScoreMemoTable
 from repro.core.fileio import dump_json, dump_pickle, try_load_json, try_load_pickle
 
 #: bump when the manifest or shard payload layout changes
@@ -96,8 +100,12 @@ def save_index(
             continue
     # pickled (not JSON) so document-id types and recording order survive
     dump_pickle(directory / PARSE_FAILURES_NAME, list(detector.parse_failures))
+    # ship the warm pair scores with the index: the detector's memo gains
+    # (or keeps) a write-through disk tier inside the index directory
+    detector.score_memo.persist_to(directory / SCORE_MEMO_NAME)
     manifest = {
         "format_version": INDEX_FORMAT_VERSION,
+        "score_memo": SCORE_MEMO_NAME,
         "shards": shards,
         "documents": len(detector.fingerprints),
         "parse_failures": len(detector.parse_failures),
@@ -169,6 +177,10 @@ def append_to_index(
             for document_id in bucket_ids)
         dump_pickle(path, bucket)
     dump_pickle(directory / PARSE_FAILURES_NAME, list(detector.parse_failures))
+    # keep (or retrofit) the score-memo tier; a no-op when the detector's
+    # memo is already attached there write-through, as in the service
+    detector.score_memo.persist_to(directory / SCORE_MEMO_NAME)
+    manifest.setdefault("score_memo", SCORE_MEMO_NAME)
     manifest["documents"] = len(detector.fingerprints)
     manifest["parse_failures"] = len(detector.parse_failures)
     dump_json(directory / MANIFEST_NAME, manifest)
@@ -217,6 +229,12 @@ def load_index(
         # store/configuration mismatches stay ValueError (caller-side)
         raise IndexFormatError(
             f"index at {directory} has an unloadable configuration: {error}") from error
+    score_memo = None
+    memo_name = manifest.get("score_memo")
+    if memo_name and (directory / memo_name).exists():
+        # reattach the saved score tier: every previously computed pair
+        # score is warm (and write-through) before the first query runs
+        score_memo = ScoreMemoTable(directory / memo_name)
     detector = CloneDetector(
         ngram_size=configuration["ngram_size"],
         ngram_threshold=configuration["ngram_threshold"],
@@ -225,6 +243,7 @@ def load_index(
         fingerprint_window=configuration["fingerprint_window"],
         store=store,
         similarity_backend=backend,
+        score_memo=score_memo,
     )
     for index in range(manifest["shards"]):
         path = _shard_path(directory, index)

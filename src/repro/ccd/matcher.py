@@ -10,7 +10,7 @@ Clone matching is two explicitly separated stages:
    sub-fingerprint edit distances, computed by a pluggable
    :class:`SimilarityBackend`.
 
-Two backends ship:
+Three backends ship:
 
 * ``"exact"`` — the naive reference: a full Levenshtein distance for
   every (sub₁, sub₂) pair of every candidate.  This is the seed
@@ -19,9 +19,21 @@ Two backends ship:
   times faster: a length-difference upper bound skips pairs that cannot
   beat the current best, the Levenshtein computation is banded/cut off
   at the distance still worth knowing, a running mean upper bound
-  abandons a candidate once :math:`\\epsilon` is unreachable, and a
-  per-query memo reuses (sub₁, sub₂) scores across candidates (the same
-  sub-fingerprints repeat heavily within a corpus).
+  abandons a candidate once :math:`\\epsilon` is unreachable, and the
+  pipeline's score memo reuses (sub₁, sub₂) scores across candidates
+  (the same sub-fingerprints repeat heavily within a corpus).
+* ``"myers"`` — all of the bounded backend's pruning, with the pair
+  distance computed by Myers' bit-parallel kernel
+  (:func:`repro.ccd.similarity.myers_bounded_edit_distance`): 64 DP
+  columns advance per machine word per step, several times faster again
+  on the pairs that survive the bounds.
+
+The pair memo is no longer per-query: the pipeline owns a corpus-global
+:class:`repro.ccd.score_memo.ScoreMemoTable`, so each distinct
+(sub₁, sub₂) score is computed once per corpus *lifetime* — shared
+across queries, jobs, and (when a disk tier is attached) daemon
+restarts.  δ is a pure function of the two strings, so the sharing is
+invisible to reported matches.
 
 Exactness argument for the bounded backend: a pair score is only ever
 *skipped* when a conservative upper bound proves it cannot raise the
@@ -45,7 +57,13 @@ from typing import Dict, Hashable, Optional, Union
 
 from repro.ccd.fingerprint import Fingerprint
 from repro.ccd.ngram_index import NGramIndex, ngrams
-from repro.ccd.similarity import bounded_edit_distance, sub_fingerprint_similarity
+from repro.ccd.score_memo import ScoreMemoTable
+from repro.ccd.similarity import (
+    bounded_edit_distance,
+    myers_bounded_edit_distance,
+    myers_word_count,
+    sub_fingerprint_similarity,
+)
 
 #: slack applied to every pruning bound: float rounding may only ever
 #: cause the bounded backend to prune *less* than the real bound allows
@@ -81,8 +99,10 @@ class MatchStats:
     :math:`\\epsilon` unreachable), ``pairs_scored`` (edit distances
     actually computed), ``pairs_skipped_by_bound`` (pairs skipped via the
     length-difference upper bound), ``pairs_cutoff`` (banded Levenshtein
-    runs abandoned at the distance limit), and ``memo_hits`` (pair scores
-    reused from the per-query memo).
+    runs abandoned at the distance limit), ``memo_hits`` /
+    ``memo_misses`` (pair-score lookups answered / not answered by the
+    corpus-global score memo), and ``myers_words`` (64-bit machine words
+    advanced by the bit-parallel kernel — zero for the DP backends).
     """
 
     queries: int = 0
@@ -99,6 +119,8 @@ class MatchStats:
     pairs_skipped_by_bound: int = 0
     pairs_cutoff: int = 0
     memo_hits: int = 0
+    memo_misses: int = 0
+    myers_words: int = 0
     candidate_seconds: float = 0.0
     verify_seconds: float = 0.0
 
@@ -139,6 +161,8 @@ class MatchStats:
             ["verification", "pairs skipped by length bound", self.pairs_skipped_by_bound],
             ["verification", "pairs cut off by band", self.pairs_cutoff],
             ["verification", "pair memo hits", self.memo_hits],
+            ["verification", "pair memo misses", self.memo_misses],
+            ["verification", "bit-parallel words", self.myers_words],
         ]
         return rows
 
@@ -187,10 +211,16 @@ class SimilarityBackend:
         first_subs: list[str],
         candidate: PreparedCandidate,
         epsilon: float,
-        memo: Dict[tuple, float],
+        memo: ScoreMemoTable,
         stats: MatchStats,
     ) -> Optional[float]:
-        """The order-independent score, or ``None`` when provably below ε."""
+        """The order-independent score, or ``None`` when provably below ε.
+
+        ``memo`` is the pipeline's corpus-global score memo (any mapping
+        with ``get``/``__setitem__`` over canonical pair keys works);
+        backends that prune may read and write it, the exact reference
+        ignores it.
+        """
         raise NotImplementedError
 
 
@@ -234,6 +264,16 @@ class BoundedSimilarityBackend(SimilarityBackend):
 
     name = "bounded"
 
+    def _pair_distance(self, sub_first, sub_second, limit, stats):
+        """The limit-aware distance of one pair (the myers backend's hook).
+
+        Must honour the :func:`bounded_edit_distance` contract: exactly
+        the Levenshtein distance when it is at most ``limit``, ``None``
+        otherwise.  Everything else about the two backends — bounds,
+        memo, abandonment — is shared.
+        """
+        return bounded_edit_distance(sub_first, sub_second, limit)
+
     def verify(self, first_subs, candidate, epsilon, memo, stats):
         """Score the candidate, abandoning once ε is provably unreachable."""
         total = len(first_subs)
@@ -274,9 +314,19 @@ class BoundedSimilarityBackend(SimilarityBackend):
                     continue
                 key = _memo_key(sub_first, sub_second)
                 score = memo.get(key)
+                if score is not None and score < 0.0:
+                    # a remembered cutoff: the true score is provably
+                    # below -score; skip when that already rules the pair
+                    # out here, else fall through and recompute (which
+                    # tightens or upgrades the stored entry)
+                    if -score <= best or -score < needed:
+                        stats.memo_hits += 1
+                        continue
+                    score = None
                 if score is not None:
                     stats.memo_hits += 1
                 else:
+                    stats.memo_misses += 1
                     if sub_first == sub_second:
                         score = 100.0
                     else:
@@ -289,9 +339,14 @@ class BoundedSimilarityBackend(SimilarityBackend):
                         limit = int(ceiling) + 2
                         if limit > longest:
                             limit = longest
-                        distance = bounded_edit_distance(sub_first, sub_second, limit)
+                        distance = self._pair_distance(
+                            sub_first, sub_second, limit, stats)
                         if distance is None:
                             stats.pairs_cutoff += 1
+                            # d > limit proves score < this bound, which is
+                            # itself below max(best, needed) — tight enough
+                            # to answer the same context from a warm memo
+                            memo[key] = -((longest - limit) / longest * 100.0)
                             continue
                         stats.pairs_scored += 1
                         # identical float expression to the exact backend
@@ -308,10 +363,31 @@ class BoundedSimilarityBackend(SimilarityBackend):
         return best_sum / total
 
 
+class MyersSimilarityBackend(BoundedSimilarityBackend):
+    """The bounded verifier with a bit-parallel distance kernel.
+
+    Inherits every pruning decision from
+    :class:`BoundedSimilarityBackend` — bounds, memo, and abandonment
+    are byte-for-byte the same, so parity with ``exact`` carries over —
+    and swaps only the pair-distance computation for Myers' algorithm:
+    the whole pattern dimension advances 64 DP cells per machine word
+    per text character instead of one band cell per interpreted loop
+    iteration.  ``MatchStats.myers_words`` counts the words advanced.
+    """
+
+    name = "myers"
+
+    def _pair_distance(self, sub_first, sub_second, limit, stats):
+        """Myers' bit-parallel distance, same contract as the DP band."""
+        stats.myers_words += myers_word_count(sub_first, sub_second)
+        return myers_bounded_edit_distance(sub_first, sub_second, limit)
+
+
 #: registry of the built-in verification backends
 SIMILARITY_BACKENDS: Dict[str, type] = {
     ExactSimilarityBackend.name: ExactSimilarityBackend,
     BoundedSimilarityBackend.name: BoundedSimilarityBackend,
+    MyersSimilarityBackend.name: MyersSimilarityBackend,
 }
 
 #: the default verification backend
@@ -342,9 +418,14 @@ class MatchPipeline:
     """The staged matcher: candidate generation, then verification.
 
     Owns live references to a detector's :class:`NGramIndex` and
-    fingerprint map, the configured :class:`SimilarityBackend`, and the
-    accumulated per-stage :class:`MatchStats`.  One pipeline serves every
-    query of its detector; ``stats`` accumulates across queries.
+    fingerprint map, the configured :class:`SimilarityBackend`, the
+    corpus-global :class:`ScoreMemoTable`, and the accumulated per-stage
+    :class:`MatchStats`.  One pipeline serves every query of its
+    detector; ``stats`` and the score memo accumulate across queries.
+
+    ``score_memo`` defaults to a fresh in-memory table (corpus-lifetime
+    reuse with no disk tier); pass a persistent table to share scores
+    across process restarts.
     """
 
     def __init__(
@@ -352,10 +433,12 @@ class MatchPipeline:
         index: NGramIndex,
         fingerprints: Dict[Hashable, Fingerprint],
         backend: Union[str, SimilarityBackend, None] = None,
+        score_memo: Optional[ScoreMemoTable] = None,
     ):
         self.index = index
         self.fingerprints = fingerprints
         self.backend = resolve_similarity_backend(backend)
+        self.score_memo = score_memo if score_memo is not None else ScoreMemoTable()
         self.stats = MatchStats()
         # queries may run concurrently (thread-backend sessions share one
         # detector); each query accumulates into a local MatchStats and
@@ -369,6 +452,10 @@ class MatchPipeline:
     def __repr__(self):
         return (f"MatchPipeline(backend={self.backend.name!r}, "
                 f"documents={len(self.fingerprints)})")
+
+    def forget(self, document_id: Hashable) -> None:
+        """Drop a retired document's prepared-candidate cache entry."""
+        self._prepared.pop(document_id, None)
 
     def __getstate__(self):
         """Pickle support: the stats lock is dropped and recreated."""
@@ -412,7 +499,7 @@ class MatchPipeline:
 
         started = time.perf_counter()
         first_subs = [sub for sub in fingerprint.sub_fingerprints if sub]
-        memo: Dict[tuple, float] = {}
+        memo = self.score_memo
         matches: list[CloneMatch] = []
         for document_id in candidates:
             stats.verified += 1
@@ -443,6 +530,7 @@ __all__ = [
     "ExactSimilarityBackend",
     "MatchPipeline",
     "MatchStats",
+    "MyersSimilarityBackend",
     "PreparedCandidate",
     "SIMILARITY_BACKENDS",
     "SimilarityBackend",

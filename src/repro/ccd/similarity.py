@@ -14,6 +14,7 @@ sub-fingerprint, and averages the maxima.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional, Sequence
 
 from repro.ccd.fingerprint import Fingerprint
@@ -82,6 +83,11 @@ def bounded_edit_distance(first: str, second: str, limit: int) -> Optional[int]:
         return 0
     if limit <= 0:
         return None
+    # d(s1, s2) >= |len(s1) - len(s2)|: a limit below the length difference
+    # can never be met, so bail before even touching the characters (the
+    # affix strip below preserves the length difference, so nothing is lost)
+    if abs(len(first) - len(second)) > limit:
+        return None
     first, second = _strip_common_affixes(first, second)
     if not first:
         return len(second) if len(second) <= limit else None
@@ -89,8 +95,6 @@ def bounded_edit_distance(first: str, second: str, limit: int) -> Optional[int]:
         return len(first) if len(first) <= limit else None
     if len(first) < len(second):
         first, second = second, first
-    if len(first) - len(second) > limit:
-        return None
     if len(second) == 1:
         distance = len(first) - (1 if second in first else 0)
         return distance if distance <= limit else None
@@ -129,6 +133,148 @@ def bounded_edit_distance(first: str, second: str, limit: int) -> Optional[int]:
             current[high + 1] = big
         previous, current = current, previous
     return previous[columns] if previous[columns] <= limit else None
+
+
+@lru_cache(maxsize=65536)
+def _myers_masks(pattern: str) -> dict:
+    """Per-character match bitmasks of ``pattern`` (Myers' ``Peq`` table).
+
+    Bit ``i`` of ``masks[c]`` is set when ``pattern[i] == c``.  Cached:
+    sub-fingerprints repeat heavily across pairs, and the same pattern is
+    matched against many texts — the mask table is the per-pattern setup
+    cost of the bit-parallel kernel.
+    """
+    masks: dict = {}
+    bit = 1
+    for char in pattern:
+        masks[char] = masks.get(char, 0) | bit
+        bit <<= 1
+    return masks
+
+
+def _myers_loop(pattern: str, text: str, limit: Optional[int]) -> Optional[int]:
+    """The bit-parallel core: Myers/Hyyrö edit distance of pattern vs text.
+
+    One column of the DP matrix per *text* character, the whole *pattern*
+    dimension held in big-int bitvectors (``VP``/``VN`` delta encoding) —
+    64 DP cells advance per machine word per step, with Python's
+    arbitrary-width ints extending past 64 pattern characters for free.
+
+    With a ``limit``, the loop abandons as soon as the running score
+    minus the remaining text length proves the final distance must
+    exceed it (the score changes by at most 1 per text character), and
+    the final distance is reported only when it is within the limit —
+    the same contract as :func:`bounded_edit_distance`.  The cutoff is
+    tracked as a budget counter, ``limit + remaining - score``, folded
+    into the score branches so the hot loop carries no extra compare.
+    """
+    length = len(pattern)
+    mask = (1 << length) - 1
+    high = 1 << (length - 1)
+    get = _myers_masks(pattern).get
+    vp = mask
+    vn = 0
+    score = length
+    if limit is None:
+        for char in text:
+            eq = get(char, 0)
+            xv = eq | vn
+            xh = (((eq & vp) + vp) ^ vp) | eq
+            hp = vn | (mask & ~(xh | vp))
+            hn = vp & xh
+            if hp & high:
+                score += 1
+            elif hn & high:
+                score -= 1
+            hp = ((hp << 1) | 1) & mask
+            hn = (hn << 1) & mask
+            vp = hn | (mask & ~(xv | hp))
+            vn = hp & xv
+        return score
+    # budget < 0 <=> score - remaining > limit: the final distance cannot
+    # come back under the limit (each text char moves the score by <= 1)
+    budget = limit + len(text) - score
+    for char in text:
+        eq = get(char, 0)
+        xv = eq | vn
+        xh = (((eq & vp) + vp) ^ vp) | eq
+        hp = vn | (mask & ~(xh | vp))
+        hn = vp & xh
+        if hp & high:
+            score += 1
+            budget -= 2
+            if budget < 0:
+                return None
+        elif hn & high:
+            score -= 1
+        else:
+            budget -= 1
+            if budget < 0:
+                return None
+        hp = ((hp << 1) | 1) & mask
+        hn = (hn << 1) & mask
+        vp = hn | (mask & ~(xv | hp))
+        vn = hp & xv
+    return score if score <= limit else None
+
+
+def myers_edit_distance(first: str, second: str) -> int:
+    """Levenshtein distance via Myers' bit-parallel algorithm (exact).
+
+    Identical values to :func:`edit_distance` — the parity suite pins
+    this — at a fraction of the interpreted work: the inner loop runs
+    once per character of the shorter string and advances the entire
+    other dimension with a handful of big-int operations.
+    """
+    if first == second:
+        return 0
+    first, second = _strip_common_affixes(first, second)
+    if not first:
+        return len(second)
+    if not second:
+        return len(first)
+    if len(first) < len(second):
+        first, second = second, first
+    if len(second) == 1:
+        return len(first) - (1 if second in first else 0)
+    # pattern = longer string (bitvector width), text = shorter (loop count)
+    return _myers_loop(first, second, None)
+
+
+def myers_bounded_edit_distance(first: str, second: str, limit: int) -> Optional[int]:
+    """Myers' bit-parallel distance when it is at most ``limit``, else ``None``.
+
+    Same contract as :func:`bounded_edit_distance` (exactly the
+    Levenshtein distance when within the limit, ``None`` otherwise), but
+    the cutoff rides on the bit-parallel score instead of a DP band.
+    """
+    if first == second:
+        return 0
+    if limit <= 0:
+        return None
+    if abs(len(first) - len(second)) > limit:
+        return None
+    first, second = _strip_common_affixes(first, second)
+    if not first:
+        return len(second) if len(second) <= limit else None
+    if not second:
+        return len(first) if len(first) <= limit else None
+    if len(first) < len(second):
+        first, second = second, first
+    if len(second) == 1:
+        distance = len(first) - (1 if second in first else 0)
+        return distance if distance <= limit else None
+    return _myers_loop(first, second, limit)
+
+
+def myers_word_count(first: str, second: str) -> int:
+    """Machine words the bit-parallel kernel advances for one pair.
+
+    One 64-bit word per 64 pattern characters, per text character —
+    the profile counter behind ``MatchStats.myers_words``.
+    """
+    longer, shorter = (first, second) if len(first) >= len(second) else (second, first)
+    return ((len(longer) + 63) >> 6) * max(1, len(shorter))
 
 
 def sub_fingerprint_similarity(first: str, second: str) -> float:

@@ -134,8 +134,9 @@ def _add_detector_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--similarity-backend", choices=sorted(SIMILARITY_BACKENDS),
                        default="bounded",
                        help="clone verification backend: bounded (pruned, "
-                            "default) or exact (naive reference); both "
-                            "produce identical matches")
+                            "default), myers (same pruning, bit-parallel "
+                            "distance kernel), or exact (naive reference); "
+                            "all produce identical matches")
 
 
 def _open_cache(args: argparse.Namespace, **store_kwargs) -> Optional[DiskArtifactStore]:

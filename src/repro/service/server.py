@@ -43,6 +43,7 @@ from repro.api.registry import REGISTRY
 from repro.api.session import AnalysisSession, SessionConfig
 from repro.ccd.detector import CloneDetector
 from repro.ccd.index_io import MANIFEST_NAME, append_to_index
+from repro.ccd.score_memo import SCORE_MEMO_NAME, ScoreMemoTable
 from repro.service.jobstore import JOBS_DATABASE_NAME, Job, JobStore
 from repro.service.scheduler import ReadWriteLock, Scheduler
 
@@ -123,6 +124,10 @@ class ServiceConfig:
             ngram_threshold=self.ngram_threshold,
             similarity_threshold=self.similarity_threshold,
             similarity_backend=self.similarity_backend,
+            # jobs that decline the resident index still share the
+            # persistent corpus-global pair-score memo
+            score_memo_path=str(
+                Path(self.data_dir) / INDEX_DIRECTORY_NAME / SCORE_MEMO_NAME),
             checker_timeout=self.checker_timeout,
             stream_window=self.stream_window,
         )
@@ -173,6 +178,10 @@ class AnalysisService:
             # configuration, so /v1/stats never misreports the live values
             detector.ngram_threshold = config.ngram_threshold
             detector.similarity_threshold = config.similarity_threshold
+            if not detector.score_memo.persistent:
+                # indexes saved before the score-memo tier existed: attach
+                # one now so this daemon's scores survive its restarts
+                detector.score_memo.persist_to(self.index_dir / SCORE_MEMO_NAME)
             return detector
         return CloneDetector(
             ngram_size=config.ngram_size,
@@ -182,6 +191,9 @@ class AnalysisService:
             fingerprint_window=config.fingerprint_window,
             store=self.session.store,
             similarity_backend=config.similarity_backend,
+            # write-through from the first ingest: pair scores computed by
+            # this daemon are warm for the next one over the same data dir
+            score_memo=ScoreMemoTable(self.index_dir / SCORE_MEMO_NAME),
         )
 
     # -- lifecycle ------------------------------------------------------------
@@ -310,8 +322,8 @@ class AnalysisService:
                     if previously_indexed:
                         # replace semantics: an unparsable re-ingest retires
                         # the stale fingerprint instead of leaving it matchable
-                        detector.fingerprints.pop(document_id, None)
-                        detector.index.remove(document_id)
+                        # (and releases its subs from the score memo)
+                        detector.remove_fingerprint(document_id)
                         retired.append(document_id)
             # one failure record per document, however often it was re-posted
             detector.parse_failures[:] = dict.fromkeys(detector.parse_failures)
@@ -350,6 +362,7 @@ class AnalysisService:
                 "parse_failures": len(self.detector.parse_failures),
                 "similarity_backend": self.detector.similarity_backend,
             },
+            "score_memo": self.detector.score_memo.as_dict(),
             "match_stats": dataclasses.asdict(self.detector.match_stats),
             "config": {
                 "backend": self.config.backend,

@@ -1,10 +1,12 @@
 """Tests for the staged clone-matching engine (repro.ccd.matcher).
 
-The central property is **backend parity**: the ``bounded`` backend must
-return :class:`CloneMatch` lists byte-identical (ids *and* float scores)
-to the ``exact`` backend — and both must agree with a naive re-derivation
-of the seed semantics (count-every-posting candidates + Algorithm 1) —
-across randomized fingerprint corpora and η/ε grids.
+The central property is **backend parity**: the ``bounded`` and
+``myers`` backends must return :class:`CloneMatch` lists byte-identical
+(ids *and* float scores) to the ``exact`` backend — and all must agree
+with a naive re-derivation of the seed semantics (count-every-posting
+candidates + Algorithm 1) — across randomized fingerprint corpora and
+η/ε grids, including unicode and >64-character sub-fingerprints (the
+multi-word big-int path of the bit-parallel kernel).
 """
 
 import random
@@ -23,10 +25,13 @@ from repro.ccd.matcher import (
     ExactSimilarityBackend,
     MatchPipeline,
     MatchStats,
+    MyersSimilarityBackend,
     resolve_similarity_backend,
 )
 from repro.ccd.ngram_index import NGramIndex, ngrams
 from repro.ccd.similarity import order_independent_similarity
+
+PRUNED_BACKENDS = ("bounded", "myers")
 
 ETA_GRID = (0.0, 0.2, 0.5, 0.8, 1.0)
 EPSILON_GRID = (0.0, 30.0, 50.0, 70.0, 90.0, 100.0)
@@ -120,14 +125,15 @@ class TestBackendParity:
         pool, fingerprints = random_corpus(rng)
         index = build_index(fingerprints)
         exact = MatchPipeline(index, fingerprints, backend="exact")
-        bounded = MatchPipeline(index, fingerprints, backend="bounded")
+        pruned = {backend: MatchPipeline(index, fingerprints, backend=backend)
+                  for backend in PRUNED_BACKENDS}
         for query in random_queries(rng, pool, fingerprints):
             for eta in ETA_GRID:
                 for epsilon in EPSILON_GRID:
                     exact_matches = exact.match(query, eta, epsilon)
-                    bounded_matches = bounded.match(query, eta, epsilon)
-                    assert bounded_matches == exact_matches, \
-                        f"backend mismatch at eta={eta} epsilon={epsilon}"
+                    for backend, pipeline in pruned.items():
+                        assert pipeline.match(query, eta, epsilon) == exact_matches, \
+                            f"{backend} mismatch at eta={eta} epsilon={epsilon}"
                     # not approx: scores must be byte-identical floats
                     assert exact_matches == seed_semantics_matches(
                         fingerprints, query, eta, epsilon), \
@@ -138,11 +144,13 @@ class TestBackendParity:
         pool, fingerprints = random_corpus(rng, documents=30)
         index = build_index(fingerprints, ngram_size=5)
         exact = MatchPipeline(index, fingerprints, backend="exact")
-        bounded = MatchPipeline(index, fingerprints, backend="bounded")
+        pruned = {backend: MatchPipeline(index, fingerprints, backend=backend)
+                  for backend in PRUNED_BACKENDS}
         for query in random_queries(rng, pool, fingerprints):
             for epsilon in EPSILON_GRID:
-                assert bounded.match(query, 0.5, epsilon) == \
-                    exact.match(query, 0.5, epsilon)
+                exact_matches = exact.match(query, 0.5, epsilon)
+                for pipeline in pruned.values():
+                    assert pipeline.match(query, 0.5, epsilon) == exact_matches
 
     def test_detector_level_parity(self):
         sources = {
@@ -162,7 +170,7 @@ contract T {
 """,
         }
         detectors = {}
-        for backend in ("exact", "bounded"):
+        for backend in ("exact",) + PRUNED_BACKENDS:
             detector = CloneDetector(
                 ngram_threshold=0.3, similarity_threshold=0.5,
                 similarity_backend=backend)
@@ -170,9 +178,79 @@ contract T {
             detectors[backend] = detector
         query = "function send(uint v) { msg.sender.transfer(v); }"
         for epsilon in (0.3, 0.5, 0.7, 0.95):
-            assert detectors["bounded"].find_clones(
-                query, similarity_threshold=epsilon) == \
-                detectors["exact"].find_clones(query, similarity_threshold=epsilon)
+            expected = detectors["exact"].find_clones(
+                query, similarity_threshold=epsilon)
+            for backend in PRUNED_BACKENDS:
+                assert detectors[backend].find_clones(
+                    query, similarity_threshold=epsilon) == expected
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_parity_on_long_sub_fingerprints(self, seed):
+        # sub-fingerprints well past 64 characters: the bit-parallel
+        # kernel's bitvectors span multiple machine words (Python big
+        # ints), a path the short base64 corpora never reach
+        rng = random.Random(1000 + seed)
+        pool = [random_sub(rng, low=70, high=160) for _ in range(8)]
+        fingerprints = {
+            f"doc{index}": Fingerprint.parse(".".join(
+                mutate(rng, rng.choice(pool), max_edits=6)
+                for _ in range(rng.randint(1, 4))))
+            for index in range(20)
+        }
+        index = build_index(fingerprints)
+        exact = MatchPipeline(index, fingerprints, backend="exact")
+        pruned = {backend: MatchPipeline(index, fingerprints, backend=backend)
+                  for backend in PRUNED_BACKENDS}
+        queries = [Fingerprint.parse(mutate(rng, rng.choice(pool), max_edits=8))
+                   for _ in range(5)]
+        for query in queries:
+            for eta in (0.2, 0.5):
+                for epsilon in EPSILON_GRID:
+                    exact_matches = exact.match(query, eta, epsilon)
+                    for backend, pipeline in pruned.items():
+                        assert pipeline.match(query, eta, epsilon) == exact_matches, \
+                            f"{backend} mismatch at eta={eta} epsilon={epsilon}"
+        assert pruned["myers"].stats.myers_words > 0
+
+    def test_parity_on_unicode_sub_fingerprints(self):
+        # non-ascii characters exercise the Peq mask table with a sparse
+        # alphabet far outside base64
+        rng = random.Random(4242)
+        alphabet = "αβγδε汉字漢字ß€✓é́"
+        pool = ["".join(rng.choice(alphabet) for _ in range(rng.randint(8, 30)))
+                for _ in range(6)]
+        fingerprints = {
+            f"doc{index}": Fingerprint.parse(".".join(
+                rng.choice(pool) for _ in range(rng.randint(1, 3))))
+            for index in range(12)
+        }
+        index = build_index(fingerprints)
+        exact = MatchPipeline(index, fingerprints, backend="exact")
+        pruned = {backend: MatchPipeline(index, fingerprints, backend=backend)
+                  for backend in PRUNED_BACKENDS}
+        for query_text in pool:
+            query = Fingerprint.parse(query_text)
+            for epsilon in EPSILON_GRID:
+                exact_matches = exact.match(query, 0.5, epsilon)
+                for backend, pipeline in pruned.items():
+                    assert pipeline.match(query, 0.5, epsilon) == exact_matches, \
+                        f"{backend} unicode mismatch at epsilon={epsilon}"
+
+    def test_myers_shares_every_pruning_decision_with_bounded(self):
+        # myers only swaps the distance kernel: the pair counters must be
+        # exactly equal to bounded's, query by query
+        rng = random.Random(77)
+        pool, fingerprints = random_corpus(rng, documents=40)
+        index = build_index(fingerprints)
+        bounded = MatchPipeline(index, fingerprints, backend="bounded")
+        myers = MatchPipeline(index, fingerprints, backend="myers")
+        for query in random_queries(rng, pool, fingerprints):
+            assert myers.match(query, 0.5, 70.0) == bounded.match(query, 0.5, 70.0)
+        for field in ("pairs_scored", "pairs_cutoff", "pairs_skipped_by_bound",
+                      "memo_hits", "memo_misses", "verified", "matched"):
+            assert getattr(myers.stats, field) == getattr(bounded.stats, field), field
+        assert myers.stats.myers_words > 0
+        assert bounded.stats.myers_words == 0
 
     def test_empty_corpus(self):
         pipeline = MatchPipeline(NGramIndex(3), {}, backend="bounded")
@@ -183,7 +261,7 @@ contract T {
         fingerprints = {"empty": Fingerprint(text="ABCDEF", contracts=[[""]])}
         index = build_index(fingerprints)
         query = Fingerprint.parse("ABCDEF")
-        for backend in ("exact", "bounded"):
+        for backend in ("exact",) + PRUNED_BACKENDS:
             pipeline = MatchPipeline(index, fingerprints, backend=backend)
             # score 0.0: matches only when epsilon is 0
             assert pipeline.match(query, 0.5, 0.0) == [CloneMatch("empty", 0.0)]
@@ -203,7 +281,8 @@ class TestBackendResolution:
     def test_names_resolve(self):
         assert isinstance(resolve_similarity_backend("exact"), ExactSimilarityBackend)
         assert isinstance(resolve_similarity_backend("bounded"), BoundedSimilarityBackend)
-        assert set(SIMILARITY_BACKENDS) == {"exact", "bounded"}
+        assert isinstance(resolve_similarity_backend("myers"), MyersSimilarityBackend)
+        assert set(SIMILARITY_BACKENDS) == {"exact", "bounded", "myers"}
 
     def test_instance_passes_through(self):
         backend = ExactSimilarityBackend()

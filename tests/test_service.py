@@ -372,6 +372,37 @@ class TestRestartDurability:
         finally:
             second.stop()
 
+    def test_restart_keeps_score_memo_warm_zero_rescoring(
+            self, tmp_path, corpora):
+        contracts, _ = corpora
+        config = make_config(tmp_path)
+        # the job queries the corpus with its own contracts: every source
+        # hits the index with genuine near-clones, so the verifier scores
+        # a meaningful number of sub-fingerprint pairs
+        with AnalysisService(config) as first:
+            first.ingest(contracts)
+            client = ServiceClient(first.url)
+            job = client.submit(contracts[:6], analyses=["ccd"])
+            baseline = [canonical_json(envelope)
+                        for envelope in client.wait(job["id"])["results"]]
+            assert first.detector.match_stats.pairs_scored > 0
+            warm_rows = first.detector.score_memo.disk_rows()
+            assert warm_rows > 0  # scores were written through as computed
+        # daemon 2 over the same data dir: the score memo is warm, so
+        # the identical job is served without re-scoring a single pair
+        with AnalysisService(config) as second:
+            memo = second.detector.score_memo
+            assert memo.stats.warm_loaded == warm_rows
+            client = ServiceClient(second.url)
+            job = client.submit(contracts[:6], analyses=["ccd"])
+            served = [canonical_json(envelope)
+                      for envelope in client.wait(job["id"])["results"]]
+            assert served == baseline
+            assert second.detector.match_stats.pairs_scored == 0
+            assert memo.stats.stores == 0
+            assert memo.stats.hit_rate > 0.9
+            assert client.stats()["score_memo"]["hits"] > 0
+
 
 # ---------------------------------------------------------------------------
 # live corpus ingest
