@@ -82,6 +82,10 @@ class ScoreMemoStats:
     warm_loaded: int = 0
     #: rows dropped by refcounted invalidation (retired fingerprints)
     invalidated: int = 0
+    #: stores refused because a key's sub was already retired — the
+    #: write was racing an invalidation and would have resurrected a
+    #: dropped row
+    blocked_stores: int = 0
     #: disk-tier write/delete failures (the memory tier keeps working)
     disk_errors: int = 0
 
@@ -120,6 +124,10 @@ class ScoreMemoTable:
         self._by_sub: Dict[str, set] = {}
         #: sub-fingerprint -> number of live fingerprints carrying it
         self._refs: Dict[str, int] = {}
+        #: subs whose refcount hit zero — writes touching them are
+        #: refused until a re-registration, so a score computed *before*
+        #: an invalidation can never resurrect a dropped row *after* it
+        self._retired: set = set()
         self.stats = ScoreMemoStats()
         self.path = Path(path) if path is not None else None
         self._lock = threading.Lock()
@@ -190,6 +198,7 @@ class ScoreMemoTable:
     def __setstate__(self, state):
         """Restore with a fresh lock; reattach the disk tier when configured."""
         self.__dict__.update(state)
+        self.__dict__.setdefault("_retired", set())
         self._lock = threading.Lock()
         self._connection = None
         if self.path is not None:
@@ -233,8 +242,17 @@ class ScoreMemoTable:
         verifier abandoned the pair at a distance limit.  Bounds may be
         tightened (a larger encoded value) or upgraded to an exact score;
         they never overwrite one.
+
+        A store whose key touches a *retired* sub (registered once, then
+        fully released) is refused: a scheduler worker may compute a
+        score concurrently with an ingest that retires one of its subs,
+        and honoring the late write would silently resurrect a dropped
+        row in both tiers.  Re-registering the sub lifts the refusal.
         """
         with self._lock:
+            if key[0] in self._retired or key[1] in self._retired:
+                self.stats.blocked_stores += 1
+                return
             existing = self._scores.get(key)
             if existing is not None and (existing >= 0.0 or score <= existing):
                 return
@@ -255,6 +273,7 @@ class ScoreMemoTable:
             for sub in subs:
                 if sub:
                     self._refs[sub] = self._refs.get(sub, 0) + 1
+                    self._retired.discard(sub)
 
     def release(self, subs: Iterable[str]) -> None:
         """Un-count a retired fingerprint's subs; drop orphaned pair rows.
@@ -274,6 +293,7 @@ class ScoreMemoTable:
                     self._refs[sub] = count - 1
                     continue
                 del self._refs[sub]
+                self._retired.add(sub)
                 self._invalidate_locked(sub)
 
     def _invalidate_locked(self, sub: str) -> None:

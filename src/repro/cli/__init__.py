@@ -11,9 +11,11 @@ One console entry point over the analysis-session stack::
     repro study resume ...      resume a killed study from its checkpoint
     repro cache stats ...       inspect a disk artifact cache
     repro cache gc ...          evict old/excess cache entries
-    repro serve ...             run the analysis service daemon (HTTP API)
+    repro serve ...             run the analysis service daemon (HTTP API);
+                                --role coordinator fronts a sharded cluster
     repro submit ...            submit a job to a running daemon
     repro jobs list/show ...    inspect a running daemon's job queue
+    repro cluster status ...    per-shard health and routing of a coordinator
     repro version               print the package version (also --version)
 
 The CLI is deliberately a thin shell: every subcommand is a few calls
@@ -52,6 +54,8 @@ from repro.pipeline.experiment import StudyConfiguration, VulnerableCodeReuseStu
 from repro.pipeline.report import render_cache_stats, render_study_report, render_table
 from repro.service import (
     AnalysisService,
+    ClusterCoordinator,
+    CoordinatorConfig,
     JobFailedError,
     ServiceClient,
     ServiceConfig,
@@ -474,14 +478,37 @@ def _cmd_cache_gc(args: argparse.Namespace) -> int:
 # repro serve / submit / jobs
 # ---------------------------------------------------------------------------
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    configuration = ServiceConfig(
+def _build_daemon(args: argparse.Namespace):
+    """Construct the worker service or the cluster coordinator for `serve`."""
+    if args.role == "coordinator":
+        workers = tuple(url.strip() for url in (args.workers or "").split(",")
+                        if url.strip())
+        if not workers:
+            raise ValueError(
+                "--role coordinator needs --workers URL[,URL...] "
+                "(the worker daemons, in stable shard order)")
+        return ClusterCoordinator(CoordinatorConfig(
+            data_dir=args.data_dir,
+            host=args.host,
+            port=args.port,
+            workers=workers,
+            shard_timeout=args.shard_timeout,
+            connect_timeout=args.connect_timeout,
+            log_requests=args.verbose,
+        ))
+    try:
+        scheduler_workers = int(args.workers)
+    except ValueError:
+        raise ValueError(
+            "--workers takes a thread count for worker daemons "
+            "(URL lists are for --role coordinator)") from None
+    return AnalysisService(ServiceConfig(
         data_dir=args.data_dir,
         host=args.host,
         port=args.port,
         backend=args.backend,
         max_workers=args.max_workers,
-        workers=args.workers,
+        workers=scheduler_workers,
         cache=not args.no_cache,
         ngram_size=args.ngram_size,
         ngram_threshold=args.ngram_threshold,
@@ -489,9 +516,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         similarity_backend=args.similarity_backend,
         index_shards=args.index_shards,
         log_requests=args.verbose,
-    )
+    ))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
     try:
-        service = AnalysisService(configuration)
+        service = _build_daemon(args)
     except (CacheConfigurationError, IndexFormatError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -513,9 +543,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: cannot start service: {error}", file=sys.stderr)
         service.stop()
         return 1
-    print(f"serving on {service.url} (data dir: {args.data_dir}, "
-          f"index: {len(service.detector)} documents, "
-          f"recovered jobs: {service.recovered_jobs})", flush=True)
+    if args.role == "coordinator":
+        print(f"serving on {service.url} (role: coordinator, data dir: "
+              f"{args.data_dir}, shards: {len(service.shards)}, "
+              f"recovered jobs: {service.recovered_jobs})", flush=True)
+    else:
+        print(f"serving on {service.url} (data dir: {args.data_dir}, "
+              f"index: {len(service.detector)} documents, "
+              f"recovered jobs: {service.recovered_jobs})", flush=True)
+    # a machine-readable line so scripts (and the cluster test harness)
+    # can scrape the resolved port of a --port 0 daemon
+    print(f"PORT={service.port}", flush=True)
     service.serve_forever()
     print("service stopped", flush=True)
     return 0
@@ -566,10 +604,17 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         if args.ingest:
             summary = client.ingest(
                 [(contract.address, contract.source) for contract in contracts])
+            if "routed" in summary:  # a coordinator routed it across shards
+                placement = ", ".join(
+                    f"{shard}: {count}"
+                    for shard, count in sorted(summary["routed"].items()))
+                placement = f"routed {{{placement}}}"
+            else:
+                placement = (f"{summary['shards_rewritten']} shard(s) "
+                             f"rewritten")
             print(f"ingested {summary['ingested']} contracts "
                   f"({len(summary['rejected'])} unparsable; index now "
-                  f"{summary['documents']} documents, "
-                  f"{summary['shards_rewritten']} shard(s) rewritten)")
+                  f"{summary['documents']} documents, {placement})")
         job = client.submit(sources, analyses=analyses)
         print(f"submitted job {job['id']} ({len(sources)} {args.corpus}, "
               f"analyses: {', '.join(analyses)})")
@@ -631,6 +676,35 @@ def _cmd_jobs_show(args: argparse.Namespace) -> int:
     if results:
         print(_summarize_envelopes(
             results, title=f"Results ({len(results)} envelopes)"))
+    return 0
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    try:
+        status = client.cluster()
+    except (ServiceError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    rows = []
+    for name in sorted(status["workers"]):
+        worker = status["workers"][name]
+        rows.append([
+            name,
+            worker["url"],
+            worker["status"],
+            worker.get("indexed_documents", "-"),
+            worker["routed_documents"],
+            worker.get("queue_depth", "-"),
+        ])
+    print(render_table(
+        ["Shard", "Url", "Status", "Indexed", "Routed", "Queue"],
+        rows,
+        title=f"Cluster at {args.url} ({status['status']}, "
+              f"{status['documents']} documents, "
+              f"ring replicas: {status['ring']['replicas']})"))
+    if status["degraded"]:
+        print(f"degraded shards: {', '.join(status['degraded'])}")
     return 0
 
 
@@ -778,10 +852,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: thread)")
     serve.add_argument("--max-workers", type=int, default=None,
                        help="worker count for thread/process backends")
-    serve.add_argument("--workers", type=int, default=1,
-                       help="scheduler worker threads; 1 keeps job execution "
-                            "strictly FIFO, more run claimed jobs "
-                            "concurrently (default: 1)")
+    serve.add_argument("--workers", default="1",
+                       help="worker role: scheduler worker threads (1 keeps "
+                            "job execution strictly FIFO; default: 1). "
+                            "coordinator role: comma-separated worker daemon "
+                            "URLs, in stable shard order")
+    serve.add_argument("--role", choices=("worker", "coordinator"),
+                       default="worker",
+                       help="worker (default): one resident daemon over its "
+                            "own corpus slice; coordinator: scatter-gather "
+                            "front fanning jobs out across --workers URLs")
+    serve.add_argument("--shard-timeout", type=float, default=300.0,
+                       help="coordinator role: seconds a fan-out waits for "
+                            "its slowest shard before declaring the missing "
+                            "shards degraded (default: 300)")
+    serve.add_argument("--connect-timeout", type=float, default=10.0,
+                       help="coordinator role: seconds a refused worker "
+                            "connection is retried with backoff before the "
+                            "shard counts as unreachable (default: 10)")
     serve.add_argument("--index-shards", type=int, default=4,
                        help="hash-prefix shards of the persisted index "
                             "(default: 4)")
@@ -829,6 +917,16 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_show.add_argument("job_id", type=int, help="job id")
     jobs_show.add_argument("--url", required=True, help="base URL of the daemon")
     jobs_show.set_defaults(handler=_cmd_jobs_show)
+
+    # -- cluster --------------------------------------------------------------
+    cluster = commands.add_parser(
+        "cluster", help="inspect a running cluster coordinator")
+    cluster_commands = cluster.add_subparsers(dest="subcommand", required=True)
+    cluster_status = cluster_commands.add_parser(
+        "status", help="per-shard health, index sizes, and routing")
+    cluster_status.add_argument("--url", required=True,
+                                help="base URL of the coordinator")
+    cluster_status.set_defaults(handler=_cmd_cluster_status)
 
     # -- version --------------------------------------------------------------
     version = commands.add_parser("version", help="print the package version")

@@ -17,7 +17,12 @@ index, fed by a persistent job queue, fronted by a stdlib HTTP API.
   endpoints (``POST /v1/jobs``, ``GET /v1/jobs/{id}[/stream]``,
   ``POST /v1/corpus``, ``GET /v1/healthz``, ``GET /v1/stats``),
 * :mod:`repro.service.client` — the small stdlib client used by
-  ``repro submit`` / ``repro jobs`` and the tests.
+  ``repro submit`` / ``repro jobs`` and the tests,
+* :mod:`repro.service.hashring` — the deterministic consistent-hash
+  ring partitioning corpus documents across shards,
+* :mod:`repro.service.coordinator` — :class:`ClusterCoordinator`, the
+  scatter-gather front of an N-worker cluster whose merged responses
+  are byte-identical to a single-node daemon over the same corpus.
 
 Start a daemon with ``repro serve --data-dir DIR`` (see ``docs/service.md``)
 or in-process::
@@ -26,9 +31,16 @@ or in-process::
 
     with AnalysisService(ServiceConfig(data_dir="svc", port=0)) as service:
         print(service.url)
+
+A cluster is the same daemons plus a coordinator::
+
+    repro serve --role coordinator --workers URL1,URL2 --data-dir coord
 """
 
 from repro.service.client import JobFailedError, ServiceClient, ServiceError
+from repro.service.coordinator import ROUTES as COORDINATOR_ROUTES
+from repro.service.coordinator import ClusterCoordinator, CoordinatorConfig
+from repro.service.hashring import HashRing
 from repro.service.jobstore import JOB_STATES, Job, JobStore
 from repro.service.scheduler import Scheduler
 from repro.service.server import (
@@ -40,6 +52,10 @@ from repro.service.server import (
 
 __all__ = [
     "AnalysisService",
+    "COORDINATOR_ROUTES",
+    "ClusterCoordinator",
+    "CoordinatorConfig",
+    "HashRing",
     "JOB_STATES",
     "Job",
     "JobFailedError",

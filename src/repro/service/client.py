@@ -54,23 +54,79 @@ class ServiceClient:
         E.g. ``http://127.0.0.1:8741`` (trailing slash tolerated).
     timeout:
         Per-request socket timeout in seconds.
+    connect_timeout:
+        For how many seconds a *connection-refused* failure is retried
+        with bounded exponential backoff before being raised.  The
+        default ``0.0`` fails immediately (a dead daemon stays a fast,
+        loud error); the cluster coordinator and the test harness set a
+        budget so requests racing a daemon's startup (or a worker's
+        restart) wait instead of flaking.
     """
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    #: first backoff sleep after a refused connection, in seconds
+    RETRY_INITIAL_DELAY = 0.05
+    #: backoff sleeps never exceed this, keeping retries responsive
+    RETRY_MAX_DELAY = 1.0
+
+    def __init__(self, base_url: str, timeout: float = 60.0,
+                 connect_timeout: float = 0.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
 
     # -- plumbing -------------------------------------------------------------
+    def _urlopen(self, request: urllib.request.Request):
+        """``urlopen`` with bounded-backoff retries on connection refused.
+
+        Only a refused TCP connection is retried (the daemon is not
+        listening *yet*); every other failure — HTTP errors, timeouts,
+        resets mid-request — propagates immediately.
+        """
+        deadline = time.monotonic() + self.connect_timeout
+        delay = self.RETRY_INITIAL_DELAY
+        while True:
+            try:
+                return urllib.request.urlopen(request, timeout=self.timeout)
+            except urllib.error.HTTPError:
+                raise
+            except urllib.error.URLError as error:
+                refused = isinstance(error.reason, ConnectionRefusedError)
+                if not refused or time.monotonic() >= deadline:
+                    raise
+            time.sleep(min(delay, max(deadline - time.monotonic(), 0.0)))
+            delay = min(delay * 2, self.RETRY_MAX_DELAY)
+
     def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
         request = urllib.request.Request(
             self.base_url + path, method=method,
             headers={"Content-Type": "application/json"},
             data=json.dumps(payload).encode("utf-8") if payload is not None else None)
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            with self._urlopen(request) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
             raise ServiceError(error.code, _error_message(error)) from None
+
+    def wait_ready(self, timeout: float = 30.0) -> dict:
+        """Poll ``/v1/healthz`` until the daemon answers; returns its payload.
+
+        Unlike :attr:`connect_timeout` (which only covers a refused
+        connection), this also rides out reset or half-open sockets of a
+        daemon that is still binding.  Raises :class:`TimeoutError` when
+        the daemon never comes up.
+        """
+        deadline = time.monotonic() + timeout
+        delay = self.RETRY_INITIAL_DELAY
+        while True:
+            try:
+                return self.healthz()
+            except (ServiceError, OSError) as error:
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"daemon at {self.base_url} not ready "
+                        f"after {timeout:.1f}s: {error}") from error
+            time.sleep(min(delay, max(deadline - time.monotonic(), 0.0)))
+            delay = min(delay * 2, self.RETRY_MAX_DELAY)
 
     # -- jobs -----------------------------------------------------------------
     def submit(self, sources, analyses, options: Optional[dict] = None) -> dict:
@@ -132,7 +188,7 @@ class ServiceClient:
             path += f"?timeout={timeout}"
         request = urllib.request.Request(self.base_url + path)
         try:
-            response = urllib.request.urlopen(request, timeout=self.timeout)
+            response = self._urlopen(request)
         except urllib.error.HTTPError as error:
             raise ServiceError(error.code, _error_message(error)) from None
         with response:
@@ -143,11 +199,22 @@ class ServiceClient:
                 yield line if raw else json.loads(line.decode("utf-8"))
 
     # -- corpus and introspection ---------------------------------------------
-    def ingest(self, documents) -> dict:
-        """Ingest ``[id, source]`` documents into the live CCD index."""
-        return self._request(
-            "POST", "/v1/corpus",
-            {"documents": [list(pair) for pair in documents]})
+    def ingest(self, documents=None, remove=None) -> dict:
+        """Ingest ``[id, source]`` documents into the live CCD index.
+
+        ``remove`` lists document ids to retire from the index instead;
+        a single call may carry both (removals are applied first).
+        """
+        body: dict = {}
+        if documents is not None:
+            body["documents"] = [list(pair) for pair in documents]
+        if remove is not None:
+            body["remove"] = list(remove)
+        return self._request("POST", "/v1/corpus", body)
+
+    def corpus(self) -> dict:
+        """The ids currently in the daemon's index (``GET /v1/corpus``)."""
+        return self._request("GET", "/v1/corpus")
 
     def healthz(self) -> dict:
         """The daemon's liveness payload."""
@@ -156,6 +223,15 @@ class ServiceClient:
     def stats(self) -> dict:
         """The daemon's counters (cache, index, match stats, queue)."""
         return self._request("GET", "/v1/stats")
+
+    # -- cluster coordinator ---------------------------------------------------
+    def cluster(self) -> dict:
+        """Cluster topology and per-shard health (coordinator only)."""
+        return self._request("GET", "/v1/cluster")
+
+    def rebalance(self) -> dict:
+        """Move documents whose ring owner changed (coordinator only)."""
+        return self._request("POST", "/v1/cluster/rebalance", {})
 
 
 def _error_message(error: urllib.error.HTTPError) -> str:

@@ -1,0 +1,806 @@
+"""Sharded scatter-gather serving: the cluster coordinator daemon.
+
+A :class:`ClusterCoordinator` scales the analysis service past one
+process without changing a single response byte.  It owns no corpus and
+runs no analyzers; instead it partitions the corpus across N worker
+daemons (each a plain :class:`~repro.service.server.AnalysisService`) by
+consistent hashing on document id (:mod:`repro.service.hashring`), fans
+every submitted job out to all shards, and scatter-gathers the partial
+result envelopes back into one stream.
+
+The merge is deterministic by construction, which is what makes a
+multi-shard deployment *byte-for-byte testable* against a single node:
+
+* every shard runs the identical job (same sources, same analyses), so
+  the per-shard envelope streams are positionally aligned — envelope
+  ``i`` of every shard describes the same ``(analyzer, contract_id)``;
+* resident-index ``ccd`` payloads are the only corpus-dependent part;
+  each shard reports the matches its slice of the corpus contributes,
+  and the union re-sorted by the canonical match key
+  ``(-similarity, str(document_id))`` — the exact ordering
+  ``MatchPipeline.match`` applies on a single node — reproduces the
+  unpartitioned payload;
+* every other envelope (``ccc``, ``validate``, non-resident ``ccd``) is
+  corpus-independent, identical on every shard, and passed through
+  verbatim from the first live shard;
+* re-encoding goes through :func:`repro.api.envelope.canonical_json`,
+  whose fixed-point property (``canonical_json(json.loads(line)) ==
+  line``) guarantees the merged bytes match a single-node daemon's.
+
+Durability mirrors the single-node daemon: jobs live in the same
+:class:`~repro.service.jobstore.JobStore` (rows gain fan-out
+bookkeeping), so a coordinator killed mid-fan-out requeues the job on
+restart and re-fans it out from scratch.  A worker that dies mid-job is
+polled through its restart (its own store requeues the sub-job); a
+worker that stays down past ``shard_timeout`` is reported in the job's
+``fanout.degraded`` list — the job completes with the surviving shards'
+results instead of hanging or silently pretending nothing is missing.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from http.server import ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+from urllib.parse import parse_qs, urlparse
+
+from repro.api.envelope import canonical_json
+from repro.api.registry import REGISTRY
+from repro.core.persistence import DEFAULT_BUSY_TIMEOUT_SECONDS, retry_on_busy
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.hashring import DEFAULT_RING_REPLICAS, HashRing, partition
+from repro.service.jobstore import JOBS_DATABASE_NAME, Job, JobStore
+from repro.service.scheduler import ReadWriteLock
+from repro.service.server import (
+    ServiceValidationError,
+    _handler_class,
+    _JsonRequestHandler,
+    validate_document_ids,
+    validate_job_request,
+    validate_sources,
+)
+
+#: every HTTP route the coordinator serves — kept in lockstep with
+#: ``docs/service.md`` by ``tools/check_api.py``
+ROUTES = (
+    ("GET", "/v1/cluster"),
+    ("GET", "/v1/corpus"),
+    ("GET", "/v1/healthz"),
+    ("GET", "/v1/jobs"),
+    ("GET", "/v1/jobs/{id}"),
+    ("GET", "/v1/stats"),
+    ("POST", "/v1/cluster/rebalance"),
+    ("POST", "/v1/corpus"),
+    ("POST", "/v1/jobs"),
+)
+
+#: file name of the coordinator's routing journal inside its data dir
+CORPUS_DATABASE_NAME = "corpus.sqlite"
+
+
+def default_shard_names(count: int) -> Tuple[str, ...]:
+    """Stable shard names by worker position (``shard-0``, ``shard-1``, ...).
+
+    Names — not URLs — go on the hash ring, so a worker restarted on a
+    new ephemeral port keeps its corpus slice.  Positional naming means
+    the worker *order* is the identity: append new workers at the end.
+    """
+    return tuple(f"shard-{index}" for index in range(count))
+
+
+# -- deterministic scatter-gather merge ---------------------------------------
+def canonical_match_key(match: dict) -> tuple:
+    """Sort key of one wire-form ccd match — the single-node ordering.
+
+    ``MatchPipeline.match`` sorts ``(-similarity, str(document_id))``;
+    the key is a pure function of the match itself, so any partition of
+    a payload can be re-sorted back into the unpartitioned order.
+    """
+    return (-match["similarity"], str(match["document_id"]))
+
+
+def merge_match_payloads(partitions: Iterable[Sequence[dict]]) -> list:
+    """Union per-shard ccd payload slices back into canonical order."""
+    merged = [match for part in partitions for match in part]
+    merged.sort(key=canonical_match_key)
+    return merged
+
+
+def merge_shard_results(
+    shard_lines: Sequence[Sequence[str]],
+    scatter_analyses: Iterable[str] = ("ccd",),
+) -> List[str]:
+    """Merge aligned per-shard canonical envelope streams into one.
+
+    ``shard_lines`` holds one list of canonical-JSON envelope lines per
+    live shard, all for the *same* job, in the store's result order.
+    Envelopes of analyzers in ``scatter_analyses`` carry partitioned
+    payloads (one slice per shard) and are merged via
+    :func:`merge_match_payloads`; everything else is corpus-independent,
+    identical across shards, and passed through byte-verbatim from the
+    first shard.  Raises :class:`ValueError` on mis-aligned streams.
+    """
+    shard_lines = [list(lines) for lines in shard_lines]
+    if not shard_lines:
+        return []
+    length = len(shard_lines[0])
+    if any(len(lines) != length for lines in shard_lines):
+        raise ValueError("shard result streams have different lengths")
+    scatter = set(scatter_analyses)
+    merged = []
+    for position in range(length):
+        primary = json.loads(shard_lines[0][position])
+        # a null payload (unanalyzable source) is corpus-independent and
+        # identical on every shard — pass it through, never merge to []
+        if (primary["analyzer"] not in scatter or primary["payload"] is None
+                or len(shard_lines) == 1):
+            merged.append(shard_lines[0][position])
+            continue
+        partitions = []
+        for lines in shard_lines:
+            envelope = json.loads(lines[position])
+            if (envelope["analyzer"] != primary["analyzer"]
+                    or envelope["contract_id"] != primary["contract_id"]):
+                raise ValueError(
+                    f"shard result streams mis-aligned at position {position}")
+            partitions.append(envelope["payload"] or [])
+        primary["payload"] = merge_match_payloads(partitions)
+        merged.append(canonical_json(primary))
+    return merged
+
+
+# -- the durable routing journal ----------------------------------------------
+class CorpusJournal:
+    """Durable ``document id -> (source, shard)`` routing journal.
+
+    Workers hold fingerprints, not sources, so rebalancing a document to
+    another shard needs its original source back — the coordinator keeps
+    it here (one SQLite database in its data directory), alongside the
+    shard each id was routed to.  Ids are stored as their JSON encoding
+    so string and integer ids can never collide.
+    """
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS documents (
+        id     TEXT PRIMARY KEY,
+        source TEXT NOT NULL,
+        shard  TEXT NOT NULL
+    );
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 busy_timeout_seconds: float = DEFAULT_BUSY_TIMEOUT_SECONDS):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._connection: Optional[sqlite3.Connection] = sqlite3.connect(
+            str(self.path), check_same_thread=False, isolation_level=None)
+        self._connection.executescript(self._SCHEMA)
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute(
+            f"PRAGMA busy_timeout={int(busy_timeout_seconds * 1000)}")
+
+    def close(self) -> None:
+        """Close the database connection (idempotent)."""
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
+
+    def _execute(self, sql: str, parameters: tuple = ()):
+        if self._connection is None:
+            raise RuntimeError("CorpusJournal is closed")
+        return retry_on_busy(lambda: self._connection.execute(sql, parameters))
+
+    def record(self, document_id: Hashable, source: str, shard: str) -> None:
+        """Remember (or update) one routed document."""
+        with self._lock:
+            self._execute(
+                "REPLACE INTO documents (id, source, shard) VALUES (?, ?, ?)",
+                (json.dumps(document_id), source, shard))
+
+    def reassign(self, document_id: Hashable, shard: str) -> None:
+        """Move one journaled document to another shard."""
+        with self._lock:
+            self._execute("UPDATE documents SET shard = ? WHERE id = ?",
+                          (shard, json.dumps(document_id)))
+
+    def forget(self, document_id: Hashable) -> None:
+        """Drop one document from the journal (idempotent)."""
+        with self._lock:
+            self._execute("DELETE FROM documents WHERE id = ?",
+                          (json.dumps(document_id),))
+
+    def assignments(self) -> Dict[Hashable, str]:
+        """Every journaled id mapped to its recorded shard."""
+        with self._lock:
+            rows = self._execute("SELECT id, shard FROM documents").fetchall()
+        return {json.loads(raw_id): shard for raw_id, shard in rows}
+
+    def sources(self, document_ids: Iterable[Hashable]) -> List[Tuple[Hashable, str]]:
+        """``(id, source)`` pairs of the given journaled ids, in id order."""
+        wanted = {json.dumps(document_id) for document_id in document_ids}
+        with self._lock:
+            rows = self._execute("SELECT id, source FROM documents").fetchall()
+        pairs = [(json.loads(raw_id), source)
+                 for raw_id, source in rows if raw_id in wanted]
+        pairs.sort(key=lambda pair: str(pair[0]))
+        return pairs
+
+    def count(self) -> int:
+        """How many documents the journal holds."""
+        with self._lock:
+            return self._execute("SELECT COUNT(*) FROM documents").fetchone()[0]
+
+    def per_shard_counts(self) -> Dict[str, int]:
+        """Documents per shard, as recorded."""
+        with self._lock:
+            rows = self._execute(
+                "SELECT shard, COUNT(*) FROM documents GROUP BY shard").fetchall()
+        return dict(rows)
+
+
+# -- the coordinator daemon ---------------------------------------------------
+@dataclass(frozen=True)
+class CoordinatorConfig:
+    """Typed configuration of a :class:`ClusterCoordinator` daemon."""
+
+    #: directory holding ``jobs.sqlite`` and ``corpus.sqlite``
+    data_dir: str = "repro-coordinator"
+    host: str = "127.0.0.1"
+    #: TCP port; ``0`` binds an ephemeral free port
+    port: int = 8740
+    #: worker daemon base URLs, in shard order (the order is identity:
+    #: ``workers[i]`` serves ring node ``shard-i`` across restarts)
+    workers: Tuple[str, ...] = ()
+    #: optional stable shard names overriding the positional default
+    shard_names: Tuple[str, ...] = ()
+    #: virtual ring points per shard
+    replicas: int = DEFAULT_RING_REPLICAS
+    #: per-request socket timeout towards workers
+    request_timeout: float = 60.0
+    #: refused-connection retry budget towards workers (rides out a
+    #: worker daemon's startup or restart)
+    connect_timeout: float = 10.0
+    #: how long one fan-out waits for its slowest shard before the
+    #: missing shards are declared degraded and the job completes
+    shard_timeout: float = 300.0
+    #: fan-out queue poll interval
+    poll_interval: float = 0.05
+    #: concurrent fan-out worker threads (1 = strict FIFO)
+    fanout_workers: int = 1
+    #: emit one access-log line per request to stderr
+    log_requests: bool = False
+
+    def resolved_names(self) -> Tuple[str, ...]:
+        """Shard names, defaulted positionally and validated."""
+        names = tuple(self.shard_names) or default_shard_names(len(self.workers))
+        if len(names) != len(self.workers):
+            raise ValueError(
+                f"{len(self.workers)} workers but {len(names)} shard names")
+        if len(set(names)) != len(names):
+            raise ValueError("shard names must be unique")
+        return names
+
+
+class ClusterCoordinator:
+    """The scatter-gather front of an N-shard analysis cluster.
+
+    Lifecycle mirrors :class:`~repro.service.server.AnalysisService`:
+    constructing performs crash recovery on the coordinator's own job
+    store, :meth:`start` binds the HTTP server and spawns the fan-out
+    workers; use as a context manager or pair :meth:`start`/:meth:`stop`.
+    """
+
+    def __init__(self, config: CoordinatorConfig):
+        if not config.workers:
+            raise ValueError("a coordinator needs at least one worker URL")
+        self.config = config
+        names = config.resolved_names()
+        #: shard name -> worker base URL, in configuration order
+        self.shards: Dict[str, str] = dict(zip(names, config.workers))
+        self.ring = HashRing(names, replicas=config.replicas)
+        self.data_dir = Path(config.data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.started_at = time.time()
+        self.jobstore = JobStore(self.data_dir / JOBS_DATABASE_NAME)
+        #: jobs requeued from a previous coordinator's crash, for /v1/stats
+        self.recovered_jobs = self.jobstore.recover()
+        self.journal = CorpusJournal(self.data_dir / CORPUS_DATABASE_NAME)
+        #: per-shard clients that ride out worker restarts
+        self.clients = {
+            name: ServiceClient(url, timeout=config.request_timeout,
+                                connect_timeout=config.connect_timeout)
+            for name, url in self.shards.items()}
+        #: per-shard clients that fail fast (health probes, fan-out polls)
+        self.probes = {
+            name: ServiceClient(url, timeout=config.request_timeout)
+            for name, url in self.shards.items()}
+        self._work_lock = ReadWriteLock()
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self._threads: List[threading.Thread] = []
+        self._stop_event = threading.Event()
+        self._wakeup = threading.Condition()
+        self._idle = threading.Condition()
+        self._running_jobs = 0
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._stop_requested = threading.Event()
+        self._stopped = False
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        """Bind the HTTP server and start the fan-out workers (idempotent)."""
+        if self._httpd is not None:
+            return
+        for index in range(max(1, self.config.fanout_workers)):
+            thread = threading.Thread(
+                target=self._fanout_loop, name=f"repro-fanout-{index}",
+                daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port),
+            _handler_class(self, base=_CoordinatorRequestHandler))
+        self._httpd.daemon_threads = True
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-coordinator-http",
+            daemon=True)
+        self._http_thread.start()
+
+    @property
+    def port(self) -> int:
+        """The actually bound TCP port (resolves ``port=0`` requests)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self.config.port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running coordinator."""
+        return f"http://{self.config.host}:{self.port}"
+
+    def request_stop(self) -> None:
+        """Ask :meth:`serve_forever` to return (signal-handler safe)."""
+        self._stop_requested.set()
+
+    def stop(self) -> None:
+        """Graceful shutdown: HTTP first, then fan-out, then state."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._stop_requested.set()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join()
+            self._http_thread = None
+        self._stop_event.set()
+        with self._wakeup:
+            self._wakeup.notify_all()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        self.jobstore.close()
+        self.journal.close()
+
+    def serve_forever(self) -> None:
+        """Run until :meth:`request_stop` (or Ctrl-C), then shut down."""
+        self.start()
+        try:
+            self._stop_requested.wait()
+        except KeyboardInterrupt:
+            pass
+        self.stop()
+
+    def __enter__(self) -> "ClusterCoordinator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- operations -----------------------------------------------------------
+    def submit(self, sources, analyses, options: Optional[dict] = None) -> Job:
+        """Validate and enqueue a job for fan-out across every shard."""
+        sources, analyses, options = validate_job_request(
+            sources, analyses, options, REGISTRY)
+        job = self.jobstore.submit(sources, analyses, options)
+        with self._wakeup:
+            self._wakeup.notify_all()
+        return job
+
+    def ingest(self, documents, remove=()) -> dict:
+        """Route documents to their ring-assigned shards and journal them.
+
+        Each document goes to exactly one worker (consistent hashing on
+        its id); removals are routed to the shard the journal recorded.
+        A worker that cannot be reached fails the whole request (mapped
+        to HTTP 502) — shards already written stay written, and a retry
+        converges because routing is deterministic and worker ingest is
+        replace-on-reingest.
+        """
+        remove = validate_document_ids(remove, what="remove")
+        if documents is None and remove:
+            documents = []
+        else:
+            documents = validate_sources(documents, what="documents")
+        documents = list({document_id: (document_id, source)
+                          for document_id, source in documents}.values())
+        with self._work_lock.write():  # exclusive: no fan-out during routing
+            recorded = self.journal.assignments()
+            remove_batches: Dict[str, List[Hashable]] = {}
+            for document_id in remove:
+                shard = recorded.get(document_id, self.ring.owner(document_id))
+                remove_batches.setdefault(shard, []).append(document_id)
+            batches = partition(documents, self.ring)
+            ingested = 0
+            rejected: list = []
+            removed: list = []
+            routed: Dict[str, int] = {}
+            for name in sorted(set(batches) | set(remove_batches)):
+                batch = batches.get(name, [])
+                summary = self.clients[name].ingest(
+                    documents=[list(pair) for pair in batch] or None,
+                    remove=remove_batches.get(name) or None)
+                ingested += summary["ingested"]
+                rejected.extend(summary["rejected"])
+                removed.extend(summary.get("removed", []))
+                routed[name] = len(batch)
+                rejected_here = set(summary["rejected"])
+                for document_id, source in batch:
+                    if document_id not in rejected_here:
+                        self.journal.record(document_id, source, name)
+            for document_id in removed:
+                self.journal.forget(document_id)
+        return {
+            "ingested": ingested,
+            "rejected": rejected,
+            "removed": removed,
+            "documents": self.journal.count(),
+            "routed": routed,
+        }
+
+    def rebalance(self) -> dict:
+        """Move every document whose ring owner changed; touch nothing else.
+
+        Run after the worker set changes (e.g. the coordinator was
+        restarted with one more worker): each moved document is
+        re-ingested on its new shard from the journaled source, then
+        removed from its old shard.  Documents whose owner is unchanged
+        are not re-sent anywhere — consistent hashing keeps the moved
+        set to roughly ``1/N`` of the corpus.
+        """
+        with self._work_lock.write():
+            assignments = self.journal.assignments()
+            moves: Dict[Hashable, Tuple[str, str]] = {}
+            for document_id, recorded_shard in assignments.items():
+                target = self.ring.owner(document_id)
+                if target != recorded_shard:
+                    moves[document_id] = (recorded_shard, target)
+            additions: Dict[str, List[Hashable]] = {}
+            removals: Dict[str, List[Hashable]] = {}
+            for document_id, (old, new) in moves.items():
+                additions.setdefault(new, []).append(document_id)
+                removals.setdefault(old, []).append(document_id)
+            # ingest on the new owner first, then retire from the old:
+            # no moment where a document is on no shard at all
+            for name in sorted(additions):
+                pairs = self.journal.sources(additions[name])
+                self.clients[name].ingest(
+                    documents=[list(pair) for pair in pairs])
+            for name in sorted(removals):
+                self.clients[name].ingest(remove=sorted(
+                    removals[name], key=str))
+            for document_id, (_old, new) in moves.items():
+                self.journal.reassign(document_id, new)
+        return {
+            "moved": sorted(moves, key=str),
+            "documents": self.journal.count(),
+            "routed": self.journal.per_shard_counts(),
+        }
+
+    def corpus(self) -> dict:
+        """The ``GET /v1/corpus`` payload: journaled routing by shard."""
+        assignments = self.journal.assignments()
+        by_shard: Dict[str, list] = {name: [] for name in self.shards}
+        for document_id, shard in assignments.items():
+            by_shard.setdefault(shard, []).append(document_id)
+        for ids in by_shard.values():
+            ids.sort(key=str)
+        return {
+            "count": len(assignments),
+            "documents": sorted(assignments, key=str),
+            "shards": by_shard,
+        }
+
+    def health(self) -> dict:
+        """The ``/v1/healthz`` payload, aggregated across every shard."""
+        shards = {}
+        degraded = []
+        for name in sorted(self.shards):
+            try:
+                payload = self.probes[name].healthz()
+                shards[name] = {"status": payload.get("status", "ok"),
+                                "queue_depth": payload.get("queue_depth")}
+            except (ServiceError, OSError) as error:
+                shards[name] = {"status": "unreachable", "error": str(error)}
+                degraded.append(name)
+        return {
+            "status": "degraded" if degraded else "ok",
+            "role": "coordinator",
+            "uptime_seconds": time.time() - self.started_at,
+            "queue_depth": self.jobstore.queue_depth(),
+            "shards": shards,
+            "degraded": degraded,
+        }
+
+    def stats(self) -> dict:
+        """The ``/v1/stats`` payload: own queue plus per-shard worker stats."""
+        shards = {}
+        for name in sorted(self.shards):
+            try:
+                shards[name] = self.probes[name].stats()
+            except (ServiceError, OSError) as error:
+                shards[name] = {"error": str(error)}
+        return {
+            "role": "coordinator",
+            "uptime_seconds": time.time() - self.started_at,
+            "jobs": self.jobstore.counts(),
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "recovered_jobs": self.recovered_jobs,
+            "documents": self.journal.count(),
+            "routed": self.journal.per_shard_counts(),
+            "ring": {"shards": len(self.ring), "replicas": self.ring.replicas},
+            "shards": shards,
+        }
+
+    def cluster_status(self) -> dict:
+        """The ``GET /v1/cluster`` payload: topology, health, routing."""
+        routed = self.journal.per_shard_counts()
+        workers = {}
+        degraded = []
+        for name in sorted(self.shards):
+            entry = {"url": self.shards[name],
+                     "routed_documents": routed.get(name, 0)}
+            try:
+                health = self.probes[name].healthz()
+                entry["status"] = health.get("status", "ok")
+                entry["queue_depth"] = health.get("queue_depth")
+                entry["indexed_documents"] = self.probes[name].corpus()["count"]
+            except (ServiceError, OSError) as error:
+                entry["status"] = "unreachable"
+                entry["error"] = str(error)
+                degraded.append(name)
+            workers[name] = entry
+        return {
+            "status": "degraded" if degraded else "ok",
+            "workers": workers,
+            "degraded": degraded,
+            "documents": self.journal.count(),
+            "ring": {"shards": len(self.ring), "replicas": self.ring.replicas},
+            "jobs": self.jobstore.counts(),
+        }
+
+    # -- fan-out --------------------------------------------------------------
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Block until the job queue is empty and no fan-out is running."""
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._idle:
+                if self._running_jobs == 0 and self.jobstore.queue_depth() == 0:
+                    return True
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(min(remaining, self.config.poll_interval * 4))
+
+    def _fanout_loop(self) -> None:
+        while not self._stop_event.is_set():
+            job = self.jobstore.claim_next()
+            if job is None:
+                with self._wakeup:
+                    self._wakeup.wait(self.config.poll_interval)
+                continue
+            with self._idle:
+                self._running_jobs += 1
+            try:
+                with self._work_lock.read():  # never fan out mid-rebalance
+                    self._run_fanout(job)
+            except Exception as error:  # noqa: BLE001 — keep the loop alive
+                traceback.print_exc()
+                self.jobstore.finish(
+                    job.job_id, "failed",
+                    error=f"{type(error).__name__}: {error}")
+                self.jobs_failed += 1
+            finally:
+                with self._idle:
+                    self._running_jobs -= 1
+                    self._idle.notify_all()
+
+    def _scatter_analyses(self, job: Job) -> set:
+        """Which of the job's analyses carry corpus-partitioned payloads.
+
+        Only resident-index ``ccd`` depends on which shard holds which
+        document; a job opting out via ``{"ccd": {"resident": false}}``
+        self-indexes its submitted sources identically on every shard.
+        """
+        scatter = set()
+        if "ccd" in job.analyses:
+            ccd_options = job.options.get("ccd") or {}
+            if ccd_options.get("resident", True):
+                scatter.add("ccd")
+        return scatter
+
+    def _run_fanout(self, job: Job) -> None:
+        """Scatter one claimed job to every shard and gather the merge."""
+        names = sorted(self.shards)
+        submitted: Dict[str, int] = {}
+        degraded: List[str] = []
+        for name in names:
+            try:
+                remote = self.clients[name].submit(
+                    job.corpus, list(job.analyses), job.options or None)
+            except ServiceError as error:
+                if 400 <= error.status < 500:
+                    # a deterministic rejection: every shard would refuse
+                    # the same way, so the job fails rather than degrades
+                    self.jobstore.set_fanout(
+                        job.job_id, {"shards": submitted, "degraded": degraded})
+                    self.jobstore.finish(job.job_id, "failed", error=str(error))
+                    self.jobs_failed += 1
+                    return
+                degraded.append(name)
+                continue
+            except OSError:
+                degraded.append(name)
+                continue
+            submitted[name] = remote["id"]
+        self.jobstore.set_fanout(
+            job.job_id, {"shards": submitted, "degraded": degraded})
+
+        deadline = time.monotonic() + self.config.shard_timeout
+        shard_lines: List[List[str]] = []
+        for name in names:
+            if name not in submitted:
+                continue
+            outcome, value = self._await_shard(name, submitted[name], deadline)
+            if outcome == "failed":
+                self.jobstore.set_fanout(
+                    job.job_id,
+                    {"shards": submitted, "degraded": sorted(set(degraded))})
+                self.jobstore.finish(
+                    job.job_id, "failed", error=f"shard {name}: {value}")
+                self.jobs_failed += 1
+                return
+            if outcome == "unreachable":
+                degraded.append(name)
+                continue
+            shard_lines.append(value)
+
+        degraded = sorted(set(degraded))
+        self.jobstore.set_fanout(
+            job.job_id, {"shards": submitted, "degraded": degraded})
+        if not shard_lines:
+            self.jobstore.finish(
+                job.job_id, "failed",
+                error=f"all shards unreachable: {', '.join(degraded)}")
+            self.jobs_failed += 1
+            return
+        merged = merge_shard_results(shard_lines, self._scatter_analyses(job))
+        for seq, line in enumerate(merged):
+            self.jobstore.append_result(job.job_id, seq, line)
+        self.jobstore.finish(job.job_id, "done")
+        self.jobs_completed += 1
+
+    def _await_shard(self, name: str, remote_id: int,
+                     deadline: float) -> Tuple[str, Optional[object]]:
+        """Poll one shard's sub-job to completion.
+
+        Returns ``("done", [canonical line, ...])``, ``("failed",
+        error_message)`` for a deterministic analyzer failure, or
+        ``("unreachable", None)`` when the worker stays down (or the
+        sub-job vanished) past ``deadline``.  A worker that dies and
+        comes back mid-poll is ridden out: its own job store requeues
+        the sub-job on restart, so polling simply resumes.
+        """
+        probe = self.probes[name]
+        while True:
+            try:
+                status = probe.job(remote_id, results=False)
+                state = status["job"]["state"]
+                if state == "done":
+                    envelopes = probe.job(remote_id)["results"]
+                    return "done", [canonical_json(envelope)
+                                    for envelope in envelopes]
+                if state == "failed":
+                    return "failed", status["job"].get("error")
+            except ServiceError as error:
+                if error.status == 404:
+                    # the sub-job is gone (e.g. the worker came back over
+                    # an emptied data dir) — treat the shard as lost
+                    return "unreachable", None
+            except OSError:
+                pass  # worker down or restarting; keep polling
+            if self._stop_event.is_set() or time.monotonic() >= deadline:
+                return "unreachable", None
+            time.sleep(self.config.poll_interval)
+
+
+class _CoordinatorRequestHandler(_JsonRequestHandler):
+    """Routes ``/v1/*`` requests onto the bound :class:`ClusterCoordinator`."""
+
+    service: ClusterCoordinator  # bound by _handler_class
+    server_version = "repro-coordinator"
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        """Dispatch GET endpoints."""
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        query = parse_qs(url.query, keep_blank_values=True)
+        if parts == ["v1", "healthz"]:
+            self._send_json(200, self.service.health())
+        elif parts == ["v1", "stats"]:
+            self._send_json(200, self.service.stats())
+        elif parts == ["v1", "cluster"]:
+            self._send_json(200, self.service.cluster_status())
+        elif parts == ["v1", "corpus"]:
+            self._send_json(200, self.service.corpus())
+        elif parts == ["v1", "jobs"]:
+            self._get_jobs(query)
+        elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            job = self._job_or_404(parts[2])
+            if job is not None:
+                self._get_job(job, query)
+        else:
+            self._send_error_json(404, f"no such endpoint: GET {url.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        """Dispatch POST endpoints."""
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        payload = self._read_body()
+        if payload is None:
+            return
+        try:
+            if parts == ["v1", "jobs"]:
+                job = self.service.submit(
+                    payload.get("sources"), payload.get("analyses"),
+                    payload.get("options"))
+                self._send_json(202, {"job": job.as_dict()})
+            elif parts == ["v1", "corpus"]:
+                self._send_json(200, self.service.ingest(
+                    payload.get("documents"), payload.get("remove", ())))
+            elif parts == ["v1", "cluster", "rebalance"]:
+                self._send_json(200, self.service.rebalance())
+            else:
+                self._send_error_json(404, f"no such endpoint: POST {url.path}")
+        except ServiceValidationError as error:
+            self._send_error_json(400, str(error))
+        except (ServiceError, OSError) as error:
+            # a worker refused or died mid-routing: the cluster is the
+            # broken dependency, so answer as a bad gateway
+            self._send_error_json(502, f"shard unreachable: {error}")
+
+
+__all__ = [
+    "CORPUS_DATABASE_NAME",
+    "ClusterCoordinator",
+    "CoordinatorConfig",
+    "CorpusJournal",
+    "ROUTES",
+    "canonical_match_key",
+    "default_shard_names",
+    "merge_match_payloads",
+    "merge_shard_results",
+]

@@ -58,7 +58,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     error     TEXT,
     submitted REAL NOT NULL,
     started   REAL,
-    finished  REAL
+    finished  REAL,
+    fanout    TEXT
 );
 CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, id);
 CREATE TABLE IF NOT EXISTS job_results (
@@ -86,6 +87,10 @@ class Job:
     submitted: Optional[float] = None
     started: Optional[float] = None
     finished: Optional[float] = None
+    #: shard fan-out bookkeeping written by the cluster coordinator
+    #: (``{"shards": {name: remote_job_id}, "degraded": [name, ...]}``);
+    #: ``None`` on single-node daemons and before fan-out starts
+    fanout: Optional[dict] = None
 
     @property
     def elapsed_seconds(self) -> Optional[float]:
@@ -112,6 +117,8 @@ class Job:
             "elapsed_seconds": self.elapsed_seconds,
             "corpus_size": len(self.corpus),
         }
+        if self.fanout is not None:
+            data["fanout"] = self.fanout
         if include_corpus:
             data["corpus"] = self.corpus
         return data
@@ -140,6 +147,11 @@ class JobStore:
         self._connection: Optional[sqlite3.Connection] = sqlite3.connect(
             str(self.path), check_same_thread=False, isolation_level=None)
         self._connection.executescript(_SCHEMA)
+        columns = {row[1] for row in
+                   self._connection.execute("PRAGMA table_info(jobs)")}
+        if "fanout" not in columns:
+            # Databases written before shard fan-out bookkeeping existed.
+            self._connection.execute("ALTER TABLE jobs ADD COLUMN fanout TEXT")
         self._connection.execute("PRAGMA journal_mode=WAL")
         self._connection.execute(
             f"PRAGMA busy_timeout={int(busy_timeout_seconds * 1000)}")
@@ -229,6 +241,18 @@ class JobStore:
                 "WHERE job_id = ? AND seq > ? ORDER BY seq",
                 (job_id, after)).fetchall()
 
+    def set_fanout(self, job_id: int, fanout: Optional[dict]) -> None:
+        """Record (or clear) a job's shard fan-out bookkeeping.
+
+        The cluster coordinator writes this the moment it has dispatched
+        sub-jobs, so a coordinator killed mid-fan-out leaves an explicit
+        trace — and :meth:`recover` can wipe it when the job requeues.
+        """
+        with self._lock:
+            self._execute(
+                "UPDATE jobs SET fanout = ? WHERE id = ?",
+                (None if fanout is None else json.dumps(fanout), job_id))
+
     def finish(self, job_id: int, state: str, error: Optional[str] = None) -> None:
         """Move a job to a terminal state (``done`` or ``failed``)."""
         if state not in TERMINAL_STATES:
@@ -247,13 +271,15 @@ class JobStore:
     def _read_job(self, job_id: int) -> Optional[Job]:
         row = self._execute(
             "SELECT id, state, analyses, corpus, options, error, submitted, "
-            "started, finished FROM jobs WHERE id = ?", (job_id,)).fetchone()
+            "started, finished, fanout FROM jobs WHERE id = ?",
+            (job_id,)).fetchone()
         if row is None:
             return None
         return Job(job_id=row[0], state=row[1],
                    analyses=tuple(json.loads(row[2])), corpus=json.loads(row[3]),
                    options=json.loads(row[4]), error=row[5], submitted=row[6],
-                   started=row[7], finished=row[8])
+                   started=row[7], finished=row[8],
+                   fanout=None if row[9] is None else json.loads(row[9]))
 
     def list_jobs(self, state: Optional[str] = None, limit: int = 100) -> list:
         """The most recent jobs (newest first), optionally filtered by state."""
@@ -305,8 +331,8 @@ class JobStore:
                     self._execute(
                         "DELETE FROM job_results WHERE job_id = ?", (job_id,))
                     self._execute(
-                        "UPDATE jobs SET state = 'queued', started = NULL "
-                        "WHERE id = ?", (job_id,))
+                        "UPDATE jobs SET state = 'queued', started = NULL, "
+                        "fanout = NULL WHERE id = ?", (job_id,))
             except BaseException:
                 self._rollback()
                 raise

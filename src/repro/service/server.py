@@ -50,6 +50,7 @@ from repro.service.scheduler import ReadWriteLock, Scheduler
 #: every HTTP route the daemon serves — kept in lockstep with
 #: ``docs/service.md`` by ``tools/check_api.py``
 ROUTES = (
+    ("GET", "/v1/corpus"),
     ("GET", "/v1/healthz"),
     ("GET", "/v1/jobs"),
     ("GET", "/v1/jobs/{id}"),
@@ -68,6 +69,66 @@ CACHE_DIRECTORY_NAME = "cache"
 
 class ServiceValidationError(ValueError):
     """A request body failed validation (mapped to HTTP 400)."""
+
+
+def validate_sources(sources, what: str) -> list:
+    """Validate a ``[[id, source], ...]`` wire list into ``(id, source)`` pairs."""
+    if not isinstance(sources, (list, tuple)) or not sources:
+        raise ServiceValidationError(
+            f"{what!r} must be a non-empty list of [id, source] pairs")
+    validated = []
+    for pair in sources:
+        if (not isinstance(pair, (list, tuple)) or len(pair) != 2
+                or not isinstance(pair[0], (str, int))
+                or not isinstance(pair[1], str)):
+            raise ServiceValidationError(
+                f"every item of {what!r} must be an [id, source] pair "
+                f"(id: string or integer, source: string)")
+        validated.append((pair[0], pair[1]))
+    return validated
+
+
+def validate_job_request(sources, analyses, options, registry) -> tuple:
+    """Validate one job submission; returns ``(sources, analyses, options)``.
+
+    Shared by the single-node daemon and the cluster coordinator (which
+    validates against the global registry before fanning out), so a bad
+    request is rejected with the same 400 on every topology.
+    """
+    sources = validate_sources(sources, what="sources")
+    if not isinstance(analyses, (list, tuple)) or not analyses:
+        raise ServiceValidationError(
+            "'analyses' must be a non-empty list of analyzer ids")
+    for analyzer_id in analyses:
+        if not isinstance(analyzer_id, str):
+            raise ServiceValidationError(
+                "'analyses' must contain analyzer id strings")
+        if analyzer_id not in registry:
+            raise ServiceValidationError(
+                f"unknown analyzer {analyzer_id!r}; registered: "
+                f"{', '.join(registry.ids())}")
+        if registry.get(analyzer_id).scope != "contract":
+            raise ServiceValidationError(
+                f"analyzer {analyzer_id!r} is corpus-scope and needs "
+                f"typed dataset inputs; the service API only runs "
+                f"contract-scope analyzers")
+    if options is None:
+        options = {}
+    if not isinstance(options, dict):
+        raise ServiceValidationError("'options' must be an object")
+    return sources, list(analyses), options
+
+
+def validate_document_ids(document_ids, what: str) -> list:
+    """Validate a wire list of document ids (string or integer)."""
+    if document_ids is None:
+        return []
+    if not isinstance(document_ids, (list, tuple)) or any(
+            not isinstance(document_id, (str, int))
+            for document_id in document_ids):
+        raise ServiceValidationError(
+            f"{what!r} must be a list of document ids (string or integer)")
+    return list(document_ids)
 
 
 @dataclass(frozen=True)
@@ -266,32 +327,13 @@ class AnalysisService:
     # -- operations (shared by HTTP handlers, the CLI, and tests) -------------
     def submit(self, sources, analyses, options: Optional[dict] = None) -> Job:
         """Validate and enqueue a job, waking the scheduler."""
-        sources = self._validated_sources(sources, what="sources")
-        if not isinstance(analyses, (list, tuple)) or not analyses:
-            raise ServiceValidationError(
-                "'analyses' must be a non-empty list of analyzer ids")
-        for analyzer_id in analyses:
-            if not isinstance(analyzer_id, str):
-                raise ServiceValidationError(
-                    "'analyses' must contain analyzer id strings")
-            if analyzer_id not in self.session.registry:
-                raise ServiceValidationError(
-                    f"unknown analyzer {analyzer_id!r}; registered: "
-                    f"{', '.join(self.session.registry.ids())}")
-            if self.session.registry.get(analyzer_id).scope != "contract":
-                raise ServiceValidationError(
-                    f"analyzer {analyzer_id!r} is corpus-scope and needs "
-                    f"typed dataset inputs; the service API only runs "
-                    f"contract-scope analyzers")
-        if options is None:
-            options = {}
-        if not isinstance(options, dict):
-            raise ServiceValidationError("'options' must be an object")
+        sources, analyses, options = validate_job_request(
+            sources, analyses, options, self.session.registry)
         job = self.jobstore.submit(sources, analyses, options)
         self.scheduler.notify()
         return job
 
-    def ingest(self, documents) -> dict:
+    def ingest(self, documents, remove=()) -> dict:
         """Add documents to the live CCD index and persist them incrementally.
 
         New sources become matchable immediately — no restart, no full
@@ -301,15 +343,29 @@ class AnalysisService:
         re-ingesting a known id replaces its indexed fingerprint — a
         known id re-ingested with unparsable source is *retired* from
         the index (in memory and on disk) rather than left matchable.
+
+        ``remove`` lists document ids to drop from the index entirely
+        (the cluster coordinator uses this to rebalance shards); ids the
+        index never held are ignored.  Removals are applied before the
+        ingests of the same call.
         """
-        documents = self._validated_sources(documents, what="documents")
+        remove = validate_document_ids(remove, what="remove")
+        if documents is None and remove:
+            documents = []
+        else:
+            documents = validate_sources(documents, what="documents")
         # duplicate ids within one batch collapse to the last occurrence,
         # so the persisted shards never carry two rows for one document
         documents = list({document_id: (document_id, source)
                           for document_id, source in documents}.values())
         with self._work_lock.write():  # exclusive: no matching during mutation
             detector = self.detector
-            ingested, rejected, retired = [], [], []
+            ingested, rejected, retired, removed = [], [], [], []
+            for document_id in remove:
+                if detector.remove_fingerprint(document_id) is not None:
+                    removed.append(document_id)
+                if document_id in detector.parse_failures:
+                    detector.parse_failures.remove(document_id)
             for document_id, source in documents:
                 previously_indexed = document_id in detector.fingerprints
                 if detector.add_document(document_id, source):
@@ -329,14 +385,25 @@ class AnalysisService:
             detector.parse_failures[:] = dict.fromkeys(detector.parse_failures)
             summary = append_to_index(
                 detector, self.index_dir, ingested,
-                shards=self.config.index_shards, remove_ids=retired)
+                shards=self.config.index_shards, remove_ids=retired + removed)
         return {
             "ingested": len(ingested),
             "rejected": rejected,
+            "removed": removed,
             "documents": len(self.detector),
             "parse_failures": len(self.detector.parse_failures),
             "shards_rewritten": summary["shards_rewritten"],
         }
+
+    def corpus(self) -> dict:
+        """The ``GET /v1/corpus`` payload: which ids this index holds.
+
+        The cluster harness uses this to assert that routed ingest put
+        every document on exactly the shard the hash ring predicts.
+        """
+        with self._work_lock.read():  # a stable snapshot against ingest
+            document_ids = sorted(self.detector.fingerprints, key=str)
+        return {"count": len(document_ids), "documents": document_ids}
 
     def health(self) -> dict:
         """The ``/v1/healthz`` payload: liveness plus queue depth."""
@@ -390,37 +457,32 @@ class AnalysisService:
 
     @staticmethod
     def _validated_sources(sources, what: str) -> list:
-        if not isinstance(sources, (list, tuple)) or not sources:
-            raise ServiceValidationError(
-                f"{what!r} must be a non-empty list of [id, source] pairs")
-        validated = []
-        for pair in sources:
-            if (not isinstance(pair, (list, tuple)) or len(pair) != 2
-                    or not isinstance(pair[0], (str, int))
-                    or not isinstance(pair[1], str)):
-                raise ServiceValidationError(
-                    f"every item of {what!r} must be an [id, source] pair "
-                    f"(id: string or integer, source: string)")
-            validated.append((pair[0], pair[1]))
-        return validated
+        return validate_sources(sources, what)
 
 
-def _handler_class(service: AnalysisService):
-    """Bind a request-handler class to one service instance."""
+def _handler_class(service, base=None):
+    """Bind a request-handler class to one service instance.
 
-    class Handler(_ServiceRequestHandler):
+    ``base`` defaults to the single-node handler; the cluster
+    coordinator passes its own handler class.
+    """
+
+    class Handler(base if base is not None else _ServiceRequestHandler):
         """The per-server handler (carries its service as a class attr)."""
 
     Handler.service = service
     return Handler
 
 
-class _ServiceRequestHandler(BaseHTTPRequestHandler):
-    """Routes ``/v1/*`` requests onto the bound :class:`AnalysisService`."""
+class _JsonRequestHandler(BaseHTTPRequestHandler):
+    """Shared JSON plumbing of the service and coordinator handlers.
 
-    service: AnalysisService  # bound by _handler_class
+    Subclasses route requests onto ``self.service`` — any object with a
+    ``jobstore`` attribute and a ``config.log_requests`` flag.
+    """
+
+    service = None  # bound by _handler_class
     protocol_version = "HTTP/1.1"
-    server_version = "repro-service"
 
     # -- plumbing -------------------------------------------------------------
     def log_message(self, format, *args):  # noqa: A002 (stdlib signature)
@@ -462,6 +524,34 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(404, f"no job {job_id}")
         return job
 
+    # -- GET endpoint bodies --------------------------------------------------
+    def _get_jobs(self, query: dict) -> None:
+        state = query.get("state", [None])[0]
+        try:
+            limit = int(query.get("limit", ["100"])[0])
+        except ValueError:
+            self._send_error_json(400, "'limit' must be an integer")
+            return
+        jobs = self.service.jobstore.list_jobs(state=state, limit=limit)
+        self._send_json(200, {"jobs": [job.as_dict() for job in jobs]})
+
+    def _get_job(self, job: Job, query: dict) -> None:
+        payload = {"job": job.as_dict(include_corpus="corpus" in query)}
+        # ?results=0 is the cheap status poll: clients following a long
+        # job should not re-download every envelope on every poll
+        if query.get("results", ["1"])[0] not in ("0", "false", "none"):
+            rows = self.service.jobstore.results(job.job_id)
+            payload["results"] = [json.loads(envelope)
+                                  for _seq, envelope in rows]
+        self._send_json(200, payload)
+
+
+class _ServiceRequestHandler(_JsonRequestHandler):
+    """Routes ``/v1/*`` requests onto the bound :class:`AnalysisService`."""
+
+    service: AnalysisService  # bound by _handler_class
+    server_version = "repro-service"
+
     # -- routing --------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         """Dispatch GET endpoints."""
@@ -472,6 +562,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, self.service.health())
         elif parts == ["v1", "stats"]:
             self._send_json(200, self.service.stats())
+        elif parts == ["v1", "corpus"]:
+            self._send_json(200, self.service.corpus())
         elif parts == ["v1", "jobs"]:
             self._get_jobs(query)
         elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
@@ -499,32 +591,12 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                     payload.get("options"))
                 self._send_json(202, {"job": job.as_dict()})
             elif parts == ["v1", "corpus"]:
-                self._send_json(200, self.service.ingest(payload.get("documents")))
+                self._send_json(200, self.service.ingest(
+                    payload.get("documents"), payload.get("remove", ())))
             else:
                 self._send_error_json(404, f"no such endpoint: POST {url.path}")
         except ServiceValidationError as error:
             self._send_error_json(400, str(error))
-
-    # -- GET endpoint bodies --------------------------------------------------
-    def _get_jobs(self, query: dict) -> None:
-        state = query.get("state", [None])[0]
-        try:
-            limit = int(query.get("limit", ["100"])[0])
-        except ValueError:
-            self._send_error_json(400, "'limit' must be an integer")
-            return
-        jobs = self.service.jobstore.list_jobs(state=state, limit=limit)
-        self._send_json(200, {"jobs": [job.as_dict() for job in jobs]})
-
-    def _get_job(self, job: Job, query: dict) -> None:
-        payload = {"job": job.as_dict(include_corpus="corpus" in query)}
-        # ?results=0 is the cheap status poll: clients following a long
-        # job should not re-download every envelope on every poll
-        if query.get("results", ["1"])[0] not in ("0", "false", "none"):
-            rows = self.service.jobstore.results(job.job_id)
-            payload["results"] = [json.loads(envelope)
-                                  for _seq, envelope in rows]
-        self._send_json(200, payload)
 
     def _stream_job(self, job: Job, query: dict) -> None:
         """Chunked NDJSON: one canonical envelope per line, as they complete.
@@ -575,4 +647,7 @@ __all__ = [
     "ROUTES",
     "ServiceConfig",
     "ServiceValidationError",
+    "validate_document_ids",
+    "validate_job_request",
+    "validate_sources",
 ]

@@ -342,3 +342,108 @@ class TestWarmIndexRoundTrip:
         assert reloaded.match_stats.pairs_scored == 0
         assert reloaded.score_memo.stats.hits > 0
         assert reloaded.score_memo.stats.stores == 0
+
+
+# ---------------------------------------------------------------------------
+# invalidation under concurrent ingest (retired-sub store guard)
+# ---------------------------------------------------------------------------
+
+class TestConcurrentIngestInvalidation:
+    """A dropped memo row must never be resurrected by an in-flight store.
+
+    The race: a worker thread computes a score for sub ``S`` while an
+    ingest thread retires the last document carrying ``S``.  If the
+    worker's late ``memo[key] = score`` lands after the invalidation, the
+    row would outlive its carrier — a leak in memory and (worse) a stale
+    row written through to the SQLite tier.  The table refuses stores
+    touching retired subs until a re-ingest registers them again.
+    """
+
+    def test_late_store_after_retirement_is_refused(self):
+        memo = ScoreMemoTable()
+        memo.register(["AAA"])
+        memo.release(["AAA"])  # last carrier gone; sub now retired
+        memo[memo_key("query", "AAA")] = 80.0  # the late, in-flight store
+        assert memo.get(memo_key("query", "AAA")) is None
+        assert len(memo) == 0
+        assert memo.stats.blocked_stores == 1
+
+    def test_never_registered_subs_are_not_blocked(self):
+        # plain query-vs-query scoring (no corpus carrier) must still memoize
+        memo = ScoreMemoTable()
+        memo[memo_key("q1", "q2")] = 50.0
+        assert memo.get(memo_key("q1", "q2")) == 50.0
+        assert memo.stats.blocked_stores == 0
+
+    def test_reingest_lifts_the_refusal(self):
+        memo = ScoreMemoTable()
+        memo.register(["AAA"])
+        memo.release(["AAA"])
+        memo.register(["AAA"])  # the document came back
+        memo[memo_key("query", "AAA")] = 80.0
+        assert memo.get(memo_key("query", "AAA")) == 80.0
+        memo.release(["AAA"])
+        assert memo.get(memo_key("query", "AAA")) is None
+
+    def test_disk_tier_never_resurrects_a_dropped_row(self, tmp_path):
+        path = tmp_path / SCORE_MEMO_NAME
+        memo = ScoreMemoTable(path)
+        memo.register(["AAA"])
+        memo[memo_key("query", "AAA")] = 80.0
+        memo.release(["AAA"])
+        assert memo.disk_rows() == 0
+        memo[memo_key("query", "AAA")] = 80.0  # late store post-drop
+        assert memo.disk_rows() == 0
+        memo.close()
+        reopened = ScoreMemoTable(path)
+        assert len(reopened) == 0  # a warm reopen sees no zombie rows
+        reopened.close()
+
+    def test_guard_survives_pickle_round_trip(self):
+        memo = ScoreMemoTable()
+        memo.register(["AAA"])
+        memo.release(["AAA"])
+        clone = pickle.loads(pickle.dumps(memo))
+        clone[memo_key("query", "AAA")] = 80.0
+        assert clone.get(memo_key("query", "AAA")) is None
+        assert clone.stats.blocked_stores == 1
+
+    def test_concurrent_ingest_churn_cannot_resurrect_rows(self, tmp_path):
+        """Threaded stress: stores race register/release churn.
+
+        Invariant at every quiescent point: a sub whose refcount is zero
+        has no rows in either tier, regardless of how stores interleaved
+        with the churn.
+        """
+        import threading
+
+        memo = ScoreMemoTable(tmp_path / SCORE_MEMO_NAME)
+        subs = [f"SUB-{index:02d}" for index in range(8)]
+        rounds = 60
+        start = threading.Barrier(3)
+
+        def churner():
+            start.wait()
+            for round_index in range(rounds):
+                for sub in subs:
+                    memo.register([sub])
+                for sub in subs:
+                    memo.release([sub])
+
+        def storer(tag):
+            start.wait()
+            for round_index in range(rounds):
+                for index, sub in enumerate(subs):
+                    memo[memo_key(f"q{tag}-{round_index}", sub)] = float(index)
+
+        threads = [threading.Thread(target=churner),
+                   threading.Thread(target=storer, args=(1,)),
+                   threading.Thread(target=storer, args=(2,))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # churn ended with every sub released: nothing may survive
+        assert len(memo) == 0
+        assert memo.disk_rows() == 0
+        memo.close()

@@ -328,3 +328,40 @@ class TestServiceCommands:
                                    "--url", service.url)
             assert code == 0
             assert "Results" in out
+
+
+class TestClusterCli:
+    def test_serve_role_and_cluster_status_are_wired(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--data-dir", "d", "--role", "coordinator",
+             "--workers", "http://a:1,http://b:2",
+             "--shard-timeout", "12", "--connect-timeout", "3"])
+        assert args.role == "coordinator"
+        assert args.workers == "http://a:1,http://b:2"
+        assert args.shard_timeout == 12.0 and args.connect_timeout == 3.0
+        args = parser.parse_args(["cluster", "status", "--url", "http://c:9"])
+        assert args.url == "http://c:9" and callable(args.handler)
+
+    def test_serve_worker_count_still_parses_as_int(self):
+        args = build_parser().parse_args(
+            ["serve", "--data-dir", "d", "--workers", "4"])
+        assert args.role == "worker" and args.workers == "4"
+
+    def test_port_zero_prints_machine_readable_port_line(self, tmp_path):
+        """``repro serve --port 0`` must print ``PORT=<n>`` for harnesses."""
+        import cluster_harness
+
+        daemon = cluster_harness.spawn_daemon(tmp_path / "svc", timeout=60)
+        try:
+            assert daemon.port is not None and daemon.port > 0
+            port_lines = [line for line in daemon.stdout_lines
+                          if line.startswith("PORT=")]
+            assert port_lines == [f"PORT={daemon.port}"]
+            # the human-readable banner stays FIRST: tools/service_smoke.py
+            # scrapes the URL from line one
+            assert daemon.stdout_lines[0].startswith("serving on ")
+            assert f":{daemon.port}" in daemon.stdout_lines[0]
+            assert daemon.client().healthz()["status"] == "ok"
+        finally:
+            daemon.close()

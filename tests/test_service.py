@@ -656,3 +656,105 @@ class TestReviewRegressions:
             assert acquired == []  # writer blocked while the read is held
         thread.join(timeout=5)
         assert acquired == ["w"]
+
+
+# ---------------------------------------------------------------------------
+# client connect retries (late-binding daemons) and corpus introspection
+# ---------------------------------------------------------------------------
+class TestClientConnectRetry:
+    def test_retries_refused_connections_until_the_socket_binds(self, tmp_path):
+        """A client with a connect budget rides out a daemon that binds late."""
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # reserved, now free: refused until the daemon binds
+
+        def bind_late():
+            service = AnalysisService(make_config(tmp_path, port=port))
+            service.start()
+            return service
+
+        result = {}
+
+        def late_starter():
+            import time
+            time.sleep(0.6)
+            result["service"] = bind_late()
+
+        thread = threading.Thread(target=late_starter)
+        thread.start()
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{port}",
+                                   connect_timeout=15.0)
+            assert client.healthz()["status"] == "ok"  # retried past refusals
+        finally:
+            thread.join()
+            result["service"].stop()
+
+    def test_fails_fast_with_zero_connect_budget(self):
+        import socket
+        import time
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServiceClient(f"http://127.0.0.1:{port}")  # default budget 0
+        started = time.monotonic()
+        with pytest.raises(urllib.error.URLError):
+            client.healthz()
+        assert time.monotonic() - started < 2.0
+
+    def test_http_errors_are_never_retried(self, service):
+        import time
+
+        client = ServiceClient(service.url, connect_timeout=10.0)
+        started = time.monotonic()
+        with pytest.raises(ServiceError) as excinfo:
+            client.job(999999)
+        assert excinfo.value.status == 404
+        assert time.monotonic() - started < 2.0  # no backoff on a live 404
+
+
+class TestCorpusIntrospectionAndRemoval:
+    def test_corpus_endpoint_lists_resident_ids(self, client, corpora):
+        contracts, _snippets = corpora
+        client.ingest(contracts[:5])
+        listing = client.corpus()
+        assert listing["count"] == 5
+        assert listing["documents"] == sorted(
+            (document_id for document_id, _source in contracts[:5]), key=str)
+
+    def test_remove_retires_documents_from_matching(self, client, corpora):
+        contracts, _snippets = corpora
+        (kept_id, kept_source), (gone_id, gone_source) = contracts[:2]
+        client.ingest(contracts[:2])
+        summary = client.ingest(remove=[gone_id])
+        assert summary["removed"] == [gone_id]
+        assert summary["documents"] == 1
+        assert client.corpus()["documents"] == [kept_id]
+        job = client.submit([["probe", gone_source]], analyses=["ccd"])
+        finished = client.wait(job["id"], timeout=60)
+        matched = {match["document_id"]
+                   for envelope in finished["results"]
+                   if envelope["payload"]
+                   for match in envelope["payload"]}
+        assert gone_id not in matched
+
+    def test_remove_unknown_id_is_a_noop(self, client, corpora):
+        contracts, _snippets = corpora
+        client.ingest(contracts[:1])
+        summary = client.ingest(remove=["0xdoes-not-exist"])
+        assert summary["removed"] == []
+        assert summary["documents"] == 1
+
+    def test_remove_then_reingest_in_one_call(self, client, corpora):
+        contracts, _snippets = corpora
+        document_id, source = contracts[0]
+        client.ingest(contracts[:1])
+        summary = client.ingest(documents=[(document_id, source)],
+                                remove=[document_id])
+        assert summary["documents"] == 1
+        assert client.corpus()["documents"] == [document_id]

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Check that the docs match the actual public API (used by CI).
 
-Three contracts are enforced, all both ways:
+Four contracts are enforced, all both ways:
 
 * every name in ``repro.api.__all__`` appears in the marked *surface*
   block of ``docs/api.md``, and the block documents no stale names,
@@ -11,7 +11,10 @@ Three contracts are enforced, all both ways:
 * every HTTP route of the analysis service daemon
   (``repro.service.server.ROUTES``) appears in the marked *endpoints*
   block of ``docs/service.md``, and the block documents no removed
-  endpoints.
+  endpoints,
+* every HTTP route of the cluster coordinator
+  (``repro.service.coordinator.ROUTES``) appears in the marked
+  *coordinator-endpoints* block of the same file, likewise both ways.
 
 Exits non-zero listing each mismatch, so an API change that forgets the
 docs — or docs that promise an API that does not exist — fails the docs
@@ -68,15 +71,23 @@ def documented_commands(text: str, path: Path) -> set[str]:
     return commands
 
 
-def documented_endpoints(text: str, path: Path) -> set[str]:
-    """The ``METHOD /path`` endpoints documented in the service.md block."""
-    return {span for span in CODE_SPAN_RE.findall(marker_block(text, "endpoints", path))
+def documented_endpoints(text: str, path: Path,
+                         block: str = "endpoints") -> set[str]:
+    """The ``METHOD /path`` endpoints documented in a service.md block."""
+    return {span for span in CODE_SPAN_RE.findall(marker_block(text, block, path))
             if ENDPOINT_RE.match(span)}
 
 
 def actual_endpoints() -> set[str]:
     """Every HTTP route the analysis service daemon actually serves."""
     from repro.service.server import ROUTES
+
+    return {f"{method} {route}" for method, route in ROUTES}
+
+
+def actual_coordinator_endpoints() -> set[str]:
+    """Every HTTP route the cluster coordinator actually serves."""
+    from repro.service.coordinator import ROUTES
 
     return {f"{method} {route}" for method, route in ROUTES}
 
@@ -132,11 +143,16 @@ def main(argv: list[str]) -> int:
     problems += check("service endpoint",
                       documented_endpoints(service_text, service_path),
                       actual_endpoints(), where="docs/service.md")
+    problems += check("coordinator endpoint",
+                      documented_endpoints(service_text, service_path,
+                                           "coordinator-endpoints"),
+                      actual_coordinator_endpoints(), where="docs/service.md")
     for problem in problems:
         print(problem, file=sys.stderr)
     print(f"checked {len(actual_surface())} public names, "
           f"{len(actual_commands())} CLI commands, and "
-          f"{len(actual_endpoints())} service endpoints against the docs: "
+          f"{len(actual_endpoints()) + len(actual_coordinator_endpoints())} "
+          f"service endpoints against the docs: "
           f"{len(problems)} mismatch(es)")
     return 1 if problems else 0
 

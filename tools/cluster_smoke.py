@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the sharded cluster (used by CI).
+
+Spawns the *real* deployment shape — one coordinator fronting three
+``repro serve`` worker subprocesses on free loopback ports, via the same
+harness the cluster tests use (``tests/cluster_harness.py``) — and
+asserts the two headline properties:
+
+1. **byte parity** — a ``ccd`` + ``ccc`` job answered by the
+   coordinator is byte-identical to the same job against a single
+   daemon holding the whole corpus,
+2. **degraded completion** — with one worker SIGKILLed mid-flight the
+   job still completes, reporting the dead shard explicitly in
+   ``fanout.degraded`` (no hang, no silent partial),
+
+then dumps every shard's ``/v1/stats`` (plus the coordinator's
+aggregate view) as JSON files for CI to upload as artifacts.
+
+Exits non-zero with a diagnostic on the first failed step.
+
+Usage::
+
+    python tools/cluster_smoke.py [repo-root]
+
+Environment:
+
+* ``CLUSTER_ARTIFACTS_DIR`` — where the per-shard stats dumps land
+  (default: ``cluster-artifacts``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path.cwd()
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "tests"))
+
+import cluster_harness  # noqa: E402
+
+from repro.api.envelope import canonical_json  # noqa: E402
+from repro.datasets.sanctuary import generate_sanctuary  # noqa: E402
+from repro.datasets.snippets import generate_qa_corpus  # noqa: E402
+from repro.pipeline.collection import SnippetCollector  # noqa: E402
+
+SHARDS = 3
+
+
+def corpus():
+    """The deterministic synthetic corpus pair shared by the smokes."""
+    qa_corpus = generate_qa_corpus(
+        seed=3, posts_per_site={"stackoverflow": 4, "ethereum.stackexchange": 8})
+    sanctuary = generate_sanctuary(qa_corpus, seed=11, independent_contracts=4)
+    contracts = [(contract.address, contract.source)
+                 for contract in sanctuary.contracts]
+    snippets = [(snippet.snippet_id, snippet.text)
+                for snippet in SnippetCollector().collect(qa_corpus).snippets]
+    return contracts, snippets
+
+
+def job_bytes(client, sources, timeout=180.0):
+    """Submit a ccd+ccc job and return (canonical lines, job dict)."""
+    job = client.submit(sources, analyses=["ccd", "ccc"])
+    finished = client.wait(job["id"], timeout=timeout)
+    return ([canonical_json(envelope) for envelope in finished["results"]],
+            finished["job"])
+
+
+def single_node_reference(base_dir, contracts, snippets):
+    """The reference bytes: one worker daemon holding everything."""
+    daemon = cluster_harness.spawn_daemon(base_dir / "single")
+    try:
+        client = daemon.client()
+        client.ingest(contracts)
+        lines, _job = job_bytes(client, snippets)
+        return lines
+    finally:
+        daemon.close()
+
+
+def dump_stats(cluster, artifacts: Path, tag: str) -> None:
+    """Write per-shard and coordinator /v1/stats dumps for CI artifacts."""
+    artifacts.mkdir(parents=True, exist_ok=True)
+    for index, worker in enumerate(cluster.workers):
+        path = artifacts / f"CLUSTER_{tag}_shard-{index}_stats.json"
+        try:
+            stats = worker.client(connect_timeout=0.0).stats()
+        except Exception as error:  # noqa: BLE001 — a dead shard is data too
+            stats = {"error": f"{type(error).__name__}: {error}"}
+        path.write_text(json.dumps(stats, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        print(f"wrote {path}")
+    path = artifacts / f"CLUSTER_{tag}_coordinator_stats.json"
+    path.write_text(
+        json.dumps(cluster.client().stats(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(f"wrote {path}")
+
+
+def main() -> int:
+    """Run the cluster smoke; returns a process exit code."""
+    artifacts = Path(os.environ.get("CLUSTER_ARTIFACTS_DIR",
+                                    "cluster-artifacts")).resolve()
+    contracts, snippets = corpus()
+    with tempfile.TemporaryDirectory(prefix="cluster-smoke-") as scratch:
+        base_dir = Path(scratch)
+        print(f"reference: single daemon, {len(contracts)} contracts, "
+              f"{len(snippets)} snippets")
+        expected = single_node_reference(base_dir, contracts, snippets)
+
+        print(f"cluster: coordinator + {SHARDS} workers")
+        cluster = cluster_harness.spawn_cluster(
+            base_dir / "cluster", SHARDS,
+            coordinator_extra=("--connect-timeout", "10",
+                               "--shard-timeout", "120"))
+        try:
+            client = cluster.client()
+            summary = client.ingest(contracts)
+            if summary["documents"] != len(contracts):
+                raise SystemExit(f"ingest routed {summary['documents']} of "
+                                 f"{len(contracts)} documents")
+            print(f"ingest routed: {summary['routed']}")
+
+            merged, job = job_bytes(client, snippets)
+            if merged != expected:
+                raise SystemExit(
+                    "cluster response is not byte-identical to single-node "
+                    f"({len(merged)} vs {len(expected)} lines)")
+            if job["fanout"]["degraded"]:
+                raise SystemExit(f"healthy cluster reported degraded shards: "
+                                 f"{job['fanout']['degraded']}")
+            print(f"byte parity OK across {SHARDS} shards "
+                  f"({len(merged)} envelopes)")
+            dump_stats(cluster, artifacts, "healthy")
+
+            # kill one worker, submit again: the job must complete with
+            # the dead shard named in the degraded report
+            cluster.workers[SHARDS - 1].kill()
+            print(f"killed worker shard-{SHARDS - 1} (SIGKILL)")
+            degraded_client = cluster.client()
+            job = degraded_client.submit(snippets[:4], analyses=["ccd"])
+            started = time.monotonic()
+            finished = degraded_client.wait(job["id"], timeout=180.0)
+            elapsed = time.monotonic() - started
+            state = finished["job"]
+            if state["state"] != "done":
+                raise SystemExit(f"degraded job ended {state['state']!r}: "
+                                 f"{state.get('error')}")
+            if state["fanout"]["degraded"] != [f"shard-{SHARDS - 1}"]:
+                raise SystemExit("degraded report missing the dead shard: "
+                                 f"{state['fanout']}")
+            print(f"worker-kill job completed in {elapsed:.1f}s with "
+                  f"explicit degraded report: {state['fanout']['degraded']}")
+            dump_stats(cluster, artifacts, "degraded")
+        finally:
+            cluster.stop()
+    print("cluster smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
