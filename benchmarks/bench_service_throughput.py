@@ -1,7 +1,7 @@
-"""Service daemon throughput — cold vs. resident-index serving.
+"""Service daemon throughput — cold vs. resident, threaded vs. asyncio.
 
 Benchmarks the analysis service (``repro.service``) end to end over real
-HTTP on a loopback port, comparing the two serving regimes the daemon
+HTTP on a loopback port, comparing the serving regimes the daemon
 exists to separate:
 
 * **cold** — every job pays the batch-world warm-up: a fresh service
@@ -9,14 +9,24 @@ exists to separate:
   query job.  This is what each ``repro analyze`` invocation costs.
 * **resident** — one long-lived daemon with the corpus ingested once;
   jobs hit the warm parse-once store and the already-loaded index.
+* **frontend load** — ``BENCH_SERVICE_CLIENTS`` concurrent clients
+  (default 1000) hammer ``POST /v1/jobs`` against the threaded and the
+  asyncio front ends through ``tools/loadgen.py``.  The threaded stack
+  soaks everything into its unbounded queue; the asyncio gateway sheds
+  past ``max_pending_jobs`` with 503 + Retry-After.  The asserted
+  invariant is *no hangs*: under overload the asyncio front end answers
+  every request (accept or shed), never stalls one.
 
-The terminal summary reports jobs/sec and client-observed p50/p95 job
-latency for both regimes, plus the resident speedup.  The assertion is
-parity: both regimes produce byte-identical canonical envelopes.
+The terminal summary reports jobs/sec and client-observed p50/p95/p99
+latency for every mode, plus the resident speedup.  The assertion is
+parity: both index regimes produce byte-identical canonical envelopes.
 """
 
+import os
 import statistics
+import sys
 import time
+from pathlib import Path
 
 import pytest
 
@@ -25,8 +35,17 @@ from repro.datasets.sanctuary import generate_sanctuary
 from repro.datasets.snippets import generate_qa_corpus
 from repro.service import AnalysisService, ServiceClient, ServiceConfig
 
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
+import loadgen  # noqa: E402  (stdlib-only helper, lives in tools/)
+
 #: sequential submit+wait cycles sampled for the latency percentiles
 LATENCY_SAMPLES = 12
+
+#: concurrent clients of the frontend-load comparison (ISSUE floor: 1k)
+FRONTEND_CLIENTS = int(os.environ.get("BENCH_SERVICE_CLIENTS", "1000"))
+
+#: submissions each simulated client issues
+FRONTEND_REQUESTS = int(os.environ.get("BENCH_SERVICE_REQUESTS", "2"))
 
 
 @pytest.fixture(scope="module")
@@ -60,12 +79,18 @@ def _run_jobs(client, snippets):
     return latencies, results
 
 
-def _register(registry, mode, wall, latencies, jobs):
+def _percentile(latencies, fraction):
+    return sorted(latencies)[max(0, int(len(latencies) * fraction) - 1)]
+
+
+def _register(registry, mode, wall, latencies, jobs, **extra):
     registry[mode] = {
         "jobs_per_sec": jobs / wall,
         "p50": statistics.median(latencies),
-        "p95": sorted(latencies)[max(0, int(len(latencies) * 0.95) - 1)],
+        "p95": _percentile(latencies, 0.95),
+        "p99": _percentile(latencies, 0.99),
         "jobs": jobs,
+        **extra,
     }
 
 
@@ -121,3 +146,42 @@ def test_service_resident_serving(benchmark, service_corpora, tmp_path_factory,
     # the regimes must be indistinguishable in their (canonical) results
     if "cold" in _MODE_RESULTS:
         assert _MODE_RESULTS["cold"] == results
+
+
+@pytest.mark.parametrize("frontend", ["threaded", "asyncio"])
+def test_service_frontend_load(benchmark, frontend, tmp_path_factory,
+                               service_latency_registry):
+    """Submission throughput at FRONTEND_CLIENTS concurrent clients.
+
+    Both front ends face the same closed-loop burst.  The threaded stack
+    accepts everything into its unbounded queue; the asyncio gateway
+    bounds the queue and sheds the excess with 503 + Retry-After.  The
+    hard requirement under overload is *answer, never hang*.
+    """
+    tmp_path = tmp_path_factory.mktemp(f"svc-{frontend}")
+    config = ServiceConfig(
+        data_dir=str(tmp_path / "daemon"), port=0, backend="serial",
+        frontend=frontend, max_connections=FRONTEND_CLIENTS + 64)
+    with AnalysisService(config) as service:
+
+        def load_run():
+            return loadgen.run_load(
+                service.url, clients=FRONTEND_CLIENTS,
+                requests_per_client=FRONTEND_REQUESTS,
+                tenant_weights=[("alpha", 3), ("beta", 1)],
+                interactive_fraction=0.25, timeout=60.0)
+
+        result = benchmark.pedantic(load_run, rounds=1, iterations=1)
+    mode = f"{frontend}@{FRONTEND_CLIENTS}c"
+    _register(service_latency_registry, mode, result.wall,
+              result.latencies or [0.0], result.accepted,
+              requests=result.requests, shed=result.shed,
+              errors=result.errors, hung=result.hung,
+              clients=FRONTEND_CLIENTS)
+    # overload must degrade by shedding (or slowing), never by hanging
+    assert result.hung == 0
+    if frontend == "asyncio":
+        # every request got an HTTP answer: 202 accepted or 429/503 shed
+        assert result.errors == 0
+        assert result.requests == FRONTEND_CLIENTS * FRONTEND_REQUESTS
+        assert result.accepted + result.shed == result.requests

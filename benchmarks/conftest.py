@@ -45,8 +45,9 @@ _SESSION_MODES: dict[str, dict] = {}
 #: and the exact-vs-bounded verification speedup below
 _MATCHER_BACKENDS: dict[str, dict] = {}
 
-#: mode -> {"jobs_per_sec", "p50", "p95", "jobs"} rows of the service
-#: daemon benchmark (bench_service_throughput), cold vs resident serving
+#: mode -> {"jobs_per_sec", "p50", "p95", "p99", "jobs", ...} rows of the
+#: service daemon benchmark (bench_service_throughput): cold vs resident
+#: index serving, plus the threaded-vs-asyncio frontend load comparison
 _SERVICE_LATENCIES: dict[str, dict] = {}
 
 
@@ -176,12 +177,17 @@ def pytest_terminal_summary(terminalreporter):
                 f"{myers.myers_words} bit-parallel words")
         _write_bench_artifact(terminalreporter, "BENCH_fig5.json", _fig5_artifact())
     if _SERVICE_LATENCIES:
-        terminalreporter.section("service daemon: cold vs resident serving")
+        terminalreporter.section("service daemon: serving modes")
         for mode, row in _SERVICE_LATENCIES.items():
-            terminalreporter.write_line(
-                f"{mode:>9}: {row['jobs_per_sec']:.1f} jobs/sec over "
-                f"{row['jobs']} jobs, latency p50 {row['p50'] * 1000.0:.1f} ms, "
-                f"p95 {row['p95'] * 1000.0:.1f} ms")
+            line = (f"{mode:>16}: {row['jobs_per_sec']:.1f} jobs/sec over "
+                    f"{row['jobs']} jobs, latency p50 {row['p50'] * 1000.0:.1f} ms, "
+                    f"p95 {row['p95'] * 1000.0:.1f} ms")
+            if "p99" in row:
+                line += f", p99 {row['p99'] * 1000.0:.1f} ms"
+            if "shed" in row:
+                line += (f" ({row['requests']} requests: {row['shed']} shed, "
+                         f"{row['errors']} errors, {row['hung']} hung)")
+            terminalreporter.write_line(line)
         if {"cold", "resident"} <= set(_SERVICE_LATENCIES):
             cold, resident = _SERVICE_LATENCIES["cold"], _SERVICE_LATENCIES["resident"]
             speedup = resident["jobs_per_sec"] / max(cold["jobs_per_sec"], 1e-9)

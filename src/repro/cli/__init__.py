@@ -60,6 +60,7 @@ from repro.service import (
     ServiceClient,
     ServiceConfig,
     ServiceError,
+    load_tenant_quotas,
 )
 
 PROG = "repro"
@@ -480,6 +481,9 @@ def _cmd_cache_gc(args: argparse.Namespace) -> int:
 
 def _build_daemon(args: argparse.Namespace):
     """Construct the worker service or the cluster coordinator for `serve`."""
+    # parse the quota file up front so a malformed one fails before bind
+    tenant_quotas = (load_tenant_quotas(args.tenant_quotas)
+                     if args.tenant_quotas else None)
     if args.role == "coordinator":
         workers = tuple(url.strip() for url in (args.workers or "").split(",")
                         if url.strip())
@@ -495,6 +499,12 @@ def _build_daemon(args: argparse.Namespace):
             shard_timeout=args.shard_timeout,
             connect_timeout=args.connect_timeout,
             log_requests=args.verbose,
+            frontend=args.frontend,
+            max_pending_jobs=args.max_pending_jobs,
+            max_connections=args.max_connections,
+            tenant_quotas=tenant_quotas,
+            coalesce=not args.no_coalesce,
+            batch_aging=args.batch_aging,
         ))
     try:
         scheduler_workers = int(args.workers)
@@ -516,6 +526,12 @@ def _build_daemon(args: argparse.Namespace):
         similarity_backend=args.similarity_backend,
         index_shards=args.index_shards,
         log_requests=args.verbose,
+        frontend=args.frontend,
+        max_pending_jobs=args.max_pending_jobs,
+        max_connections=args.max_connections,
+        tenant_quotas=tenant_quotas,
+        coalesce=not args.no_coalesce,
+        batch_aging=args.batch_aging,
     ))
 
 
@@ -544,11 +560,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service.stop()
         return 1
     if args.role == "coordinator":
-        print(f"serving on {service.url} (role: coordinator, data dir: "
-              f"{args.data_dir}, shards: {len(service.shards)}, "
+        print(f"serving on {service.url} (role: coordinator, frontend: "
+              f"{args.frontend}, data dir: {args.data_dir}, "
+              f"shards: {len(service.shards)}, "
               f"recovered jobs: {service.recovered_jobs})", flush=True)
     else:
-        print(f"serving on {service.url} (data dir: {args.data_dir}, "
+        print(f"serving on {service.url} (frontend: {args.frontend}, "
+              f"data dir: {args.data_dir}, "
               f"index: {len(service.detector)} documents, "
               f"recovered jobs: {service.recovered_jobs})", flush=True)
     # a machine-readable line so scripts (and the cluster test harness)
@@ -615,9 +633,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             print(f"ingested {summary['ingested']} contracts "
                   f"({len(summary['rejected'])} unparsable; index now "
                   f"{summary['documents']} documents, {placement})")
-        job = client.submit(sources, analyses=analyses)
+        job = client.submit(sources, analyses=analyses,
+                            priority=args.priority, tenant=args.tenant)
         print(f"submitted job {job['id']} ({len(sources)} {args.corpus}, "
-              f"analyses: {', '.join(analyses)})")
+              f"analyses: {', '.join(analyses)}, lane: {job['priority']})")
         if not args.wait:
             return 0
         started = time.perf_counter()
@@ -637,7 +656,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _job_rows(jobs: list) -> list:
-    return [[job["id"], job["state"], ",".join(job["analyses"]),
+    return [[job["id"], job["state"], job.get("priority", "batch"),
+             ",".join(job["analyses"]),
              job["corpus_size"],
              f"{job['elapsed_seconds']:.2f}s" if job["elapsed_seconds"] is not None
              else "-",
@@ -648,15 +668,19 @@ def _job_rows(jobs: list) -> list:
 def _cmd_jobs_list(args: argparse.Namespace) -> int:
     client = ServiceClient(args.url)
     try:
-        jobs = client.jobs(state=args.state, limit=args.limit)
+        page = client.jobs_page(state=args.state, limit=args.limit,
+                                offset=args.offset, tenant=args.tenant)
         health = client.healthz()
     except (ServiceError, OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    shown = len(page["jobs"])
     print(render_table(
-        ["Id", "State", "Analyses", "Items", "Elapsed", "Error"],
-        _job_rows(jobs),
-        title=f"Jobs at {args.url} (queue depth {health['queue_depth']})"))
+        ["Id", "State", "Lane", "Analyses", "Items", "Elapsed", "Error"],
+        _job_rows(page["jobs"]),
+        title=f"Jobs at {args.url} ({page['offset']}-"
+              f"{page['offset'] + shown} of {page['total']}, "
+              f"queue depth {health['queue_depth']})"))
     return 0
 
 
@@ -870,6 +894,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="coordinator role: seconds a refused worker "
                             "connection is retried with backoff before the "
                             "shard counts as unreachable (default: 10)")
+    serve.add_argument("--frontend", choices=("threaded", "asyncio"),
+                       default="threaded",
+                       help="HTTP front end: threaded (default) uses the "
+                            "blocking http.server stack; asyncio serves the "
+                            "same /v1/* API from an event loop with "
+                            "admission control (bounded queues, tenant "
+                            "quotas, priority lanes, request coalescing)")
+    serve.add_argument("--tenant-quotas", default=None, metavar="PATH",
+                       help="asyncio front end: TOML/JSON file of per-tenant "
+                            "rate/burst/max_inflight admission quotas keyed "
+                            "by X-Repro-Tenant header")
+    serve.add_argument("--max-pending-jobs", type=int, default=256,
+                       help="asyncio front end: queued-job bound beyond "
+                            "which submissions are shed with 503 "
+                            "(default: 256)")
+    serve.add_argument("--max-connections", type=int, default=1024,
+                       help="asyncio front end: open-connection bound beyond "
+                            "which new connections are shed with 503 "
+                            "(default: 1024)")
+    serve.add_argument("--no-coalesce", action="store_true",
+                       help="asyncio front end: disable content-hash "
+                            "coalescing of concurrent identical submissions")
+    serve.add_argument("--batch-aging", type=int, default=4,
+                       help="serve at most this many consecutive interactive "
+                            "jobs before a waiting batch job runs "
+                            "(default: 4)")
     serve.add_argument("--index-shards", type=int, default=4,
                        help="hash-prefix shards of the persisted index "
                             "(default: 4)")
@@ -897,6 +947,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="poll until the job completes and print a summary")
     submit.add_argument("--timeout", type=float, default=300.0,
                         help="--wait timeout in seconds (default: 300)")
+    submit.add_argument("--priority", choices=("interactive", "batch"),
+                        default=None,
+                        help="scheduling lane (daemon default: batch)")
+    submit.add_argument("--tenant", default=None,
+                        help="tenant label sent as X-Repro-Tenant (quota "
+                             "accounting on the asyncio front end)")
     _add_corpus_arguments(submit)
     submit.set_defaults(handler=_cmd_submit)
 
@@ -911,6 +967,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="only jobs in this state")
     jobs_list.add_argument("--limit", type=int, default=20,
                            help="maximum jobs to list (default: 20)")
+    jobs_list.add_argument("--offset", type=int, default=0,
+                           help="matching jobs to skip before the page "
+                                "(default: 0)")
+    jobs_list.add_argument("--tenant", default=None,
+                           help="only jobs submitted under this tenant label")
     jobs_list.set_defaults(handler=_cmd_jobs_list)
     jobs_show = jobs_commands.add_parser(
         "show", help="show one job's status and result summary")

@@ -16,8 +16,13 @@ index, fed by a persistent job queue, fronted by a stdlib HTTP API.
 * :mod:`repro.service.server` — :class:`AnalysisService` and the HTTP
   endpoints (``POST /v1/jobs``, ``GET /v1/jobs/{id}[/stream]``,
   ``POST /v1/corpus``, ``GET /v1/healthz``, ``GET /v1/stats``),
-* :mod:`repro.service.client` — the small stdlib client used by
-  ``repro submit`` / ``repro jobs`` and the tests,
+* :mod:`repro.service.gateway` — :class:`AsyncGateway`, the asyncio
+  HTTP front end (``repro serve --frontend asyncio``) adding admission
+  control: bounded queues, per-tenant quotas, priority lanes, and
+  content-hash request coalescing,
+* :mod:`repro.service.client` — the small stdlib client (pooled
+  keep-alive connections) used by ``repro submit`` / ``repro jobs``
+  and the tests,
 * :mod:`repro.service.hashring` — the deterministic consistent-hash
   ring partitioning corpus documents across shards,
 * :mod:`repro.service.coordinator` — :class:`ClusterCoordinator`, the
@@ -40,8 +45,15 @@ A cluster is the same daemons plus a coordinator::
 from repro.service.client import JobFailedError, ServiceClient, ServiceError
 from repro.service.coordinator import ROUTES as COORDINATOR_ROUTES
 from repro.service.coordinator import ClusterCoordinator, CoordinatorConfig
+from repro.service.gateway import ROUTES as GATEWAY_ROUTES
+from repro.service.gateway import (
+    AsyncGateway,
+    GatewayConfig,
+    TenantQuota,
+    load_tenant_quotas,
+)
 from repro.service.hashring import HashRing
-from repro.service.jobstore import JOB_STATES, Job, JobStore
+from repro.service.jobstore import JOB_STATES, PRIORITY_LANES, Job, JobStore
 from repro.service.scheduler import Scheduler
 from repro.service.server import (
     ROUTES,
@@ -52,18 +64,24 @@ from repro.service.server import (
 
 __all__ = [
     "AnalysisService",
+    "AsyncGateway",
     "COORDINATOR_ROUTES",
     "ClusterCoordinator",
     "CoordinatorConfig",
+    "GATEWAY_ROUTES",
+    "GatewayConfig",
     "HashRing",
     "JOB_STATES",
     "Job",
     "JobFailedError",
     "JobStore",
+    "PRIORITY_LANES",
     "ROUTES",
     "Scheduler",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
     "ServiceValidationError",
+    "TenantQuota",
+    "load_tenant_quotas",
 ]

@@ -1,10 +1,11 @@
 """A small stdlib HTTP client for the analysis service daemon.
 
-:class:`ServiceClient` wraps :mod:`urllib.request` around the daemon's
-JSON API — submit jobs, poll or stream results, ingest corpus documents,
-read health and stats.  It is what ``repro submit`` / ``repro jobs``
-use, what the tests drive the daemon with, and a reference for talking
-to the service from any other HTTP client::
+:class:`ServiceClient` speaks the daemon's JSON API over a pooled
+keep-alive :class:`http.client.HTTPConnection` — submit jobs, poll or
+stream results, ingest corpus documents, read health and stats.  It is
+what ``repro submit`` / ``repro jobs`` use, what the tests drive the
+daemon with, and a reference for talking to the service from any other
+HTTP client::
 
     from repro.service import ServiceClient
 
@@ -15,17 +16,28 @@ to the service from any other HTTP client::
     for envelope in finished["results"]:
         print(envelope["analyzer"], envelope["contract_id"])
 
+Connections are pooled **per thread** (the cluster coordinator shares
+one client across its fan-out workers), reused across requests, and
+quietly replaced when the daemon closes its side between requests: an
+idempotent request that hits a stale pooled socket is retried exactly
+once on a fresh connection; a non-idempotent ``POST`` is never retried.
+
 Failures surface as :class:`ServiceError` carrying the HTTP status and
-the daemon's ``error`` message.
+the daemon's ``error`` message; transport failures are raised in the
+:class:`OSError` family (refused connections as
+:class:`urllib.error.URLError`, matching the historical
+``urllib.request`` behavior callers already handle).
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import threading
 import time
 import urllib.error
-import urllib.request
 from typing import Iterator, Optional
+from urllib.parse import quote, urlsplit
 
 
 class ServiceError(RuntimeError):
@@ -73,39 +85,107 @@ class ServiceClient:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.connect_timeout = connect_timeout
+        split = urlsplit(self.base_url)
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port if split.port is not None else 80
+        # one pooled keep-alive connection per thread: HTTPConnection is
+        # not thread-safe, and the coordinator shares clients across its
+        # fan-out workers
+        self._local = threading.local()
+
+    # -- connection pool ------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        """This thread's pooled connection, created on first use."""
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout)
+            self._local.connection = connection
+        return connection
+
+    def _drop_connection(self) -> None:
+        """Close and forget this thread's pooled connection."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    def close(self) -> None:
+        """Close the calling thread's pooled connection (idempotent)."""
+        self._drop_connection()
 
     # -- plumbing -------------------------------------------------------------
-    def _urlopen(self, request: urllib.request.Request):
-        """``urlopen`` with bounded-backoff retries on connection refused.
+    def _open(self, method: str, path: str, body: Optional[bytes] = None,
+              headers: Optional[dict] = None) -> http.client.HTTPResponse:
+        """Issue one request on the pooled connection; returns the response.
 
-        Only a refused TCP connection is retried (the daemon is not
-        listening *yet*); every other failure — HTTP errors, timeouts,
-        resets mid-request — propagates immediately.
+        Two failure modes are retried, separately:
+
+        * a **refused** TCP connection (the daemon is not listening
+          *yet*) is retried with bounded exponential backoff for up to
+          :attr:`connect_timeout` seconds, then raised as
+          :class:`urllib.error.URLError` — exactly the semantics the
+          ``urllib``-based client had;
+        * a **stale pooled socket** (the daemon closed its keep-alive
+          side between requests, surfacing as ``RemoteDisconnected`` or
+          a reset) is retried exactly once on a fresh connection — and
+          only for idempotent ``GET`` requests; a ``POST`` may already
+          have executed, so it propagates instead.
+
+        Every other failure — HTTP errors, timeouts, resets mid-request
+        on a fresh connection — propagates immediately.
         """
         deadline = time.monotonic() + self.connect_timeout
         delay = self.RETRY_INITIAL_DELAY
+        retry_stale = method == "GET"
         while True:
+            connection = self._connection()
+            reused = connection.sock is not None
             try:
-                return urllib.request.urlopen(request, timeout=self.timeout)
-            except urllib.error.HTTPError:
+                connection.request(method, path, body=body,
+                                   headers=dict(headers or {}))
+                return connection.getresponse()
+            except ConnectionRefusedError as error:
+                self._drop_connection()
+                if time.monotonic() >= deadline:
+                    raise urllib.error.URLError(error) from error
+            except (http.client.HTTPException, ConnectionError) as error:
+                self._drop_connection()
+                if reused and retry_stale:
+                    retry_stale = False
+                    continue
+                if isinstance(error, http.client.HTTPException) and \
+                        not isinstance(error, OSError):
+                    # keep transport failures in the OSError family the
+                    # callers (wait_ready, the coordinator) already catch
+                    raise urllib.error.URLError(error) from error
                 raise
-            except urllib.error.URLError as error:
-                refused = isinstance(error.reason, ConnectionRefusedError)
-                if not refused or time.monotonic() >= deadline:
-                    raise
             time.sleep(min(delay, max(deadline - time.monotonic(), 0.0)))
             delay = min(delay * 2, self.RETRY_MAX_DELAY)
 
-    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
-        request = urllib.request.Request(
-            self.base_url + path, method=method,
-            headers={"Content-Type": "application/json"},
-            data=json.dumps(payload).encode("utf-8") if payload is not None else None)
-        try:
-            with self._urlopen(request) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as error:
-            raise ServiceError(error.code, _error_message(error)) from None
+    def _finish(self, response: http.client.HTTPResponse) -> bytes:
+        """Drain one response so the pooled connection is reusable."""
+        data = response.read()
+        if response.will_close:
+            # the server asked for (or forced) connection close; a next
+            # request on this socket would hit RemoteDisconnected
+            self._drop_connection()
+        return data
+
+    def _request(self, method: str, path: str, payload: Optional[dict] = None,
+                 headers: Optional[dict] = None) -> dict:
+        body = json.dumps(payload).encode("utf-8") \
+            if payload is not None else None
+        all_headers = {"Content-Type": "application/json"}
+        all_headers.update(headers or {})
+        response = self._open(method, path, body=body, headers=all_headers)
+        data = self._finish(response)
+        if response.status >= 400:
+            # HTTP errors are never retried: the request reached the
+            # daemon and was answered
+            raise ServiceError(
+                response.status, _error_message(data, response.reason))
+        return json.loads(data.decode("utf-8"))
 
     def wait_ready(self, timeout: float = 30.0) -> dict:
         """Poll ``/v1/healthz`` until the daemon answers; returns its payload.
@@ -129,13 +209,34 @@ class ServiceClient:
             delay = min(delay * 2, self.RETRY_MAX_DELAY)
 
     # -- jobs -----------------------------------------------------------------
-    def submit(self, sources, analyses, options: Optional[dict] = None) -> dict:
-        """Submit a job; returns the queued job's wire form (with ``id``)."""
+    def submit(self, sources, analyses, options: Optional[dict] = None,
+               priority: Optional[str] = None,
+               tenant: Optional[str] = None) -> dict:
+        """Submit a job; returns the queued job's wire form (with ``id``).
+
+        Parameters
+        ----------
+        sources:
+            ``[id, source]`` pairs to analyze.
+        analyses:
+            Analyzer ids to run, in order.
+        options:
+            Per-analyzer option mapping.
+        priority:
+            Scheduling lane (``interactive`` or ``batch``; daemon
+            default is batch when omitted).
+        tenant:
+            Sent as the ``X-Repro-Tenant`` header — the label the
+            gateway meters quotas on.
+        """
         body = {"sources": [list(pair) for pair in sources],
                 "analyses": list(analyses)}
         if options is not None:
             body["options"] = options
-        return self._request("POST", "/v1/jobs", body)["job"]
+        if priority is not None:
+            body["priority"] = priority
+        headers = {"X-Repro-Tenant": tenant} if tenant is not None else None
+        return self._request("POST", "/v1/jobs", body, headers=headers)["job"]
 
     def job(self, job_id: int, results: bool = True) -> dict:
         """One job's status envelope: ``{"job": {...}, "results": [...]}``.
@@ -148,12 +249,37 @@ class ServiceClient:
             path += "?results=0"
         return self._request("GET", path)
 
-    def jobs(self, state: Optional[str] = None, limit: int = 100) -> list:
-        """Recent jobs (newest first), optionally filtered by state."""
-        path = f"/v1/jobs?limit={limit}"
+    def jobs_page(self, state: Optional[str] = None, limit: int = 100,
+                  offset: int = 0, tenant: Optional[str] = None) -> dict:
+        """One page of the job listing, with its paging envelope.
+
+        Returns the full ``GET /v1/jobs`` payload:
+        ``{"jobs": [...], "total": N, "limit": L, "offset": O}``.
+        """
+        path = f"/v1/jobs?limit={limit}&offset={offset}"
         if state is not None:
-            path += f"&state={state}"
-        return self._request("GET", path)["jobs"]
+            path += f"&state={quote(state)}"
+        if tenant is not None:
+            path += f"&tenant={quote(tenant)}"
+        return self._request("GET", path)
+
+    def jobs(self, state: Optional[str] = None, limit: int = 100,
+             offset: int = 0, tenant: Optional[str] = None) -> list:
+        """A page of jobs (newest first), filtered by state and/or tenant.
+
+        Parameters
+        ----------
+        state:
+            Keep only jobs in this state, when given.
+        limit:
+            Page size.
+        offset:
+            Number of matching jobs to skip before the page.
+        tenant:
+            Keep only jobs recorded under this tenant, when given.
+        """
+        return self.jobs_page(state=state, limit=limit, offset=offset,
+                              tenant=tenant)["jobs"]
 
     def wait(self, job_id: int, timeout: float = 120.0, poll: float = 0.05) -> dict:
         """Poll until the job completes; returns its final status envelope.
@@ -186,17 +312,22 @@ class ServiceClient:
         path = f"/v1/jobs/{job_id}/stream"
         if timeout is not None:
             path += f"?timeout={timeout}"
-        request = urllib.request.Request(self.base_url + path)
+        response = self._open("GET", path)
+        if response.status >= 400:
+            data = self._finish(response)
+            raise ServiceError(
+                response.status, _error_message(data, response.reason))
         try:
-            response = self._urlopen(request)
-        except urllib.error.HTTPError as error:
-            raise ServiceError(error.code, _error_message(error)) from None
-        with response:
             for line in response:
                 line = line.rstrip(b"\n")
                 if not line:
                     continue
                 yield line if raw else json.loads(line.decode("utf-8"))
+        finally:
+            if not response.isclosed() or response.will_close:
+                # an abandoned stream leaves unread bytes on the socket;
+                # it can never carry another request
+                self._drop_connection()
 
     # -- corpus and introspection ---------------------------------------------
     def ingest(self, documents=None, remove=None) -> dict:
@@ -234,13 +365,13 @@ class ServiceClient:
         return self._request("POST", "/v1/cluster/rebalance", {})
 
 
-def _error_message(error: urllib.error.HTTPError) -> str:
+def _error_message(body: bytes, fallback: str) -> str:
     """The daemon's ``error`` field, or the raw body when not JSON."""
     try:
-        body = error.read().decode("utf-8")
-        return json.loads(body).get("error", body)
+        text = body.decode("utf-8")
+        return json.loads(text).get("error", text)
     except (ValueError, UnicodeDecodeError):
-        return error.reason
+        return fallback
 
 
 __all__ = ["JobFailedError", "ServiceClient", "ServiceError"]

@@ -55,7 +55,12 @@ from repro.api.registry import REGISTRY
 from repro.core.persistence import DEFAULT_BUSY_TIMEOUT_SECONDS, retry_on_busy
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.hashring import DEFAULT_RING_REPLICAS, HashRing, partition
-from repro.service.jobstore import JOBS_DATABASE_NAME, Job, JobStore
+from repro.service.jobstore import (
+    DEFAULT_BATCH_AGING,
+    JOBS_DATABASE_NAME,
+    Job,
+    JobStore,
+)
 from repro.service.scheduler import ReadWriteLock
 from repro.service.server import (
     ServiceValidationError,
@@ -63,6 +68,7 @@ from repro.service.server import (
     _JsonRequestHandler,
     validate_document_ids,
     validate_job_request,
+    validate_priority,
     validate_sources,
 )
 
@@ -277,6 +283,18 @@ class CoordinatorConfig:
     fanout_workers: int = 1
     #: emit one access-log line per request to stderr
     log_requests: bool = False
+    #: HTTP front end: ``threaded`` or ``asyncio`` (gateway + admission)
+    frontend: str = "threaded"
+    #: asyncio gateway: queued+running jobs beyond this are shed with 503
+    max_pending_jobs: int = 256
+    #: asyncio gateway: open connections beyond this are shed with 503
+    max_connections: int = 1024
+    #: asyncio gateway: path of a TOML/JSON per-tenant quota file
+    tenant_quotas: Optional[str] = None
+    #: asyncio gateway: coalesce concurrent identical job submissions
+    coalesce: bool = True
+    #: interactive claims a waiting batch job tolerates before it is served
+    batch_aging: int = DEFAULT_BATCH_AGING
 
     def resolved_names(self) -> Tuple[str, ...]:
         """Shard names, defaulted positionally and validated."""
@@ -301,6 +319,10 @@ class ClusterCoordinator:
     def __init__(self, config: CoordinatorConfig):
         if not config.workers:
             raise ValueError("a coordinator needs at least one worker URL")
+        if config.frontend not in ("threaded", "asyncio"):
+            raise ValueError(
+                f"frontend must be 'threaded' or 'asyncio', "
+                f"not {config.frontend!r}")
         self.config = config
         names = config.resolved_names()
         #: shard name -> worker base URL, in configuration order
@@ -309,7 +331,8 @@ class ClusterCoordinator:
         self.data_dir = Path(config.data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.started_at = time.time()
-        self.jobstore = JobStore(self.data_dir / JOBS_DATABASE_NAME)
+        self.jobstore = JobStore(self.data_dir / JOBS_DATABASE_NAME,
+                                 batch_aging=config.batch_aging)
         #: jobs requeued from a previous coordinator's crash, for /v1/stats
         self.recovered_jobs = self.jobstore.recover()
         self.journal = CorpusJournal(self.data_dir / CORPUS_DATABASE_NAME)
@@ -332,13 +355,14 @@ class ClusterCoordinator:
         self._running_jobs = 0
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
+        self._gateway = None  # AsyncGateway when frontend == "asyncio"
         self._stop_requested = threading.Event()
         self._stopped = False
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
-        """Bind the HTTP server and start the fan-out workers (idempotent)."""
-        if self._httpd is not None:
+        """Bind the HTTP front end and start the fan-out workers (idempotent)."""
+        if self._httpd is not None or self._gateway is not None:
             return
         for index in range(max(1, self.config.fanout_workers)):
             thread = threading.Thread(
@@ -346,6 +370,12 @@ class ClusterCoordinator:
                 daemon=True)
             thread.start()
             self._threads.append(thread)
+        if self.config.frontend == "asyncio":
+            from repro.service.gateway import AsyncGateway, GatewayConfig
+            self._gateway = AsyncGateway(
+                self, GatewayConfig.from_service_config(self.config))
+            self._gateway.start()
+            return
         self._httpd = ThreadingHTTPServer(
             (self.config.host, self.config.port),
             _handler_class(self, base=_CoordinatorRequestHandler))
@@ -358,6 +388,8 @@ class ClusterCoordinator:
     @property
     def port(self) -> int:
         """The actually bound TCP port (resolves ``port=0`` requests)."""
+        if self._gateway is not None:
+            return self._gateway.port
         if self._httpd is not None:
             return self._httpd.server_address[1]
         return self.config.port
@@ -384,6 +416,9 @@ class ClusterCoordinator:
         if self._http_thread is not None:
             self._http_thread.join()
             self._http_thread = None
+        if self._gateway is not None:
+            self._gateway.stop()
+            self._gateway = None
         self._stop_event.set()
         with self._wakeup:
             self._wakeup.notify_all()
@@ -410,11 +445,30 @@ class ClusterCoordinator:
         self.stop()
 
     # -- operations -----------------------------------------------------------
-    def submit(self, sources, analyses, options: Optional[dict] = None) -> Job:
-        """Validate and enqueue a job for fan-out across every shard."""
+    def submit(self, sources, analyses, options: Optional[dict] = None,
+               priority: Optional[str] = None,
+               tenant: Optional[str] = None) -> Job:
+        """Validate and enqueue a job for fan-out across every shard.
+
+        Parameters
+        ----------
+        sources:
+            ``[[id, source], ...]`` wire pairs to analyze.
+        analyses:
+            Analyzer ids to run, in order.
+        options:
+            Per-analyzer option mapping.
+        priority:
+            Scheduling lane (``interactive`` or ``batch``; the default);
+            forwarded to every shard sub-job at fan-out time.
+        tenant:
+            Tenant label recorded with the job (``X-Repro-Tenant``).
+        """
         sources, analyses, options = validate_job_request(
             sources, analyses, options, REGISTRY)
-        job = self.jobstore.submit(sources, analyses, options)
+        priority = validate_priority(priority)
+        job = self.jobstore.submit(sources, analyses, options,
+                                   priority=priority, tenant=tenant)
         with self._wakeup:
             self._wakeup.notify_all()
         return job
@@ -650,7 +704,8 @@ class ClusterCoordinator:
         for name in names:
             try:
                 remote = self.clients[name].submit(
-                    job.corpus, list(job.analyses), job.options or None)
+                    job.corpus, list(job.analyses), job.options or None,
+                    priority=job.priority, tenant=job.tenant)
             except ServiceError as error:
                 if 400 <= error.status < 500:
                     # a deterministic rejection: every shard would refuse
@@ -776,7 +831,9 @@ class _CoordinatorRequestHandler(_JsonRequestHandler):
             if parts == ["v1", "jobs"]:
                 job = self.service.submit(
                     payload.get("sources"), payload.get("analyses"),
-                    payload.get("options"))
+                    payload.get("options"),
+                    priority=payload.get("priority"),
+                    tenant=self.headers.get("X-Repro-Tenant"))
                 self._send_json(202, {"job": job.as_dict()})
             elif parts == ["v1", "corpus"]:
                 self._send_json(200, self.service.ingest(

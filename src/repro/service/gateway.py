@@ -1,0 +1,848 @@
+"""The asyncio gateway: event-loop HTTP front end with admission control.
+
+:class:`AsyncGateway` is the high-concurrency alternative to the
+``ThreadingHTTPServer`` front end of
+:class:`~repro.service.server.AnalysisService` — hand-rolled HTTP/1.1
+over :func:`asyncio.start_server` (stdlib only), with keep-alive and
+chunked NDJSON streaming, speaking the existing ``/v1/*`` wire protocol
+**byte-for-byte**: every response body is produced by the same payload
+builders the threaded handlers use, and the stream endpoint emits the
+identical chunk framing.  The :class:`~repro.service.jobstore.JobStore`
+/ :class:`~repro.service.scheduler.Scheduler` contract underneath is
+unchanged; the gateway fronts either an
+:class:`~repro.service.server.AnalysisService` or a
+:class:`~repro.service.coordinator.ClusterCoordinator` (detected by
+duck-typing the coordinator's ``cluster_status`` operation) and is
+selected per daemon with ``repro serve --frontend asyncio``.
+
+What the event loop buys over a thread per connection is an explicit
+**admission-control layer** — the daemon sheds load instead of hanging:
+
+* a **connection cap** (``--max-connections``): excess connections get
+  an immediate ``503`` and are closed;
+* a **bounded pending-job queue** (``--max-pending-jobs``): submissions
+  beyond it get ``503`` + ``Retry-After``;
+* **per-tenant token buckets and in-flight quotas** keyed on the
+  ``X-Repro-Tenant`` header (configured via ``--tenant-quotas``, a
+  small TOML or JSON file; see :func:`load_tenant_quotas`): a tenant
+  over its rate or in-flight budget gets ``429`` + ``Retry-After``
+  while other tenants are untouched;
+* **request coalescing**: concurrent identical submissions (same
+  analyzer set, same canonicalized options/priority, same source
+  content — hashed with :func:`coalesce_key`) attach to one underlying
+  job, each caller receiving the byte-identical envelope stream of that
+  single execution, with hit counts surfaced in ``/v1/stats``.
+
+All admission bookkeeping lives on the event loop (single-threaded, no
+locks); the blocking service operations — SQLite reads, job submission,
+corpus ingest — run in the loop's default thread-pool executor, so a
+thousand idle streaming connections cost coroutines, not threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import math
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+from urllib.parse import parse_qs, urlsplit
+
+from repro.api.envelope import canonical_json
+from repro.service.client import ServiceError
+from repro.service.jobstore import DEFAULT_PRIORITY, TERMINAL_STATES
+from repro.service.server import ROUTES as SERVER_ROUTES
+from repro.service.server import (
+    ServiceValidationError,
+    job_status_payload,
+    jobs_listing_payload,
+)
+
+#: every HTTP route the gateway serves in front of a single-node daemon —
+#: the exact surface of ``server.ROUTES``, kept in lockstep with
+#: ``docs/service.md`` by ``tools/check_api.py``; fronting a coordinator
+#: it serves ``coordinator.ROUTES`` instead
+ROUTES = SERVER_ROUTES
+
+#: tenant label applied when a request carries no ``X-Repro-Tenant``
+DEFAULT_TENANT = "default"
+
+#: reason phrases of every status the gateway emits
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    413: "Content Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits of one tenant; ``None`` fields are unlimited."""
+
+    #: sustained job submissions per second (token-bucket refill rate)
+    rate: Optional[float] = None
+    #: burst capacity of the token bucket (defaults to ``rate``)
+    burst: Optional[float] = None
+    #: maximum queued+running jobs this tenant may have at once
+    max_inflight: Optional[int] = None
+
+
+#: the quota applied when neither the tenant nor ``default`` is configured
+UNLIMITED_QUOTA = TenantQuota()
+
+_QUOTA_KEYS = ("rate", "burst", "max_inflight")
+
+
+def load_tenant_quotas(source: Union[str, Path, dict]) -> dict:
+    """Parse a ``--tenant-quotas`` file into ``{tenant: TenantQuota}``.
+
+    ``source`` is the path of a small TOML (``.toml``, Python 3.11+) or
+    JSON file — or an already-parsed mapping — shaped like::
+
+        {"default":  {"rate": 50, "burst": 100, "max_inflight": 32},
+         "tenant-a": {"rate": 5,  "max_inflight": 2}}
+
+    The ``default`` entry applies to every tenant without its own entry
+    (including requests that send no ``X-Repro-Tenant`` header at all).
+    Raises :class:`ValueError` on malformed files.
+    """
+    if isinstance(source, dict):
+        raw = source
+    else:
+        path = Path(source)
+        text = path.read_text(encoding="utf-8")
+        if path.suffix == ".toml":
+            try:
+                import tomllib
+            except ImportError:
+                raise ValueError(
+                    f"{path}: TOML tenant-quota files need Python 3.11+ "
+                    f"(tomllib); use the JSON form instead") from None
+            raw = tomllib.loads(text)
+        else:
+            try:
+                raw = json.loads(text)
+            except ValueError as error:
+                raise ValueError(f"{path}: not valid JSON: {error}") from None
+    if not isinstance(raw, dict):
+        raise ValueError(
+            "tenant quotas must be a mapping of tenant name to quota table")
+    quotas = {}
+    for tenant, entry in raw.items():
+        if not isinstance(entry, dict):
+            raise ValueError(
+                f"quota of tenant {tenant!r} must be a table, "
+                f"not {type(entry).__name__}")
+        unknown = sorted(set(entry) - set(_QUOTA_KEYS))
+        if unknown:
+            raise ValueError(
+                f"unknown quota keys for tenant {tenant!r}: "
+                f"{', '.join(unknown)} (known: {', '.join(_QUOTA_KEYS)})")
+        for key in _QUOTA_KEYS:
+            value = entry.get(key)
+            if value is not None and (
+                    not isinstance(value, (int, float))
+                    or isinstance(value, bool) or value <= 0):
+                raise ValueError(
+                    f"quota {key!r} of tenant {tenant!r} must be a "
+                    f"positive number")
+        quotas[tenant] = TenantQuota(
+            rate=entry.get("rate"),
+            burst=entry.get("burst"),
+            max_inflight=None if entry.get("max_inflight") is None
+            else int(entry["max_inflight"]))
+    return quotas
+
+
+def coalesce_key(payload: dict) -> str:
+    """The content hash under which identical submissions coalesce.
+
+    Two ``POST /v1/jobs`` bodies coalesce exactly when their canonical
+    JSON — analyzer set, options, priority lane, and the submitted
+    source content itself — is identical.  Tenants deliberately do not
+    participate: the underlying analysis is tenant-independent, so
+    cross-tenant duplicates share one execution too (each tenant's
+    *quota* is still charged at its own admission step).
+    """
+    material = canonical_json({
+        "sources": payload.get("sources"),
+        "analyses": payload.get("analyses"),
+        "options": payload.get("options") or {},
+        "priority": payload.get("priority") or DEFAULT_PRIORITY,
+    })
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class _TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity."""
+
+    def __init__(self, rate: float, burst: float):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = time.monotonic()
+
+    def acquire(self) -> float:
+        """Take one token; returns 0.0, or seconds until one is available."""
+        now = time.monotonic()
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self.updated) * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Typed configuration of an :class:`AsyncGateway` front end."""
+
+    host: str = "127.0.0.1"
+    #: TCP port; ``0`` binds an ephemeral free port
+    port: int = 0
+    #: queued+running jobs beyond this are shed with 503 + Retry-After
+    max_pending_jobs: int = 256
+    #: open connections beyond this are shed with an immediate 503
+    max_connections: int = 1024
+    #: per-tenant admission limits (see :func:`load_tenant_quotas`)
+    tenant_quotas: dict = field(default_factory=dict)
+    #: coalesce concurrent identical job submissions
+    coalesce: bool = True
+    #: idle keep-alive connections are closed after this many seconds
+    keepalive_timeout: float = 30.0
+    #: request bodies beyond this are refused with 413
+    max_body_bytes: int = 256 * 1024 * 1024
+    #: request heads beyond this are refused with 431
+    max_header_bytes: int = 65536
+    #: stream-endpoint poll interval (matches the threaded front end)
+    poll_interval: float = 0.05
+    #: ``Retry-After`` seconds suggested on a full pending-job queue
+    retry_after: float = 1.0
+
+    @classmethod
+    def from_service_config(cls, config) -> "GatewayConfig":
+        """Build from a ``ServiceConfig`` or ``CoordinatorConfig``.
+
+        Reads the shared daemon knobs (bind address, gateway bounds,
+        quota-file path) off whichever config class carries them.
+        """
+        quotas = config.tenant_quotas
+        if quotas and not (isinstance(quotas, dict) and all(
+                isinstance(quota, TenantQuota) for quota in quotas.values())):
+            # a file path, or a raw {"tenant": {"rate": ...}} mapping
+            quotas = load_tenant_quotas(quotas)
+        return cls(
+            host=config.host,
+            port=config.port,
+            max_pending_jobs=config.max_pending_jobs,
+            max_connections=config.max_connections,
+            tenant_quotas=quotas or {},
+            coalesce=config.coalesce,
+            poll_interval=config.poll_interval,
+        )
+
+
+class AsyncGateway:
+    """The asyncio HTTP front end of one daemon (see the module docstring).
+
+    Parameters
+    ----------
+    service:
+        The daemon to front: an ``AnalysisService`` or a
+        ``ClusterCoordinator`` (anything exposing the shared operations
+        surface — ``jobstore``, ``submit``, ``ingest``, ``corpus``,
+        ``health``, ``stats``).
+    config:
+        The gateway's own knobs; bind address and port included.
+
+    The event loop runs in one dedicated daemon thread;
+    :meth:`start` blocks until the socket is bound (so :attr:`port` is
+    immediately authoritative) and :meth:`stop` joins the thread.
+    """
+
+    def __init__(self, service, config: Optional[GatewayConfig] = None):
+        self.service = service
+        self.config = config if config is not None else GatewayConfig()
+        #: coordinator daemons expose cluster routes instead of streams
+        self._is_coordinator = hasattr(service, "cluster_status")
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._admission_lock: Optional[asyncio.Lock] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._bound_port: Optional[int] = None
+        self._tasks: set = set()
+        self._open_connections = 0
+        #: tenant -> token bucket (created on first submission)
+        self._buckets: dict = {}
+        #: tenant -> set of queued/running job ids (pruned via states())
+        self._inflight: dict = {}
+        #: coalesce_key -> job id of the live underlying job
+        self._coalesce_index: dict = {}
+        self._counters = {
+            "connections_opened": 0,
+            "requests": 0,
+            "coalesce_hits": 0,
+            "coalesce_misses": 0,
+            "shed_connections": 0,
+            "shed_queue_full": 0,
+            "shed_rate_limited": 0,
+            "shed_inflight": 0,
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        """Bind the socket and start serving; blocks until bound (idempotent)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-gateway", daemon=True)
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            error = self._startup_error
+            self._thread.join()
+            self._thread = None
+            self._startup_error = None
+            raise error
+
+    def stop(self) -> None:
+        """Stop serving, cancel open handlers, join the loop (idempotent)."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join()
+        self._thread = None
+        self._loop = None
+
+    @property
+    def port(self) -> int:
+        """The actually bound TCP port (resolves ``port=0`` requests)."""
+        if self._bound_port is not None:
+            return self._bound_port
+        return self.config.port
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve())
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
+
+    async def _serve(self) -> None:
+        self._stop_event = asyncio.Event()
+        self._admission_lock = asyncio.Lock()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port,
+                limit=self.config.max_header_bytes)
+        except OSError as error:
+            self._startup_error = error
+            self._ready.set()
+            return
+        self._bound_port = self._server.sockets[0].getsockname()[1]
+        self._ready.set()
+        await self._stop_event.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    # -- connection handling --------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._tasks.add(task)
+        self._counters["connections_opened"] += 1
+        try:
+            if self._open_connections >= self.config.max_connections:
+                # shed before reading anything: an immediate, explicit 503
+                # beats a connection parked in an invisible accept queue
+                self._counters["shed_connections"] += 1
+                await self._send_json(
+                    writer, 503, {"error": "too many open connections"},
+                    extra=(("Retry-After", _retry_after_value(
+                        self.config.retry_after)),),
+                    keep=False)
+                return
+            self._open_connections += 1
+            try:
+                await self._connection_loop(reader, writer)
+            finally:
+                self._open_connections -= 1
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass  # client hung up (or shutdown); nothing to answer
+        except Exception:  # noqa: BLE001 — a handler crash must not kill the loop
+            traceback.print_exc()
+        finally:
+            self._tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _connection_loop(self, reader, writer) -> None:
+        """Serve requests on one connection until close or idle timeout."""
+        while True:
+            try:
+                head = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"),
+                    timeout=self.config.keepalive_timeout)
+            except (asyncio.TimeoutError, TimeoutError,
+                    asyncio.IncompleteReadError, ConnectionResetError):
+                return  # idle keep-alive expired, or the client closed
+            except asyncio.LimitOverrunError:
+                await self._send_json(
+                    writer, 431, {"error": "request head too large"},
+                    keep=False)
+                return
+            if not await self._handle_request(head, reader, writer):
+                return
+
+    async def _handle_request(self, head: bytes, reader, writer) -> bool:
+        """Parse and dispatch one request; returns keep-alive?"""
+        try:
+            method, target, version, headers = _parse_request_head(head)
+        except ValueError as error:
+            await self._send_json(writer, 400, {"error": str(error)},
+                                  keep=False)
+            return False
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            await self._send_json(
+                writer, 400, {"error": "malformed Content-Length"}, keep=False)
+            return False
+        if length > self.config.max_body_bytes:
+            await self._send_json(
+                writer, 413, {"error": "request body too large"}, keep=False)
+            return False
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return False
+        keep = (version == "HTTP/1.1"
+                and headers.get("connection", "").lower() != "close")
+        self._counters["requests"] += 1
+        try:
+            return await self._dispatch(method, target, headers, body,
+                                        writer, keep)
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 — fail the request, not the loop
+            traceback.print_exc()
+            try:
+                await self._send_json(
+                    writer, 500,
+                    {"error": f"internal error: "
+                              f"{type(error).__name__}: {error}"},
+                    keep=False)
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            return False
+
+    # -- routing --------------------------------------------------------------
+    async def _call(self, func, *args):
+        """Run one blocking service operation in the executor pool."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, lambda: func(*args))
+
+    async def _dispatch(self, method, target, headers, body, writer,
+                        keep: bool) -> bool:
+        url = urlsplit(target)
+        parts = [part for part in url.path.split("/") if part]
+        query = parse_qs(url.query, keep_blank_values=True)
+        service = self.service
+        if method == "GET":
+            if parts == ["v1", "healthz"]:
+                await self._send_json(writer, 200,
+                                      await self._call(service.health),
+                                      keep=keep)
+            elif parts == ["v1", "stats"]:
+                payload = await self._call(service.stats)
+                payload["gateway"] = self.gateway_stats()
+                await self._send_json(writer, 200, payload, keep=keep)
+            elif parts == ["v1", "cluster"] and self._is_coordinator:
+                await self._send_json(writer, 200,
+                                      await self._call(service.cluster_status),
+                                      keep=keep)
+            elif parts == ["v1", "corpus"]:
+                await self._send_json(writer, 200,
+                                      await self._call(service.corpus),
+                                      keep=keep)
+            elif parts == ["v1", "jobs"]:
+                try:
+                    payload = await self._call(
+                        jobs_listing_payload, service.jobstore, query)
+                except ServiceValidationError as error:
+                    await self._send_json(writer, 400, {"error": str(error)},
+                                          keep=keep)
+                    return keep
+                await self._send_json(writer, 200, payload, keep=keep)
+            elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                job = await self._job_or_404(parts[2], writer, keep)
+                if job is not None:
+                    await self._send_json(
+                        writer, 200,
+                        await self._call(job_status_payload,
+                                         service.jobstore, job, query),
+                        keep=keep)
+            elif (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
+                    and parts[3] == "stream" and not self._is_coordinator):
+                job = await self._job_or_404(parts[2], writer, keep)
+                if job is not None:
+                    return await self._stream_job(job, query, writer, keep)
+            else:
+                await self._send_json(
+                    writer, 404,
+                    {"error": f"no such endpoint: GET {url.path}"}, keep=keep)
+        elif method == "POST":
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                await self._send_json(
+                    writer, 400, {"error": "request body is not valid JSON"},
+                    keep=keep)
+                return keep
+            if not isinstance(payload, dict):
+                await self._send_json(
+                    writer, 400, {"error": "request body must be a JSON object"},
+                    keep=keep)
+                return keep
+            if parts == ["v1", "jobs"]:
+                return await self._submit_job(payload, headers, writer, keep)
+            try:
+                if parts == ["v1", "corpus"]:
+                    await self._send_json(
+                        writer, 200,
+                        await self._call(service.ingest,
+                                         payload.get("documents"),
+                                         payload.get("remove", ())),
+                        keep=keep)
+                elif (parts == ["v1", "cluster", "rebalance"]
+                        and self._is_coordinator):
+                    await self._send_json(writer, 200,
+                                          await self._call(service.rebalance),
+                                          keep=keep)
+                else:
+                    await self._send_json(
+                        writer, 404,
+                        {"error": f"no such endpoint: POST {url.path}"},
+                        keep=keep)
+            except ServiceValidationError as error:
+                await self._send_json(writer, 400, {"error": str(error)},
+                                      keep=keep)
+            except (ServiceError, OSError) as error:
+                # coordinator parity: a worker refused or died mid-routing
+                # is the broken dependency, so answer as a bad gateway
+                await self._send_json(
+                    writer, 502, {"error": f"shard unreachable: {error}"},
+                    keep=keep)
+        else:
+            await self._send_json(
+                writer, 501, {"error": f"unsupported method {method}"},
+                keep=False)
+            return False
+        return keep
+
+    async def _job_or_404(self, raw_id: str, writer, keep: bool):
+        """Resolve a path job id (404 messages identical to the threaded)."""
+        try:
+            job_id = int(raw_id)
+        except ValueError:
+            await self._send_json(
+                writer, 404, {"error": f"malformed job id {raw_id!r}"},
+                keep=keep)
+            return None
+        job = await self._call(self.service.jobstore.get, job_id)
+        if job is None:
+            await self._send_json(writer, 404, {"error": f"no job {job_id}"},
+                                  keep=keep)
+        return job
+
+    # -- admission-controlled submission --------------------------------------
+    def _quota(self, tenant: str) -> TenantQuota:
+        quotas = self.config.tenant_quotas
+        quota = quotas.get(tenant)
+        if quota is None:
+            quota = quotas.get(DEFAULT_TENANT, UNLIMITED_QUOTA)
+        return quota
+
+    async def _prune_inflight(self, tenant: str) -> set:
+        """Drop finished jobs from one tenant's in-flight set."""
+        inflight = self._inflight.setdefault(tenant, set())
+        if inflight:
+            states = await self._call(self.service.jobstore.states,
+                                      tuple(inflight))
+            inflight.intersection_update(
+                job_id for job_id, state in states.items()
+                if state not in TERMINAL_STATES)
+        return inflight
+
+    async def _submit_job(self, payload, headers, writer, keep: bool) -> bool:
+        """``POST /v1/jobs`` behind the full admission-control stack.
+
+        Order of the checks: token bucket (cheapest, charges every
+        attempt), then coalescing (a hit consumes no queue slot and no
+        in-flight budget), then the global pending bound, then the
+        tenant's in-flight quota, then the actual submission.
+        """
+        tenant = headers.get("x-repro-tenant") or DEFAULT_TENANT
+        quota = self._quota(tenant)
+        if quota.rate is not None:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                burst = quota.burst if quota.burst is not None else quota.rate
+                bucket = self._buckets[tenant] = _TokenBucket(
+                    quota.rate, burst)
+            wait = bucket.acquire()
+            if wait > 0.0:
+                self._counters["shed_rate_limited"] += 1
+                await self._send_json(
+                    writer, 429,
+                    {"error": f"tenant {tenant!r} exceeded its submission "
+                              f"rate ({quota.rate:g}/s)"},
+                    extra=(("Retry-After", _retry_after_value(wait)),),
+                    keep=keep)
+                return keep
+        # the remaining checks and the submission run under one lock, so
+        # N concurrent identical submissions resolve to exactly one job:
+        # the first creates it, the rest observe it in the coalesce index
+        async with self._admission_lock:
+            key = None
+            if self.config.coalesce:
+                key = coalesce_key(payload)
+                attached = await self._attached_job(key)
+                if attached is not None:
+                    self._counters["coalesce_hits"] += 1
+                    response = {"job": attached.as_dict(), "coalesced": True}
+                    await self._send_json(writer, 202, response, keep=keep)
+                    return keep
+            depth = await self._call(self.service.jobstore.queue_depth)
+            if depth >= self.config.max_pending_jobs:
+                self._counters["shed_queue_full"] += 1
+                await self._send_json(
+                    writer, 503,
+                    {"error": f"job queue full ({depth} jobs pending)"},
+                    extra=(("Retry-After", _retry_after_value(
+                        self.config.retry_after)),),
+                    keep=keep)
+                return keep
+            if quota.max_inflight is not None:
+                inflight = await self._prune_inflight(tenant)
+                if len(inflight) >= quota.max_inflight:
+                    self._counters["shed_inflight"] += 1
+                    await self._send_json(
+                        writer, 429,
+                        {"error": f"tenant {tenant!r} has {len(inflight)} "
+                                  f"jobs in flight "
+                                  f"(limit {quota.max_inflight})"},
+                        extra=(("Retry-After", _retry_after_value(
+                            self.config.retry_after)),),
+                        keep=keep)
+                    return keep
+            try:
+                job = await self._call(
+                    lambda: self.service.submit(
+                        payload.get("sources"), payload.get("analyses"),
+                        payload.get("options"),
+                        priority=payload.get("priority"),
+                        tenant=headers.get("x-repro-tenant")))
+            except ServiceValidationError as error:
+                await self._send_json(writer, 400, {"error": str(error)},
+                                      keep=keep)
+                return keep
+            if key is not None:
+                self._counters["coalesce_misses"] += 1
+                self._coalesce_index[key] = job.job_id
+                if len(self._coalesce_index) > 4 * self.config.max_pending_jobs:
+                    await self._sweep_coalesce_index()
+            if quota.max_inflight is not None:
+                self._inflight.setdefault(tenant, set()).add(job.job_id)
+        await self._send_json(writer, 202, {"job": job.as_dict()}, keep=keep)
+        return keep
+
+    async def _attached_job(self, key: str):
+        """The live job an identical submission attaches to, if any.
+
+        Entries whose job finished (or vanished) are evicted lazily: a
+        completed job's results are that execution's — a *new* identical
+        submission after completion runs again, by design.
+        """
+        job_id = self._coalesce_index.get(key)
+        if job_id is None:
+            return None
+        job = await self._call(self.service.jobstore.get, job_id)
+        if job is None or job.state in TERMINAL_STATES:
+            self._coalesce_index.pop(key, None)
+            return None
+        return job
+
+    async def _sweep_coalesce_index(self) -> None:
+        """Evict every finished job from the coalesce index in one query."""
+        states = await self._call(self.service.jobstore.states,
+                                  tuple(self._coalesce_index.values()))
+        self._coalesce_index = {
+            key: job_id for key, job_id in self._coalesce_index.items()
+            if states.get(job_id) not in (*TERMINAL_STATES, None)}
+
+    # -- streaming ------------------------------------------------------------
+    async def _stream_job(self, job, query, writer, keep: bool) -> bool:
+        """Chunked NDJSON, byte-identical framing to the threaded server.
+
+        Each envelope line is one chunk (``%X\\r\\n<line>\\r\\n``) of the
+        stored canonical JSON plus the newline, closed by ``0\\r\\n\\r\\n``
+        — the exact bytes ``_ServiceRequestHandler._stream_job`` writes.
+        """
+        try:
+            timeout = float(query["timeout"][0]) if "timeout" in query else None
+        except ValueError:
+            await self._send_json(
+                writer, 400, {"error": "'timeout' must be a number"}, keep=keep)
+            return keep
+        head = [b"HTTP/1.1 200 OK",
+                b"Content-Type: application/x-ndjson",
+                b"Transfer-Encoding: chunked"]
+        if not keep:
+            head.append(b"Connection: close")
+        writer.write(b"\r\n".join(head) + b"\r\n\r\n")
+        jobstore = self.service.jobstore
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        last_seq = -1
+        while True:
+            # state before results: a terminal state observed here
+            # guarantees the fetch below has the complete tail
+            current = await self._call(jobstore.get, job.job_id)
+            for seq, envelope in await self._call(
+                    jobstore.results, job.job_id, last_seq):
+                data = envelope.encode("utf-8") + b"\n"
+                writer.write(b"%X\r\n" % len(data) + data + b"\r\n")
+                last_seq = seq
+            await writer.drain()
+            if current is None or current.state in TERMINAL_STATES:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            await asyncio.sleep(self.config.poll_interval)
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        return keep
+
+    # -- responses ------------------------------------------------------------
+    async def _send_json(self, writer, status: int, payload: dict,
+                         extra=(), keep: bool = True) -> None:
+        """Write one JSON response (body bytes match the threaded server)."""
+        body = json.dumps(payload).encode("utf-8")
+        lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                 "Content-Type: application/json",
+                 f"Content-Length: {len(body)}"]
+        for name, value in extra:
+            lines.append(f"{name}: {value}")
+        if not keep:
+            lines.append("Connection: close")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+    # -- introspection --------------------------------------------------------
+    def gateway_stats(self) -> dict:
+        """The ``gateway`` block the asyncio front end adds to ``/v1/stats``."""
+        counters = self._counters
+        return {
+            "frontend": "asyncio",
+            "open_connections": self._open_connections,
+            "connections_opened": counters["connections_opened"],
+            "requests": counters["requests"],
+            "coalesce": {
+                "enabled": self.config.coalesce,
+                "hits": counters["coalesce_hits"],
+                "misses": counters["coalesce_misses"],
+                "tracked": len(self._coalesce_index),
+            },
+            "shed": {
+                "connections": counters["shed_connections"],
+                "queue_full": counters["shed_queue_full"],
+                "rate_limited": counters["shed_rate_limited"],
+                "inflight": counters["shed_inflight"],
+            },
+            "limits": {
+                "max_pending_jobs": self.config.max_pending_jobs,
+                "max_connections": self.config.max_connections,
+                "tenants_configured": sorted(self.config.tenant_quotas),
+            },
+            "tenants": {
+                tenant: {"inflight": len(ids)}
+                for tenant, ids in sorted(self._inflight.items()) if ids
+            },
+        }
+
+
+def _retry_after_value(seconds: float) -> str:
+    """``Retry-After`` header value: whole seconds, at least 1."""
+    if not math.isfinite(seconds):
+        return "60"
+    return str(max(1, math.ceil(seconds)))
+
+
+def _parse_request_head(head: bytes) -> tuple:
+    """Parse a raw HTTP/1.x request head into (method, target, version, headers).
+
+    Header names are lower-cased; values are stripped.  Raises
+    :class:`ValueError` on anything malformed.
+    """
+    lines = head.decode("latin-1").split("\r\n")
+    request_parts = lines[0].split(" ")
+    if len(request_parts) != 3:
+        raise ValueError(f"malformed request line {lines[0]!r}")
+    method, target, version = request_parts
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise ValueError(f"unsupported protocol version {version!r}")
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise ValueError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return method, target, version, headers
+
+
+__all__ = [
+    "AsyncGateway",
+    "DEFAULT_TENANT",
+    "GatewayConfig",
+    "ROUTES",
+    "TenantQuota",
+    "UNLIMITED_QUOTA",
+    "coalesce_key",
+    "load_tenant_quotas",
+]

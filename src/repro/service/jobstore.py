@@ -13,6 +13,15 @@ job back to ``queued`` and drops its partial results, so each job's
 envelopes are computed exactly once per completion — no lost jobs, no
 duplicated results.
 
+Jobs carry a **priority lane** (``interactive`` or ``batch``; the
+default) and an optional **tenant** label.  :meth:`JobStore.claim_next`
+serves the interactive lane first but keeps an *aging credit* for the
+batch lane: after ``batch_aging`` consecutive interactive claims made
+while a batch job was waiting, the oldest batch job is claimed instead.
+Within a lane, claims are strictly FIFO — an all-batch queue (every job
+submitted without an explicit priority) behaves exactly like the
+pre-lane store.
+
 Results are stored one row per envelope, in completion order, as
 *canonical JSON* strings (:func:`repro.api.envelope.canonical_json`).
 Storing the exact wire bytes is what lets the HTTP layer serve results
@@ -45,6 +54,15 @@ JOB_STATES = ("queued", "running", "done", "failed")
 #: job states that will never change again
 TERMINAL_STATES = ("done", "failed")
 
+#: the two scheduling lanes, in claim-preference order
+PRIORITY_LANES = ("interactive", "batch")
+
+#: the lane given to jobs submitted without an explicit priority
+DEFAULT_PRIORITY = "batch"
+
+#: consecutive interactive claims allowed while a batch job waits
+DEFAULT_BATCH_AGING = 4
+
 #: file name of the SQLite database inside a service data directory
 JOBS_DATABASE_NAME = "jobs.sqlite"
 
@@ -59,7 +77,9 @@ CREATE TABLE IF NOT EXISTS jobs (
     submitted REAL NOT NULL,
     started   REAL,
     finished  REAL,
-    fanout    TEXT
+    fanout    TEXT,
+    priority  TEXT NOT NULL DEFAULT 'batch',
+    tenant    TEXT
 );
 CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, id);
 CREATE TABLE IF NOT EXISTS job_results (
@@ -91,6 +111,10 @@ class Job:
     #: (``{"shards": {name: remote_job_id}, "degraded": [name, ...]}``);
     #: ``None`` on single-node daemons and before fan-out starts
     fanout: Optional[dict] = None
+    #: scheduling lane (``interactive`` or ``batch``)
+    priority: str = DEFAULT_PRIORITY
+    #: tenant label recorded at submission (``X-Repro-Tenant``), if any
+    tenant: Optional[str] = None
 
     @property
     def elapsed_seconds(self) -> Optional[float]:
@@ -116,7 +140,10 @@ class Job:
             "finished": self.finished,
             "elapsed_seconds": self.elapsed_seconds,
             "corpus_size": len(self.corpus),
+            "priority": self.priority,
         }
+        if self.tenant is not None:
+            data["tenant"] = self.tenant
         if self.fanout is not None:
             data["fanout"] = self.fanout
         if include_corpus:
@@ -134,13 +161,22 @@ class JobStore:
     busy_timeout_seconds:
         How long SQLite itself waits on a locked database before the
         :func:`~repro.core.persistence.retry_on_busy` layer kicks in.
+    batch_aging:
+        Anti-starvation credit for the batch lane: after this many
+        consecutive interactive claims made while a batch job was
+        waiting, :meth:`claim_next` serves the batch lane once.
     """
 
     def __init__(
         self,
         path: Union[str, Path],
         busy_timeout_seconds: float = DEFAULT_BUSY_TIMEOUT_SECONDS,
+        batch_aging: int = DEFAULT_BATCH_AGING,
     ):
+        if batch_aging < 1:
+            raise ValueError("batch_aging must be >= 1")
+        self.batch_aging = batch_aging
+        self._interactive_streak = 0
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
@@ -152,6 +188,19 @@ class JobStore:
         if "fanout" not in columns:
             # Databases written before shard fan-out bookkeeping existed.
             self._connection.execute("ALTER TABLE jobs ADD COLUMN fanout TEXT")
+        if "priority" not in columns:
+            # Databases written before priority lanes existed: every old
+            # row lands in the batch lane, preserving its FIFO position.
+            self._connection.execute(
+                "ALTER TABLE jobs ADD COLUMN priority TEXT NOT NULL "
+                f"DEFAULT '{DEFAULT_PRIORITY}'")
+        if "tenant" not in columns:
+            self._connection.execute("ALTER TABLE jobs ADD COLUMN tenant TEXT")
+        # Created after the column migration: pre-priority databases do
+        # not have the column yet when the schema script runs.
+        self._connection.execute(
+            "CREATE INDEX IF NOT EXISTS jobs_by_lane "
+            "ON jobs (state, priority, id)")
         self._connection.execute("PRAGMA journal_mode=WAL")
         self._connection.execute(
             f"PRAGMA busy_timeout={int(busy_timeout_seconds * 1000)}")
@@ -185,45 +234,92 @@ class JobStore:
 
     # -- submission and claiming ----------------------------------------------
     def submit(self, corpus: Iterable, analyses: Iterable[str],
-               options: Optional[dict] = None) -> Job:
-        """Enqueue a job; returns it in ``queued`` state with its id assigned."""
+               options: Optional[dict] = None,
+               priority: Optional[str] = None,
+               tenant: Optional[str] = None) -> Job:
+        """Enqueue a job; returns it in ``queued`` state with its id assigned.
+
+        Parameters
+        ----------
+        corpus:
+            ``[id, source]`` pairs, stored exactly as submitted.
+        analyses:
+            Analyzer ids to run, in order.
+        options:
+            Per-analyzer option mapping.
+        priority:
+            Scheduling lane; ``None`` means :data:`DEFAULT_PRIORITY`.
+        tenant:
+            Optional tenant label recorded with the job.
+        """
         corpus = [list(pair) for pair in corpus]
         analyses = tuple(analyses)
         options = dict(options or {})
+        if priority is None:
+            priority = DEFAULT_PRIORITY
+        if priority not in PRIORITY_LANES:
+            raise ValueError(
+                f"priority must be one of {'|'.join(PRIORITY_LANES)}, "
+                f"not {priority!r}")
         now = time.time()
         with self._lock:
             cursor = self._execute(
-                "INSERT INTO jobs (state, analyses, corpus, options, submitted) "
-                "VALUES ('queued', ?, ?, ?, ?)",
+                "INSERT INTO jobs (state, analyses, corpus, options, "
+                "submitted, priority, tenant) "
+                "VALUES ('queued', ?, ?, ?, ?, ?, ?)",
                 (json.dumps(list(analyses)), json.dumps(corpus),
-                 json.dumps(options), now))
+                 json.dumps(options), now, priority, tenant))
             job_id = cursor.lastrowid
         return Job(job_id=job_id, state="queued", analyses=analyses,
-                   corpus=corpus, options=options, submitted=now)
+                   corpus=corpus, options=options, submitted=now,
+                   priority=priority, tenant=tenant)
 
     def claim_next(self) -> Optional[Job]:
-        """Atomically move the oldest ``queued`` job to ``running`` and return it.
+        """Atomically move the next ``queued`` job to ``running`` and return it.
 
-        FIFO by job id.  The claim runs inside ``BEGIN IMMEDIATE`` so two
-        daemons sharing one database can never claim the same job.
+        The interactive lane is served first, FIFO within each lane, but
+        a waiting batch job is passed over by at most ``batch_aging``
+        consecutive interactive claims before it is served (the aging
+        credit), so batch work cannot starve under a steady interactive
+        stream.  An all-batch queue drains in strict submission order —
+        identical to the pre-lane store.  The claim runs inside
+        ``BEGIN IMMEDIATE`` so two daemons sharing one database can
+        never claim the same job.
         """
         with self._lock:
             self._execute("BEGIN IMMEDIATE")
             try:
-                row = self._execute(
-                    "SELECT id FROM jobs WHERE state = 'queued' "
-                    "ORDER BY id LIMIT 1").fetchone()
-                if row is not None:
+                heads = dict(self._execute(
+                    "SELECT priority, MIN(id) FROM jobs "
+                    "WHERE state = 'queued' GROUP BY priority").fetchall())
+                interactive = heads.get("interactive")
+                batch = heads.get("batch")
+                if interactive is not None and batch is not None:
+                    if self._interactive_streak >= self.batch_aging:
+                        job_id = batch
+                    else:
+                        job_id = interactive
+                elif interactive is not None:
+                    job_id = interactive
+                else:
+                    job_id = batch
+                if job_id is not None:
+                    if job_id == batch:
+                        self._interactive_streak = 0
+                    elif batch is not None:
+                        # Only count claims that actually pass over a
+                        # waiting batch job toward the aging credit.
+                        self._interactive_streak += 1
                     self._execute(
                         "UPDATE jobs SET state = 'running', started = ? "
-                        "WHERE id = ?", (time.time(), row[0]))
+                        "WHERE id = ?", (time.time(), job_id))
             except BaseException:
                 self._rollback()
                 raise
             self._execute("COMMIT")
-            if row is None:
+            if job_id is None:
                 return None
-            return self._read_job(row[0])
+            return self._read_job(job_id)
 
     # -- results --------------------------------------------------------------
     def append_result(self, job_id: int, seq: int, envelope_json: str) -> None:
@@ -271,7 +367,8 @@ class JobStore:
     def _read_job(self, job_id: int) -> Optional[Job]:
         row = self._execute(
             "SELECT id, state, analyses, corpus, options, error, submitted, "
-            "started, finished, fanout FROM jobs WHERE id = ?",
+            "started, finished, fanout, priority, tenant "
+            "FROM jobs WHERE id = ?",
             (job_id,)).fetchone()
         if row is None:
             return None
@@ -279,20 +376,68 @@ class JobStore:
                    analyses=tuple(json.loads(row[2])), corpus=json.loads(row[3]),
                    options=json.loads(row[4]), error=row[5], submitted=row[6],
                    started=row[7], finished=row[8],
-                   fanout=None if row[9] is None else json.loads(row[9]))
+                   fanout=None if row[9] is None else json.loads(row[9]),
+                   priority=row[10], tenant=row[11])
 
-    def list_jobs(self, state: Optional[str] = None, limit: int = 100) -> list:
-        """The most recent jobs (newest first), optionally filtered by state."""
+    @staticmethod
+    def _filter_clause(state: Optional[str], tenant: Optional[str]):
+        clauses, parameters = [], []
+        if state is not None:
+            clauses.append("state = ?")
+            parameters.append(state)
+        if tenant is not None:
+            clauses.append("tenant = ?")
+            parameters.append(tenant)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        return where, parameters
+
+    def list_jobs(self, state: Optional[str] = None, limit: int = 100,
+                  offset: int = 0, tenant: Optional[str] = None) -> list:
+        """A page of jobs (newest first), filtered by state and/or tenant.
+
+        Parameters
+        ----------
+        state:
+            Keep only jobs in this state, when given.
+        limit:
+            Page size (number of jobs returned at most).
+        offset:
+            Number of matching jobs to skip before the page starts.
+        tenant:
+            Keep only jobs recorded under this tenant, when given.
+        """
+        where, parameters = self._filter_clause(state, tenant)
         with self._lock:
-            if state is None:
-                rows = self._execute(
-                    "SELECT id FROM jobs ORDER BY id DESC LIMIT ?",
-                    (limit,)).fetchall()
-            else:
-                rows = self._execute(
-                    "SELECT id FROM jobs WHERE state = ? ORDER BY id DESC LIMIT ?",
-                    (state, limit)).fetchall()
+            rows = self._execute(
+                f"SELECT id FROM jobs{where} ORDER BY id DESC LIMIT ? OFFSET ?",
+                (*parameters, limit, offset)).fetchall()
             return [self._read_job(row[0]) for row in rows]
+
+    def count_jobs(self, state: Optional[str] = None,
+                   tenant: Optional[str] = None) -> int:
+        """Total number of jobs matching the ``list_jobs`` filters."""
+        where, parameters = self._filter_clause(state, tenant)
+        with self._lock:
+            row = self._execute(
+                f"SELECT COUNT(*) FROM jobs{where}", tuple(parameters)).fetchone()
+        return row[0]
+
+    def states(self, job_ids: Iterable[int]) -> dict:
+        """``{job_id: state}`` for every known id in ``job_ids``, in bulk.
+
+        One query instead of one :meth:`get` per id — the gateway uses
+        this to prune finished jobs from per-tenant in-flight sets on
+        every admission decision.
+        """
+        ids = [int(job_id) for job_id in job_ids]
+        if not ids:
+            return {}
+        placeholders = ",".join("?" for _ in ids)
+        with self._lock:
+            rows = self._execute(
+                f"SELECT id, state FROM jobs WHERE id IN ({placeholders})",
+                tuple(ids)).fetchall()
+        return dict(rows)
 
     def counts(self) -> dict:
         """Jobs per state (every state present, zero when empty)."""
@@ -341,9 +486,12 @@ class JobStore:
 
 
 __all__ = [
+    "DEFAULT_BATCH_AGING",
+    "DEFAULT_PRIORITY",
     "JOB_STATES",
     "JOBS_DATABASE_NAME",
     "Job",
     "JobStore",
+    "PRIORITY_LANES",
     "TERMINAL_STATES",
 ]

@@ -132,6 +132,8 @@ class Scheduler:
         self._running_jobs = 0
         self.jobs_completed = 0
         self.jobs_failed = 0
+        #: completed jobs per priority lane, for /v1/stats
+        self.jobs_by_lane = {"interactive": 0, "batch": 0}
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
@@ -220,6 +222,8 @@ class Scheduler:
                     job.job_id, seq, canonical_json(envelope))
             self.jobstore.finish(job.job_id, "done")
             self.jobs_completed += 1
+            if job.priority in self.jobs_by_lane:
+                self.jobs_by_lane[job.priority] += 1
         except Exception as error:  # a failed job must never kill the worker
             self.jobs_failed += 1
             try:

@@ -44,7 +44,14 @@ from repro.api.session import AnalysisSession, SessionConfig
 from repro.ccd.detector import CloneDetector
 from repro.ccd.index_io import MANIFEST_NAME, append_to_index
 from repro.ccd.score_memo import SCORE_MEMO_NAME, ScoreMemoTable
-from repro.service.jobstore import JOBS_DATABASE_NAME, Job, JobStore
+from repro.service.jobstore import (
+    DEFAULT_BATCH_AGING,
+    JOB_STATES,
+    JOBS_DATABASE_NAME,
+    PRIORITY_LANES,
+    Job,
+    JobStore,
+)
 from repro.service.scheduler import ReadWriteLock, Scheduler
 
 #: every HTTP route the daemon serves — kept in lockstep with
@@ -119,6 +126,20 @@ def validate_job_request(sources, analyses, options, registry) -> tuple:
     return sources, list(analyses), options
 
 
+def validate_priority(priority) -> str:
+    """Validate a wire ``priority`` field into a lane name.
+
+    ``None`` (field omitted) means the default batch lane, so clients
+    predating priority lanes keep their exact scheduling behavior.
+    """
+    if priority is None:
+        return "batch"
+    if priority not in PRIORITY_LANES:
+        raise ServiceValidationError(
+            f"'priority' must be one of {'|'.join(PRIORITY_LANES)}")
+    return priority
+
+
 def validate_document_ids(document_ids, what: str) -> list:
     """Validate a wire list of document ids (string or integer)."""
     if document_ids is None:
@@ -169,6 +190,19 @@ class ServiceConfig:
     poll_interval: float = 0.05
     #: emit one access-log line per request to stderr
     log_requests: bool = False
+    #: HTTP front end: ``threaded`` (thread per connection) or ``asyncio``
+    #: (event-loop gateway with admission control; see ``gateway.py``)
+    frontend: str = "threaded"
+    #: asyncio gateway: queued+running jobs beyond this are shed with 503
+    max_pending_jobs: int = 256
+    #: asyncio gateway: open connections beyond this are shed with 503
+    max_connections: int = 1024
+    #: asyncio gateway: path of a TOML/JSON per-tenant quota file
+    tenant_quotas: Optional[str] = None
+    #: asyncio gateway: coalesce concurrent identical job submissions
+    coalesce: bool = True
+    #: interactive claims a waiting batch job tolerates before it is served
+    batch_aging: int = DEFAULT_BATCH_AGING
 
     def session_config(self) -> SessionConfig:
         """The resident session this daemon configuration describes."""
@@ -206,11 +240,16 @@ class AnalysisService:
 
     def __init__(self, config: Optional[ServiceConfig] = None):
         self.config = config if config is not None else ServiceConfig()
+        if self.config.frontend not in ("threaded", "asyncio"):
+            raise ValueError(
+                f"frontend must be 'threaded' or 'asyncio', "
+                f"not {self.config.frontend!r}")
         self.data_dir = Path(self.config.data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.started_at = time.time()
         self.session = AnalysisSession(self.config.session_config())
-        self.jobstore = JobStore(self.data_dir / JOBS_DATABASE_NAME)
+        self.jobstore = JobStore(self.data_dir / JOBS_DATABASE_NAME,
+                                 batch_aging=self.config.batch_aging)
         #: jobs requeued from a previous daemon's crash, for /v1/stats
         self.recovered_jobs = self.jobstore.recover()
         self.index_dir = self.data_dir / INDEX_DIRECTORY_NAME
@@ -225,6 +264,7 @@ class AnalysisService:
         )
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
+        self._gateway = None  # AsyncGateway when frontend == "asyncio"
         self._stop_requested = threading.Event()
         self._stopped = False
 
@@ -259,10 +299,17 @@ class AnalysisService:
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
-        """Bind the HTTP server and start draining the queue (idempotent)."""
-        if self._httpd is not None:
+        """Bind the HTTP front end and start draining the queue (idempotent)."""
+        if self._httpd is not None or self._gateway is not None:
             return
         self.scheduler.start()
+        if self.config.frontend == "asyncio":
+            # imported lazily: gateway.py imports this module at top level
+            from repro.service.gateway import AsyncGateway, GatewayConfig
+            self._gateway = AsyncGateway(
+                self, GatewayConfig.from_service_config(self.config))
+            self._gateway.start()
+            return
         self._httpd = ThreadingHTTPServer(
             (self.config.host, self.config.port), _handler_class(self))
         self._httpd.daemon_threads = True
@@ -274,6 +321,8 @@ class AnalysisService:
     @property
     def port(self) -> int:
         """The actually bound TCP port (resolves ``port=0`` requests)."""
+        if self._gateway is not None:
+            return self._gateway.port
         if self._httpd is not None:
             return self._httpd.server_address[1]
         return self.config.port
@@ -304,6 +353,9 @@ class AnalysisService:
         if self._http_thread is not None:
             self._http_thread.join()
             self._http_thread = None
+        if self._gateway is not None:
+            self._gateway.stop()
+            self._gateway = None
         self.scheduler.close()
         self.session.close()
         self.jobstore.close()
@@ -325,11 +377,29 @@ class AnalysisService:
         self.stop()
 
     # -- operations (shared by HTTP handlers, the CLI, and tests) -------------
-    def submit(self, sources, analyses, options: Optional[dict] = None) -> Job:
-        """Validate and enqueue a job, waking the scheduler."""
+    def submit(self, sources, analyses, options: Optional[dict] = None,
+               priority: Optional[str] = None,
+               tenant: Optional[str] = None) -> Job:
+        """Validate and enqueue a job, waking the scheduler.
+
+        Parameters
+        ----------
+        sources:
+            ``[[id, source], ...]`` wire pairs to analyze.
+        analyses:
+            Analyzer ids to run, in order.
+        options:
+            Per-analyzer option mapping.
+        priority:
+            Scheduling lane (``interactive`` or ``batch``; the default).
+        tenant:
+            Tenant label recorded with the job (``X-Repro-Tenant``).
+        """
         sources, analyses, options = validate_job_request(
             sources, analyses, options, self.session.registry)
-        job = self.jobstore.submit(sources, analyses, options)
+        priority = validate_priority(priority)
+        job = self.jobstore.submit(sources, analyses, options,
+                                   priority=priority, tenant=tenant)
         self.scheduler.notify()
         return job
 
@@ -422,6 +492,7 @@ class AnalysisService:
             "jobs": self.jobstore.counts(),
             "jobs_completed": self.scheduler.jobs_completed,
             "jobs_failed": self.scheduler.jobs_failed,
+            "jobs_by_lane": dict(self.scheduler.jobs_by_lane),
             "recovered_jobs": self.recovered_jobs,
             "store": store_stats,
             "index": {
@@ -458,6 +529,54 @@ class AnalysisService:
     @staticmethod
     def _validated_sources(sources, what: str) -> list:
         return validate_sources(sources, what)
+
+
+def _query_int(query: dict, name: str, default: int) -> int:
+    """Parse one integer query parameter (400 on garbage)."""
+    raw = query.get(name, [str(default)])[0]
+    try:
+        return int(raw)
+    except ValueError:
+        raise ServiceValidationError(f"'{name}' must be an integer") from None
+
+
+def jobs_listing_payload(jobstore, query: dict) -> dict:
+    """The ``GET /v1/jobs`` body for one parsed query string.
+
+    Shared by the threaded handlers and the asyncio gateway so both
+    front ends serve byte-identical listings.  Supports pagination
+    (``limit``/``offset``) and filtering (``state``/``tenant``); raises
+    :class:`ServiceValidationError` on malformed parameters.
+    """
+    state = query.get("state", [None])[0]
+    if state is not None and state not in JOB_STATES:
+        raise ServiceValidationError(
+            f"'state' must be one of {'|'.join(JOB_STATES)}")
+    tenant = query.get("tenant", [None])[0]
+    limit = _query_int(query, "limit", 100)
+    offset = _query_int(query, "offset", 0)
+    jobs = jobstore.list_jobs(state=state, limit=limit, offset=offset,
+                              tenant=tenant)
+    return {
+        "jobs": [job.as_dict() for job in jobs],
+        "total": jobstore.count_jobs(state=state, tenant=tenant),
+        "limit": limit,
+        "offset": offset,
+    }
+
+
+def job_status_payload(jobstore, job: Job, query: dict) -> dict:
+    """The ``GET /v1/jobs/{id}`` body for one parsed query string.
+
+    Shared by the threaded handlers and the asyncio gateway.
+    ``?results=0`` is the cheap status poll: clients following a long
+    job should not re-download every envelope on every poll.
+    """
+    payload = {"job": job.as_dict(include_corpus="corpus" in query)}
+    if query.get("results", ["1"])[0] not in ("0", "false", "none"):
+        rows = jobstore.results(job.job_id)
+        payload["results"] = [json.loads(envelope) for _seq, envelope in rows]
+    return payload
 
 
 def _handler_class(service, base=None):
@@ -526,24 +645,16 @@ class _JsonRequestHandler(BaseHTTPRequestHandler):
 
     # -- GET endpoint bodies --------------------------------------------------
     def _get_jobs(self, query: dict) -> None:
-        state = query.get("state", [None])[0]
         try:
-            limit = int(query.get("limit", ["100"])[0])
-        except ValueError:
-            self._send_error_json(400, "'limit' must be an integer")
+            payload = jobs_listing_payload(self.service.jobstore, query)
+        except ServiceValidationError as error:
+            self._send_error_json(400, str(error))
             return
-        jobs = self.service.jobstore.list_jobs(state=state, limit=limit)
-        self._send_json(200, {"jobs": [job.as_dict() for job in jobs]})
+        self._send_json(200, payload)
 
     def _get_job(self, job: Job, query: dict) -> None:
-        payload = {"job": job.as_dict(include_corpus="corpus" in query)}
-        # ?results=0 is the cheap status poll: clients following a long
-        # job should not re-download every envelope on every poll
-        if query.get("results", ["1"])[0] not in ("0", "false", "none"):
-            rows = self.service.jobstore.results(job.job_id)
-            payload["results"] = [json.loads(envelope)
-                                  for _seq, envelope in rows]
-        self._send_json(200, payload)
+        self._send_json(
+            200, job_status_payload(self.service.jobstore, job, query))
 
 
 class _ServiceRequestHandler(_JsonRequestHandler):
@@ -588,7 +699,9 @@ class _ServiceRequestHandler(_JsonRequestHandler):
             if parts == ["v1", "jobs"]:
                 job = self.service.submit(
                     payload.get("sources"), payload.get("analyses"),
-                    payload.get("options"))
+                    payload.get("options"),
+                    priority=payload.get("priority"),
+                    tenant=self.headers.get("X-Repro-Tenant"))
                 self._send_json(202, {"job": job.as_dict()})
             elif parts == ["v1", "corpus"]:
                 self._send_json(200, self.service.ingest(
@@ -647,7 +760,10 @@ __all__ = [
     "ROUTES",
     "ServiceConfig",
     "ServiceValidationError",
+    "job_status_payload",
+    "jobs_listing_payload",
     "validate_document_ids",
     "validate_job_request",
+    "validate_priority",
     "validate_sources",
 ]

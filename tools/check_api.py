@@ -14,7 +14,12 @@ Four contracts are enforced, all both ways:
   endpoints,
 * every HTTP route of the cluster coordinator
   (``repro.service.coordinator.ROUTES``) appears in the marked
-  *coordinator-endpoints* block of the same file, likewise both ways.
+  *coordinator-endpoints* block of the same file, likewise both ways,
+* every HTTP route of the asyncio gateway
+  (``repro.service.gateway.ROUTES``) appears in the marked
+  *gateway-endpoints* block of the same file, likewise both ways —
+  which also catches a server route added without gateway coverage,
+  since the gateway declares its surface as the server's route set.
 
 Exits non-zero listing each mismatch, so an API change that forgets the
 docs — or docs that promise an API that does not exist — fails the docs
@@ -92,6 +97,13 @@ def actual_coordinator_endpoints() -> set[str]:
     return {f"{method} {route}" for method, route in ROUTES}
 
 
+def actual_gateway_endpoints() -> set[str]:
+    """Every HTTP route the asyncio gateway front end actually serves."""
+    from repro.service.gateway import ROUTES
+
+    return {f"{method} {route}" for method, route in ROUTES}
+
+
 def actual_surface() -> set[str]:
     """The names ``repro.api`` actually exports."""
     import repro.api
@@ -147,11 +159,15 @@ def main(argv: list[str]) -> int:
                       documented_endpoints(service_text, service_path,
                                            "coordinator-endpoints"),
                       actual_coordinator_endpoints(), where="docs/service.md")
+    problems += check("gateway endpoint",
+                      documented_endpoints(service_text, service_path,
+                                           "gateway-endpoints"),
+                      actual_gateway_endpoints(), where="docs/service.md")
     for problem in problems:
         print(problem, file=sys.stderr)
     print(f"checked {len(actual_surface())} public names, "
           f"{len(actual_commands())} CLI commands, and "
-          f"{len(actual_endpoints()) + len(actual_coordinator_endpoints())} "
+          f"{len(actual_endpoints()) + len(actual_coordinator_endpoints()) + len(actual_gateway_endpoints())} "
           f"service endpoints against the docs: "
           f"{len(problems)} mismatch(es)")
     return 1 if problems else 0

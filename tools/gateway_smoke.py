@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the asyncio gateway front end (used by CI).
+
+Exercises the *real* deployment shape — ``repro serve --frontend
+asyncio`` subprocesses on free loopback ports — rather than in-process
+servers:
+
+1. start one threaded and one asyncio daemon over the same synthetic
+   corpus and assert **wire parity**: identical job results (canonical
+   envelope bytes) and identical error bodies across an error matrix,
+2. assert the gateway block of ``/v1/stats`` reports the asyncio
+   front end with live keep-alive counters,
+3. restart the asyncio daemon with a tiny ``--max-pending-jobs`` bound
+   and drive a ``tools/loadgen.py`` burst into it: every request must
+   be *answered* (202 accepted or 429/503 shed with ``Retry-After``) —
+   shed load, never hang,
+4. SIGTERM both daemons and assert clean exits (code 0).
+
+Exits non-zero with a diagnostic on the first failed step.
+
+Usage::
+
+    python tools/gateway_smoke.py [repo-root]
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from urllib.parse import urlsplit
+
+#: requests whose response bodies must be byte-identical across front ends
+ERROR_MATRIX = [
+    ("POST", "/v1/jobs", b"not json"),
+    ("POST", "/v1/jobs", b"[1, 2]"),
+    ("GET", "/v1/nope", None),
+    ("GET", "/v1/jobs/not-a-number", None),
+    ("GET", "/v1/jobs/999", None),
+    ("GET", "/v1/jobs?limit=x", None),
+    ("GET", "/v1/jobs?state=nope", None),
+]
+
+
+def start_daemon(root: Path, data_dir: str, *extra_args: str) -> tuple:
+    """Start ``repro serve`` on a free port; returns (process, url)."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--data-dir", data_dir,
+         "--port", "0", "--backend", "serial", *extra_args],
+        cwd=root, env={**os.environ, "PYTHONPATH": str(root / "src")},
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    line = process.stdout.readline().strip()
+    if "http://" not in line:
+        process.kill()
+        raise SystemExit(f"daemon did not announce a URL, said: {line!r}")
+    url = next(part for part in line.split() if part.startswith("http://"))
+    print(f"daemon up: {line}")
+    return process, url
+
+
+def stop_daemon(process: subprocess.Popen) -> None:
+    """SIGTERM the daemon and assert a clean, prompt exit."""
+    process.send_signal(signal.SIGTERM)
+    try:
+        code = process.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise SystemExit("daemon did not shut down within 30s of SIGTERM")
+    if code != 0:
+        raise SystemExit(f"daemon exited with code {code} on SIGTERM")
+    print("daemon shut down cleanly")
+
+
+def http_exchange(url: str, method: str, path: str, body=None) -> tuple:
+    """One raw request; returns ``(status, body_bytes)``."""
+    parts = urlsplit(url)
+    connection = http.client.HTTPConnection(
+        parts.hostname, parts.port, timeout=30)
+    try:
+        connection.request(method, path, body=body,
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+def run_job(url: str, contracts, snippets):
+    """Ingest + one ccd/ccc job; returns the canonical envelope bytes."""
+    from repro.api import canonical_json
+    from repro.service import ServiceClient
+
+    client = ServiceClient(url)
+    client.wait_ready()
+    summary = client.ingest(contracts)
+    assert summary["ingested"] > 0, summary
+    job = client.submit(snippets, analyses=["ccd", "ccc"])
+    finished = client.wait(job["id"], timeout=120.0)
+    assert finished["job"]["state"] == "done", finished["job"]
+    return [canonical_json(envelope) for envelope in finished["results"]]
+
+
+def main(argv: list[str]) -> int:
+    """Run the smoke sequence; returns a process exit code."""
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    sys.path.insert(0, str(root / "src"))
+    sys.path.insert(0, str(root / "tools"))
+    import loadgen
+    from repro.datasets.sanctuary import generate_sanctuary
+    from repro.datasets.snippets import generate_qa_corpus
+    from repro.service import ServiceClient
+
+    qa_corpus = generate_qa_corpus(
+        seed=3, posts_per_site={"stackoverflow": 4, "ethereum.stackexchange": 8})
+    sanctuary = generate_sanctuary(qa_corpus, seed=11, independent_contracts=4)
+    contracts = [[contract.address, contract.source]
+                 for contract in sanctuary.contracts]
+    snippets = [[snippet.snippet_id, snippet.text]
+                for post in qa_corpus.posts for snippet in post.snippets][:6]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # -- step 1+2: threaded vs asyncio wire parity --------------------
+        threaded, threaded_url = start_daemon(
+            root, str(Path(tmp) / "threaded"), "--frontend", "threaded")
+        gateway, gateway_url = start_daemon(
+            root, str(Path(tmp) / "asyncio"), "--frontend", "asyncio")
+        try:
+            results = {url: run_job(url, contracts, snippets)
+                       for url in (threaded_url, gateway_url)}
+            if results[threaded_url] != results[gateway_url]:
+                raise SystemExit("job results diverge between front ends")
+            print(f"parity: {len(results[gateway_url])} canonical envelopes "
+                  f"byte-identical across front ends")
+
+            for method, path, body in ERROR_MATRIX:
+                expected = http_exchange(threaded_url, method, path, body)
+                actual = http_exchange(gateway_url, method, path, body)
+                if actual != expected:
+                    raise SystemExit(
+                        f"error parity broke on {method} {path}: "
+                        f"threaded {expected} vs asyncio {actual}")
+            print(f"parity: {len(ERROR_MATRIX)} error bodies byte-identical")
+
+            stats = ServiceClient(gateway_url).stats()["gateway"]
+            assert stats["frontend"] == "asyncio", stats
+            assert stats["requests"] > 0, stats
+            print(f"gateway stats: {stats['requests']} requests over "
+                  f"{stats['connections_opened']} connection(s)")
+        finally:
+            stop_daemon(gateway)
+            stop_daemon(threaded)
+
+        # -- step 3: shed under a deliberate burst ------------------------
+        gateway, gateway_url = start_daemon(
+            root, str(Path(tmp) / "burst"), "--frontend", "asyncio",
+            "--max-pending-jobs", "8", "--workers", "1")
+        try:
+            result = loadgen.run_load(
+                gateway_url, clients=64, requests_per_client=2,
+                interactive_fraction=0.25, timeout=30.0)
+            print(f"burst: {result.requests} requests -> "
+                  f"{result.accepted} accepted, {result.shed} shed, "
+                  f"{result.errors} errors, {result.hung} hung "
+                  f"(p99 {result.percentile(0.99) * 1000.0:.0f} ms)")
+            if result.hung or result.errors:
+                raise SystemExit("gateway hung or errored under burst load")
+            if result.accepted + result.shed != result.requests:
+                raise SystemExit("some burst requests went unanswered")
+            if not result.shed:
+                raise SystemExit(
+                    "burst never tripped the 8-job queue bound — "
+                    "the shed path went unexercised")
+            shed_stats = ServiceClient(gateway_url).stats()["gateway"]["shed"]
+            assert shed_stats["queue_full"] > 0, shed_stats
+            print(f"shed counters: {json.dumps(shed_stats)}")
+        finally:
+            stop_daemon(gateway)
+
+    print("gateway smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
