@@ -11,10 +11,12 @@ session-scoped ``artifact_stats_registry`` fixture; the aggregate
 artifact-cache hit rate is reported in the terminal summary.
 
 The terminal summary also writes machine-readable perf-trajectory
-artifacts — ``BENCH_fig5.json`` (staged-matcher backends) and
-``BENCH_service.json`` (cold vs resident serving) — into
-``$BENCH_ARTIFACTS_DIR`` (default: the working directory), so CI uploads
-and future re-anchors can track the speed curve across PRs.
+artifacts — ``BENCH_fig5.json`` (staged-matcher backends),
+``BENCH_service.json`` (cold vs resident serving), and
+``BENCH_incremental.json`` (full vs delta re-analysis) — into
+``$BENCH_ARTIFACTS_DIR`` (default: the repository root, so the committed
+artifacts refresh in place), so CI uploads and future re-anchors can
+track the speed curve across PRs.
 """
 
 from __future__ import annotations
@@ -50,6 +52,10 @@ _MATCHER_BACKENDS: dict[str, dict] = {}
 #: index serving, plus the threaded-vs-asyncio frontend load comparison
 _SERVICE_LATENCIES: dict[str, dict] = {}
 
+#: mode -> {"wall": s, ...} rows of the incremental re-analysis benchmark
+#: (bench_incremental): whole-corpus re-ingest vs one-function delta
+_INCREMENTAL_MODES: dict[str, dict] = {}
+
 
 @pytest.fixture(scope="session")
 def artifact_stats_registry():
@@ -75,9 +81,18 @@ def service_latency_registry():
     return _SERVICE_LATENCIES
 
 
+@pytest.fixture(scope="session")
+def incremental_registry():
+    """Register per-mode wall-clock rows of the incremental benchmark."""
+    return _INCREMENTAL_MODES
+
+
 def _write_bench_artifact(terminalreporter, name: str, payload: dict) -> None:
     """Write one ``BENCH_*.json`` perf-trajectory artifact (best effort)."""
-    directory = Path(os.environ.get("BENCH_ARTIFACTS_DIR") or ".")
+    # default next to the committed BENCH_*.json files (the repo root),
+    # so a local benchmark run refreshes them in place
+    directory = Path(os.environ.get("BENCH_ARTIFACTS_DIR")
+                     or Path(__file__).resolve().parent.parent)
     try:
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / name
@@ -114,6 +129,19 @@ def _service_artifact() -> dict:
         payload["resident_speedup"] = (
             _SERVICE_LATENCIES["resident"]["jobs_per_sec"]
             / max(_SERVICE_LATENCIES["cold"]["jobs_per_sec"], 1e-9))
+    return payload
+
+
+def _incremental_artifact() -> dict:
+    """The ``BENCH_incremental.json`` payload: full vs delta re-analysis."""
+    payload = {"benchmark": "incremental_reanalysis",
+               "reduced": bool(os.environ.get("BENCH_INCREMENTAL_REDUCED")),
+               "modes": {mode: dict(row)
+                         for mode, row in _INCREMENTAL_MODES.items()}}
+    if {"full", "incremental"} <= set(_INCREMENTAL_MODES):
+        payload["incremental_speedup"] = (
+            _INCREMENTAL_MODES["full"]["wall"]
+            / max(_INCREMENTAL_MODES["incremental"]["wall"], 1e-9))
     return payload
 
 
@@ -197,6 +225,24 @@ def pytest_terminal_summary(terminalreporter):
                 f"{resident['p50'] * 1000.0:.1f} ms) with identical envelopes")
         _write_bench_artifact(terminalreporter, "BENCH_service.json",
                               _service_artifact())
+    if _INCREMENTAL_MODES:
+        terminalreporter.section("incremental re-analysis (O(change))")
+        for mode, row in _INCREMENTAL_MODES.items():
+            line = f"{mode:>12}: wall {row['wall']:.3f}s"
+            if "functions" in row:
+                line += (f" ({row.get('functions_changed', '?')} of "
+                         f"{row['functions']} functions re-analyzed)")
+            terminalreporter.write_line(line)
+        if {"full", "incremental"} <= set(_INCREMENTAL_MODES):
+            full = _INCREMENTAL_MODES["full"]
+            delta = _INCREMENTAL_MODES["incremental"]
+            speedup = full["wall"] / max(delta["wall"], 1e-9)
+            terminalreporter.write_line(
+                f"       delta: one-function edit re-analyzes {speedup:.1f}x "
+                f"faster ({full['wall']:.3f}s -> {delta['wall']:.3f}s) with "
+                f"byte-identical envelopes")
+        _write_bench_artifact(terminalreporter, "BENCH_incremental.json",
+                              _incremental_artifact())
 
 
 @pytest.fixture(scope="session")

@@ -31,6 +31,20 @@ from repro.pipeline.validation import (
     _validate_task,
     _ValidationTaskSpec,
 )
+from repro.solidity.splitter import split_source
+
+
+def _base_source(changed_only, contract_id) -> Optional[str]:
+    """The base source recorded for a contract id in a ``changed_only`` map.
+
+    Jobs travel as JSON, whose object keys are strings — integer
+    contract ids are looked up under their string form too.
+    """
+    if not isinstance(changed_only, dict):
+        return None
+    if contract_id in changed_only:
+        return changed_only[contract_id]
+    return changed_only.get(str(contract_id))
 
 
 # ---------------------------------------------------------------------------
@@ -46,6 +60,9 @@ class _CloneDetectionState:
     exclude_self: bool
     similarity_threshold: Optional[float] = None
     ngram_threshold: Optional[float] = None
+    #: ``{contract_id: base source}`` — report only matches that are new
+    #: or changed relative to the base source's matches
+    changed_only: Optional[dict] = None
 
 
 @register_analyzer("ccd")
@@ -103,6 +120,7 @@ class CloneDetectionAnalyzer(Analyzer):
             exclude_self=exclude_self,
             similarity_threshold=options.get("similarity_threshold"),
             ngram_threshold=options.get("ngram_threshold"),
+            changed_only=options.get("changed_only"),
         )
 
     def _match(self, state: _CloneDetectionState, request: AnalysisRequest, fingerprint):
@@ -114,7 +132,34 @@ class CloneDetectionAnalyzer(Analyzer):
         if state.exclude_self:
             matches = [match for match in matches
                        if match.document_id != request.contract_id]
-        return matches
+        base = _base_source(state.changed_only, request.contract_id)
+        if base is None:
+            return matches
+        return self._changed_matches(state, request, matches, base)
+
+    def _changed_matches(self, state: _CloneDetectionState,
+                         request: AnalysisRequest, matches, base: str):
+        """Only the matches that differ from the base source's matches.
+
+        A match survives when its document is new, or its similarity
+        changed, relative to matching ``base`` against the same index.
+        An unparsable base keeps every match (nothing to diff against).
+        """
+        try:
+            base_fingerprint = state.detector.fingerprint_source(base)
+        except Exception:
+            return matches
+        baseline = state.detector.find_clones(
+            fingerprint=base_fingerprint,
+            similarity_threshold=state.similarity_threshold,
+            ngram_threshold=state.ngram_threshold,
+        )
+        if state.exclude_self:
+            baseline = [match for match in baseline
+                        if match.document_id != request.contract_id]
+        before = {match.document_id: match.similarity for match in baseline}
+        return [match for match in matches
+                if before.get(match.document_id) != match.similarity]
 
     def analyze(self, session, state, request):
         """Fingerprint and match one item against the index (shared state)."""
@@ -162,6 +207,9 @@ class _VulnerabilityState:
     query_ids: Optional[tuple] = None
     timeout: Optional[float] = None
     max_flow_depth: Optional[int] = None
+    #: ``{contract_id: base source}`` — keep only findings in functions
+    #: the edit touched (line-range filter over the function splitter)
+    changed_only: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -213,12 +261,13 @@ class VulnerabilityAnalyzer(Analyzer):
             query_ids=tuple(query_ids) if query_ids is not None else None,
             timeout=options.get("timeout"),
             max_flow_depth=options.get("max_flow_depth"),
+            changed_only=options.get("changed_only"),
         )
 
     def analyze(self, session, state, request):
         """Analyse one item through the shared checker (serial/thread path)."""
         query_ids = request.options.get("query_ids") or state.query_ids
-        return state.checker.analyze(
+        result = state.checker.analyze(
             request.source,
             snippet=state.snippet,
             categories=state.categories,
@@ -226,6 +275,44 @@ class VulnerabilityAnalyzer(Analyzer):
             timeout=state.timeout,
             max_flow_depth=state.max_flow_depth,
         )
+        return self._filter_changed(state, request, result)
+
+    def finish(self, session, state, request, intermediate):
+        """Apply the ``changed_only`` filter to worker-computed results."""
+        return self._filter_changed(state, request, intermediate)
+
+    @staticmethod
+    def _filter_changed(state: _VulnerabilityState, request: AnalysisRequest,
+                        result):
+        """Drop findings whose function the edit did not touch.
+
+        Both sources are split into function spans; a finding inside a
+        span whose content key also appears in the base source is
+        unchanged and dropped.  Findings outside any span (headers,
+        state variables), or any source the splitter cannot model, are
+        kept — the filter only ever *narrows* when it is provably safe.
+        """
+        base = _base_source(state.changed_only, request.contract_id)
+        if base is None or result is None or not result.ok:
+            return result
+        base_split = split_source(base)
+        new_split = split_source(request.source)
+        if base_split is None or new_split is None:
+            return result
+        base_keys = {span.key for span in base_split.spans}
+        spans = [(span.start_line, span.end_line, span.key in base_keys)
+                 for span in new_split.spans]
+
+        def changed(finding) -> bool:
+            for start, end, in_base in spans:
+                if start <= finding.line <= end:
+                    return not in_base
+            return True
+
+        return dataclasses.replace(
+            result,
+            findings=[finding for finding in result.findings
+                      if changed(finding)])
 
     def task(self, session, state, options):
         """Worker task: full analysis worker-side via a rehydrated store."""

@@ -17,6 +17,7 @@ across threads or worker processes.
 from __future__ import annotations
 
 import warnings
+from collections import Counter
 from functools import partial
 from typing import Hashable, Iterable, Optional, Sequence, Union
 
@@ -118,6 +119,10 @@ class CloneDetector:
                                       window=fingerprint_window)
         self.index = NGramIndex(ngram_size=ngram_size)
         self.fingerprints: dict[Hashable, Fingerprint] = {}
+        #: content key of each indexed document's source (when known) —
+        #: the service's no-op re-ingest guard and the saved-index
+        #: source-identity record
+        self.source_keys: dict[Hashable, str] = {}
         self.parse_failures: list[Hashable] = []
         self.matcher = MatchPipeline(
             self.index, self.fingerprints, backend=similarity_backend,
@@ -140,18 +145,29 @@ class CloneDetector:
 
     # -- corpus management ------------------------------------------------------
     def add_document(self, document_id: Hashable, source: str) -> bool:
-        """Fingerprint and index one document; returns ``False`` when unparsable."""
+        """Fingerprint and index one document; returns ``False`` when unparsable.
+
+        Re-adding a known document with byte-identical source is a no-op
+        (``True`` without a fingerprint lookup, index write, or score-memo
+        transition) — the guard behind the service's no-op re-ingest path.
+        """
+        source_key = core_artifacts.content_key(source)
+        if self.source_keys.get(document_id) == source_key \
+                and document_id in self.fingerprints:
+            return True
         fingerprint, grams = self._try_fingerprint_with_grams(source)
         if fingerprint is None:
             self.parse_failures.append(document_id)
             return False
-        return self.add_fingerprint(document_id, fingerprint, grams=grams)
+        return self.add_fingerprint(
+            document_id, fingerprint, grams=grams, source_key=source_key)
 
     def add_fingerprint(
         self,
         document_id: Hashable,
         fingerprint: Fingerprint,
         grams: Optional[frozenset] = None,
+        source_key: Optional[str] = None,
     ) -> bool:
         """Index one precomputed fingerprint (and optional cached N-gram set)."""
         if fingerprint.is_empty:
@@ -165,11 +181,35 @@ class CloneDetector:
         self.score_memo.register(fingerprint.sub_fingerprints)
         if previous is not None:
             self.score_memo.release(previous.sub_fingerprints)
+            self._account_replacement(previous, fingerprint)
+        if source_key is not None:
+            self.source_keys[document_id] = source_key
+        else:
+            self.source_keys.pop(document_id, None)
         if grams is not None:
             self.index.add_grams(document_id, grams)
         else:
             self.index.add(document_id, fingerprint.text)
         return True
+
+    def _account_replacement(
+        self, previous: Fingerprint, fingerprint: Fingerprint,
+    ) -> None:
+        """Count function-level reuse across a document replacement.
+
+        A sub-fingerprint is one function's digest, so the multiset
+        overlap between the old and new fingerprints is exactly the
+        functions an edit left untouched.
+        """
+        remaining = Counter(previous.sub_fingerprints)
+        reused = 0
+        for sub in fingerprint.sub_fingerprints:
+            if remaining[sub] > 0:
+                remaining[sub] -= 1
+                reused += 1
+        stats = self.matcher.stats
+        stats.functions_reused += reused
+        stats.functions_reanalyzed += len(fingerprint.sub_fingerprints) - reused
 
     def remove_fingerprint(self, document_id: Hashable) -> Optional[Fingerprint]:
         """Retire one indexed document; returns its fingerprint (or ``None``).
@@ -180,6 +220,7 @@ class CloneDetector:
         are dropped (from the disk tier too, when one is attached).
         """
         fingerprint = self.fingerprints.pop(document_id, None)
+        self.source_keys.pop(document_id, None)
         if fingerprint is None:
             return None
         self.index.remove(document_id)
@@ -210,10 +251,12 @@ class CloneDetector:
             results = [(fingerprint, None) for fingerprint in executor.map_batches(
                 task, [source for _, source in documents])]
         added = 0
-        for (document_id, _source), (fingerprint, grams) in zip(documents, results):
+        for (document_id, source), (fingerprint, grams) in zip(documents, results):
             if fingerprint is None:
                 self.parse_failures.append(document_id)
-            elif self.add_fingerprint(document_id, fingerprint, grams=grams):
+            elif self.add_fingerprint(
+                    document_id, fingerprint, grams=grams,
+                    source_key=core_artifacts.content_key(source)):
                 added += 1
         return added
 

@@ -10,7 +10,9 @@ Layout of a saved index directory::
 
     index.json       manifest: format version, detector configuration,
                      shard count, document/parse-failure counts
-    shard-0000.pkl   pickled list of (document_id, Fingerprint, grams)
+    shard-0000.pkl   pickled list of (document_id, Fingerprint, grams,
+                     source content key); older three-field entries
+                     (no source key) still load
     shard-0001.pkl   ...
     scores.sqlite    corpus-global (sub₁, sub₂) score memo disk tier
                      (:mod:`repro.ccd.score_memo`) — saved warm, loaded
@@ -88,7 +90,8 @@ def save_index(
     buckets: list[list[tuple]] = [[] for _ in range(shards)]
     for document_id, fingerprint in detector.fingerprints.items():
         buckets[shard_of(document_id, shards)].append(
-            (document_id, fingerprint, detector.index.grams_for(document_id)))
+            (document_id, fingerprint, detector.index.grams_for(document_id),
+             detector.source_keys.get(document_id)))
     for index, bucket in enumerate(buckets):
         dump_pickle(_shard_path(directory, index), bucket)
     # a re-save with fewer shards must not leave stale shards behind
@@ -173,7 +176,8 @@ def append_to_index(
                   if entry[0] not in stale]
         bucket.extend(
             (document_id, detector.fingerprints[document_id],
-             detector.index.grams_for(document_id))
+             detector.index.grams_for(document_id),
+             detector.source_keys.get(document_id))
             for document_id in bucket_ids)
         dump_pickle(path, bucket)
     dump_pickle(directory / PARSE_FAILURES_NAME, list(detector.parse_failures))
@@ -252,8 +256,11 @@ def load_index(
             if strict:
                 raise IndexFormatError(f"unreadable index shard {path}")
             continue
-        for document_id, fingerprint, grams in bucket:
-            detector.add_fingerprint(document_id, fingerprint, grams=grams)
+        for entry in bucket:
+            document_id, fingerprint, grams = entry[0], entry[1], entry[2]
+            detector.add_fingerprint(
+                document_id, fingerprint, grams=grams,
+                source_key=entry[3] if len(entry) > 3 else None)
     failures = try_load_pickle(directory / PARSE_FAILURES_NAME)
     if failures is None:
         if strict and manifest.get("parse_failures", 0):

@@ -121,6 +121,11 @@ class MatchStats:
     memo_hits: int = 0
     memo_misses: int = 0
     myers_words: int = 0
+    #: sub-fingerprints carried over unchanged when a document was
+    #: re-ingested (function-granular replace in the detector)
+    functions_reused: int = 0
+    #: sub-fingerprints that were new or changed on re-ingest
+    functions_reanalyzed: int = 0
     candidate_seconds: float = 0.0
     verify_seconds: float = 0.0
 
@@ -163,6 +168,8 @@ class MatchStats:
             ["verification", "pair memo hits", self.memo_hits],
             ["verification", "pair memo misses", self.memo_misses],
             ["verification", "bit-parallel words", self.myers_words],
+            ["ingest", "functions reused", self.functions_reused],
+            ["ingest", "functions re-analyzed", self.functions_reanalyzed],
         ]
         return rows
 

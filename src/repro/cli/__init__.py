@@ -16,6 +16,8 @@ One console entry point over the analysis-session stack::
     repro submit ...            submit a job to a running daemon
     repro jobs list/show ...    inspect a running daemon's job queue
     repro cluster status ...    per-shard health and routing of a coordinator
+    repro watch <dir> ...       re-submit edited files as deltas, print only
+                                the changed findings
     repro version               print the package version (also --version)
 
 The CLI is deliberately a thin shell: every subcommand is a few calls
@@ -45,6 +47,7 @@ from repro.ccd.detector import CloneDetector
 from repro.ccd.index_io import IndexFormatError, read_manifest
 from repro.ccd.matcher import SIMILARITY_BACKENDS
 from repro.core.executor import BACKENDS
+from repro.core.artifacts import content_key
 from repro.core.persistence import DATABASE_NAME, CacheConfigurationError, DiskArtifactStore
 from repro.datasets.sanctuary import generate_sanctuary
 from repro.datasets.snippets import generate_qa_corpus
@@ -62,6 +65,7 @@ from repro.service import (
     ServiceError,
     load_tenant_quotas,
 )
+from repro.service.delta import make_unified_diff
 
 PROG = "repro"
 
@@ -732,6 +736,178 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_changed_envelope(envelope: dict) -> str:
+    """One human line for a wire-form envelope of changed findings.
+
+    Returns ``""`` for envelopes with nothing to report (no changed
+    matches/findings) so ``repro watch`` prints only what the edit
+    actually touched.
+    """
+    contract = envelope["contract_id"]
+    analyzer = envelope["analyzer"]
+    payload = envelope["payload"]
+    if payload is None:
+        return f"{contract}: {analyzer}: unanalyzable"
+    if isinstance(payload, list):  # ccd: changed clone matches
+        # a freshly re-ingested file always matches itself — not news
+        payload = [match for match in payload
+                   if match["document_id"] != contract]
+        if not payload:
+            return ""
+        matches = ", ".join(
+            f"{match['document_id']} ({match['similarity']:.2f})"
+            for match in payload)
+        return f"{contract}: {analyzer}: {len(payload)} changed match(es): {matches}"
+    if isinstance(payload, dict):
+        if payload.get("parse_error"):
+            return f"{contract}: {analyzer}: parse error"
+        findings = payload.get("findings") or []
+        if not findings:
+            return ""
+        rendered = ", ".join(
+            f"{finding['query_id']} @ line {finding['line']}"
+            for finding in findings)
+        return (f"{contract}: {analyzer}: "
+                f"{len(findings)} changed finding(s): {rendered}")
+    return ""
+
+
+class _WatchSession:
+    """The state machine behind ``repro watch``.
+
+    Keeps the last-submitted source of every watched file; each
+    :meth:`poll` rescans the directory, ships edits to the daemon as
+    unified-diff deltas (new files as full sources, deleted files as
+    removals), and re-runs the requested analyses with ``changed_only``
+    bases so only findings touching the edited functions are printed.
+    Factored out of the command handler so tests can drive cycles
+    directly, without the sleep loop.
+    """
+
+    #: analyzers that understand the ``changed_only`` option
+    DELTA_ANALYSES = ("ccd", "ccc")
+
+    def __init__(self, client: ServiceClient, directory: Path,
+                 analyses: Sequence[str], pattern: str = "*.sol",
+                 timeout: float = 120.0, out=print) -> None:
+        self.client = client
+        self.directory = directory
+        self.analyses = list(analyses)
+        self.pattern = pattern
+        self.timeout = timeout
+        self.out = out
+        #: document id (path relative to ``directory``) -> last source
+        self.baseline: dict[str, str] = {}
+
+    def scan(self) -> dict[str, str]:
+        """Current watched files as ``{relative posix path: source}``."""
+        files: dict[str, str] = {}
+        for path in sorted(self.directory.rglob(self.pattern)):
+            if not path.is_file():
+                continue
+            try:
+                text = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError):
+                continue  # mid-write or binary junk; pick it up next cycle
+            files[path.relative_to(self.directory).as_posix()] = text
+        return files
+
+    def start(self) -> int:
+        """Initial cycle: ingest every watched file, set the baseline."""
+        files = self.scan()
+        if files:
+            summary = self.client.ingest(sorted(files.items()))
+            self.out(f"watching {len(files)} file(s) under {self.directory} "
+                     f"({summary['ingested']} ingested, "
+                     f"{len(summary['rejected'])} unparsable, "
+                     f"{summary.get('unchanged', 0)} already current)")
+        else:
+            self.out(f"watching {self.directory} "
+                     f"(no files match {self.pattern!r} yet)")
+        self.baseline = files
+        return len(files)
+
+    def poll(self) -> int:
+        """One change-detection cycle; returns the number of edited files."""
+        files = self.scan()
+        changed = {doc_id: text for doc_id, text in files.items()
+                   if self.baseline.get(doc_id) != text}
+        removed = sorted(set(self.baseline) - set(files))
+        if removed:
+            self.client.ingest(remove=removed)
+            for doc_id in removed:
+                self.out(f"{doc_id}: removed from index")
+        if not changed:
+            self.baseline = files
+            return 0
+        documents: list = []
+        bases: dict[str, str] = {}
+        for doc_id in sorted(changed):
+            base = self.baseline.get(doc_id)
+            if base is None:
+                documents.append([doc_id, changed[doc_id]])
+            else:
+                # ship the edit as a unified diff against the daemon's
+                # retained copy, guarded by the base content key
+                documents.append({
+                    "id": doc_id,
+                    "diff": make_unified_diff(base, changed[doc_id]),
+                    "base_version": content_key(base),
+                })
+                bases[doc_id] = base
+        summary = self.client.ingest(documents)
+        options = {analysis: {"changed_only": bases}
+                   for analysis in self.analyses
+                   if analysis in self.DELTA_ANALYSES and bases}
+        job = self.client.submit(sorted(changed.items()),
+                                 analyses=self.analyses,
+                                 options=options or None,
+                                 priority="interactive")
+        finished = self.client.wait(job["id"], timeout=self.timeout)
+        quiet = 0
+        for envelope in finished["results"]:
+            line = _render_changed_envelope(envelope)
+            if line:
+                self.out(line)
+            else:
+                quiet += 1
+        self.out(f"{len(changed)} file(s) re-analyzed, "
+                 f"{len(summary['rejected'])} unparsable, "
+                 f"{quiet} envelope(s) unchanged")
+        self.baseline = files
+        return len(changed)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    analyses = [name.strip() for name in args.analyses.split(",") if name.strip()]
+    if not analyses:
+        print("error: --analyses needs at least one analyzer id", file=sys.stderr)
+        return 1
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        print(f"error: {directory} is not a directory", file=sys.stderr)
+        return 1
+    session = _WatchSession(ServiceClient(args.url), directory, analyses,
+                            pattern=args.pattern, timeout=args.timeout)
+    try:
+        session.start()
+        if args.once:
+            session.poll()
+            return 0
+        while True:
+            time.sleep(args.interval)
+            session.poll()
+    except KeyboardInterrupt:
+        print("watch stopped", flush=True)
+        return 0
+    except JobFailedError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except (ServiceError, TimeoutError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
 def _cmd_version(args: argparse.Namespace) -> int:
     print(f"{PROG} {package_version()}")
     return 0
@@ -988,6 +1164,28 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_status.add_argument("--url", required=True,
                                 help="base URL of the coordinator")
     cluster_status.set_defaults(handler=_cmd_cluster_status)
+
+    # -- watch ----------------------------------------------------------------
+    watch = commands.add_parser(
+        "watch", help="watch a directory, re-analyze edited files via a "
+                      "daemon, print only the changed findings")
+    watch.add_argument("directory",
+                       help="directory of Solidity sources to watch")
+    watch.add_argument("--url", required=True,
+                       help="base URL of the daemon (e.g. http://127.0.0.1:8741)")
+    watch.add_argument("--analyses", default="ccd,ccc",
+                       help="comma-separated analyzer ids (default: ccd,ccc)")
+    watch.add_argument("--pattern", default="*.sol",
+                       help="glob of files to watch, matched recursively "
+                            "(default: *.sol)")
+    watch.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between directory scans (default: 1)")
+    watch.add_argument("--once", action="store_true",
+                       help="run the initial ingest plus a single change-"
+                            "detection cycle, then exit")
+    watch.add_argument("--timeout", type=float, default=120.0,
+                       help="per-job wait timeout in seconds (default: 120)")
+    watch.set_defaults(handler=_cmd_watch)
 
     # -- version --------------------------------------------------------------
     version = commands.add_parser("version", help="print the package version")

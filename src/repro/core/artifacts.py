@@ -34,6 +34,7 @@ from repro.cpg.graph import CPGGraph
 from repro.solidity import ast_nodes as ast
 from repro.solidity.errors import SolidityParseError
 from repro.solidity.parser import parse_snippet
+from repro.solidity.splitter import FunctionSpan, split_source
 
 _RECURSION_MESSAGE = "recursion limit exceeded while parsing"
 
@@ -55,6 +56,19 @@ class ArtifactStoreStats:
     parse_calls: int = 0
     cpg_builds: int = 0
     fingerprint_builds: int = 0
+    #: function-digest cache lookups made while attempting a delta
+    #: fingerprint (an edited source probing for unchanged functions)
+    function_hits: int = 0
+    function_misses: int = 0
+    #: standalone parses of individual changed functions (the O(change)
+    #: work a delta fingerprint performs instead of a whole-source parse)
+    function_parses: int = 0
+    #: fingerprints assembled from cached function digests without a
+    #: whole-source parse
+    delta_assemblies: int = 0
+    #: delta attempts abandoned back to the whole-source path (a changed
+    #: function did not re-parse cleanly in isolation)
+    delta_fallbacks: int = 0
 
     def __post_init__(self):
         # artifacts and the store increment concurrently under the thread
@@ -87,7 +101,82 @@ class ArtifactStoreStats:
             "parse_calls": self.parse_calls,
             "cpg_builds": self.cpg_builds,
             "fingerprint_builds": self.fingerprint_builds,
+            "function_hits": self.function_hits,
+            "function_misses": self.function_misses,
+            "function_parses": self.function_parses,
+            "delta_assemblies": self.delta_assemblies,
+            "delta_fallbacks": self.delta_fallbacks,
         }
+
+
+class FunctionDigestCache:
+    """LRU cache of function-span keys to their sub-fingerprint digests.
+
+    The function-level artifact tier: keys are
+    :func:`repro.solidity.splitter.span_key` hashes of one function's
+    exact token stream, values are the fuzzy-hash digest that function
+    contributes to its source's fingerprint.  Because the key covers the
+    whole normalized input, a hit is always safe to reuse — across edits
+    of one source *and* across sources that share a function verbatim.
+
+    ``fetch``/``persist`` are the optional disk-tier hooks (wired by
+    :class:`~repro.core.persistence.DiskArtifactStore`): ``fetch(key)``
+    returns a digest or ``None``, ``persist(key, digest)`` writes one
+    through.  A digest may be the empty string (functions too small to
+    hash) — only ``None`` means "not cached".
+    """
+
+    def __init__(self, max_entries: int = 65536, fetch=None, persist=None):
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, str]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._fetch = fetch
+        self._persist = persist
+
+    def attach(self, fetch, persist) -> None:
+        """Wire the disk-tier hooks (used by the persistent store)."""
+        self._fetch = fetch
+        self._persist = persist
+
+    def get(self, key: str) -> Optional[str]:
+        """The cached digest for ``key``, or ``None`` when not cached."""
+        with self._lock:
+            digest = self._entries.get(key)
+            if digest is not None:
+                self._entries.move_to_end(key)
+                return digest
+        if self._fetch is not None:
+            digest = self._fetch(key)
+            if digest is not None:
+                self._remember(key, digest)
+            return digest
+        return None
+
+    def put(self, key: str, digest: str) -> None:
+        """Cache ``digest`` for ``key`` (writing through when persistent)."""
+        self._remember(key, digest)
+        if self._persist is not None:
+            self._persist(key, digest)
+
+    def _remember(self, key: str, digest: str) -> None:
+        with self._lock:
+            self._entries[key] = digest
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        """Drop the memory tier (the disk tier, if any, is untouched)."""
+        with self._lock:
+            self._entries.clear()
 
 
 class SourceArtifact:
@@ -105,7 +194,8 @@ class SourceArtifact:
 
     __slots__ = ("source", "key", "_stats", "_generator", "_ngram_size", "_lock",
                  "_unit", "_unit_error", "_graph", "_graph_error",
-                 "_fingerprint", "_fingerprint_error", "_ngrams", "_on_materialize")
+                 "_fingerprint", "_fingerprint_error", "_ngrams", "_on_materialize",
+                 "_function_digests")
 
     #: names of the derived-value slots captured by :meth:`snapshot` /
     #: preloaded by :meth:`restore` (the persistence payload format)
@@ -120,6 +210,7 @@ class SourceArtifact:
         generator: FingerprintGenerator,
         ngram_size: int,
         on_materialize=None,
+        function_digests: Optional[FunctionDigestCache] = None,
     ):
         self.source = source
         self.key = key
@@ -138,6 +229,9 @@ class SourceArtifact:
         #: lock) every time the named derived value is computed for the first
         #: time; the disk store uses it to write that value through to disk
         self._on_materialize = on_materialize
+        #: optional store-wide function-digest cache enabling the delta
+        #: fingerprint path (see :meth:`fingerprint`)
+        self._function_digests = function_digests
 
     def _materialized(self, field: str) -> None:
         if self._on_materialize is not None:
@@ -238,12 +332,30 @@ class SourceArtifact:
     # -- fingerprint ----------------------------------------------------------
     @property
     def fingerprint(self) -> Fingerprint:
-        """The CCD fingerprint, normalized from the shared AST (no re-parse)."""
+        """The CCD fingerprint; assembled from cached function digests
+        when possible, normalized from the shared AST otherwise.
+
+        The delta path: when the source has not been parsed yet but the
+        store's :class:`FunctionDigestCache` already knows some of its
+        functions (a re-analysis after an edit), the fingerprint is
+        assembled from the cached digests, with only the *changed*
+        functions parsed — standalone, in O(change) — instead of the
+        whole source.  The assembled fingerprint is byte-identical to the
+        whole-source one; any doubt (unsplittable source, a changed
+        function that does not re-parse cleanly in isolation) falls back
+        to the whole-source path.
+        """
         with self._lock:
             if self._fingerprint is not None:
                 return self._fingerprint
             if self._fingerprint_error is not None:
                 raise SolidityParseError(self._fingerprint_error)
+            if self._unit is None and self._function_digests is not None:
+                assembled = self._delta_fingerprint()
+                if assembled is not None:
+                    self._fingerprint = assembled
+                    self._materialized("fingerprint")
+                    return self._fingerprint
             unit = self.unit
             self._stats.increment("fingerprint_builds")
             try:
@@ -254,7 +366,111 @@ class SourceArtifact:
                 self._materialized("fingerprint_error")
                 raise SolidityParseError(self._fingerprint_error) from None
             self._materialized("fingerprint")
+            self._seed_function_digests(normalized)
             return self._fingerprint
+
+    def _delta_fingerprint(self) -> Optional[Fingerprint]:
+        """Assemble the fingerprint from cached function digests, or ``None``.
+
+        ``None`` (fall back to the whole-source path) when the source is
+        unsplittable, when *no* function is cached yet (a cold source:
+        one whole parse beats N standalone parses and seeds the cache),
+        or when a changed function fails the strict standalone re-parse.
+        """
+        split = split_source(self.source)
+        if split is None:
+            return None
+        cache = self._function_digests
+        digests = {}
+        for span in split.spans:
+            if span.key not in digests:
+                digests[span.key] = cache.get(span.key)
+        if not any(digest is not None for digest in digests.values()):
+            return None
+        changed = []
+        for key, digest in digests.items():
+            if digest is None:
+                self._stats.increment("function_misses")
+                changed.append(key)
+            else:
+                self._stats.increment("function_hits")
+        spans_by_key = {span.key: span for span in split.spans}
+        for key in changed:
+            digest = self._span_digest(spans_by_key[key])
+            if digest is None:
+                self._stats.increment("delta_fallbacks")
+                return None
+            digests[key] = digest
+            cache.put(key, digest)
+        contracts = []
+        for group in split.groups:
+            contracts.append(
+                [digest for digest in (digests[span.key] for span in group)
+                 if digest])
+        text = ":".join(".".join(subs) for subs in contracts)
+        self._stats.increment("delta_assemblies")
+        return Fingerprint(text=text, contracts=contracts)
+
+    def _span_digest(self, span: FunctionSpan) -> Optional[str]:
+        """Digest one function span via a strict standalone re-parse.
+
+        The span text is parsed on its own (with a leading newline, so
+        its first token carries the same newline flag the key assumed)
+        and must yield exactly one warning-free definition of the
+        expected kind — anything else returns ``None`` and the caller
+        abandons the delta.  Normalization matches the whole-source
+        pipeline: contract scope is always empty, and modifiers are
+        normalized through the same synthetic function definition.
+        """
+        self._stats.increment("function_parses")
+        try:
+            unit = parse_snippet("\n" + span.text)
+        except (SolidityParseError, RecursionError):
+            return None
+        if unit.warnings or len(unit.items) != 1:
+            return None
+        item = unit.items[0]
+        if span.construct == "modifier":
+            if not isinstance(item, ast.ModifierDefinition):
+                return None
+            function = ast.FunctionDefinition(
+                name=item.name, parameters=item.parameters, body=item.body,
+                code=item.code)
+        else:
+            if not isinstance(item, ast.FunctionDefinition):
+                return None
+            function = item
+        normalized = self._generator.normalizer._normalize_function(
+            function, {}, function_label=span.label)
+        return self._generator.hasher.hash_tokens(normalized.tokens)
+
+    def _seed_function_digests(self, normalized) -> None:
+        """Record per-function digests after a clean whole-source build.
+
+        Seeding requires a warning-free parse *and* exact alignment
+        between the split's spans and the normalized functions (same
+        groups, same labels, in order) — any mismatch means the splitter
+        modeled this source differently from the parser, so nothing is
+        cached for it.
+        """
+        cache = self._function_digests
+        if cache is None or self._unit is None or self._unit.warnings:
+            return
+        split = split_source(self.source)
+        if split is None or len(split.groups) != len(normalized.contracts):
+            return
+        aligned = []
+        for group, contract in zip(split.groups, normalized.contracts):
+            functions = [function for function in contract.functions
+                         if function.name != "header"]
+            if [span.label for span in group] != \
+                    [function.name for function in functions]:
+                return
+            aligned.append((group, functions))
+        for group, functions in aligned:
+            for span, function in zip(group, functions):
+                cache.put(span.key,
+                          self._generator.hasher.hash_tokens(function.tokens))
 
     @property
     def ngrams(self) -> frozenset:
@@ -335,6 +551,9 @@ class ArtifactStore:
         self.generator = FingerprintGenerator(
             block_size=fingerprint_block_size, window=fingerprint_window)
         self.stats = ArtifactStoreStats()
+        #: store-wide function-level digest tier (content-pure, so safe to
+        #: share across every artifact and every edit of a source)
+        self.function_digests = FunctionDigestCache()
         self._entries: "OrderedDict[str, SourceArtifact]" = OrderedDict()
         self._lock = threading.RLock()
 
@@ -372,7 +591,9 @@ class ArtifactStore:
 
     def _create_artifact(self, source: str, key: str) -> SourceArtifact:
         """Build the artifact for a cache miss (the disk store's tier seam)."""
-        return SourceArtifact(source, key, self.stats, self.generator, self.ngram_size)
+        return SourceArtifact(source, key, self.stats, self.generator,
+                              self.ngram_size,
+                              function_digests=self.function_digests)
 
     def __len__(self) -> int:
         with self._lock:
@@ -412,6 +633,7 @@ __all__ = [
     "ArtifactStore",
     "ArtifactStoreSpec",
     "ArtifactStoreStats",
+    "FunctionDigestCache",
     "SourceArtifact",
     "content_key",
     "process_local_store",

@@ -106,6 +106,11 @@ CREATE TABLE IF NOT EXISTS meta (
     key   TEXT PRIMARY KEY,
     value TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS functions (
+    key     TEXT PRIMARY KEY,
+    digest  TEXT NOT NULL,
+    created REAL NOT NULL
+);
 """
 
 
@@ -233,6 +238,9 @@ class DiskArtifactStore(ArtifactStore):
         self._db_lock = threading.Lock()
         self._connection: Optional[sqlite3.Connection] = None
         self._open()
+        self.function_digests.attach(
+            fetch=self._fetch_function_digest,
+            persist=self._persist_function_digest)
 
     # -- connection management ------------------------------------------------
     def _configuration(self) -> dict:
@@ -312,7 +320,8 @@ class DiskArtifactStore(ArtifactStore):
     def _create_artifact(self, source: str, key: str) -> SourceArtifact:
         artifact = SourceArtifact(
             source, key, self.stats, self.generator, self.ngram_size,
-            on_materialize=self._persist)
+            on_materialize=self._persist,
+            function_digests=self.function_digests)
         payload = self._load_payload(key)
         if payload is not None:
             self.stats.increment("disk_hits")
@@ -375,6 +384,32 @@ class DiskArtifactStore(ArtifactStore):
             except sqlite3.DatabaseError:
                 self.stats.increment("disk_errors")
 
+    def _fetch_function_digest(self, key: str) -> Optional[str]:
+        with self._db_lock:
+            if self._connection is None:
+                return None
+            try:
+                row = self._connection.execute(
+                    "SELECT digest FROM functions WHERE key = ?",
+                    (key,)).fetchone()
+            except sqlite3.DatabaseError:
+                self.stats.increment("disk_corruptions")
+                return None
+        return row[0] if row is not None else None
+
+    def _persist_function_digest(self, key: str, digest: str) -> None:
+        now = time.time()
+        with self._db_lock:
+            if self._connection is None:
+                return
+            try:
+                retry_on_busy(lambda: self._connection.execute(
+                    "REPLACE INTO functions (key, digest, created) "
+                    "VALUES (?, ?, ?)", (key, digest, now)))
+                self.stats.increment("disk_writes")
+            except sqlite3.DatabaseError:
+                self.stats.increment("disk_errors")
+
     # -- introspection / maintenance ------------------------------------------
     @property
     def spec(self) -> ArtifactStoreSpec:
@@ -433,9 +468,11 @@ class DiskArtifactStore(ArtifactStore):
         """Drop cached artifacts; with ``disk=True`` also empty the disk tier."""
         super().clear()
         if disk:
+            self.function_digests.clear()
             with self._db_lock:
                 if self._connection is not None:
                     self._connection.execute("DELETE FROM artifacts")
+                    self._connection.execute("DELETE FROM functions")
 
     # -- CLI entry points (no configuration match required) -------------------
     @classmethod

@@ -85,6 +85,10 @@ def render_cache_stats(stats, label: str = "artifact cache") -> str:
     line = (f"{label}: {stats.hits}/{stats.lookups} hits "
             f"({stats.hit_rate:.1%}) — {stats.parse_calls} parses, "
             f"{stats.cpg_builds} CPG builds, {stats.fingerprint_builds} fingerprints")
+    if stats.delta_assemblies or stats.function_hits or stats.function_misses:
+        line += (f"; incremental: {stats.delta_assemblies} delta assemblies, "
+                 f"{stats.function_hits} function hits, "
+                 f"{stats.function_parses} function re-parses")
     if hasattr(stats, "disk_hits"):
         line += (f"; disk tier: {stats.disk_hits}/{stats.disk_lookups} hits "
                  f"({stats.disk_hit_rate:.1%}), {stats.disk_writes} writes")

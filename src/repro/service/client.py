@@ -331,17 +331,38 @@ class ServiceClient:
 
     # -- corpus and introspection ---------------------------------------------
     def ingest(self, documents=None, remove=None) -> dict:
-        """Ingest ``[id, source]`` documents into the live CCD index.
+        """Ingest documents into the live CCD index.
 
-        ``remove`` lists document ids to retire from the index instead;
-        a single call may carry both (removals are applied first).
+        Each item of ``documents`` is a ``(id, source)`` pair or a delta
+        object — ``{"id": ..., "source": ..., "base_version": ...}`` for
+        a guarded full replacement, or ``{"id": ..., "diff": ...,
+        "base_version": ...}`` to send a unified diff against the
+        server's retained copy (see :func:`ingest_delta` for a
+        convenience wrapper).  ``remove`` lists document ids to retire
+        from the index instead; a single call may carry both (removals
+        are applied first).
         """
         body: dict = {}
         if documents is not None:
-            body["documents"] = [list(pair) for pair in documents]
+            body["documents"] = [
+                item if isinstance(item, dict) else list(item)
+                for item in documents]
         if remove is not None:
             body["remove"] = list(remove)
         return self._request("POST", "/v1/corpus", body)
+
+    def ingest_delta(self, document_id, *, source: Optional[str] = None,
+                     diff: Optional[str] = None,
+                     base_version: Optional[str] = None) -> dict:
+        """Ingest one document as a delta (guarded source or unified diff)."""
+        item: dict = {"id": document_id}
+        if source is not None:
+            item["source"] = source
+        if diff is not None:
+            item["diff"] = diff
+        if base_version is not None:
+            item["base_version"] = base_version
+        return self.ingest(documents=[item])
 
     def corpus(self) -> dict:
         """The ids currently in the daemon's index (``GET /v1/corpus``)."""

@@ -61,6 +61,7 @@ from repro.service.jobstore import (
     Job,
     JobStore,
 )
+from repro.service.delta import DeltaError, resolve_ingest_documents
 from repro.service.scheduler import ReadWriteLock
 from repro.service.server import (
     ServiceValidationError,
@@ -487,7 +488,14 @@ class ClusterCoordinator:
         if documents is None and remove:
             documents = []
         else:
-            documents = validate_sources(documents, what="documents")
+            # delta objects (diffs, base_version guards) resolve against
+            # the journaled sources *here*, so workers always receive
+            # full documents regardless of how the client phrased them
+            try:
+                documents = resolve_ingest_documents(
+                    documents, self._journal_source)
+            except DeltaError as error:
+                raise ServiceValidationError(str(error)) from error
         documents = list({document_id: (document_id, source)
                           for document_id, source in documents}.values())
         with self._work_lock.write():  # exclusive: no fan-out during routing
@@ -498,6 +506,7 @@ class ClusterCoordinator:
                 remove_batches.setdefault(shard, []).append(document_id)
             batches = partition(documents, self.ring)
             ingested = 0
+            unchanged = 0
             rejected: list = []
             removed: list = []
             routed: Dict[str, int] = {}
@@ -507,6 +516,7 @@ class ClusterCoordinator:
                     documents=[list(pair) for pair in batch] or None,
                     remove=remove_batches.get(name) or None)
                 ingested += summary["ingested"]
+                unchanged += summary.get("unchanged", 0)
                 rejected.extend(summary["rejected"])
                 removed.extend(summary.get("removed", []))
                 routed[name] = len(batch)
@@ -520,9 +530,15 @@ class ClusterCoordinator:
             "ingested": ingested,
             "rejected": rejected,
             "removed": removed,
+            "unchanged": unchanged,
             "documents": self.journal.count(),
             "routed": routed,
         }
+
+    def _journal_source(self, document_id: Hashable) -> Optional[str]:
+        """The journaled source of one document (delta-ingest base)."""
+        pairs = self.journal.sources([document_id])
+        return pairs[0][1] if pairs else None
 
     def rebalance(self) -> dict:
         """Move every document whose ring owner changed; touch nothing else.

@@ -44,6 +44,13 @@ from repro.api.session import AnalysisSession, SessionConfig
 from repro.ccd.detector import CloneDetector
 from repro.ccd.index_io import MANIFEST_NAME, append_to_index
 from repro.ccd.score_memo import SCORE_MEMO_NAME, ScoreMemoTable
+from repro.core.artifacts import content_key
+from repro.service.delta import (
+    SOURCES_DATABASE_NAME,
+    DeltaError,
+    SourceJournal,
+    resolve_ingest_documents,
+)
 from repro.service.jobstore import (
     DEFAULT_BATCH_AGING,
     JOB_STATES,
@@ -254,6 +261,9 @@ class AnalysisService:
         self.recovered_jobs = self.jobstore.recover()
         self.index_dir = self.data_dir / INDEX_DIRECTORY_NAME
         self.detector = self._open_detector()
+        #: retained sources backing the diff ingest form and `repro watch`
+        self.source_journal = SourceJournal(
+            self.data_dir / SOURCES_DATABASE_NAME)
         self._work_lock = ReadWriteLock()
         self.scheduler = Scheduler(
             self.session, self.jobstore,
@@ -359,6 +369,7 @@ class AnalysisService:
         self.scheduler.close()
         self.session.close()
         self.jobstore.close()
+        self.source_journal.close()
 
     def serve_forever(self) -> None:
         """Run until :meth:`request_stop` (or Ctrl-C), then shut down."""
@@ -414,6 +425,14 @@ class AnalysisService:
         known id re-ingested with unparsable source is *retired* from
         the index (in memory and on disk) rather than left matchable.
 
+        Each ``documents`` item is a classic ``[id, source]`` pair or a
+        delta object (``{"id", "source"|"diff", "base_version"}``; see
+        :mod:`repro.service.delta`) — diffs are applied against the
+        retained copy of the source, and a stale ``base_version`` is
+        rejected with 400.  Re-ingesting byte-identical source is a
+        no-op (reported in ``unchanged``): zero parses, zero score-memo
+        transitions, zero shards rewritten for that document.
+
         ``remove`` lists document ids to drop from the index entirely
         (the cluster coordinator uses this to rebalance shards); ids the
         index never held are ignored.  Removals are applied before the
@@ -423,23 +442,36 @@ class AnalysisService:
         if documents is None and remove:
             documents = []
         else:
-            documents = validate_sources(documents, what="documents")
+            try:
+                documents = resolve_ingest_documents(
+                    documents, self.source_journal.get)
+            except DeltaError as error:
+                raise ServiceValidationError(str(error)) from error
         # duplicate ids within one batch collapse to the last occurrence,
         # so the persisted shards never carry two rows for one document
         documents = list({document_id: (document_id, source)
                           for document_id, source in documents}.values())
         with self._work_lock.write():  # exclusive: no matching during mutation
             detector = self.detector
-            ingested, rejected, retired, removed = [], [], [], []
+            ingested, rejected, retired, removed, unchanged = [], [], [], [], []
             for document_id in remove:
                 if detector.remove_fingerprint(document_id) is not None:
                     removed.append(document_id)
+                    self.source_journal.forget(document_id)
                 if document_id in detector.parse_failures:
                     detector.parse_failures.remove(document_id)
             for document_id, source in documents:
+                source_key = content_key(source)
+                if (detector.source_keys.get(document_id) == source_key
+                        and document_id in detector.fingerprints):
+                    # no-op fast path: identical bytes change nothing, so
+                    # skip the retire/rebuild (and the shard rewrite) entirely
+                    unchanged.append(document_id)
+                    continue
                 previously_indexed = document_id in detector.fingerprints
                 if detector.add_document(document_id, source):
                     ingested.append(document_id)
+                    self.source_journal.record(document_id, source, source_key)
                     # a fixed re-ingest clears the old failure record
                     if document_id in detector.parse_failures:
                         detector.parse_failures.remove(document_id)
@@ -451,18 +483,27 @@ class AnalysisService:
                         # (and releases its subs from the score memo)
                         detector.remove_fingerprint(document_id)
                         retired.append(document_id)
+                        self.source_journal.forget(document_id)
             # one failure record per document, however often it was re-posted
             detector.parse_failures[:] = dict.fromkeys(detector.parse_failures)
-            summary = append_to_index(
-                detector, self.index_dir, ingested,
-                shards=self.config.index_shards, remove_ids=retired + removed)
+            # rejected batches still persist the parse-failure record;
+            # an all-unchanged batch touches no file at all
+            if ingested or retired or removed or rejected:
+                summary = append_to_index(
+                    detector, self.index_dir, ingested,
+                    shards=self.config.index_shards,
+                    remove_ids=retired + removed)
+                shards_rewritten = summary["shards_rewritten"]
+            else:
+                shards_rewritten = 0
         return {
             "ingested": len(ingested),
             "rejected": rejected,
             "removed": removed,
+            "unchanged": len(unchanged),
             "documents": len(self.detector),
             "parse_failures": len(self.detector.parse_failures),
-            "shards_rewritten": summary["shards_rewritten"],
+            "shards_rewritten": shards_rewritten,
         }
 
     def corpus(self) -> dict:
@@ -502,6 +543,19 @@ class AnalysisService:
             },
             "score_memo": self.detector.score_memo.as_dict(),
             "match_stats": dataclasses.asdict(self.detector.match_stats),
+            # the incremental-analysis counters, next to score_memo: how
+            # much function-level work re-ingest and re-analysis reused
+            "incremental": {
+                "function_hits": self.session.stats.function_hits,
+                "function_misses": self.session.stats.function_misses,
+                "function_parses": self.session.stats.function_parses,
+                "delta_assemblies": self.session.stats.delta_assemblies,
+                "delta_fallbacks": self.session.stats.delta_fallbacks,
+                "functions_reused": self.detector.match_stats.functions_reused,
+                "functions_reanalyzed":
+                    self.detector.match_stats.functions_reanalyzed,
+                "sources_retained": self.source_journal.count(),
+            },
             "config": {
                 "backend": self.config.backend,
                 "workers": self.config.workers,

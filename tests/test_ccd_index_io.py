@@ -230,3 +230,77 @@ class TestAppendToIndex:
         assert len(reloaded) == len(live)  # replaced, not duplicated
         assert reloaded.fingerprints[victim].text == \
             live.fingerprints[victim].text
+
+    def test_append_with_remove_ids_retires_documents(self, detector, tmp_path):
+        from repro.ccd.index_io import append_to_index
+
+        live = self._fresh_copy(detector)
+        save_index(live, tmp_path, shards=4)
+        victim = sorted(live.fingerprints)[0]
+        live.remove_fingerprint(victim)
+        summary = append_to_index(live, tmp_path, [], remove_ids=[victim])
+        assert summary["appended"] == 0
+        assert summary["manifest"]["documents"] == len(live)
+        reloaded = load_index(tmp_path)
+        assert victim not in reloaded.fingerprints
+        assert set(reloaded.fingerprints) == set(live.fingerprints)
+
+
+class TestIncrementalIndexState:
+    """Source keys and function-granular accounting across persistence."""
+
+    SOURCE = ("contract Keyed {\n"
+              "    uint total;\n"
+              "    function add(uint v) public { total += v; }\n"
+              "    function get() public view returns (uint) { return total; }\n"
+              "}\n")
+
+    def test_source_keys_survive_roundtrip(self, tmp_path):
+        from repro.core.artifacts import content_key
+
+        live = CloneDetector(similarity_threshold=0.9)
+        assert live.add_document("keyed", self.SOURCE)
+        save_index(live, tmp_path, shards=2)
+        reloaded = load_index(tmp_path)
+        assert reloaded.source_keys["keyed"] == content_key(self.SOURCE)
+        # ... which arms the no-op fast path across the save/load cycle:
+        # re-ingesting identical bytes replaces nothing
+        fingerprint = reloaded.fingerprints["keyed"]
+        assert reloaded.add_document("keyed", self.SOURCE)
+        assert reloaded.fingerprints["keyed"] is fingerprint
+
+    def test_legacy_three_tuple_shards_load(self, tmp_path):
+        import pickle
+
+        live = CloneDetector(similarity_threshold=0.9)
+        assert live.add_document("keyed", self.SOURCE)
+        save_index(live, tmp_path, shards=1)
+        # strip the source-key column, as an index written before it existed
+        shard = tmp_path / "shard-0000.pkl"
+        bucket = pickle.loads(shard.read_bytes())
+        shard.write_bytes(pickle.dumps([entry[:3] for entry in bucket]))
+        reloaded = load_index(tmp_path)
+        assert reloaded.source_keys == {}  # unknown, never wrong
+        assert "keyed" in reloaded.fingerprints
+
+    def test_replacement_accounts_function_reuse(self):
+        edited = self.SOURCE.replace("total += v;", "total += v + 1;")
+        detector = CloneDetector(similarity_threshold=0.9)
+        assert detector.add_document("keyed", self.SOURCE)
+        assert detector.match_stats.functions_reused == 0
+        assert detector.add_document("keyed", edited)
+        # one of the two functions changed; the other's sub-fingerprints
+        # carried over
+        assert detector.match_stats.functions_reused >= 1
+        assert detector.match_stats.functions_reanalyzed >= 1
+
+    def test_noop_reingest_causes_zero_score_memo_invalidations(self, tmp_path):
+        from repro.ccd.score_memo import ScoreMemoTable
+
+        detector = CloneDetector(
+            similarity_threshold=0.9,
+            score_memo=ScoreMemoTable(tmp_path / "memo.sqlite"))
+        assert detector.add_document("keyed", self.SOURCE)
+        detector.find_clones(self.SOURCE)  # populate memo rows
+        assert detector.add_document("keyed", self.SOURCE)  # identical bytes
+        assert detector.score_memo.stats.invalidated == 0

@@ -338,7 +338,7 @@ class TestMatchStats:
 
     def test_stage_rows_cover_both_stages(self):
         stages = {row[0] for row in MatchStats().stage_rows()}
-        assert stages == {"candidates", "verification"}
+        assert stages == {"candidates", "verification", "ingest"}
 
     def test_detector_exposes_match_stats(self):
         detector = CloneDetector()
