@@ -4,11 +4,93 @@ Reproduced shape: precision rises and recall falls with the similarity
 threshold epsilon; large N-gram sizes with strict thresholds give the best
 precision at low recall; the best F1 combination sits at a small N with a
 moderate epsilon.
+
+``test_sweep_workload_engine`` additionally measures the **workload
+engine** running the same sweep as a chunked, resumable job: grid
+size, chunks/second, and the wall-clock overhead of a mid-run pause +
+resume versus an uninterrupted run (``BENCH_sweep.json``, reduced grid
+in CI via ``BENCH_SWEEP_REDUCED=1``).
 """
+
+import os
+import time
 
 from repro.evaluation import sweep_ccd_parameters
 from repro.evaluation.parameter_sweep import best_combination
 from repro.pipeline.report import render_table
+
+REDUCED = bool(os.environ.get("BENCH_SWEEP_REDUCED"))
+
+#: the engine benchmark's grid — 8 cells reduced, 27 cells full
+ENGINE_PARAMS = {
+    "honeypot": {"seed": 7, "counts": {"balance_disorder": 3,
+                                       "hidden_transfer": 3,
+                                       "skip_empty_string_literal": 3}}
+    if REDUCED else {"seed": 7, "counts": None},
+    "ngram_sizes": [3, 5] if REDUCED else [3, 5, 7],
+    "ngram_thresholds": [0.5, 0.7] if REDUCED else [0.5, 0.7, 0.9],
+    "similarity_thresholds": [0.5, 0.9] if REDUCED else [0.5, 0.7, 0.9],
+}
+
+
+def _run_sweep_job(store, registry, should_stop=None):
+    """Claim and drain the next workload job; returns its outcome."""
+    from repro.service.workloads import run_workload_job
+
+    job = store.claim_next()
+    outcome = run_workload_job(job, store, registry=registry,
+                               should_stop=should_stop)
+    if outcome != "paused":
+        store.finish(job.job_id, outcome)
+    return job.job_id, outcome
+
+
+def test_sweep_workload_engine(benchmark, tmp_path_factory, sweep_registry):
+    """The sweep as a durable workload: chunk rate and resume overhead."""
+    from repro.service.jobstore import JobStore
+    from repro.service.workloads import WORKLOADS
+
+    workload = WORKLOADS.get("parameter_sweep")
+    params = workload.normalize(ENGINE_PARAMS)
+    grid = len(workload.decompose(params))
+    tmp_path = tmp_path_factory.mktemp("sweep-engine")
+
+    with JobStore(tmp_path / "jobs.sqlite") as store:
+        store.submit([], [], workload={"kind": "parameter_sweep",
+                                       "params": params})
+        started = time.perf_counter()
+        job_id, outcome = benchmark.pedantic(
+            lambda: _run_sweep_job(store, WORKLOADS), rounds=1, iterations=1)
+        uninterrupted = time.perf_counter() - started
+        assert outcome == "done"
+        reference = store.results(job_id)[0][1]
+
+    with JobStore(tmp_path / "resumed.sqlite") as store:
+        store.submit([], [], workload={"kind": "parameter_sweep",
+                                       "params": params})
+        half = grid // 2
+        ticks = iter(range(grid + 2))
+        started = time.perf_counter()
+        _job_id, outcome = _run_sweep_job(
+            store, WORKLOADS, should_stop=lambda: next(ticks) >= half)
+        assert outcome == "paused"
+        assert store.recover() == 1  # the crash-recovery path
+        job_id, outcome = _run_sweep_job(store, WORKLOADS)
+        interrupted = time.perf_counter() - started
+        assert outcome == "done"
+        # resume is byte-identical to the uninterrupted run
+        assert store.results(job_id)[0][1] == reference
+        done = store.chunk_progress(job_id)
+        assert done["done"] == done["total"] == grid
+
+    sweep_registry["engine"] = {
+        "grid_cells": grid,
+        "wall_uninterrupted": uninterrupted,
+        "wall_with_resume": interrupted,
+        "chunks_per_sec": grid / max(uninterrupted, 1e-9),
+        "resume_overhead": (interrupted - uninterrupted)
+        / max(uninterrupted, 1e-9),
+    }
 
 
 def test_table9_fig9_parameter_sweep(benchmark, honeypot_corpus):

@@ -56,6 +56,10 @@ _SERVICE_LATENCIES: dict[str, dict] = {}
 #: (bench_incremental): whole-corpus re-ingest vs one-function delta
 _INCREMENTAL_MODES: dict[str, dict] = {}
 
+#: rows of the workload-engine sweep benchmark (bench_table9_fig9):
+#: grid size, chunks/sec, and pause+resume overhead vs uninterrupted
+_SWEEP_ROWS: dict[str, dict] = {}
+
 
 @pytest.fixture(scope="session")
 def artifact_stats_registry():
@@ -85,6 +89,12 @@ def service_latency_registry():
 def incremental_registry():
     """Register per-mode wall-clock rows of the incremental benchmark."""
     return _INCREMENTAL_MODES
+
+
+@pytest.fixture(scope="session")
+def sweep_registry():
+    """Register the workload-engine rows of the parameter-sweep benchmark."""
+    return _SWEEP_ROWS
 
 
 def _write_bench_artifact(terminalreporter, name: str, payload: dict) -> None:
@@ -143,6 +153,13 @@ def _incremental_artifact() -> dict:
             _INCREMENTAL_MODES["full"]["wall"]
             / max(_INCREMENTAL_MODES["incremental"]["wall"], 1e-9))
     return payload
+
+
+def _sweep_artifact() -> dict:
+    """The ``BENCH_sweep.json`` payload: the workload-engine sweep rows."""
+    return {"benchmark": "table9_fig9_sweep_engine",
+            "reduced": bool(os.environ.get("BENCH_SWEEP_REDUCED")),
+            "modes": {mode: dict(row) for mode, row in _SWEEP_ROWS.items()}}
 
 
 def pytest_terminal_summary(terminalreporter):
@@ -243,6 +260,17 @@ def pytest_terminal_summary(terminalreporter):
                 f"byte-identical envelopes")
         _write_bench_artifact(terminalreporter, "BENCH_incremental.json",
                               _incremental_artifact())
+    if _SWEEP_ROWS:
+        terminalreporter.section("parameter sweep: workload engine")
+        for mode, row in _SWEEP_ROWS.items():
+            terminalreporter.write_line(
+                f"{mode:>8}: {row['grid_cells']} grid cells at "
+                f"{row['chunks_per_sec']:.1f} chunks/sec, pause+resume "
+                f"overhead {row['resume_overhead']:+.1%} "
+                f"({row['wall_uninterrupted']:.3f}s -> "
+                f"{row['wall_with_resume']:.3f}s)")
+        _write_bench_artifact(terminalreporter, "BENCH_sweep.json",
+                              _sweep_artifact())
 
 
 @pytest.fixture(scope="session")

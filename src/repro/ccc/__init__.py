@@ -18,7 +18,15 @@ Typical usage::
 from repro.ccc.checker import AnalysisResult, ContractChecker
 from repro.ccc.dasp import DaspCategory
 from repro.ccc.finding import Finding
-from repro.ccc.registry import ALL_QUERIES, queries_for_categories, query_by_id
+from repro.ccc.registry import (
+    ALL_QUERIES,
+    all_queries,
+    queries_for_categories,
+    query_by_id,
+    register_query,
+    registered_queries,
+    unregister_query,
+)
 
 __all__ = [
     "ALL_QUERIES",
@@ -26,6 +34,10 @@ __all__ = [
     "ContractChecker",
     "DaspCategory",
     "Finding",
+    "all_queries",
     "queries_for_categories",
     "query_by_id",
+    "register_query",
+    "registered_queries",
+    "unregister_query",
 ]

@@ -16,7 +16,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro.ccc.dasp import DaspCategory
 from repro.ccc.finding import Finding
-from repro.ccc.registry import ALL_QUERIES, queries_for_categories, query_by_id
+from repro.ccc.registry import all_queries, queries_for_categories, query_by_id
 from repro.core.artifacts import ArtifactStore, ArtifactStoreSpec, process_local_store
 from repro.core.executor import Executor
 from repro.cpg.builder import build_cpg
@@ -199,7 +199,7 @@ class ContractChecker:
 
     @staticmethod
     def available_queries() -> list[str]:
-        return [query.query_id for query in ALL_QUERIES]
+        return [query.query_id for query in all_queries()]
 
 
 @dataclass(frozen=True)

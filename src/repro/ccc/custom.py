@@ -1,0 +1,214 @@
+"""User-defined vulnerability queries from a declarative, code-free DSL.
+
+Custom queries let users extend the CCC query set over the API without
+ever executing user-supplied code: a query **spec** is a small JSON
+object naming one *selector* (which nodes the query starts from) and
+two condition lists (*require* — every condition must hold — and
+*exclude* — none may hold), all drawn from a fixed vocabulary that maps
+onto the :mod:`repro.query.predicates` library the 17 built-in queries
+are written against.  A spec compiles to a
+:class:`~repro.ccc.queries.base.VulnerabilityQuery` subclass instance
+that behaves exactly like a built-in: register it
+(:func:`repro.ccc.registry.register_query`) and it participates in
+``repro queries list``, ccc jobs, and workloads immediately.
+
+Example spec::
+
+    {
+        "query_id": "custom-unguarded-selfbalance-write",
+        "category": "Access Control",
+        "title": "State write reachable without access control",
+        "select": "state_writes",
+        "require": ["parameter_influenced"],
+        "exclude": ["access_controlled"]
+    }
+
+``query_id`` must start with ``custom-`` so user queries can never
+shadow a built-in id.  Validation is strict: unknown keys, selectors,
+conditions, or categories are rejected with :class:`QuerySpecError`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.ccc.dasp import DaspCategory
+from repro.ccc.finding import Finding
+from repro.ccc.queries.base import VulnerabilityQuery
+from repro.query import QueryContext, predicates
+
+#: mandatory prefix of custom query ids (built-ins can never collide)
+CUSTOM_QUERY_ID_PREFIX = "custom-"
+
+#: the keys a query spec may carry
+SPEC_KEYS = ("query_id", "category", "title", "select", "require", "exclude")
+
+
+class QuerySpecError(ValueError):
+    """A custom query spec failed validation."""
+
+
+# ---------------------------------------------------------------------------
+# the DSL vocabulary
+# ---------------------------------------------------------------------------
+
+def _graph_selector(enumerate_nodes: Callable) -> Callable:
+    """Wrap a graph-scope enumerator into (node, enclosing function) pairs."""
+
+    def select(ctx: QueryContext) -> Iterable:
+        for node in enumerate_nodes(ctx):
+            yield node, predicates.enclosing_function(ctx, node)
+
+    return select
+
+
+def _function_selector(enumerate_in: Callable) -> Callable:
+    """Wrap a per-function enumerator into (node, function) pairs."""
+
+    def select(ctx: QueryContext) -> Iterable:
+        for function in predicates.functions(ctx):
+            for node in enumerate_in(ctx, function):
+                yield node, function
+
+    return select
+
+
+#: selector name -> generator of ``(node, function)`` pairs
+SELECTORS: dict = {
+    "timestamp_reads": _graph_selector(predicates.timestamp_nodes),
+    "block_attributes": _graph_selector(predicates.block_attribute_nodes),
+    "msg_sender_reads": _graph_selector(predicates.msg_sender_nodes),
+    "msg_data_reads": _graph_selector(predicates.msg_data_nodes),
+    "calls": _function_selector(predicates.calls_in),
+    "external_calls": _function_selector(
+        lambda ctx, function: [call for call in predicates.calls_in(ctx, function)
+                               if predicates.is_external_call(ctx, call)]),
+    "ether_transfers": _function_selector(
+        lambda ctx, function: [call for call in predicates.calls_in(ctx, function)
+                               if predicates.is_ether_transfer(ctx, call)]),
+    "state_writes": _function_selector(
+        lambda ctx, function: [write for write, _field
+                               in predicates.state_writes_in(ctx, function)]),
+    "rollbacks": _function_selector(predicates.rollbacks_in),
+}
+
+#: condition name -> predicate over ``(ctx, node, function)``
+CONDITIONS: dict = {
+    "external_call": lambda ctx, node, function:
+        predicates.is_external_call(ctx, node),
+    "ether_transfer": lambda ctx, node, function:
+        predicates.is_ether_transfer(ctx, node),
+    "low_level_call": lambda ctx, node, function:
+        predicates.is_low_level_call(node),
+    "parameter_influenced": lambda ctx, node, function:
+        predicates.influenced_by_parameter(ctx, node, function),
+    "access_controlled": lambda ctx, node, function:
+        predicates.is_access_controlled(ctx, function, node),
+}
+
+
+# ---------------------------------------------------------------------------
+# validation and compilation
+# ---------------------------------------------------------------------------
+
+def _condition_names(spec: dict, key: str) -> list:
+    names = spec.get(key, [])
+    if not isinstance(names, (list, tuple)) or any(
+            not isinstance(name, str) for name in names):
+        raise QuerySpecError(f"{key!r} must be a list of condition names")
+    unknown = sorted(set(names) - set(CONDITIONS))
+    if unknown:
+        raise QuerySpecError(
+            f"unknown {key} condition(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(CONDITIONS))}")
+    return list(names)
+
+
+def validate_query_spec(spec) -> dict:
+    """Validate one wire spec into its normalized, stored form.
+
+    Raises :class:`QuerySpecError` on any violation; never executes
+    anything from the spec — it is pure data.
+    """
+    if not isinstance(spec, dict):
+        raise QuerySpecError("query spec must be a JSON object")
+    unknown = sorted(set(spec) - set(SPEC_KEYS))
+    if unknown:
+        raise QuerySpecError(
+            f"unknown spec key(s): {', '.join(unknown)}; "
+            f"allowed: {', '.join(SPEC_KEYS)}")
+    query_id = spec.get("query_id")
+    if not isinstance(query_id, str) \
+            or not query_id.startswith(CUSTOM_QUERY_ID_PREFIX) \
+            or len(query_id) <= len(CUSTOM_QUERY_ID_PREFIX):
+        raise QuerySpecError(
+            f"'query_id' must be a string starting with "
+            f"{CUSTOM_QUERY_ID_PREFIX!r}")
+    category = spec.get("category")
+    try:
+        DaspCategory(category)
+    except ValueError:
+        raise QuerySpecError(
+            f"'category' must be one of: "
+            f"{', '.join(c.value for c in DaspCategory)}") from None
+    title = spec.get("title")
+    if not isinstance(title, str) or not title.strip():
+        raise QuerySpecError("'title' must be a non-empty string")
+    select = spec.get("select")
+    if select not in SELECTORS:
+        raise QuerySpecError(
+            f"'select' must be one of: {', '.join(sorted(SELECTORS))}")
+    return {
+        "query_id": query_id,
+        "category": category,
+        "title": title.strip(),
+        "select": select,
+        "require": _condition_names(spec, "require"),
+        "exclude": _condition_names(spec, "exclude"),
+    }
+
+
+class CustomQuery(VulnerabilityQuery):
+    """A vulnerability query compiled from a validated DSL spec."""
+
+    def __init__(self, spec: dict):
+        self.spec = spec
+        self.query_id = spec["query_id"]
+        self.category = DaspCategory(spec["category"])
+        self.title = spec["title"]
+        self._select = SELECTORS[spec["select"]]
+        self._require = [CONDITIONS[name] for name in spec["require"]]
+        self._exclude = [CONDITIONS[name] for name in spec["exclude"]]
+
+    def run(self, ctx: QueryContext) -> list[Finding]:
+        """Evaluate the compiled selector and condition lists."""
+        findings: list[Finding] = []
+        for node, function in self._select(ctx):
+            ctx.check_deadline()
+            if function is None:
+                continue
+            if not all(condition(ctx, node, function)
+                       for condition in self._require):
+                continue
+            if any(condition(ctx, node, function)
+                   for condition in self._exclude):
+                continue
+            findings.append(self.finding(ctx, node, function))
+        return findings
+
+
+def compile_query(spec) -> CustomQuery:
+    """Validate ``spec`` and compile it into a runnable query."""
+    return CustomQuery(validate_query_spec(spec))
+
+
+__all__ = [
+    "CONDITIONS",
+    "CUSTOM_QUERY_ID_PREFIX",
+    "CustomQuery",
+    "QuerySpecError",
+    "SELECTORS",
+    "SPEC_KEYS",
+    "compile_query",
+    "validate_query_spec",
+]

@@ -1,4 +1,13 @@
-"""Registry of all 17 vulnerability queries."""
+"""Registry of all vulnerability queries: 17 built-ins plus custom ones.
+
+The built-in tuple :data:`ALL_QUERIES` is immutable (the paper's 17
+queries across 10 categories).  User-defined queries — compiled from the
+declarative :mod:`repro.ccc.custom` DSL, never from code — are added at
+runtime with :func:`register_query` and participate in every lookup
+(:func:`query_by_id`, :func:`queries_for_categories`,
+:func:`all_queries`), which is what makes them usable in ccc jobs and
+workloads the moment they are registered.
+"""
 
 from __future__ import annotations
 
@@ -35,9 +44,50 @@ ALL_QUERIES: tuple[VulnerabilityQuery, ...] = tuple(
 )
 
 
+#: runtime-registered custom queries, in registration order
+_CUSTOM_QUERIES: dict[str, VulnerabilityQuery] = {}
+
+#: the ids of the built-in queries (custom ids may never collide)
+BUILTIN_QUERY_IDS = frozenset(query.query_id for query in ALL_QUERIES)
+
+
+def all_queries() -> tuple[VulnerabilityQuery, ...]:
+    """Every active query: the built-ins, then customs in registration order."""
+    return ALL_QUERIES + tuple(_CUSTOM_QUERIES.values())
+
+
+def register_query(query: VulnerabilityQuery,
+                   replace: bool = False) -> VulnerabilityQuery:
+    """Register a custom query under its ``query_id``.
+
+    Built-in ids are permanently reserved; re-registering a custom id
+    requires ``replace=True`` (the service uses that to reload its
+    persisted queries on startup).
+    """
+    query_id = query.query_id
+    if not query_id:
+        raise ValueError("query must define a non-empty query_id")
+    if query_id in BUILTIN_QUERY_IDS:
+        raise ValueError(f"query id {query_id!r} is a built-in query")
+    if query_id in _CUSTOM_QUERIES and not replace:
+        raise ValueError(f"query id {query_id!r} is already registered")
+    _CUSTOM_QUERIES[query_id] = query
+    return query
+
+
+def unregister_query(query_id: str) -> None:
+    """Remove a custom query (:class:`KeyError` when unknown or built-in)."""
+    del _CUSTOM_QUERIES[query_id]
+
+
+def registered_queries() -> tuple[VulnerabilityQuery, ...]:
+    """The custom queries only, in registration order."""
+    return tuple(_CUSTOM_QUERIES.values())
+
+
 def query_by_id(query_id: str) -> VulnerabilityQuery:
     """Look up a query by its stable identifier."""
-    for query in ALL_QUERIES:
+    for query in all_queries():
         if query.query_id == query_id:
             return query
     raise KeyError(f"unknown query id: {query_id!r}")
@@ -46,6 +96,6 @@ def query_by_id(query_id: str) -> VulnerabilityQuery:
 def queries_for_categories(categories: Optional[Iterable[DaspCategory]]) -> tuple[VulnerabilityQuery, ...]:
     """Queries belonging to the given DASP categories (all when ``None``)."""
     if categories is None:
-        return ALL_QUERIES
+        return all_queries()
     wanted = set(categories)
-    return tuple(query for query in ALL_QUERIES if query.category in wanted)
+    return tuple(query for query in all_queries() if query.category in wanted)

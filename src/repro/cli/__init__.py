@@ -35,6 +35,7 @@ See ``docs/cli.md`` for a walkthrough of every subcommand and
 from __future__ import annotations
 
 import argparse
+import json
 import signal
 import sys
 import time
@@ -42,7 +43,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.api import REGISTRY, AnalysisSession, SessionConfig, all_analyzers
-from repro.ccc.registry import ALL_QUERIES
+from repro.ccc.registry import BUILTIN_QUERY_IDS, all_queries
 from repro.ccd.detector import CloneDetector
 from repro.ccd.index_io import IndexFormatError, read_manifest
 from repro.ccd.matcher import SIMILARITY_BACKENDS
@@ -432,10 +433,49 @@ def _cmd_analyzers_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_queries_list(args: argparse.Namespace) -> int:
-    rows = [[query.query_id, query.category.value, query.title]
-            for query in ALL_QUERIES]
-    print(render_table(["Id", "DASP Category", "Title"], rows,
-                       title=f"CCC query registry ({len(rows)} queries)"))
+    if getattr(args, "url", None):
+        client = ServiceClient(args.url)
+        try:
+            listed = client.queries()
+        except (ServiceError, OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        rows = [[entry["query_id"], entry["category"],
+                 "custom" if entry["custom"] else "built-in", entry["title"]]
+                for entry in listed]
+        title = f"CCC query registry at {args.url} ({len(rows)} queries)"
+    else:
+        rows = [[query.query_id, query.category.value,
+                 "built-in" if query.query_id in BUILTIN_QUERY_IDS
+                 else "custom", query.title]
+                for query in all_queries()]
+        title = f"CCC query registry ({len(rows)} queries)"
+    print(render_table(["Id", "DASP Category", "Kind", "Title"], rows,
+                       title=title))
+    return 0
+
+
+def _cmd_queries_register(args: argparse.Namespace) -> int:
+    try:
+        spec = json.loads(Path(args.spec).read_text(encoding="utf-8"))
+    except OSError as error:
+        print(f"error: cannot read {args.spec}: {error}", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        print(f"error: {args.spec} is not valid JSON: {error}",
+              file=sys.stderr)
+        return 1
+    client = ServiceClient(args.url)
+    try:
+        response = client.register_query(spec)
+    except (ServiceError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    registered = response["query"]
+    where = (f" on shards {', '.join(response['shards'])}"
+             if "shards" in response else "")
+    print(f"registered custom query {registered['query_id']} "
+          f"({registered['category']}){where}")
     return 0
 
 
@@ -697,13 +737,152 @@ def _cmd_jobs_show(args: argparse.Namespace) -> int:
         return 1
     job = status["job"]
     rows = [[key, job[key]] for key in
-            ("id", "state", "analyses", "corpus_size", "submitted",
-             "started", "finished", "elapsed_seconds", "error")]
+            ("id", "state", "analyses", "corpus_size", "created_at",
+             "started_at", "finished_at", "duration_seconds", "error")]
     print(render_table(["Field", "Value"], rows, title=f"Job {args.job_id}"))
+    if job.get("workload") is not None:
+        print(f"workload job ({job['workload']['kind']}); inspect it with: "
+              f"repro workload show {args.job_id} --url {args.url}")
+        return 0
     results = status["results"]
     if results:
         print(_summarize_envelopes(
             results, title=f"Results ({len(results)} envelopes)"))
+    return 0
+
+
+def _cmd_jobs_cancel(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    try:
+        outcome = client.cancel(args.job_id)
+    except (ServiceError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"job {outcome['id']}: {outcome['state']}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro workload
+# ---------------------------------------------------------------------------
+
+def _format_eta(eta) -> str:
+    return f"{eta:.1f}s" if eta is not None else "-"
+
+
+def _workload_rows(workloads: list) -> list:
+    return [[entry["id"], entry["state"],
+             (entry.get("workload") or {}).get("kind", "-"),
+             f"{entry['progress']['done']}/{entry['progress']['total']}",
+             _format_eta(entry["progress"]["eta"]),
+             f"{entry['duration_seconds']:.2f}s"
+             if entry["duration_seconds"] is not None else "-",
+             entry["error"] or ""]
+            for entry in workloads]
+
+
+def _cmd_workload_run(args: argparse.Namespace) -> int:
+    if args.params is not None:
+        try:
+            params = json.loads(args.params)
+        except ValueError as error:
+            print(f"error: --params is not valid JSON: {error}",
+                  file=sys.stderr)
+            return 1
+    else:
+        params = None
+    client = ServiceClient(args.url)
+    try:
+        submitted = client.submit_workload(
+            args.kind, params=params, priority=args.priority,
+            tenant=args.tenant)
+        print(f"submitted workload {submitted['id']} ({args.kind}, "
+              f"lane: {submitted['priority']})")
+        if not args.wait:
+            return 0
+        started = time.perf_counter()
+        final = client.wait_workload(submitted["id"], timeout=args.timeout)
+        elapsed = time.perf_counter() - started
+        progress = client.workload(submitted["id"])["progress"]
+        print(f"workload {submitted['id']} {final['job']['state']} in "
+              f"{elapsed:.2f}s ({progress['done']}/{progress['total']} "
+              f"chunks)")
+        if final["job"]["state"] == "done" and final["results"]:
+            report = final["results"][0]
+            if args.output is not None:
+                Path(args.output).write_text(
+                    json.dumps(report, indent=2, sort_keys=True),
+                    encoding="utf-8")
+                print(f"merged report written to {args.output}")
+            else:
+                print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    except JobFailedError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except (ServiceError, TimeoutError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _cmd_workload_list(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    try:
+        page = client.workloads_page(state=args.state, limit=args.limit,
+                                     offset=args.offset)
+    except (ServiceError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    shown = len(page["workloads"])
+    print(render_table(
+        ["Id", "State", "Kind", "Chunks", "ETA", "Elapsed", "Error"],
+        _workload_rows(page["workloads"]),
+        title=f"Workloads at {args.url} ({page['offset']}-"
+              f"{page['offset'] + shown} of {page['total']})"))
+    return 0
+
+
+def _cmd_workload_show(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    try:
+        entry = client.workload(args.job_id, chunks=args.chunks)
+    except (ServiceError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    descriptor = entry.get("workload") or {}
+    progress = entry["progress"]
+    rows = [
+        ["id", entry["id"]],
+        ["state", entry["state"]],
+        ["kind", descriptor.get("kind", "-")],
+        ["progress", f"{progress['done']}/{progress['total']}"],
+        ["eta", _format_eta(progress["eta"])],
+        ["created_at", entry["created_at"]],
+        ["started_at", entry["started_at"]],
+        ["finished_at", entry["finished_at"]],
+        ["duration_seconds", entry["duration_seconds"]],
+        ["error", entry["error"]],
+    ]
+    print(render_table(["Field", "Value"], rows,
+                       title=f"Workload {args.job_id}"))
+    if args.chunks:
+        chunk_rows = [[row["chunk"], row["state"], row["spec"]]
+                      for row in entry["chunks"]]
+        print(render_table(["Chunk", "State", "Spec"], chunk_rows,
+                           title=f"Chunks ({len(chunk_rows)})"))
+    return 0
+
+
+def _cmd_workload_resume(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    try:
+        entry = client.resume_workload(args.job_id)
+    except (ServiceError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    progress = entry["progress"]
+    print(f"workload {entry['id']} requeued "
+          f"({progress['done']}/{progress['total']} chunks already done)")
     return 0
 
 
@@ -972,7 +1151,19 @@ def build_parser() -> argparse.ArgumentParser:
     queries_commands = queries.add_subparsers(dest="subcommand", required=True)
     queries_list = queries_commands.add_parser(
         "list", help="print every CCC query (id, DASP category, title)")
+    queries_list.add_argument("--url", default=None,
+                              help="base URL of a daemon; lists its registry "
+                                   "(built-in plus registered custom queries) "
+                                   "instead of the local one")
     queries_list.set_defaults(handler=_cmd_queries_list)
+    queries_register = queries_commands.add_parser(
+        "register", help="register a custom DASP-style predicate query with "
+                         "a running daemon")
+    queries_register.add_argument("--url", required=True,
+                                  help="base URL of the daemon")
+    queries_register.add_argument("--spec", required=True,
+                                  help="path to a JSON query spec file")
+    queries_register.set_defaults(handler=_cmd_queries_register)
 
     # -- index --------------------------------------------------------------
     index = commands.add_parser(
@@ -1139,7 +1330,8 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_list = jobs_commands.add_parser("list", help="list recent jobs")
     jobs_list.add_argument("--url", required=True, help="base URL of the daemon")
     jobs_list.add_argument("--state", default=None,
-                           choices=("queued", "running", "done", "failed"),
+                           choices=("queued", "running", "done", "failed",
+                                    "cancelled"),
                            help="only jobs in this state")
     jobs_list.add_argument("--limit", type=int, default=20,
                            help="maximum jobs to list (default: 20)")
@@ -1154,6 +1346,72 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_show.add_argument("job_id", type=int, help="job id")
     jobs_show.add_argument("--url", required=True, help="base URL of the daemon")
     jobs_show.set_defaults(handler=_cmd_jobs_show)
+    jobs_cancel = jobs_commands.add_parser(
+        "cancel", help="cancel a queued or running job")
+    jobs_cancel.add_argument("job_id", type=int, help="job id")
+    jobs_cancel.add_argument("--url", required=True,
+                             help="base URL of the daemon")
+    jobs_cancel.set_defaults(handler=_cmd_jobs_cancel)
+
+    # -- workload -------------------------------------------------------------
+    workload = commands.add_parser(
+        "workload", help="submit and track durable, resumable evaluation "
+                         "workloads on a daemon")
+    workload_commands = workload.add_subparsers(dest="subcommand",
+                                                required=True)
+    workload_run = workload_commands.add_parser(
+        "run", help="submit a workload job (suite, baseline, or sweep)")
+    workload_run.add_argument("kind",
+                              help="workload kind (see GET /v1/workloads "
+                                   "for the registry)")
+    workload_run.add_argument("--url", required=True,
+                              help="base URL of the daemon")
+    workload_run.add_argument("--params", default=None,
+                              help="JSON object of workload parameters")
+    workload_run.add_argument("--priority", default=None,
+                              choices=("interactive", "batch"),
+                              help="scheduling lane (default: batch)")
+    workload_run.add_argument("--tenant", default=None,
+                              help="tenant label sent as X-Repro-Tenant")
+    workload_run.add_argument("--wait", action="store_true",
+                              help="block until the workload finishes and "
+                                   "print the merged report")
+    workload_run.add_argument("--timeout", type=float, default=600.0,
+                              help="seconds to wait with --wait "
+                                   "(default: 600)")
+    workload_run.add_argument("--output", default=None,
+                              help="with --wait, write the merged report "
+                                   "JSON here instead of stdout")
+    workload_run.set_defaults(handler=_cmd_workload_run)
+    workload_list = workload_commands.add_parser(
+        "list", help="list workload jobs with chunk progress")
+    workload_list.add_argument("--url", required=True,
+                               help="base URL of the daemon")
+    workload_list.add_argument("--state", default=None,
+                               choices=("queued", "running", "done",
+                                        "failed", "cancelled"),
+                               help="only workloads in this state")
+    workload_list.add_argument("--limit", type=int, default=20,
+                               help="maximum workloads to list (default: 20)")
+    workload_list.add_argument("--offset", type=int, default=0,
+                               help="matching workloads to skip before the "
+                                    "page (default: 0)")
+    workload_list.set_defaults(handler=_cmd_workload_list)
+    workload_show = workload_commands.add_parser(
+        "show", help="show one workload's progress and chunk table")
+    workload_show.add_argument("job_id", type=int, help="workload job id")
+    workload_show.add_argument("--url", required=True,
+                               help="base URL of the daemon")
+    workload_show.add_argument("--chunks", action="store_true",
+                               help="also print the per-chunk state table")
+    workload_show.set_defaults(handler=_cmd_workload_show)
+    workload_resume = workload_commands.add_parser(
+        "resume", help="requeue a failed or cancelled workload; completed "
+                       "chunks are kept and skipped")
+    workload_resume.add_argument("job_id", type=int, help="workload job id")
+    workload_resume.add_argument("--url", required=True,
+                                 help="base URL of the daemon")
+    workload_resume.set_defaults(handler=_cmd_workload_resume)
 
     # -- cluster --------------------------------------------------------------
     cluster = commands.add_parser(

@@ -12,14 +12,27 @@ Each module reproduces the protocol behind one group of tables:
   of snippet/contract pairings (Table 8).
 """
 
-from repro.evaluation.honeypot_eval import HoneypotEvaluation, evaluate_ccd_on_honeypots, evaluate_smartembed_on_honeypots
+from repro.evaluation.honeypot_eval import (
+    HoneypotEvaluation,
+    evaluate_ccd_on_honeypots,
+    evaluate_exact_hash_on_honeypots,
+    evaluate_smartembed_on_honeypots,
+    honeypot_report,
+)
 from repro.evaluation.manual_validation import ManualValidationTable, simulate_manual_validation
-from repro.evaluation.parameter_sweep import SweepPoint, sweep_ccd_parameters
+from repro.evaluation.parameter_sweep import (
+    SweepPoint,
+    evaluate_sweep_cell,
+    sweep_ccd_parameters,
+    sweep_grid,
+    sweep_report,
+)
 from repro.evaluation.smartbugs_eval import (
     CategoryResult,
     ToolEvaluation,
     evaluate_baseline_on_corpus,
     evaluate_ccc_on_corpus,
+    evaluation_report,
 )
 
 __all__ = [
@@ -31,7 +44,13 @@ __all__ = [
     "evaluate_baseline_on_corpus",
     "evaluate_ccc_on_corpus",
     "evaluate_ccd_on_honeypots",
+    "evaluate_exact_hash_on_honeypots",
     "evaluate_smartembed_on_honeypots",
+    "evaluate_sweep_cell",
+    "evaluation_report",
+    "honeypot_report",
     "simulate_manual_validation",
     "sweep_ccd_parameters",
+    "sweep_grid",
+    "sweep_report",
 ]

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Optional
 
+from repro.baselines.exact_hash import ExactHashCloneBaseline
 from repro.baselines.smartembed import SmartEmbedBaseline
 from repro.ccd.detector import CloneDetector
 from repro.datasets.corpus import HoneypotContract
@@ -142,3 +143,41 @@ def evaluate_smartembed_on_honeypots(
                 for address, matches in pairwise.items()}
     return _evaluate_pairs(baseline.name, contracts, reported,
                            unparsable=len(baseline.parse_failures))
+
+
+def evaluate_exact_hash_on_honeypots(
+    contracts: list[HoneypotContract],
+    baseline: Optional[ExactHashCloneBaseline] = None,
+) -> HoneypotEvaluation:
+    """Evaluate the exact-hash ablation baseline (Type I/II clones only)."""
+    if baseline is None:
+        baseline = ExactHashCloneBaseline()
+    baseline.add_corpus((contract.address, contract.source) for contract in contracts)
+    reported = {
+        contract.address: [matched
+                           for matched in baseline.find_clones(contract.source)
+                           if matched != contract.address]
+        for contract in contracts
+    }
+    return _evaluate_pairs(baseline.name, contracts, reported,
+                           unparsable=len(baseline.parse_failures))
+
+
+def honeypot_report(evaluation: HoneypotEvaluation) -> dict:
+    """The canonical report dict of one :class:`HoneypotEvaluation`.
+
+    Shared by the local evaluation scripts and the service-side
+    ``honeypot_clones`` workload merge, so both paths emit byte-identical
+    ``canonical_json`` for the same corpus.
+    """
+    return {
+        "tool": evaluation.tool,
+        "unparsable": evaluation.unparsable,
+        "total_true_positives": evaluation.total_true_positives,
+        "total_false_positives": evaluation.total_false_positives,
+        "total_possible_pairs": evaluation.total_possible_pairs,
+        "precision": evaluation.precision,
+        "recall": evaluation.recall,
+        "f1": evaluation.f1,
+        "rows": evaluation.rows(),
+    }

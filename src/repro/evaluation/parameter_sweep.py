@@ -1,8 +1,20 @@
-"""CCD parameter sweep over N-gram size, η, and ε (Table 9 / Figure 9)."""
+"""CCD parameter sweep over N-gram size, η, and ε (Table 9 / Figure 9).
+
+The sweep is exposed at three granularities so callers can choose their
+execution strategy without changing the numbers:
+
+- :func:`sweep_ccd_parameters` — the original one-call local sweep;
+- :func:`sweep_grid` + :func:`evaluate_sweep_cell` — the same grid as an
+  explicit list of independent cells (this is what the service-side
+  ``parameter_sweep`` workload chunks over, one chunk per cell);
+- :func:`sweep_report` — one canonical report dict from the points of a
+  sweep, shared by the local path and the workload merge path so both
+  produce byte-identical ``canonical_json``.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Iterable, Sequence
 
 from repro.datasets.corpus import HoneypotContract
@@ -38,6 +50,57 @@ class SweepPoint:
         }
 
 
+def sweep_grid(
+    ngram_sizes: Sequence[int] = DEFAULT_NGRAM_SIZES,
+    ngram_thresholds: Sequence[float] = DEFAULT_NGRAM_THRESHOLDS,
+    similarity_thresholds: Sequence[float] = DEFAULT_SIMILARITY_THRESHOLDS,
+) -> list[dict]:
+    """The sweep's cells, in the canonical N → η → ε nesting order.
+
+    Each cell is ``{"ngram_size", "ngram_threshold",
+    "similarity_threshold"}`` — exactly the keyword arguments of
+    :func:`evaluate_sweep_cell`.  The order is load-bearing: it is both
+    the point order of :func:`sweep_ccd_parameters` and the chunk order
+    of the ``parameter_sweep`` workload, which is what makes the merged
+    report byte-identical to a local run.
+    """
+    return [
+        {
+            "ngram_size": ngram_size,
+            "ngram_threshold": ngram_threshold,
+            "similarity_threshold": similarity_threshold,
+        }
+        for ngram_size in ngram_sizes
+        for ngram_threshold in ngram_thresholds
+        for similarity_threshold in similarity_thresholds
+    ]
+
+
+def evaluate_sweep_cell(
+    contracts: list[HoneypotContract],
+    ngram_size: int,
+    ngram_threshold: float,
+    similarity_threshold: float,
+) -> SweepPoint:
+    """Evaluate one grid cell — independent of every other cell."""
+    evaluation = evaluate_ccd_on_honeypots(
+        contracts,
+        ngram_size=ngram_size,
+        ngram_threshold=ngram_threshold,
+        similarity_threshold=similarity_threshold,
+    )
+    return SweepPoint(
+        ngram_size=ngram_size,
+        ngram_threshold=ngram_threshold,
+        similarity_threshold=similarity_threshold,
+        precision=evaluation.precision,
+        recall=evaluation.recall,
+        f1=evaluation.f1,
+        true_positives=evaluation.total_true_positives,
+        false_positives=evaluation.total_false_positives,
+    )
+
+
 def sweep_ccd_parameters(
     contracts: list[HoneypotContract],
     ngram_sizes: Sequence[int] = DEFAULT_NGRAM_SIZES,
@@ -46,38 +109,44 @@ def sweep_ccd_parameters(
 ) -> list[SweepPoint]:
     """Evaluate every parameter combination and return the sweep grid.
 
-    The expensive part (fingerprinting and candidate retrieval) depends
-    only on N and η, so the ε axis reuses the pairwise similarity scores.
+    Each cell is a fully independent evaluation, so the sweep is just
+    :func:`evaluate_sweep_cell` over :func:`sweep_grid` — the same
+    decomposition the service-side workload uses chunk by chunk.
     """
-    points: list[SweepPoint] = []
-    for ngram_size in ngram_sizes:
-        for ngram_threshold in ngram_thresholds:
-            # evaluate at the lowest ε and filter upwards
-            evaluations = {}
-            for similarity_threshold in similarity_thresholds:
-                evaluation = evaluate_ccd_on_honeypots(
-                    contracts,
-                    ngram_size=ngram_size,
-                    ngram_threshold=ngram_threshold,
-                    similarity_threshold=similarity_threshold,
-                )
-                evaluations[similarity_threshold] = evaluation
-            for similarity_threshold, evaluation in evaluations.items():
-                points.append(
-                    SweepPoint(
-                        ngram_size=ngram_size,
-                        ngram_threshold=ngram_threshold,
-                        similarity_threshold=similarity_threshold,
-                        precision=evaluation.precision,
-                        recall=evaluation.recall,
-                        f1=evaluation.f1,
-                        true_positives=evaluation.total_true_positives,
-                        false_positives=evaluation.total_false_positives,
-                    )
-                )
-    return points
+    return [
+        evaluate_sweep_cell(contracts, **cell)
+        for cell in sweep_grid(ngram_sizes, ngram_thresholds,
+                               similarity_thresholds)
+    ]
 
 
 def best_combination(points: Iterable[SweepPoint]) -> SweepPoint:
     """The combination with the best precision/recall balance (highest F1)."""
     return max(points, key=lambda point: (point.f1, point.precision))
+
+
+def sweep_report(points: Sequence[SweepPoint]) -> dict:
+    """The canonical sweep report: every point, plus the best combination.
+
+    Both the local sweep and the workload merge build their final
+    answer through this one function, so the two paths cannot drift —
+    ``canonical_json(sweep_report(...))`` is the parity contract.
+    """
+    return {
+        "cells": len(points),
+        "points": [asdict(point) for point in points],
+        "best": asdict(best_combination(points)) if points else None,
+    }
+
+
+__all__ = [
+    "DEFAULT_NGRAM_SIZES",
+    "DEFAULT_NGRAM_THRESHOLDS",
+    "DEFAULT_SIMILARITY_THRESHOLDS",
+    "SweepPoint",
+    "best_combination",
+    "evaluate_sweep_cell",
+    "sweep_ccd_parameters",
+    "sweep_grid",
+    "sweep_report",
+]

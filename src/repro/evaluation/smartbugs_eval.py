@@ -9,6 +9,7 @@ counts false positives reported in the matching test set).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -89,20 +90,53 @@ def _entry_source(entry: SmartBugsEntry, dataset: str) -> Optional[str]:
     raise ValueError(f"unknown dataset: {dataset!r}")
 
 
+def _ccc_analyses(
+    checker: ContractChecker,
+    sources: list[str],
+    backend: Optional[str],
+    max_workers: Optional[int],
+) -> list:
+    """Analyse ``sources`` with CCC, optionally fanning out over workers.
+
+    ``backend=None`` keeps the original one-by-one serial loop.  Any
+    executor backend (``serial``/``thread``/``process``) routes through
+    an :class:`~repro.api.AnalysisSession`, which produces byte-identical
+    findings in input order under every backend.
+    """
+    if backend is None:
+        return [checker.analyze(source, snippet=True) for source in sources]
+    from repro.core.executor import Executor
+
+    executor = Executor.create(backend, max_workers=max_workers)
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            return checker.analyze_many(sources, executor=executor)
+    finally:
+        executor.close()
+
+
 def evaluate_ccc_on_corpus(
     corpus: SmartBugsCorpus,
     dataset: str = "original",
     checker: Optional[ContractChecker] = None,
     timeout_per_file: float = 20.0,
+    backend: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> ToolEvaluation:
     """Run CCC on every file of the corpus and count TP/FP per category.
 
     ``dataset`` selects the *Original*, *Functions*, or *Statements*
-    variant (Section 4.6.1 / Table 2).
+    variant (Section 4.6.1 / Table 2).  ``backend`` optionally fans the
+    per-file analyses out over an executor backend
+    (``serial``/``thread``/``process``); results are byte-identical to
+    the default serial loop (asserted in ``tests/test_evaluation.py``).
     """
     if checker is None:
         checker = ContractChecker(timeout=timeout_per_file)
     evaluation = ToolEvaluation(tool="CCC", dataset=dataset)
+    sources = []
+    analysed_entries = []
     for entry in corpus.entries:
         result = evaluation.categories.setdefault(
             entry.category, CategoryResult(category=entry.category))
@@ -110,9 +144,13 @@ def evaluate_ccc_on_corpus(
         source = _entry_source(entry, dataset)
         if not source:
             continue
-        analysis = checker.analyze(source, snippet=True)
+        sources.append(source)
+        analysed_entries.append(entry)
+    analyses = _ccc_analyses(checker, sources, backend, max_workers)
+    for entry, analysis in zip(analysed_entries, analyses):
         if not analysis.ok:
             continue
+        result = evaluation.categories[entry.category]
         matching = [finding for finding in analysis.findings if finding.category == entry.category]
         if entry.contract.needs_context and dataset != "original":
             # the labelled issue only manifests with the surrounding context;
@@ -128,11 +166,20 @@ def evaluate_baseline_on_corpus(
     corpus: SmartBugsCorpus,
     dataset: str = "original",
     baseline: Optional[SmartCheckBaseline] = None,
+    backend: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> ToolEvaluation:
-    """Run the SmartCheck-style lexical baseline with the same protocol."""
+    """Run the SmartCheck-style lexical baseline with the same protocol.
+
+    ``backend`` optionally maps ``baseline.analyze`` over an executor
+    backend; counting stays in corpus order either way, so the result is
+    identical to the serial loop.
+    """
     if baseline is None:
         baseline = SmartCheckBaseline()
     evaluation = ToolEvaluation(tool=baseline.name, dataset=dataset)
+    sources = []
+    analysed_entries = []
     for entry in corpus.entries:
         result = evaluation.categories.setdefault(
             entry.category, CategoryResult(category=entry.category))
@@ -140,8 +187,42 @@ def evaluate_baseline_on_corpus(
         source = _entry_source(entry, dataset)
         if not source:
             continue
-        findings = baseline.analyze(source)
+        sources.append(source)
+        analysed_entries.append(entry)
+    if backend is None:
+        findings_per_source = [baseline.analyze(source) for source in sources]
+    else:
+        from repro.core.executor import Executor
+
+        executor = Executor.create(backend, max_workers=max_workers)
+        try:
+            findings_per_source = executor.map(baseline.analyze, sources)
+        finally:
+            executor.close()
+    for entry, findings in zip(analysed_entries, findings_per_source):
+        result = evaluation.categories[entry.category]
         matching = [finding for finding in findings if finding.category == entry.category]
         result.true_positives += min(len(matching), entry.label_count)
         result.false_positives += max(0, len(matching) - entry.label_count)
     return evaluation
+
+
+def evaluation_report(evaluation: ToolEvaluation) -> dict:
+    """The canonical report dict of one :class:`ToolEvaluation`.
+
+    Shared by the local evaluation scripts and the service-side
+    workload merge, so both paths emit byte-identical
+    ``canonical_json`` for the same corpus.
+    """
+    return {
+        "tool": evaluation.tool,
+        "dataset": evaluation.dataset,
+        "total_labels": evaluation.total_labels,
+        "total_true_positives": evaluation.total_true_positives,
+        "total_false_positives": evaluation.total_false_positives,
+        "precision": evaluation.precision,
+        "recall": evaluation.recall,
+        "f1": evaluation.f1,
+        "covered_categories": evaluation.covered_categories,
+        "rows": evaluation.rows(),
+    }

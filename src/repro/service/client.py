@@ -284,14 +284,16 @@ class ServiceClient:
     def wait(self, job_id: int, timeout: float = 120.0, poll: float = 0.05) -> dict:
         """Poll until the job completes; returns its final status envelope.
 
-        Raises :class:`JobFailedError` when the job fails and
-        :class:`TimeoutError` when it does not finish in time.
+        ``cancelled`` is terminal like ``done`` — the returned envelope
+        carries whatever partial results the job produced before the
+        cancel landed.  Raises :class:`JobFailedError` when the job
+        fails and :class:`TimeoutError` when it does not finish in time.
         """
         deadline = time.monotonic() + timeout
         while True:
             # poll without results; download the envelopes exactly once
             status = self.job(job_id, results=False)
-            if status["job"]["state"] == "done":
+            if status["job"]["state"] in ("done", "cancelled"):
                 return self.job(job_id)
             if status["job"]["state"] == "failed":
                 raise JobFailedError(status["job"])
@@ -300,6 +302,16 @@ class ServiceClient:
                     f"job {job_id} still {status['job']['state']} "
                     f"after {timeout:.1f}s")
             time.sleep(poll)
+
+    def cancel(self, job_id: int) -> dict:
+        """Cancel one job (``POST /v1/jobs/{id}/cancel``).
+
+        Returns ``{"id": ..., "state": ...}`` — ``cancelled`` for a
+        dropped queued job, ``cancelling`` for a running workload that
+        will stop at its next chunk boundary, or the unchanged terminal
+        state of an already-finished job.
+        """
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel", {})
 
     def stream(self, job_id: int, timeout: Optional[float] = None,
                raw: bool = False) -> Iterator:
@@ -328,6 +340,82 @@ class ServiceClient:
                 # an abandoned stream leaves unread bytes on the socket;
                 # it can never carry another request
                 self._drop_connection()
+
+    # -- workloads and custom queries -----------------------------------------
+    def submit_workload(self, kind: str, params: Optional[dict] = None,
+                        priority: Optional[str] = None,
+                        tenant: Optional[str] = None,
+                        chunks: Optional[list] = None) -> dict:
+        """Submit a workload job (``POST /v1/workloads``).
+
+        Returns the queued workload's wire form — the job fields plus a
+        ``progress`` block.  ``chunks`` restricts execution to a subset
+        of chunk indices (the coordinator's fan-out form); a restricted
+        run never merges.
+        """
+        body: dict = {"kind": kind}
+        if params is not None:
+            body["params"] = params
+        if priority is not None:
+            body["priority"] = priority
+        if chunks is not None:
+            body["chunks"] = list(chunks)
+        headers = {"X-Repro-Tenant": tenant} if tenant is not None else None
+        return self._request("POST", "/v1/workloads", body, headers=headers)
+
+    def workload(self, job_id: int, chunks: bool = False) -> dict:
+        """One workload's status: job fields plus ``{done, total, eta}``.
+
+        ``chunks=True`` adds the raw chunk rows (``?chunks=1``) — spec
+        and result as stored canonical-JSON strings.
+        """
+        path = f"/v1/workloads/{job_id}"
+        if chunks:
+            path += "?chunks=1"
+        return self._request("GET", path)
+
+    def workloads_page(self, state: Optional[str] = None, limit: int = 100,
+                       offset: int = 0) -> dict:
+        """One page of the workload listing, with its paging envelope."""
+        path = f"/v1/workloads?limit={limit}&offset={offset}"
+        if state is not None:
+            path += f"&state={quote(state)}"
+        return self._request("GET", path)
+
+    def workloads(self, state: Optional[str] = None, limit: int = 100,
+                  offset: int = 0) -> list:
+        """A page of workload jobs (newest first), optionally by state."""
+        return self.workloads_page(state=state, limit=limit,
+                                   offset=offset)["workloads"]
+
+    def resume_workload(self, job_id: int) -> dict:
+        """Requeue a failed or cancelled workload, reusing its done chunks."""
+        return self._request("POST", f"/v1/workloads/{job_id}/resume", {})
+
+    def wait_workload(self, job_id: int, timeout: float = 300.0,
+                      poll: float = 0.05) -> dict:
+        """Poll a workload to a terminal state; returns its status envelope.
+
+        The returned envelope is the plain job status
+        (``GET /v1/jobs/{id}``), so ``results[0]`` is the merged report
+        of a completed unrestricted workload.  Raises
+        :class:`JobFailedError` on failure, :class:`TimeoutError` on
+        timeout; ``cancelled`` is terminal and returned like ``done``.
+        """
+        return self.wait(job_id, timeout=timeout, poll=poll)
+
+    def register_query(self, spec: dict) -> dict:
+        """Register a custom DSL query (``POST /v1/queries``).
+
+        ``spec`` is the declarative query object (see
+        :mod:`repro.ccc.custom`); the daemon validates it, persists it,
+        and makes it immediately usable in ccc jobs and workloads.
+        """
+        return self._request("POST", "/v1/queries", spec)
+
+    def queries(self) -> list:
+        """Every active ccc query (built-in and custom) the daemon serves."""
+        return self._request("GET", "/v1/queries")["queries"]
 
     # -- corpus and introspection ---------------------------------------------
     def ingest(self, documents=None, remove=None) -> dict:

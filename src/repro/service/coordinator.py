@@ -64,18 +64,29 @@ from repro.service.jobstore import (
 from repro.service.delta import DeltaError, resolve_ingest_documents
 from repro.service.scheduler import ReadWriteLock
 from repro.service.server import (
+    QUERIES_FILE_NAME,
     ServiceValidationError,
     _handler_class,
     _JsonRequestHandler,
+    custom_queries_payload,
+    load_custom_queries,
+    register_custom_query,
     validate_document_ids,
     validate_job_request,
     validate_priority,
     validate_sources,
 )
+from repro.service.workloads import (
+    ROUTES as WORKLOAD_ROUTES,
+    WORKLOADS,
+    WorkloadError,
+    validate_workload_request,
+)
 
 #: every HTTP route the coordinator serves — kept in lockstep with
-#: ``docs/service.md`` by ``tools/check_api.py``
-ROUTES = (
+#: ``docs/service.md`` by ``tools/check_api.py``; the workload-engine
+#: routes ride along from ``workloads.py`` exactly like the single node
+ROUTES = tuple(sorted((
     ("GET", "/v1/cluster"),
     ("GET", "/v1/corpus"),
     ("GET", "/v1/healthz"),
@@ -85,7 +96,7 @@ ROUTES = (
     ("POST", "/v1/cluster/rebalance"),
     ("POST", "/v1/corpus"),
     ("POST", "/v1/jobs"),
-)
+) + WORKLOAD_ROUTES))
 
 #: file name of the coordinator's routing journal inside its data dir
 CORPUS_DATABASE_NAME = "corpus.sqlite"
@@ -359,6 +370,9 @@ class ClusterCoordinator:
         self._gateway = None  # AsyncGateway when frontend == "asyncio"
         self._stop_requested = threading.Event()
         self._stopped = False
+        self.queries_path = self.data_dir / QUERIES_FILE_NAME
+        #: custom queries reloaded from a previous coordinator's registrations
+        self.reloaded_queries = load_custom_queries(self.queries_path)
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
@@ -473,6 +487,70 @@ class ClusterCoordinator:
         with self._wakeup:
             self._wakeup.notify_all()
         return job
+
+    def submit_workload(self, body, tenant: Optional[str] = None) -> Job:
+        """Validate and enqueue one workload job for fan-out across shards.
+
+        The descriptor is validated against the same registry the
+        workers use (decomposition is a pure function of the params, so
+        both sides agree on the chunk DAG); the fan-out loop then farms
+        chunk subsets out to the shards and merges their chunk rows.
+        """
+        try:
+            descriptor = validate_workload_request(body)
+        except WorkloadError as error:
+            raise ServiceValidationError(str(error)) from error
+        priority = validate_priority(body.get("priority"))
+        job = self.jobstore.submit(
+            [], [], priority=priority, tenant=tenant, workload=descriptor)
+        with self._wakeup:
+            self._wakeup.notify_all()
+        return job
+
+    def cancel_job(self, job_id: int) -> Optional[str]:
+        """Cancel one job; returns its (possibly unchanged) state.
+
+        Queued jobs are dropped immediately.  A running workload
+        fan-out observes the flag at its next chunk-poll boundary,
+        cancels its shard sub-jobs, and finishes ``cancelled`` with the
+        completed chunk rows kept for a later resume.
+        """
+        return self.jobstore.cancel(job_id)
+
+    def resume_workload(self, job_id: int) -> Job:
+        """Requeue a failed/cancelled workload fan-out, reusing done chunks."""
+        job = self.jobstore.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        if job.workload is None:
+            raise ServiceValidationError(
+                f"job {job_id} is not a workload job")
+        try:
+            job = self.jobstore.requeue(job_id)
+        except ValueError as error:
+            raise ServiceValidationError(str(error)) from error
+        with self._wakeup:
+            self._wakeup.notify_all()
+        return job
+
+    def register_query_spec(self, spec) -> dict:
+        """Register a custom DSL query cluster-wide.
+
+        The spec is validated and persisted on the coordinator, then
+        broadcast to every shard — each worker persists it in its own
+        data dir, so the query survives worker restarts too.  A shard
+        that cannot be reached fails the request (HTTP 502); a retry
+        converges because registration is replace-on-reregister.
+        """
+        response = register_custom_query(spec, self.queries_path)
+        for name in sorted(self.shards):
+            self.clients[name].register_query(response["query"])
+        response["shards"] = sorted(self.shards)
+        return response
+
+    def queries_payload(self) -> dict:
+        """The ``GET /v1/queries`` body: every active ccc query."""
+        return custom_queries_payload()
 
     def ingest(self, documents, remove=()) -> dict:
         """Route documents to their ring-assigned shards and journal them.
@@ -714,6 +792,9 @@ class ClusterCoordinator:
 
     def _run_fanout(self, job: Job) -> None:
         """Scatter one claimed job to every shard and gather the merge."""
+        if job.workload is not None:
+            self._run_workload_fanout(job)
+            return
         names = sorted(self.shards)
         submitted: Dict[str, int] = {}
         degraded: List[str] = []
@@ -774,6 +855,168 @@ class ClusterCoordinator:
         self.jobstore.finish(job.job_id, "done")
         self.jobs_completed += 1
 
+    # -- workload fan-out ------------------------------------------------------
+    def _live_shards(self) -> List[str]:
+        """The shard names answering their health probe right now."""
+        live = []
+        for name in sorted(self.shards):
+            try:
+                self.probes[name].healthz()
+                live.append(name)
+            except (ServiceError, OSError):
+                continue
+        return live
+
+    def _cancel_workload_fanout(self, job: Job, submitted: Dict[str, int]) -> None:
+        """Honour a cancel request: stop shard sub-jobs, keep done chunks."""
+        for name in sorted(submitted):
+            try:
+                self.clients[name].cancel(submitted[name])
+            except (ServiceError, OSError):
+                pass  # the shard is gone; its sub-job dies with it
+        self.jobstore.cancel_pending_chunks(job.job_id)
+        self.jobstore.finish(job.job_id, "cancelled")
+
+    def _run_workload_fanout(self, job: Job) -> None:
+        """Farm one workload's chunk DAG across the shards and merge.
+
+        The chunk grid is decomposed locally (decomposition is a pure
+        function of the validated params, so coordinator and workers
+        agree on indices), pending chunks are round-robined over the
+        reachable shards as restricted sub-workloads, and finished chunk
+        rows are copied back verbatim — the stored canonical-JSON
+        strings — so the merged report is byte-identical to a
+        single-node run.  One redistribution round re-fans the chunks of
+        a shard that died mid-run to the survivors; chunks still pending
+        after that fail the job (resumable: done rows are kept).
+        """
+        descriptor = job.workload or {}
+        kind = descriptor.get("kind")
+        params = descriptor.get("params") or {}
+        workload = WORKLOADS.get(kind)
+        specs = workload.decompose(params)
+        self.jobstore.add_chunks(
+            job.job_id, (canonical_json(spec) for spec in specs))
+        restrict = descriptor.get("chunks")
+        pending = [chunk for chunk, _spec
+                   in self.jobstore.pending_chunks(job.job_id)
+                   if restrict is None or chunk in restrict]
+        submitted: Dict[str, int] = {}
+        degraded: List[str] = []
+        for round_index in range(2):  # first pass + one redistribution
+            if not pending:
+                break
+            if self.jobstore.is_cancel_requested(job.job_id):
+                self._cancel_workload_fanout(job, submitted)
+                return
+            live = self._live_shards()
+            if not live:
+                break
+            assignment: Dict[str, List[int]] = {}
+            for position, chunk in enumerate(pending):
+                assignment.setdefault(
+                    live[position % len(live)], []).append(chunk)
+            submitted = {}
+            for name in sorted(assignment):
+                try:
+                    remote = self.clients[name].submit_workload(
+                        kind, params=params, chunks=assignment[name],
+                        priority=job.priority, tenant=job.tenant)
+                except ServiceError as error:
+                    if 400 <= error.status < 500:
+                        # deterministic rejection: every shard would
+                        # refuse the same way, so fail rather than degrade
+                        self.jobstore.finish(
+                            job.job_id, "failed", error=str(error))
+                        self.jobs_failed += 1
+                        return
+                    degraded.append(name)
+                    continue
+                except OSError:
+                    degraded.append(name)
+                    continue
+                submitted[name] = remote["id"]
+            self.jobstore.set_fanout(job.job_id, {
+                "shards": submitted, "degraded": sorted(set(degraded)),
+                "round": round_index + 1, "chunks": len(pending)})
+            deadline = time.monotonic() + self.config.shard_timeout
+            for name in sorted(submitted):
+                outcome, value = self._await_workload_shard(
+                    job, name, submitted[name], deadline)
+                if outcome == "cancelled":
+                    self._cancel_workload_fanout(job, submitted)
+                    return
+                if outcome == "failed":
+                    self.jobstore.finish(
+                        job.job_id, "failed", error=f"shard {name}: {value}")
+                    self.jobs_failed += 1
+                    return
+                if outcome == "unreachable":
+                    degraded.append(name)
+            pending = [chunk for chunk, _spec
+                       in self.jobstore.pending_chunks(job.job_id)
+                       if restrict is None or chunk in restrict]
+        degraded = sorted(set(degraded))
+        self.jobstore.set_fanout(
+            job.job_id, {"shards": submitted, "degraded": degraded})
+        if pending:
+            self.jobstore.finish(
+                job.job_id, "failed",
+                error=f"{len(pending)} chunk(s) never completed; "
+                      f"degraded shards: {', '.join(degraded) or 'none'}")
+            self.jobs_failed += 1
+            return
+        if restrict is None:
+            rows = self.jobstore.chunks(job.job_id)
+            results = [json.loads(row["result"]) for row in rows]
+            report = workload.merge(params, results)
+            self.jobstore.append_result(job.job_id, 0, canonical_json(report))
+        self.jobstore.finish(job.job_id, "done")
+        self.jobs_completed += 1
+
+    def _await_workload_shard(self, job: Job, name: str, remote_id: int,
+                              deadline: float) -> Tuple[str, Optional[str]]:
+        """Poll one shard's restricted sub-workload and copy its chunk rows.
+
+        Returns ``("done", None)`` after copying the finished rows into
+        the coordinator's chunk table (result strings verbatim, so the
+        bytes survive the hop), ``("failed", error)`` on a deterministic
+        chunk failure, ``("cancelled", None)`` when this coordinator job
+        was cancelled mid-poll, or ``("unreachable", None)`` when the
+        worker stays down (or its sub-job vanished) past ``deadline`` —
+        the chunks stay pending for the redistribution round.
+        """
+        probe = self.probes[name]
+        while True:
+            if self.jobstore.is_cancel_requested(job.job_id):
+                return "cancelled", None
+            try:
+                status = probe.workload(remote_id)
+                state = status["state"]
+                if state == "done":
+                    rows = probe.workload(remote_id, chunks=True)["chunks"]
+                    for row in rows:
+                        if row["state"] != "done":
+                            continue
+                        self.jobstore.start_chunk(job.job_id, row["chunk"])
+                        self.jobstore.finish_chunk(
+                            job.job_id, row["chunk"], row["result"])
+                    return "done", None
+                if state == "failed":
+                    return "failed", status.get("error")
+                if state == "cancelled":
+                    # cancelled on the worker side (not by us): treat the
+                    # shard as lost so its chunks get redistributed
+                    return "unreachable", None
+            except ServiceError as error:
+                if error.status == 404:
+                    return "unreachable", None
+            except OSError:
+                pass  # worker down or restarting; keep polling
+            if self._stop_event.is_set() or time.monotonic() >= deadline:
+                return "unreachable", None
+            time.sleep(self.config.poll_interval)
+
     def _await_shard(self, name: str, remote_id: int,
                      deadline: float) -> Tuple[str, Optional[object]]:
         """Poll one shard's sub-job to completion.
@@ -833,7 +1076,7 @@ class _CoordinatorRequestHandler(_JsonRequestHandler):
             job = self._job_or_404(parts[2])
             if job is not None:
                 self._get_job(job, query)
-        else:
+        elif not self._route_workload_get(parts, query):
             self._send_error_json(404, f"no such endpoint: GET {url.path}")
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
@@ -856,7 +1099,7 @@ class _CoordinatorRequestHandler(_JsonRequestHandler):
                     payload.get("documents"), payload.get("remove", ())))
             elif parts == ["v1", "cluster", "rebalance"]:
                 self._send_json(200, self.service.rebalance())
-            else:
+            elif not self._route_workload_post(parts, payload):
                 self._send_error_json(404, f"no such endpoint: POST {url.path}")
         except ServiceValidationError as error:
             self._send_error_json(400, str(error))

@@ -62,6 +62,11 @@ from repro.service.server import (
     job_status_payload,
     jobs_listing_payload,
 )
+from repro.service.workloads import (
+    WorkloadError,
+    workload_payload,
+    workloads_listing_payload,
+)
 
 #: every HTTP route the gateway serves in front of a single-node daemon —
 #: the exact surface of ``server.ROUTES``, kept in lockstep with
@@ -521,6 +526,27 @@ class AsyncGateway:
                 job = await self._job_or_404(parts[2], writer, keep)
                 if job is not None:
                     return await self._stream_job(job, query, writer, keep)
+            elif parts == ["v1", "queries"]:
+                await self._send_json(writer, 200,
+                                      await self._call(service.queries_payload),
+                                      keep=keep)
+            elif parts == ["v1", "workloads"]:
+                try:
+                    payload = await self._call(
+                        workloads_listing_payload, service.jobstore, query)
+                except (ServiceValidationError, WorkloadError) as error:
+                    await self._send_json(writer, 400, {"error": str(error)},
+                                          keep=keep)
+                    return keep
+                await self._send_json(writer, 200, payload, keep=keep)
+            elif len(parts) == 3 and parts[:2] == ["v1", "workloads"]:
+                job = await self._workload_or_404(parts[2], writer, keep)
+                if job is not None:
+                    await self._send_json(
+                        writer, 200,
+                        await self._call(workload_payload, service.jobstore,
+                                         job, "chunks" in query),
+                        keep=keep)
             else:
                 await self._send_json(
                     writer, 404,
@@ -553,6 +579,40 @@ class AsyncGateway:
                     await self._send_json(writer, 200,
                                           await self._call(service.rebalance),
                                           keep=keep)
+                elif parts == ["v1", "workloads"]:
+                    tenant = headers.get("x-repro-tenant")
+                    job = await self._call(
+                        lambda: service.submit_workload(payload, tenant=tenant))
+                    await self._send_json(
+                        writer, 202,
+                        await self._call(workload_payload,
+                                         service.jobstore, job),
+                        keep=keep)
+                elif (len(parts) == 4 and parts[:2] == ["v1", "workloads"]
+                        and parts[3] == "resume"):
+                    job = await self._workload_or_404(parts[2], writer, keep)
+                    if job is not None:
+                        job = await self._call(
+                            service.resume_workload, job.job_id)
+                        await self._send_json(
+                            writer, 202,
+                            await self._call(workload_payload,
+                                             service.jobstore, job),
+                            keep=keep)
+                elif (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
+                        and parts[3] == "cancel"):
+                    job = await self._job_or_404(parts[2], writer, keep)
+                    if job is not None:
+                        state = await self._call(
+                            service.cancel_job, job.job_id)
+                        await self._send_json(
+                            writer, 200, {"id": job.job_id, "state": state},
+                            keep=keep)
+                elif parts == ["v1", "queries"]:
+                    await self._send_json(
+                        writer, 201,
+                        await self._call(service.register_query_spec, payload),
+                        keep=keep)
                 else:
                     await self._send_json(
                         writer, 404,
@@ -587,6 +647,16 @@ class AsyncGateway:
         if job is None:
             await self._send_json(writer, 404, {"error": f"no job {job_id}"},
                                   keep=keep)
+        return job
+
+    async def _workload_or_404(self, raw_id: str, writer, keep: bool):
+        """Resolve a path workload id (messages match the threaded server)."""
+        job = await self._job_or_404(raw_id, writer, keep)
+        if job is not None and job.workload is None:
+            await self._send_json(
+                writer, 404,
+                {"error": f"job {job.job_id} is not a workload"}, keep=keep)
+            return None
         return job
 
     # -- admission-controlled submission --------------------------------------

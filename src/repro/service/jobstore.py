@@ -6,12 +6,24 @@ Jobs move through a fixed lifecycle::
 
     queued -> running -> done
                       -> failed
+                      -> cancelled
 
 and the whole lifecycle is durable: a daemon killed mid-run loses
 nothing.  On startup :meth:`JobStore.recover` moves every ``running``
 job back to ``queued`` and drops its partial results, so each job's
 envelopes are computed exactly once per completion — no lost jobs, no
-duplicated results.
+duplicated results.  :meth:`JobStore.cancel` drops a queued job
+immediately; a running job only gets its ``cancel_requested`` flag set,
+and the scheduler honours it at the next safe boundary.
+
+Jobs may additionally carry a **workload** descriptor (``{"kind": ...,
+"params": ...}``): instead of analyzer envelopes, such a job executes a
+registered :mod:`repro.service.workloads` evaluation workload decomposed
+into a deterministic sequence of **chunks** persisted in the
+``job_chunks`` table (one row per chunk, canonical-JSON result).
+Completed chunk rows *survive* crash recovery — that is what makes a
+SIGKILLed parameter sweep resume from where it stopped instead of
+recomputing the whole grid.
 
 Jobs carry a **priority lane** (``interactive`` or ``batch``; the
 default) and an optional **tenant** label.  :meth:`JobStore.claim_next`
@@ -49,10 +61,13 @@ from typing import Iterable, Optional, Union
 from repro.core.persistence import DEFAULT_BUSY_TIMEOUT_SECONDS, retry_on_busy
 
 #: the job lifecycle, in order
-JOB_STATES = ("queued", "running", "done", "failed")
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 
 #: job states that will never change again
-TERMINAL_STATES = ("done", "failed")
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: the chunk lifecycle of workload jobs (``job_chunks.state``)
+CHUNK_STATES = ("pending", "running", "done", "cancelled")
 
 #: the two scheduling lanes, in claim-preference order
 PRIORITY_LANES = ("interactive", "batch")
@@ -79,7 +94,9 @@ CREATE TABLE IF NOT EXISTS jobs (
     finished  REAL,
     fanout    TEXT,
     priority  TEXT NOT NULL DEFAULT 'batch',
-    tenant    TEXT
+    tenant    TEXT,
+    workload  TEXT,
+    cancel_requested INTEGER NOT NULL DEFAULT 0
 );
 CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, id);
 CREATE TABLE IF NOT EXISTS job_results (
@@ -88,7 +105,26 @@ CREATE TABLE IF NOT EXISTS job_results (
     envelope TEXT NOT NULL,
     PRIMARY KEY (job_id, seq)
 );
+CREATE TABLE IF NOT EXISTS job_chunks (
+    job_id   INTEGER NOT NULL,
+    chunk    INTEGER NOT NULL,
+    spec     TEXT NOT NULL,
+    state    TEXT NOT NULL DEFAULT 'pending',
+    result   TEXT,
+    started  REAL,
+    finished REAL,
+    PRIMARY KEY (job_id, chunk)
+);
 """
+
+
+def _isoformat(timestamp: Optional[float]) -> Optional[str]:
+    """An epoch timestamp as an ISO-8601 UTC string (``None`` passes through)."""
+    if timestamp is None:
+        return None
+    from datetime import datetime, timezone
+
+    return datetime.fromtimestamp(timestamp, timezone.utc).isoformat()
 
 
 @dataclass(frozen=True)
@@ -115,6 +151,12 @@ class Job:
     priority: str = DEFAULT_PRIORITY
     #: tenant label recorded at submission (``X-Repro-Tenant``), if any
     tenant: Optional[str] = None
+    #: workload descriptor (``{"kind": ..., "params": {...}}``) for jobs
+    #: executing a registered evaluation workload; ``None`` for plain jobs
+    workload: Optional[dict] = None
+    #: set by :meth:`JobStore.cancel` on a running job; the scheduler
+    #: stops the job at the next chunk boundary when it sees the flag
+    cancel_requested: bool = False
 
     @property
     def elapsed_seconds(self) -> Optional[float]:
@@ -128,6 +170,9 @@ class Job:
 
         The corpus (potentially megabytes of source) is omitted unless
         ``include_corpus`` is set; ``corpus_size`` always rides along.
+        Epoch timestamps are mirrored as ISO-8601 UTC strings
+        (``created_at``/``started_at``/``finished_at``) with the wall
+        ``duration_seconds`` alongside, so clients need no math.
         """
         data = {
             "id": self.job_id,
@@ -138,6 +183,10 @@ class Job:
             "submitted": self.submitted,
             "started": self.started,
             "finished": self.finished,
+            "created_at": _isoformat(self.submitted),
+            "started_at": _isoformat(self.started),
+            "finished_at": _isoformat(self.finished),
+            "duration_seconds": self.elapsed_seconds,
             "elapsed_seconds": self.elapsed_seconds,
             "corpus_size": len(self.corpus),
             "priority": self.priority,
@@ -146,6 +195,10 @@ class Job:
             data["tenant"] = self.tenant
         if self.fanout is not None:
             data["fanout"] = self.fanout
+        if self.workload is not None:
+            data["workload"] = self.workload
+        if self.cancel_requested:
+            data["cancel_requested"] = True
         if include_corpus:
             data["corpus"] = self.corpus
         return data
@@ -196,6 +249,13 @@ class JobStore:
                 f"DEFAULT '{DEFAULT_PRIORITY}'")
         if "tenant" not in columns:
             self._connection.execute("ALTER TABLE jobs ADD COLUMN tenant TEXT")
+        if "workload" not in columns:
+            # Databases written before the workload engine existed.
+            self._connection.execute("ALTER TABLE jobs ADD COLUMN workload TEXT")
+        if "cancel_requested" not in columns:
+            self._connection.execute(
+                "ALTER TABLE jobs ADD COLUMN cancel_requested "
+                "INTEGER NOT NULL DEFAULT 0")
         # Created after the column migration: pre-priority databases do
         # not have the column yet when the schema script runs.
         self._connection.execute(
@@ -236,7 +296,8 @@ class JobStore:
     def submit(self, corpus: Iterable, analyses: Iterable[str],
                options: Optional[dict] = None,
                priority: Optional[str] = None,
-               tenant: Optional[str] = None) -> Job:
+               tenant: Optional[str] = None,
+               workload: Optional[dict] = None) -> Job:
         """Enqueue a job; returns it in ``queued`` state with its id assigned.
 
         Parameters
@@ -251,6 +312,10 @@ class JobStore:
             Scheduling lane; ``None`` means :data:`DEFAULT_PRIORITY`.
         tenant:
             Optional tenant label recorded with the job.
+        workload:
+            Workload descriptor (``{"kind": ..., "params": {...}}``);
+            such a job runs a registered evaluation workload in chunks
+            instead of analyzer envelopes over a corpus.
         """
         corpus = [list(pair) for pair in corpus]
         analyses = tuple(analyses)
@@ -265,14 +330,15 @@ class JobStore:
         with self._lock:
             cursor = self._execute(
                 "INSERT INTO jobs (state, analyses, corpus, options, "
-                "submitted, priority, tenant) "
-                "VALUES ('queued', ?, ?, ?, ?, ?, ?)",
+                "submitted, priority, tenant, workload) "
+                "VALUES ('queued', ?, ?, ?, ?, ?, ?, ?)",
                 (json.dumps(list(analyses)), json.dumps(corpus),
-                 json.dumps(options), now, priority, tenant))
+                 json.dumps(options), now, priority, tenant,
+                 None if workload is None else json.dumps(workload)))
             job_id = cursor.lastrowid
         return Job(job_id=job_id, state="queued", analyses=analyses,
                    corpus=corpus, options=options, submitted=now,
-                   priority=priority, tenant=tenant)
+                   priority=priority, tenant=tenant, workload=workload)
 
     def claim_next(self) -> Optional[Job]:
         """Atomically move the next ``queued`` job to ``running`` and return it.
@@ -350,13 +416,187 @@ class JobStore:
                 (None if fanout is None else json.dumps(fanout), job_id))
 
     def finish(self, job_id: int, state: str, error: Optional[str] = None) -> None:
-        """Move a job to a terminal state (``done`` or ``failed``)."""
+        """Move a job to a terminal state (``done``/``failed``/``cancelled``)."""
         if state not in TERMINAL_STATES:
             raise ValueError(f"finish() takes a terminal state, not {state!r}")
         with self._lock:
             self._execute(
                 "UPDATE jobs SET state = ?, error = ?, finished = ? WHERE id = ?",
                 (state, error, time.time(), job_id))
+
+    # -- cancellation ---------------------------------------------------------
+    def cancel(self, job_id: int) -> Optional[str]:
+        """Cancel a job; returns the resulting state, or ``None`` if unknown.
+
+        A ``queued`` job is dropped immediately (state ``cancelled``).
+        A ``running`` job only gets its ``cancel_requested`` flag set —
+        the scheduler stops it at the next chunk boundary (workloads) or
+        after the in-flight run (plain jobs); the returned state is
+        ``"cancelling"``.  Terminal jobs are left untouched (their state
+        is returned as-is).
+        """
+        with self._lock:
+            self._execute("BEGIN IMMEDIATE")
+            try:
+                row = self._execute(
+                    "SELECT state FROM jobs WHERE id = ?", (job_id,)).fetchone()
+                if row is None:
+                    self._execute("COMMIT")
+                    return None
+                state = row[0]
+                if state == "queued":
+                    self._execute(
+                        "UPDATE jobs SET state = 'cancelled', finished = ?, "
+                        "cancel_requested = 1 WHERE id = ?",
+                        (time.time(), job_id))
+                    self._execute(
+                        "UPDATE job_chunks SET state = 'cancelled' "
+                        "WHERE job_id = ? AND state != 'done'", (job_id,))
+                    state = "cancelled"
+                elif state == "running":
+                    self._execute(
+                        "UPDATE jobs SET cancel_requested = 1 WHERE id = ?",
+                        (job_id,))
+                    state = "cancelling"
+            except BaseException:
+                self._rollback()
+                raise
+            self._execute("COMMIT")
+            return state
+
+    def is_cancel_requested(self, job_id: int) -> bool:
+        """Whether :meth:`cancel` has flagged this job (chunk-boundary poll)."""
+        with self._lock:
+            row = self._execute(
+                "SELECT cancel_requested FROM jobs WHERE id = ?",
+                (job_id,)).fetchone()
+        return bool(row and row[0])
+
+    # -- workload chunks ------------------------------------------------------
+    def add_chunks(self, job_id: int, specs: Iterable[str]) -> int:
+        """Insert the chunk plan of a workload job; returns rows inserted.
+
+        Chunk indices follow the iteration order of ``specs`` (each one
+        a canonical-JSON chunk spec).  Existing rows are left untouched
+        (``INSERT OR IGNORE``), which is exactly what a resumed job
+        needs: completed chunks keep their results, the rest stay
+        pending.
+        """
+        inserted = 0
+        with self._lock:
+            for chunk, spec in enumerate(specs):
+                cursor = self._execute(
+                    "INSERT OR IGNORE INTO job_chunks (job_id, chunk, spec) "
+                    "VALUES (?, ?, ?)", (job_id, chunk, spec))
+                inserted += cursor.rowcount
+        return inserted
+
+    def chunks(self, job_id: int) -> list:
+        """Every chunk row of a job, in chunk order, as dicts."""
+        with self._lock:
+            rows = self._execute(
+                "SELECT chunk, spec, state, result, started, finished "
+                "FROM job_chunks WHERE job_id = ? ORDER BY chunk",
+                (job_id,)).fetchall()
+        return [{"chunk": row[0], "spec": row[1], "state": row[2],
+                 "result": row[3], "started": row[4], "finished": row[5]}
+                for row in rows]
+
+    def pending_chunks(self, job_id: int) -> list:
+        """``(chunk, spec)`` rows not yet ``done``, in chunk order."""
+        with self._lock:
+            return self._execute(
+                "SELECT chunk, spec FROM job_chunks "
+                "WHERE job_id = ? AND state != 'done' ORDER BY chunk",
+                (job_id,)).fetchall()
+
+    def start_chunk(self, job_id: int, chunk: int) -> None:
+        """Mark one chunk ``running`` and stamp its start time."""
+        with self._lock:
+            self._execute(
+                "UPDATE job_chunks SET state = 'running', started = ? "
+                "WHERE job_id = ? AND chunk = ?", (time.time(), job_id, chunk))
+
+    def finish_chunk(self, job_id: int, chunk: int, result: str,
+                     state: str = "done") -> None:
+        """Persist one chunk's canonical-JSON result and mark it done."""
+        with self._lock:
+            self._execute(
+                "UPDATE job_chunks SET state = ?, result = ?, finished = ? "
+                "WHERE job_id = ? AND chunk = ?",
+                (state, result, time.time(), job_id, chunk))
+
+    def cancel_pending_chunks(self, job_id: int) -> int:
+        """Mark every non-``done`` chunk ``cancelled``; returns how many.
+
+        Called by the workload runner when it honours a cancel request
+        at a chunk boundary — completed chunk results are kept (a later
+        resume picks up from them), the rest are explicitly marked.
+        """
+        with self._lock:
+            cursor = self._execute(
+                "UPDATE job_chunks SET state = 'cancelled' "
+                "WHERE job_id = ? AND state != 'done'", (job_id,))
+            return cursor.rowcount
+
+    def chunk_progress(self, job_id: int) -> dict:
+        """``{"done", "total", "eta"}`` of a workload job's chunk plan.
+
+        ``eta`` is the estimated remaining wall-clock in seconds — mean
+        duration of completed chunks times the chunks left — or ``None``
+        before the first chunk completes (or once everything is done).
+        """
+        with self._lock:
+            rows = self._execute(
+                "SELECT state, started, finished FROM job_chunks "
+                "WHERE job_id = ?", (job_id,)).fetchall()
+        total = len(rows)
+        done = sum(1 for state, _, _ in rows if state == "done")
+        durations = [finished - started for state, started, finished in rows
+                     if state == "done" and started is not None
+                     and finished is not None]
+        eta = None
+        if durations and done < total:
+            eta = (sum(durations) / len(durations)) * (total - done)
+        return {"done": done, "total": total, "eta": eta}
+
+    def requeue(self, job_id: int) -> Optional[Job]:
+        """Requeue a failed/cancelled workload job, keeping its done chunks.
+
+        Non-``done`` chunks are reset to ``pending`` (results and
+        timestamps cleared) and the job returns to ``queued`` with its
+        cancel flag cleared, so the next claim resumes the workload from
+        the completed chunks.  Returns the requeued job, or ``None``
+        when the id is unknown.  Raises :class:`ValueError` for jobs
+        that are not in a resumable state (``failed``/``cancelled``).
+        """
+        with self._lock:
+            self._execute("BEGIN IMMEDIATE")
+            try:
+                row = self._execute(
+                    "SELECT state FROM jobs WHERE id = ?", (job_id,)).fetchone()
+                if row is None:
+                    self._execute("COMMIT")
+                    return None
+                if row[0] not in ("failed", "cancelled"):
+                    raise ValueError(
+                        f"job {job_id} is {row[0]}; only failed or "
+                        f"cancelled jobs can be resumed")
+                self._execute(
+                    "DELETE FROM job_results WHERE job_id = ?", (job_id,))
+                self._execute(
+                    "UPDATE job_chunks SET state = 'pending', result = NULL, "
+                    "started = NULL, finished = NULL "
+                    "WHERE job_id = ? AND state != 'done'", (job_id,))
+                self._execute(
+                    "UPDATE jobs SET state = 'queued', started = NULL, "
+                    "finished = NULL, error = NULL, cancel_requested = 0 "
+                    "WHERE id = ?", (job_id,))
+            except BaseException:
+                self._rollback()
+                raise
+            self._execute("COMMIT")
+            return self._read_job(job_id)
 
     # -- introspection --------------------------------------------------------
     def get(self, job_id: int) -> Optional[Job]:
@@ -367,8 +607,8 @@ class JobStore:
     def _read_job(self, job_id: int) -> Optional[Job]:
         row = self._execute(
             "SELECT id, state, analyses, corpus, options, error, submitted, "
-            "started, finished, fanout, priority, tenant "
-            "FROM jobs WHERE id = ?",
+            "started, finished, fanout, priority, tenant, workload, "
+            "cancel_requested FROM jobs WHERE id = ?",
             (job_id,)).fetchone()
         if row is None:
             return None
@@ -377,10 +617,13 @@ class JobStore:
                    options=json.loads(row[4]), error=row[5], submitted=row[6],
                    started=row[7], finished=row[8],
                    fanout=None if row[9] is None else json.loads(row[9]),
-                   priority=row[10], tenant=row[11])
+                   priority=row[10], tenant=row[11],
+                   workload=None if row[12] is None else json.loads(row[12]),
+                   cancel_requested=bool(row[13]))
 
     @staticmethod
-    def _filter_clause(state: Optional[str], tenant: Optional[str]):
+    def _filter_clause(state: Optional[str], tenant: Optional[str],
+                       workload_only: bool = False):
         clauses, parameters = [], []
         if state is not None:
             clauses.append("state = ?")
@@ -388,11 +631,14 @@ class JobStore:
         if tenant is not None:
             clauses.append("tenant = ?")
             parameters.append(tenant)
+        if workload_only:
+            clauses.append("workload IS NOT NULL")
         where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
         return where, parameters
 
     def list_jobs(self, state: Optional[str] = None, limit: int = 100,
-                  offset: int = 0, tenant: Optional[str] = None) -> list:
+                  offset: int = 0, tenant: Optional[str] = None,
+                  workload_only: bool = False) -> list:
         """A page of jobs (newest first), filtered by state and/or tenant.
 
         Parameters
@@ -405,8 +651,10 @@ class JobStore:
             Number of matching jobs to skip before the page starts.
         tenant:
             Keep only jobs recorded under this tenant, when given.
+        workload_only:
+            Keep only workload jobs (``GET /v1/workloads``).
         """
-        where, parameters = self._filter_clause(state, tenant)
+        where, parameters = self._filter_clause(state, tenant, workload_only)
         with self._lock:
             rows = self._execute(
                 f"SELECT id FROM jobs{where} ORDER BY id DESC LIMIT ? OFFSET ?",
@@ -414,9 +662,10 @@ class JobStore:
             return [self._read_job(row[0]) for row in rows]
 
     def count_jobs(self, state: Optional[str] = None,
-                   tenant: Optional[str] = None) -> int:
+                   tenant: Optional[str] = None,
+                   workload_only: bool = False) -> int:
         """Total number of jobs matching the ``list_jobs`` filters."""
-        where, parameters = self._filter_clause(state, tenant)
+        where, parameters = self._filter_clause(state, tenant, workload_only)
         with self._lock:
             row = self._execute(
                 f"SELECT COUNT(*) FROM jobs{where}", tuple(parameters)).fetchone()
@@ -459,7 +708,10 @@ class JobStore:
 
         Partial results of the interrupted run are dropped, so the rerun
         starts from envelope zero — exactly-once results per completion,
-        never a duplicate row.
+        never a duplicate row.  **Completed workload chunk rows are
+        kept** (only chunks caught mid-run go back to ``pending``): the
+        requeued workload resumes from its last finished chunk instead
+        of recomputing the whole plan.
 
         Recovery assumes it runs while no other daemon is draining this
         database (the one-daemon-per-data-directory deployment): a
@@ -476,6 +728,10 @@ class JobStore:
                     self._execute(
                         "DELETE FROM job_results WHERE job_id = ?", (job_id,))
                     self._execute(
+                        "UPDATE job_chunks SET state = 'pending', "
+                        "result = NULL, started = NULL, finished = NULL "
+                        "WHERE job_id = ? AND state = 'running'", (job_id,))
+                    self._execute(
                         "UPDATE jobs SET state = 'queued', started = NULL, "
                         "fanout = NULL WHERE id = ?", (job_id,))
             except BaseException:
@@ -486,6 +742,7 @@ class JobStore:
 
 
 __all__ = [
+    "CHUNK_STATES",
     "DEFAULT_BATCH_AGING",
     "DEFAULT_PRIORITY",
     "JOB_STATES",

@@ -213,6 +213,14 @@ class Scheduler:
     def _run_job(self, job: Job) -> None:
         """Run one claimed job; persist envelopes incrementally; finish it."""
         try:
+            if job.workload is not None:
+                self._run_workload(job)
+                return
+            if job.cancel_requested:
+                # cancelled between claim and execution: honour it here,
+                # before any envelope is computed
+                self.jobstore.finish(job.job_id, "cancelled")
+                return
             options = (self.resolve_options(job)
                        if self.resolve_options is not None else job.options)
             corpus = [tuple(pair) for pair in job.corpus]
@@ -231,6 +239,26 @@ class Scheduler:
                     job.job_id, "failed", error=f"{type(error).__name__}: {error}")
             except RuntimeError:
                 pass  # store closed mid-shutdown; recovery requeues the job
+
+    def _run_workload(self, job: Job) -> None:
+        """Run one workload job chunk by chunk (see ``service.workloads``).
+
+        A graceful pool shutdown mid-workload leaves the job ``running``
+        (outcome ``paused``): crash recovery requeues it on the next
+        start and the completed chunks are reused, exactly like a crash.
+        """
+        from repro.service.workloads import run_workload_job
+
+        outcome = run_workload_job(
+            job, self.jobstore, session=self.session,
+            should_stop=self._stop.is_set)
+        if outcome == "paused":
+            return
+        self.jobstore.finish(job.job_id, outcome)
+        if outcome == "done":
+            self.jobs_completed += 1
+            if job.priority in self.jobs_by_lane:
+                self.jobs_by_lane[job.priority] += 1
 
 
 __all__ = ["ReadWriteLock", "Scheduler"]

@@ -56,14 +56,23 @@ from repro.service.jobstore import (
     JOB_STATES,
     JOBS_DATABASE_NAME,
     PRIORITY_LANES,
+    TERMINAL_STATES,
     Job,
     JobStore,
 )
 from repro.service.scheduler import ReadWriteLock, Scheduler
+from repro.service.workloads import (
+    ROUTES as WORKLOAD_ROUTES,
+    WorkloadError,
+    validate_workload_request,
+    workload_payload,
+    workloads_listing_payload,
+)
 
 #: every HTTP route the daemon serves — kept in lockstep with
-#: ``docs/service.md`` by ``tools/check_api.py``
-ROUTES = (
+#: ``docs/service.md`` by ``tools/check_api.py``; the workload-engine
+#: routes (cancel, workloads, queries) ride along from ``workloads.py``
+ROUTES = tuple(sorted((
     ("GET", "/v1/corpus"),
     ("GET", "/v1/healthz"),
     ("GET", "/v1/jobs"),
@@ -72,7 +81,10 @@ ROUTES = (
     ("GET", "/v1/stats"),
     ("POST", "/v1/corpus"),
     ("POST", "/v1/jobs"),
-)
+) + WORKLOAD_ROUTES))
+
+#: file inside the data dir persisting registered custom query specs
+QUERIES_FILE_NAME = "queries.json"
 
 #: subdirectory of the data dir holding the persisted CCD index
 INDEX_DIRECTORY_NAME = "index"
@@ -277,6 +289,13 @@ class AnalysisService:
         self._gateway = None  # AsyncGateway when frontend == "asyncio"
         self._stop_requested = threading.Event()
         self._stopped = False
+        self.queries_path = self.data_dir / QUERIES_FILE_NAME
+        #: custom queries reloaded from a previous daemon's registrations
+        self.reloaded_queries = self._load_custom_queries()
+
+    def _load_custom_queries(self) -> int:
+        """Re-register the custom DSL queries persisted in this data dir."""
+        return load_custom_queries(self.queries_path)
 
     def _open_detector(self) -> CloneDetector:
         """Reload the persisted index (zero parses) or start an empty one."""
@@ -413,6 +432,63 @@ class AnalysisService:
                                    priority=priority, tenant=tenant)
         self.scheduler.notify()
         return job
+
+    def submit_workload(self, body, tenant: Optional[str] = None) -> Job:
+        """Validate and enqueue one workload job, waking the scheduler.
+
+        ``body`` is the ``POST /v1/workloads`` wire object (``kind`` +
+        ``params`` + optional ``priority``/``chunks``); the validated
+        descriptor is persisted with the job so a restarted daemon can
+        resume it from its completed chunks.
+        """
+        try:
+            descriptor = validate_workload_request(body)
+        except WorkloadError as error:
+            raise ServiceValidationError(str(error)) from error
+        priority = validate_priority(body.get("priority"))
+        job = self.jobstore.submit(
+            [], [], priority=priority, tenant=tenant, workload=descriptor)
+        self.scheduler.notify()
+        return job
+
+    def cancel_job(self, job_id: int) -> Optional[str]:
+        """Cancel one job; returns its (possibly unchanged) state.
+
+        Queued jobs are dropped immediately; running workloads stop at
+        the next chunk boundary (their completed chunks stay persisted
+        for a later resume); terminal jobs are left untouched.  Returns
+        ``None`` for unknown ids.
+        """
+        return self.jobstore.cancel(job_id)
+
+    def resume_workload(self, job_id: int) -> Job:
+        """Requeue a failed/cancelled workload job, reusing done chunks."""
+        job = self.jobstore.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        if job.workload is None:
+            raise ServiceValidationError(
+                f"job {job_id} is not a workload job")
+        try:
+            job = self.jobstore.requeue(job_id)
+        except ValueError as error:
+            raise ServiceValidationError(str(error)) from error
+        self.scheduler.notify()
+        return job
+
+    def register_query_spec(self, spec) -> dict:
+        """Validate, register, and persist one custom DSL query.
+
+        The spec is pure data (see :mod:`repro.ccc.custom`) — nothing in
+        it is executed.  Registered specs are persisted to
+        ``queries.json`` in the data dir and reloaded on daemon startup,
+        so a custom query survives restarts like the rest of the state.
+        """
+        return register_custom_query(spec, self.queries_path)
+
+    def queries_payload(self) -> dict:
+        """The ``GET /v1/queries`` body: every active ccc query."""
+        return custom_queries_payload()
 
     def ingest(self, documents, remove=()) -> dict:
         """Add documents to the live CCD index and persist them incrementally.
@@ -633,6 +709,66 @@ def job_status_payload(jobstore, job: Job, query: dict) -> dict:
     return payload
 
 
+def load_custom_queries(path: Path) -> int:
+    """Re-register the custom DSL query specs persisted at ``path``.
+
+    Called at daemon startup (single-node and coordinator alike) so a
+    custom query registered over the API survives restarts; returns the
+    number of queries reloaded (0 when the file does not exist yet).
+    """
+    from repro.ccc.custom import compile_query
+    from repro.ccc.registry import register_query
+    if not path.exists():
+        return 0
+    specs = json.loads(path.read_text(encoding="utf-8"))
+    for spec in specs:
+        register_query(compile_query(spec), replace=True)
+    return len(specs)
+
+
+def register_custom_query(spec, path: Path) -> dict:
+    """Validate, register, and persist one custom DSL query spec.
+
+    The spec never executes — it compiles onto the fixed predicate
+    vocabulary of :mod:`repro.ccc.custom`.  The stored file at ``path``
+    keeps one normalized spec per query id, so re-registering an id
+    replaces its definition.  Raises :class:`ServiceValidationError` on
+    a malformed spec (mapped to HTTP 400).
+    """
+    from repro.ccc.custom import QuerySpecError, compile_query
+    from repro.ccc.registry import register_query, registered_queries
+    try:
+        query = compile_query(spec)
+        register_query(query, replace=True)
+    except (QuerySpecError, ValueError) as error:
+        raise ServiceValidationError(str(error)) from error
+    specs = [existing.spec for existing in registered_queries()
+             if hasattr(existing, "spec")
+             and existing.query_id != query.query_id]
+    specs.append(query.spec)
+    path.write_text(
+        json.dumps(specs, indent=2, sort_keys=True), encoding="utf-8")
+    return {"query": query.spec}
+
+
+def custom_queries_payload() -> dict:
+    """The ``GET /v1/queries`` body: every active ccc query.
+
+    Built-ins first (paper order), then custom queries in registration
+    order, each flagged ``"custom"`` so clients can tell them apart.
+    """
+    from repro.ccc.registry import BUILTIN_QUERY_IDS, all_queries
+    return {"queries": [
+        {
+            "query_id": query.query_id,
+            "category": query.category.value,
+            "title": query.title,
+            "custom": query.query_id not in BUILTIN_QUERY_IDS,
+        }
+        for query in all_queries()
+    ]}
+
+
 def _handler_class(service, base=None):
     """Bind a request-handler class to one service instance.
 
@@ -710,6 +846,64 @@ class _JsonRequestHandler(BaseHTTPRequestHandler):
         self._send_json(
             200, job_status_payload(self.service.jobstore, job, query))
 
+    # -- workload-engine routing (shared: daemon and coordinator) -------------
+    def _workload_or_404(self, raw_id: str) -> Optional[Job]:
+        job = self._job_or_404(raw_id)
+        if job is not None and job.workload is None:
+            self._send_error_json(404, f"job {job.job_id} is not a workload")
+            return None
+        return job
+
+    def _route_workload_get(self, parts: list, query: dict) -> bool:
+        """Serve the workload-engine GET endpoints; False when unmatched."""
+        if parts == ["v1", "queries"]:
+            self._send_json(200, self.service.queries_payload())
+            return True
+        if parts == ["v1", "workloads"]:
+            try:
+                payload = workloads_listing_payload(
+                    self.service.jobstore, query)
+            except (ServiceValidationError, WorkloadError) as error:
+                self._send_error_json(400, str(error))
+                return True
+            self._send_json(200, payload)
+            return True
+        if len(parts) == 3 and parts[:2] == ["v1", "workloads"]:
+            job = self._workload_or_404(parts[2])
+            if job is not None:
+                self._send_json(200, workload_payload(
+                    self.service.jobstore, job,
+                    include_chunks="chunks" in query))
+            return True
+        return False
+
+    def _route_workload_post(self, parts: list, payload: dict) -> bool:
+        """Serve the workload-engine POST endpoints; False when unmatched."""
+        if parts == ["v1", "workloads"]:
+            job = self.service.submit_workload(
+                payload, tenant=self.headers.get("X-Repro-Tenant"))
+            self._send_json(202, workload_payload(self.service.jobstore, job))
+            return True
+        if (len(parts) == 4 and parts[:2] == ["v1", "workloads"]
+                and parts[3] == "resume"):
+            job = self._workload_or_404(parts[2])
+            if job is not None:
+                job = self.service.resume_workload(job.job_id)
+                self._send_json(
+                    202, workload_payload(self.service.jobstore, job))
+            return True
+        if (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
+                and parts[3] == "cancel"):
+            job = self._job_or_404(parts[2])
+            if job is not None:
+                state = self.service.cancel_job(job.job_id)
+                self._send_json(200, {"id": job.job_id, "state": state})
+            return True
+        if parts == ["v1", "queries"]:
+            self._send_json(201, self.service.register_query_spec(payload))
+            return True
+        return False
+
 
 class _ServiceRequestHandler(_JsonRequestHandler):
     """Routes ``/v1/*`` requests onto the bound :class:`AnalysisService`."""
@@ -739,7 +933,7 @@ class _ServiceRequestHandler(_JsonRequestHandler):
             job = self._job_or_404(parts[2])
             if job is not None:
                 self._stream_job(job, query)
-        else:
+        elif not self._route_workload_get(parts, query):
             self._send_error_json(404, f"no such endpoint: GET {url.path}")
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
@@ -760,7 +954,7 @@ class _ServiceRequestHandler(_JsonRequestHandler):
             elif parts == ["v1", "corpus"]:
                 self._send_json(200, self.service.ingest(
                     payload.get("documents"), payload.get("remove", ())))
-            else:
+            elif not self._route_workload_post(parts, payload):
                 self._send_error_json(404, f"no such endpoint: POST {url.path}")
         except ServiceValidationError as error:
             self._send_error_json(400, str(error))
@@ -794,7 +988,7 @@ class _ServiceRequestHandler(_JsonRequestHandler):
                         job.job_id, after=last_seq):
                     self._write_chunk(envelope.encode("utf-8") + b"\n")
                     last_seq = seq
-                if current is None or current.state in ("done", "failed"):
+                if current is None or current.state in TERMINAL_STATES:
                     break
                 if deadline is not None and time.monotonic() >= deadline:
                     break
@@ -811,11 +1005,15 @@ __all__ = [
     "AnalysisService",
     "CACHE_DIRECTORY_NAME",
     "INDEX_DIRECTORY_NAME",
+    "QUERIES_FILE_NAME",
     "ROUTES",
     "ServiceConfig",
     "ServiceValidationError",
+    "custom_queries_payload",
     "job_status_payload",
     "jobs_listing_payload",
+    "load_custom_queries",
+    "register_custom_query",
     "validate_document_ids",
     "validate_job_request",
     "validate_priority",

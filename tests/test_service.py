@@ -162,7 +162,8 @@ class TestJobStore:
             store.submit([("b", "y")], ["ccd"])
             store.claim_next()
             counts = store.counts()
-            assert counts == {"queued": 1, "running": 1, "done": 0, "failed": 0}
+            assert counts == {"queued": 1, "running": 1, "done": 0,
+                              "failed": 0, "cancelled": 0}
             assert store.queue_depth() == 2
 
     def test_closed_store_raises(self, tmp_path):
@@ -188,7 +189,8 @@ class TestHttpApi:
         client.ingest(contracts[:3])
         stats = client.stats()
         assert stats["index"]["documents"] == 3
-        assert stats["jobs"] == {"queued": 0, "running": 0, "done": 0, "failed": 0}
+        assert stats["jobs"] == {"queued": 0, "running": 0, "done": 0,
+                                 "failed": 0, "cancelled": 0}
         assert "hits" in stats["store"] and "hit_rate" in stats["store"]
         assert stats["config"]["backend"] == "serial"
 

@@ -326,7 +326,7 @@ class TestJobsPagination:
                                         "/v1/jobs?state=nope")
         assert status == 400
         assert json.loads(body)["error"] == \
-            "'state' must be one of queued|running|done|failed"
+            "'state' must be one of queued|running|done|failed|cancelled"
 
 
 # ---------------------------------------------------------------------------

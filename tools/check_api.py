@@ -104,6 +104,13 @@ def actual_gateway_endpoints() -> set[str]:
     return {f"{method} {route}" for method, route in ROUTES}
 
 
+def actual_workload_endpoints() -> set[str]:
+    """The workload/cancel/query routes shared by every front end."""
+    from repro.service.workloads import ROUTES
+
+    return {f"{method} {route}" for method, route in ROUTES}
+
+
 def actual_surface() -> set[str]:
     """The names ``repro.api`` actually exports."""
     import repro.api
@@ -152,16 +159,25 @@ def main(argv: list[str]) -> int:
     problems += check("CLI command", documented_commands(text, path), actual_commands())
     service_path = root / "docs" / "service.md"
     service_text = service_path.read_text(encoding="utf-8")
+    # the workload block documents the routes every front end shares, so
+    # the per-front blocks only carry their front-specific endpoints
+    workload_documented = documented_endpoints(service_text, service_path,
+                                               "workload-endpoints")
+    problems += check("workload endpoint", workload_documented,
+                      actual_workload_endpoints(), where="docs/service.md")
     problems += check("service endpoint",
-                      documented_endpoints(service_text, service_path),
+                      documented_endpoints(service_text, service_path)
+                      | workload_documented,
                       actual_endpoints(), where="docs/service.md")
     problems += check("coordinator endpoint",
                       documented_endpoints(service_text, service_path,
-                                           "coordinator-endpoints"),
+                                           "coordinator-endpoints")
+                      | workload_documented,
                       actual_coordinator_endpoints(), where="docs/service.md")
     problems += check("gateway endpoint",
                       documented_endpoints(service_text, service_path,
-                                           "gateway-endpoints"),
+                                           "gateway-endpoints")
+                      | workload_documented,
                       actual_gateway_endpoints(), where="docs/service.md")
     for problem in problems:
         print(problem, file=sys.stderr)
